@@ -1,0 +1,97 @@
+#pragma once
+// Shared setup for the per-figure benchmark binaries.
+//
+// Every bench measures workload traits on a scaled synthetic replica of a
+// Table I dataset (same read length, coverage, bursty error layout) and
+// models the full dataset on the BlueGene/Q machine model. Functional
+// sections run the real distributed pipeline at small rank counts over the
+// in-process runtime.
+
+#include <cstdio>
+
+#include "core/params.hpp"
+#include "parallel/dist_pipeline.hpp"
+#include "perfmodel/phase_model.hpp"
+#include "seq/dataset.hpp"
+#include "stats/table.hpp"
+
+namespace reptile::bench {
+
+/// Corrector parameters used across the reproduction benches. k=12 tiles of
+/// 20 bp, threshold 3, and a wide per-tile search (the paper's workload is
+/// dominated by candidate-tile lookups).
+inline core::CorrectorParams bench_params() {
+  core::CorrectorParams p;
+  p.k = 12;
+  p.tile_overlap = 4;
+  p.kmer_threshold = 3;
+  p.tile_threshold = 3;
+  p.max_positions_per_tile = 6;
+  p.chunk_size = 2000;
+  return p;
+}
+
+/// Error model with bursts localized in file regions — the cause of the
+/// paper's load imbalance (Section III-A).
+inline seq::ErrorModelParams bench_errors() {
+  seq::ErrorModelParams e;
+  e.error_rate_start = 0.003;
+  e.error_rate_end = 0.01;
+  e.burst_fraction = 0.2;
+  e.burst_regions = 4;
+  e.burst_multiplier = 8.0;
+  return e;
+}
+
+/// Per-dataset error profiles. The three SRA datasets have very different
+/// per-read correction workloads (the paper corrects 10.8x more Drosophila
+/// reads in only 3x the E.Coli time, so its per-read cost is ~3.5x lower;
+/// its imbalance is also harsher — the imbalanced runs never finished).
+/// These profiles reproduce those relative workloads.
+inline seq::ErrorModelParams bench_errors_for(const std::string& dataset) {
+  seq::ErrorModelParams e = bench_errors();
+  if (dataset == "Drosophila") {
+    e.error_rate_start = 0.001;   // cleaner reads: less work per read ...
+    e.error_rate_end = 0.0035;
+    e.burst_fraction = 0.08;      // ... but errors concentrated harder
+    e.burst_regions = 2;
+    e.burst_multiplier = 16.0;
+  } else if (dataset == "Human") {
+    e.error_rate_start = 0.0015;
+    e.error_rate_end = 0.006;
+    e.burst_fraction = 0.15;
+    e.burst_regions = 4;
+    e.burst_multiplier = 8.0;
+  }
+  return e;
+}
+
+/// Scaled replica of `full` with about `target_reads` reads, corrupted with
+/// the dataset's error profile.
+inline seq::SyntheticDataset scaled_replica(const seq::DatasetSpec& full,
+                                            std::uint64_t target_reads,
+                                            std::uint64_t seed) {
+  const auto spec = full.scaled(static_cast<double>(target_reads) /
+                                static_cast<double>(full.n_reads));
+  return seq::SyntheticDataset::generate(spec, bench_errors_for(full.name),
+                                         seed);
+}
+
+/// Measures traits for a Table I dataset on a scaled replica.
+inline perfmodel::DatasetTraits bench_traits(const seq::DatasetSpec& full,
+                                             std::uint64_t target_reads = 4000,
+                                             std::uint64_t seed = 20160523) {
+  const auto replica = scaled_replica(full, target_reads, seed);
+  return perfmodel::measure_traits(replica, bench_params(),
+                                   bench_errors_for(full.name),
+                                   /*np_ref=*/64);
+}
+
+inline void print_header(const char* figure, const char* paper_summary) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper: %s\n", paper_summary);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace reptile::bench

@@ -1,0 +1,116 @@
+// Figure 3: k-mer and tile count of each rank for 128 processes (E.Coli).
+//
+// Paper finding: the hash-based ownership spreads the spectrum almost
+// perfectly — "the variation between the ranks having the highest and the
+// lowest number of k-mers is less than 1%, with the variation in the number
+// of tiles slightly less than 2%".
+//
+// This bench computes the distribution EXACTLY (not modeled): it extracts
+// the spectrum of the scaled E.Coli replica and buckets every distinct
+// k-mer/tile by its owning rank, as Step II/III would.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/spectrum.hpp"
+#include "hash/count_table.hpp"
+#include "hash/hashing.hpp"
+#include "seq/rng.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace reptile;
+  bench::print_header(
+      "Figure 3 — k-mer and tile count per rank, 128 ranks (E.Coli)",
+      "k-mer spread < 1%, tile spread < 2% across ranks");
+
+  constexpr int kRanks = 128;
+  // A bigger replica keeps per-rank counts statistically tight, as the
+  // full dataset would be.
+  const auto ds = bench::scaled_replica(seq::DatasetSpec::ecoli(), 20000, 3);
+  const auto params = bench::bench_params();
+
+  core::LocalSpectrum spectrum(params);
+  for (const auto& r : ds.reads) spectrum.add_read(r.bases);
+  spectrum.prune();
+
+  std::vector<std::uint64_t> kmers_per_rank(kRanks, 0);
+  std::vector<std::uint64_t> tiles_per_rank(kRanks, 0);
+  spectrum.kmers().for_each([&](std::uint64_t id, std::uint32_t) {
+    ++kmers_per_rank[static_cast<std::size_t>(hash::owner_of(id, kRanks))];
+  });
+  spectrum.tiles().for_each([&](std::uint64_t id, std::uint32_t) {
+    ++tiles_per_rank[static_cast<std::size_t>(hash::owner_of(id, kRanks))];
+  });
+
+  const auto ks = stats::summarize(
+      std::span<const std::uint64_t>(kmers_per_rank));
+  const auto ts = stats::summarize(
+      std::span<const std::uint64_t>(tiles_per_rank));
+
+  stats::TextTable table(
+      {"spectrum", "total entries", "min/rank", "mean/rank", "max/rank",
+       "spread %"});
+  table.row()
+      .cell("k-mers")
+      .cell(spectrum.kmer_entries())
+      .cell(static_cast<std::uint64_t>(ks.min))
+      .cell_fixed(ks.mean, 1)
+      .cell(static_cast<std::uint64_t>(ks.max))
+      .cell_fixed(100.0 * ks.relative_spread(), 2);
+  table.row()
+      .cell("tiles")
+      .cell(spectrum.tile_entries())
+      .cell(static_cast<std::uint64_t>(ts.min))
+      .cell_fixed(ts.mean, 1)
+      .cell(static_cast<std::uint64_t>(ts.max))
+      .cell_fixed(100.0 * ts.relative_spread(), 2);
+  table.print(std::cout);
+
+  std::printf("\nper-rank counts (first 16 ranks of %d):\n", kRanks);
+  stats::TextTable rows({"rank", "k-mers", "tiles"});
+  for (int r = 0; r < 16; ++r) {
+    rows.row()
+        .cell(r)
+        .cell(kmers_per_rank[static_cast<std::size_t>(r)])
+        .cell(tiles_per_rank[static_cast<std::size_t>(r)]);
+  }
+  rows.print(std::cout);
+  std::printf(
+      "\nThe replica's per-rank means are ~1000x smaller than the full\n"
+      "dataset's, so the statistical spread is correspondingly wider than\n"
+      "the paper's <1%%. The spread at FULL scale depends only on how the\n"
+      "ownership hash buckets that many distinct IDs:\n\n");
+
+  // Full-scale projection: the full E.Coli spectrum holds ~9M distinct
+  // k-mers (genome-scale) — bucket that many distinct IDs by the actual
+  // ownership function and report the spread the paper's Fig. 3 shows.
+  const std::uint64_t full_kmers = 9'000'000;
+  const std::uint64_t full_tiles = 4'000'000;
+  seq::Rng rng(17);
+  auto project = [&](std::uint64_t n) {
+    std::vector<std::uint64_t> counts(kRanks, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ++counts[static_cast<std::size_t>(hash::owner_of(rng.next(), kRanks))];
+    }
+    return stats::summarize(std::span<const std::uint64_t>(counts));
+  };
+  const auto pk = project(full_kmers);
+  const auto pt = project(full_tiles);
+  stats::TextTable proj({"spectrum (projected full scale)", "mean/rank",
+                         "spread %", "paper"});
+  proj.row()
+      .cell("k-mers")
+      .cell_fixed(pk.mean, 0)
+      .cell_fixed(100.0 * pk.relative_spread(), 2)
+      .cell("< 1%");
+  proj.row()
+      .cell("tiles")
+      .cell_fixed(pt.mean, 0)
+      .cell_fixed(100.0 * pt.relative_spread(), 2)
+      .cell("< 2%");
+  proj.print(std::cout);
+  return 0;
+}

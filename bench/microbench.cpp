@@ -1,0 +1,178 @@
+// Micro-benchmarks of the substrate data structures (google-benchmark).
+//
+// Includes the paper's Section II design contrast: Jammula et al. store the
+// spectrum as sorted arrays searched by repeated binary search (improved to
+// a cache-aware layout); this implementation uses hash tables instead,
+// "prevent[ing] any need for sorting the arrays or for repeated binary
+// searches". BM_SpectrumLookup_* quantifies that choice.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/corrector.hpp"
+#include "core/spectrum.hpp"
+#include "hash/bloom_filter.hpp"
+#include "hash/count_table.hpp"
+#include "hash/sorted_spectrum.hpp"
+#include "rtm/mailbox.hpp"
+#include "seq/dataset.hpp"
+#include "seq/kmer.hpp"
+#include "seq/rng.hpp"
+
+namespace {
+
+using namespace reptile;
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  seq::Rng rng(seed);
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng.next();
+  return keys;
+}
+
+// --- hash table vs sorted-array binary search (paper Section II-B) --------
+
+void BM_SpectrumLookup_HashTable(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto keys = random_keys(n, 1);
+  hash::CountTable<> table(n);
+  for (auto k : keys) table.increment(k, 3);
+  const auto probes = random_keys(n, 2);  // ~all misses, like candidate tiles
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(keys[i % n]));
+    benchmark::DoNotOptimize(table.find(probes[i % n]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SpectrumLookup_HashTable)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_SpectrumLookup_SortedArray(benchmark::State& state) {
+  // Shah et al.'s layout: (id, count) pairs sorted by id, binary search.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto keys = random_keys(n, 1);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+  entries.reserve(n);
+  for (auto k : keys) entries.emplace_back(k, 3);
+  const auto table = hash::SortedCountArray::from_entries(std::move(entries));
+  const auto probes = random_keys(n, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(keys[i % n]));
+    benchmark::DoNotOptimize(table.find(probes[i % n]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SpectrumLookup_SortedArray)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Arg(1 << 22);
+
+void BM_SpectrumLookup_CacheAware(benchmark::State& state) {
+  // Jammula et al.'s improvement: (B+1)-ary cache-line-blocked layout,
+  // O(log_{B+1} N) cache misses per search.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto keys = random_keys(n, 1);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> entries;
+  entries.reserve(n);
+  for (auto k : keys) entries.emplace_back(k, 3);
+  const auto table =
+      hash::CacheAwareCountArray::from_entries(std::move(entries));
+  const auto probes = random_keys(n, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(keys[i % n]));
+    benchmark::DoNotOptimize(table.find(probes[i % n]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_SpectrumLookup_CacheAware)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Arg(1 << 22);
+
+// --- construction-side primitives ------------------------------------------
+
+void BM_CountTableInsert(benchmark::State& state) {
+  const auto keys = random_keys(1 << 16, 3);
+  for (auto _ : state) {
+    hash::CountTable<> table;
+    for (auto k : keys) table.increment(k);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_CountTableInsert);
+
+void BM_KmerExtraction(benchmark::State& state) {
+  seq::DatasetSpec spec{"bench", 200, 102, 10000};
+  const auto ds = seq::SyntheticDataset::generate(spec, {}, 4);
+  const seq::KmerCodec codec(12);
+  std::vector<seq::kmer_id_t> out;
+  for (auto _ : state) {
+    out.clear();
+    for (const auto& r : ds.reads) codec.extract(r.bases, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(200 * (102 - 12 + 1)));
+}
+BENCHMARK(BM_KmerExtraction);
+
+void BM_BloomFilterInsert(benchmark::State& state) {
+  const auto keys = random_keys(1 << 16, 5);
+  for (auto _ : state) {
+    hash::BloomFilter bf(1 << 16, 0.01);
+    for (auto k : keys) benchmark::DoNotOptimize(bf.insert(k));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (1 << 16));
+}
+BENCHMARK(BM_BloomFilterInsert);
+
+// --- correction throughput ---------------------------------------------------
+
+void BM_CorrectRead(benchmark::State& state) {
+  core::CorrectorParams params;
+  params.k = 12;
+  params.tile_overlap = 4;
+  seq::DatasetSpec spec{"bench", 3000, 102, 4000};
+  seq::ErrorModelParams errors;
+  errors.error_rate_start = 0.003;
+  errors.error_rate_end = 0.01;
+  const auto ds = seq::SyntheticDataset::generate(spec, errors, 6);
+  core::LocalSpectrum spectrum(params);
+  for (const auto& r : ds.reads) spectrum.add_read(r.bases);
+  spectrum.prune();
+  core::TileCorrector corrector(params);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    seq::Read copy = ds.reads[i % ds.reads.size()];
+    benchmark::DoNotOptimize(corrector.correct(copy, spectrum));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CorrectRead);
+
+// --- messaging ----------------------------------------------------------------
+
+void BM_MailboxPushPop(benchmark::State& state) {
+  rtm::Mailbox mb;
+  for (auto _ : state) {
+    mb.push(rtm::Message::of_value(0, 1, std::uint64_t{42}));
+    benchmark::DoNotOptimize(mb.try_pop(0, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MailboxPushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Preprocessing tool: FASTQ -> Reptile's FASTA + quality-file inputs.
+//
+//   $ ./examples/fastq_convert reads.fastq out_prefix [--phred64] [--min-len N]
+//
+// Implements the paper's assumed preprocessing ("the names have been
+// pre-processed to be sequence numbers"; "Reptile is not capable of reading
+// the fastq format"): reads the FASTQ, renumbers reads 1..N, sanitizes
+// non-ACGT bases, and writes <out_prefix>.fa and <out_prefix>.qual.
+//
+// With no arguments, runs a self-contained demo on a generated FASTQ.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "seq/dataset.hpp"
+#include "seq/fastq_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace reptile;
+  namespace fs = std::filesystem;
+
+  fs::path input;
+  std::string prefix;
+  seq::FastqOptions options;
+
+  if (argc < 3) {
+    std::printf("usage: %s reads.fastq out_prefix [--phred64] [--min-len N]\n"
+                "no input given; running the built-in demo...\n\n",
+                argv[0]);
+    const auto dir = fs::temp_directory_path() / "reptile_fastq_demo";
+    fs::create_directories(dir);
+    seq::DatasetSpec spec{"demo", 1000, 80, 5000};
+    seq::ErrorModelParams errors;
+    const auto ds = seq::SyntheticDataset::generate(spec, errors, 3);
+    input = dir / "demo.fastq";
+    seq::write_fastq(input, ds.reads);
+    prefix = (dir / "demo").string();
+  } else {
+    input = argv[1];
+    prefix = argv[2];
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--phred64") == 0) {
+        options.phred_offset = 64;
+      } else if (std::strcmp(argv[i], "--min-len") == 0 && i + 1 < argc) {
+        options.min_length = std::atoi(argv[++i]);
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+        return 2;
+      }
+    }
+  }
+
+  try {
+    const auto stats = seq::convert_fastq(input, prefix + ".fa",
+                                          prefix + ".qual", options);
+    std::printf("converted %s\n", input.c_str());
+    std::printf("  reads in:        %llu\n",
+                static_cast<unsigned long long>(stats.reads_in));
+    std::printf("  reads written:   %llu\n",
+                static_cast<unsigned long long>(stats.reads_out));
+    std::printf("  reads dropped:   %llu (below min length)\n",
+                static_cast<unsigned long long>(stats.reads_dropped));
+    std::printf("  bases sanitized: %llu (non-ACGT)\n",
+                static_cast<unsigned long long>(stats.bases_sanitized));
+    std::printf("outputs: %s.fa, %s.qual\n", prefix.c_str(), prefix.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "core/corrector.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace reptile::core {
+
+TileCorrector::TileCorrector(const CorrectorParams& params)
+    : params_(params), tile_codec_(params.k, params.tile_overlap) {
+  params_.validate();
+}
+
+void TileCorrector::pick_positions(const seq::Read& read, int tile_pos,
+                                   std::vector<int>& out) const {
+  const int tlen = tile_codec_.tile_len();
+  out.clear();
+  out.reserve(static_cast<std::size_t>(tlen));
+  for (int off = 0; off < tlen; ++off) out.push_back(off);
+  std::stable_sort(out.begin(), out.end(), [&](int a, int b) {
+    const auto qa = read.quals[static_cast<std::size_t>(tile_pos + a)];
+    const auto qb = read.quals[static_cast<std::size_t>(tile_pos + b)];
+    if (qa != qb) return qa < qb;
+    return a < b;
+  });
+  if (params_.restrict_to_low_quality) {
+    // Original Reptile: only low-quality bases are suspected; drop every
+    // position at or above the quality threshold.
+    const auto first_high = std::find_if(out.begin(), out.end(), [&](int off) {
+      return read.quals[static_cast<std::size_t>(tile_pos + off)] >=
+             params_.qual_threshold;
+    });
+    out.erase(first_high, out.end());
+  }
+  if (static_cast<int>(out.size()) > params_.max_positions_per_tile) {
+    out.resize(static_cast<std::size_t>(params_.max_positions_per_tile));
+  }
+}
+
+bool TileCorrector::acceptable(seq::tile_id_t tile, SpectrumView& spectrum,
+                               std::uint32_t& count) const {
+  count = spectrum.tile_count(tile);
+  if (count < params_.tile_threshold) return false;
+  // Tile passed; require solid constituent k-mers as well (Reptile uses
+  // both spectra — this is where the k-mer lookup traffic comes from).
+  const seq::kmer_id_t first = tile_codec_.first_kmer(tile);
+  if (spectrum.kmer_count(first) < params_.kmer_threshold) return false;
+  const seq::kmer_id_t second = tile_codec_.second_kmer(tile);
+  return spectrum.kmer_count(second) >= params_.kmer_threshold;
+}
+
+int TileCorrector::try_fix_tile(seq::Read& read, int tile_pos,
+                                seq::tile_id_t tile,
+                                SpectrumView& spectrum) const {
+  std::vector<int> positions;
+  pick_positions(read, tile_pos, positions);
+
+  Candidate best;
+  std::uint32_t second_best = 0;
+  auto consider = [&](const Candidate& c) {
+    if (c.count > best.count ||
+        (c.count == best.count && c.tile < best.tile)) {
+      if (best.count != 0) second_best = std::max(second_best, best.count);
+      best = c;
+    } else {
+      second_best = std::max(second_best, c.count);
+    }
+  };
+
+  // Hamming distance 1: one substitution at one chosen position.
+  for (int off : positions) {
+    const seq::base_t current = tile_codec_.base_at(tile, off);
+    for (seq::base_t b = 0; b < seq::kAlphabetSize; ++b) {
+      if (b == current) continue;
+      const seq::tile_id_t cand = tile_codec_.substitute(tile, off, b);
+      std::uint32_t count = 0;
+      if (acceptable(cand, spectrum, count)) {
+        consider({cand, count, off, b, -1, 0});
+      }
+    }
+  }
+
+  // Hamming distance 2 only when no single substitution was acceptable.
+  if (best.count == 0 && params_.max_hamming >= 2) {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      for (std::size_t j = i + 1; j < positions.size(); ++j) {
+        const int o1 = std::min(positions[i], positions[j]);
+        const int o2 = std::max(positions[i], positions[j]);
+        const seq::base_t c1 = tile_codec_.base_at(tile, o1);
+        const seq::base_t c2 = tile_codec_.base_at(tile, o2);
+        for (seq::base_t b1 = 0; b1 < seq::kAlphabetSize; ++b1) {
+          if (b1 == c1) continue;
+          const seq::tile_id_t partial = tile_codec_.substitute(tile, o1, b1);
+          for (seq::base_t b2 = 0; b2 < seq::kAlphabetSize; ++b2) {
+            if (b2 == c2) continue;
+            const seq::tile_id_t cand = tile_codec_.substitute(partial, o2, b2);
+            std::uint32_t count = 0;
+            if (acceptable(cand, spectrum, count)) {
+              consider({cand, count, o1, b1, o2, b2});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (best.count == 0) return 0;
+  // Unambiguity: the winner must dominate every other acceptable candidate.
+  if (second_best != 0 &&
+      static_cast<double>(best.count) <
+          params_.dominance_ratio * static_cast<double>(second_best)) {
+    return 0;
+  }
+
+  int applied = 0;
+  read.bases[static_cast<std::size_t>(tile_pos + best.off1)] =
+      seq::char_from_base(best.base1);
+  ++applied;
+  if (best.off2 >= 0) {
+    read.bases[static_cast<std::size_t>(tile_pos + best.off2)] =
+        seq::char_from_base(best.base2);
+    ++applied;
+  }
+  return applied;
+}
+
+ReadCorrection TileCorrector::correct(seq::Read& read,
+                                      SpectrumView& spectrum) const {
+  ReadCorrection result;
+  const int tlen = tile_codec_.tile_len();
+  if (read.length() < tlen) return result;
+  assert(read.quals.size() == read.bases.size());
+
+  const std::vector<int> tile_positions =
+      tile_codec_.tile_positions(read.length());
+  const seq::KmerCodec& tc = tile_codec_.as_kmer_codec();
+
+  for (int pos : tile_positions) {
+    if (result.substitutions >= params_.max_corrections_per_read) break;
+    const seq::tile_id_t tile = tc.pack(
+        std::string_view(read.bases).substr(static_cast<std::size_t>(pos)));
+    if (spectrum.tile_count(tile) >= params_.tile_threshold) continue;
+    ++result.tiles_untrusted;
+    const int applied = try_fix_tile(read, pos, tile, spectrum);
+    if (applied > 0) {
+      result.substitutions += applied;
+      ++result.tiles_fixed;
+    }
+  }
+  return result;
+}
+
+}  // namespace reptile::core

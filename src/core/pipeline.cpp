@@ -1,0 +1,58 @@
+#include "core/pipeline.hpp"
+
+#include "stats/stopwatch.hpp"
+
+namespace reptile::core {
+
+SequentialResult run_sequential(seq::ReadSource& source,
+                                const CorrectorParams& params) {
+  params.validate();
+  SequentialResult result;
+  LocalSpectrum spectrum(params);
+
+  stats::Stopwatch clock;
+  seq::ReadBatch batch;
+  source.reset();
+  while (source.next_chunk(params.chunk_size, batch)) {
+    for (const seq::Read& r : batch) spectrum.add_read(r.bases);
+  }
+  spectrum.prune();
+  result.construct_seconds = clock.seconds();
+  result.kmer_entries = spectrum.kmer_entries();
+  result.tile_entries = spectrum.tile_entries();
+  result.spectrum_bytes = spectrum.memory_bytes();
+
+  // Correction phase: stream the reads again (the paper re-reads the file
+  // rather than keeping reads resident) and correct each in place.
+  clock.restart();
+  const LookupStats before_correction = spectrum.stats();
+  TileCorrector corrector(params);
+  result.corrected.reserve(source.size());
+  source.reset();
+  while (source.next_chunk(params.chunk_size, batch)) {
+    for (seq::Read& r : batch) {
+      const ReadCorrection rc = corrector.correct(r, spectrum);
+      if (rc.changed()) ++result.reads_changed;
+      result.substitutions += static_cast<std::uint64_t>(rc.substitutions);
+      result.tiles_untrusted += static_cast<std::uint64_t>(rc.tiles_untrusted);
+      result.tiles_fixed += static_cast<std::uint64_t>(rc.tiles_fixed);
+      result.corrected.push_back(std::move(r));
+    }
+  }
+  result.correct_seconds = clock.seconds();
+
+  result.lookups = spectrum.stats();
+  result.lookups.kmer_lookups -= before_correction.kmer_lookups;
+  result.lookups.kmer_misses -= before_correction.kmer_misses;
+  result.lookups.tile_lookups -= before_correction.tile_lookups;
+  result.lookups.tile_misses -= before_correction.tile_misses;
+  return result;
+}
+
+SequentialResult run_sequential(const std::vector<seq::Read>& reads,
+                                const CorrectorParams& params) {
+  seq::VectorReadSource source(reads);
+  return run_sequential(source, params);
+}
+
+}  // namespace reptile::core

@@ -1,0 +1,42 @@
+#pragma once
+// Sequential Reptile pipeline: the single-process reference implementation.
+//
+// This is the baseline every distributed configuration is validated against
+// (identical corrected output) and the anchor of the per-operation cost
+// calibration in src/perfmodel.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/corrector.hpp"
+#include "core/params.hpp"
+#include "core/spectrum.hpp"
+#include "seq/read.hpp"
+
+namespace reptile::core {
+
+/// Outcome of a sequential run.
+struct SequentialResult {
+  std::vector<seq::Read> corrected;  ///< reads in input order, bases fixed
+  std::uint64_t reads_changed = 0;
+  std::uint64_t substitutions = 0;
+  std::uint64_t tiles_untrusted = 0;
+  std::uint64_t tiles_fixed = 0;
+  std::size_t kmer_entries = 0;   ///< spectrum size after pruning
+  std::size_t tile_entries = 0;
+  std::size_t spectrum_bytes = 0; ///< spectrum memory after pruning
+  LookupStats lookups;            ///< correction-phase lookups
+  double construct_seconds = 0;   ///< k-mer construction time
+  double correct_seconds = 0;     ///< error correction time
+};
+
+/// Runs spectrum construction, pruning and correction over `reads`,
+/// streaming through the given source in chunks of params.chunk_size.
+SequentialResult run_sequential(seq::ReadSource& source,
+                                const CorrectorParams& params);
+
+/// Convenience overload over an in-memory read vector.
+SequentialResult run_sequential(const std::vector<seq::Read>& reads,
+                                const CorrectorParams& params);
+
+}  // namespace reptile::core

@@ -1,0 +1,37 @@
+#pragma once
+// Spectrum checkpointing: save a constructed (pruned) spectrum to disk and
+// load it back.
+//
+// Spectrum construction streams the entire read set; on the paper's
+// datasets that is minutes to hours of I/O and exchange. Checkpointing the
+// pruned spectrum lets repeated correction runs (e.g. parameter studies on
+// the correction side) skip Steps I-III entirely.
+//
+// File format (little-endian, versioned):
+//   magic "RPTL" | u32 version | u32 k | u32 tile_overlap | u8 canonical |
+//   u32 kmer_threshold | u32 tile_threshold |
+//   u64 kmer_entries | (u64 id, u32 count) * kmer_entries |
+//   u64 tile_entries | (u64 id, u32 count) * tile_entries
+
+#include <filesystem>
+
+#include "core/params.hpp"
+#include "core/spectrum.hpp"
+
+namespace reptile::core {
+
+/// Writes `spectrum` (typically post-prune) with its construction
+/// parameters. Throws std::runtime_error on IO failure.
+void save_spectrum(const std::filesystem::path& path,
+                   const LocalSpectrum& spectrum,
+                   const CorrectorParams& params);
+
+/// Loads a spectrum saved by save_spectrum. Throws std::runtime_error on a
+/// malformed file, and std::invalid_argument when the file's construction
+/// parameters are incompatible with `params` (k, overlap, canonical and
+/// thresholds must match — a spectrum built for different geometry answers
+/// wrong questions silently).
+LocalSpectrum load_spectrum(const std::filesystem::path& path,
+                            const CorrectorParams& params);
+
+}  // namespace reptile::core

@@ -1,0 +1,88 @@
+#pragma once
+// Bloom filter over packed 64-bit IDs.
+//
+// The paper notes (Section III, Step III) that "a memory-efficient
+// alternative to this step [threshold pruning with exact counts] is usage of
+// a Bloom filter". This filter supports that mode: a first pass inserts
+// every k-mer into the filter, and only k-mers seen at least twice (i.e.
+// already present on insert) are added to the exact table, discarding the
+// singleton noise that dominates the spectrum's memory.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hash/hashing.hpp"
+
+namespace reptile::hash {
+
+/// Blocked double-hashing Bloom filter for std::uint64_t keys.
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected` distinct keys at the given
+  /// false-positive rate.
+  explicit BloomFilter(std::size_t expected, double fp_rate = 0.01) {
+    expected = expected == 0 ? 1 : expected;
+    // m = -n ln p / (ln 2)^2, k = m/n ln 2 (standard optimal sizing).
+    const double ln2 = 0.6931471805599453;
+    const double m = -static_cast<double>(expected) * std::log(fp_rate) /
+                     (ln2 * ln2);
+    nbits_ = std::max<std::size_t>(64, static_cast<std::size_t>(m));
+    nbits_ = (nbits_ + 63) / 64 * 64;
+    bits_.assign(nbits_ / 64, 0);
+    nhashes_ = std::max(1, static_cast<int>(std::lround(
+                               m / static_cast<double>(expected) * ln2)));
+  }
+
+  /// Inserts `key`; returns true when the key was *possibly already
+  /// present* (all probed bits were set), which is the "seen before" signal
+  /// used for singleton suppression.
+  bool insert(std::uint64_t key) {
+    const std::uint64_t h1 = mix64(key);
+    const std::uint64_t h2 = mix64(key ^ 0x9E3779B97F4A7C15ull) | 1;
+    bool all_set = true;
+    std::uint64_t h = h1;
+    for (int i = 0; i < nhashes_; ++i, h += h2) {
+      const std::size_t bit = static_cast<std::size_t>(h % nbits_);
+      const std::uint64_t word_mask = std::uint64_t{1} << (bit & 63);
+      std::uint64_t& word = bits_[bit >> 6];
+      if (!(word & word_mask)) {
+        all_set = false;
+        word |= word_mask;
+      }
+    }
+    return all_set;
+  }
+
+  /// True when `key` may be present (false positives possible, never false
+  /// negatives).
+  bool possibly_contains(std::uint64_t key) const {
+    const std::uint64_t h1 = mix64(key);
+    const std::uint64_t h2 = mix64(key ^ 0x9E3779B97F4A7C15ull) | 1;
+    std::uint64_t h = h1;
+    for (int i = 0; i < nhashes_; ++i, h += h2) {
+      const std::size_t bit = static_cast<std::size_t>(h % nbits_);
+      if (!(bits_[bit >> 6] & (std::uint64_t{1} << (bit & 63)))) return false;
+    }
+    return true;
+  }
+
+  std::size_t bit_count() const noexcept { return nbits_; }
+  int hash_count() const noexcept { return nhashes_; }
+  std::size_t memory_bytes() const noexcept { return bits_.size() * 8; }
+
+  /// Fraction of bits set; a health metric for sizing tests.
+  double fill_ratio() const noexcept {
+    std::size_t set = 0;
+    for (std::uint64_t w : bits_) set += static_cast<std::size_t>(__builtin_popcountll(w));
+    return static_cast<double>(set) / static_cast<double>(nbits_);
+  }
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::size_t nbits_ = 0;
+  int nhashes_ = 1;
+};
+
+}  // namespace reptile::hash

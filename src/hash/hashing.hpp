@@ -1,0 +1,59 @@
+#pragma once
+// Hash functions shared by the spectrum tables and the ownership mapping.
+//
+// The paper relies on "the inbuilt hashing function of the C++ standard
+// templates library" and observes that it spreads k-mers and tiles within
+// 1-2% across ranks. libstdc++'s std::hash<uint64_t> is the identity, which
+// would make `id % np` catastrophically non-uniform for DNA k-mer IDs, so we
+// use a proper 64-bit finalizer (the MurmurHash3 fmix64 avalanche) and the
+// classic FNV-1a for byte strings. Both are deterministic across platforms,
+// which keeps ownership assignments reproducible.
+
+#include <cstdint>
+#include <string_view>
+
+namespace reptile::hash {
+
+/// MurmurHash3 fmix64 finalizer: a full-avalanche 64-bit mixer. Bijective,
+/// so distinct k-mer IDs never collide at this stage.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// FNV-1a over a byte string; used to hash read sequences for the static
+/// load-balancing redistribution (paper Section III-A).
+constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Hash functor for packed k-mer/tile IDs, usable as a table policy.
+struct Mix64Hash {
+  constexpr std::uint64_t operator()(std::uint64_t x) const noexcept {
+    return mix64(x);
+  }
+};
+
+/// Owning rank of a k-mer or tile ID: the paper's
+/// `hashFunction(kmer) % np == p` (Section III, Step II).
+constexpr int owner_of(std::uint64_t id, int nranks) noexcept {
+  return static_cast<int>(mix64(id) % static_cast<std::uint64_t>(nranks));
+}
+
+/// Owning rank of a read sequence, used by the static load balancer: "a
+/// sequence is designated to be owned by a rank p if
+/// hashFunction(seq) % np == p" (Section III-A).
+constexpr int owner_of_sequence(std::string_view bases, int nranks) noexcept {
+  return static_cast<int>(fnv1a(bases) % static_cast<std::uint64_t>(nranks));
+}
+
+}  // namespace reptile::hash

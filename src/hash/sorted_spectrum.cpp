@@ -1,0 +1,109 @@
+#include "hash/sorted_spectrum.hpp"
+
+#include <cassert>
+
+namespace reptile::hash {
+
+SortedCountArray SortedCountArray::from_entries(
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  SortedCountArray out;
+  out.keys_.reserve(entries.size());
+  out.counts_.reserve(entries.size());
+  for (const auto& [key, count] : entries) {
+    if (!out.keys_.empty() && out.keys_.back() == key) {
+      // Merge duplicates (saturating).
+      const std::uint64_t sum =
+          static_cast<std::uint64_t>(out.counts_.back()) + count;
+      out.counts_.back() = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(sum, std::numeric_limits<std::uint32_t>::max()));
+    } else {
+      out.keys_.push_back(key);
+      out.counts_.push_back(count);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive in-order fill of the implicit (B+1)-ary tree: children of
+/// block `node` are node*(B+1)+1+i. Visiting child i, then slot i, then
+/// child i+1 reproduces the sorted order.
+struct TreeBuilder {
+  const std::vector<std::uint64_t>& keys;
+  const std::vector<std::uint32_t>& counts;
+  std::vector<std::uint64_t>& tree_keys;
+  std::vector<std::uint32_t>& tree_counts;
+  std::size_t blocks;
+  std::size_t next = 0;  // next sorted element to place
+
+  void fill(std::size_t node) {
+    if (node >= blocks) return;
+    for (int slot = 0; slot < CacheAwareCountArray::kBlock; ++slot) {
+      fill(node * (CacheAwareCountArray::kBlock + 1) + 1 +
+           static_cast<std::size_t>(slot));
+      if (next < keys.size()) {
+        tree_keys[node * CacheAwareCountArray::kBlock +
+                  static_cast<std::size_t>(slot)] = keys[next];
+        tree_counts[node * CacheAwareCountArray::kBlock +
+                    static_cast<std::size_t>(slot)] = counts[next];
+        ++next;
+      }
+    }
+    fill(node * (CacheAwareCountArray::kBlock + 1) + 1 +
+         CacheAwareCountArray::kBlock);
+  }
+};
+
+}  // namespace
+
+CacheAwareCountArray CacheAwareCountArray::from_sorted(
+    const SortedCountArray& sorted) {
+  CacheAwareCountArray out;
+
+  // Pull a possible ~0 key out of line: it would be indistinguishable from
+  // block padding.
+  std::vector<std::uint64_t> keys = sorted.keys();
+  std::vector<std::uint32_t> counts = sorted.counts();
+  if (!keys.empty() && keys.back() == kPad) {
+    out.has_max_key_ = true;
+    out.max_key_count_ = counts.back();
+    keys.pop_back();
+    counts.pop_back();
+  }
+
+  out.size_ = keys.size() + (out.has_max_key_ ? 1 : 0);
+  const std::size_t blocks = (keys.size() + kBlock - 1) / kBlock;
+  out.keys_.assign(blocks * kBlock, kPad);
+  out.counts_.assign(blocks * kBlock, 0);
+  TreeBuilder builder{keys, counts, out.keys_, out.counts_, blocks};
+  builder.fill(0);
+  assert(builder.next == keys.size());
+  return out;
+}
+
+std::optional<std::uint32_t> CacheAwareCountArray::find(
+    std::uint64_t key) const {
+  if (key == kPad) {
+    if (has_max_key_) return max_key_count_;
+    return std::nullopt;
+  }
+  const std::size_t blocks = keys_.size() / kBlock;
+  std::size_t node = 0;
+  while (node < blocks) {
+    const std::uint64_t* block = keys_.data() + node * kBlock;
+    // In-block scan: find the first slot with block[slot] >= key. Padding
+    // slots hold kPad, which is greater than every real key.
+    int slot = 0;
+    while (slot < kBlock && block[slot] < key) ++slot;
+    if (slot < kBlock && block[slot] == key) {
+      return counts_[node * kBlock + static_cast<std::size_t>(slot)];
+    }
+    node = node * (kBlock + 1) + 1 + static_cast<std::size_t>(slot);
+  }
+  return std::nullopt;
+}
+
+}  // namespace reptile::hash

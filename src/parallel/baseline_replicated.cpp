@@ -1,0 +1,204 @@
+#include "parallel/baseline_replicated.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/corrector.hpp"
+#include "core/spectrum.hpp"
+#include "hash/count_table.hpp"
+#include "rtm/comm.hpp"
+#include "stats/stopwatch.hpp"
+
+namespace reptile::parallel {
+
+namespace {
+
+// Work-queue protocol tags (disjoint from the lookup protocol's).
+constexpr int kTagWorkRequest = 31;
+constexpr int kTagWorkGrant = 32;
+
+/// One grant from the master: the half-open read-index range [begin, end).
+/// begin == end means the queue is exhausted.
+struct WorkGrant {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+static_assert(std::is_trivially_copyable_v<WorkGrant>);
+
+/// Full spectrum replica with canonical-aware lookups.
+class ReplicatedSpectrum final : public core::SpectrumView {
+ public:
+  ReplicatedSpectrum(const core::CorrectorParams& params)
+      : extractor_(params), params_(params) {}
+
+  /// Step II over this rank's slice: local (canonical) counts.
+  void add_read(std::string_view bases) {
+    kmer_scratch_.clear();
+    tile_scratch_.clear();
+    extractor_.extract(bases, kmer_scratch_, tile_scratch_);
+    for (auto id : kmer_scratch_) kmers_.increment(id);
+    for (auto id : tile_scratch_) tiles_.increment(id);
+  }
+
+  /// Replication: allgather every rank's local counts and merge — after
+  /// this, each rank holds the full global spectrum.
+  void replicate(rtm::Comm& comm) {
+    auto merge = [&comm](hash::CountTable<>& table) {
+      struct IdCount {
+        std::uint64_t id;
+        std::uint32_t count;
+      };
+      std::vector<IdCount> flat;
+      flat.reserve(table.size());
+      table.for_each([&flat](std::uint64_t id, std::uint32_t c) {
+        flat.push_back({id, c});
+      });
+      const auto all =
+          comm.allgatherv(std::span<const IdCount>(flat.data(), flat.size()));
+      hash::CountTable<> merged(all.size());
+      for (const auto& e : all) merged.increment(e.id, e.count);
+      table = std::move(merged);
+    };
+    merge(kmers_);
+    merge(tiles_);
+  }
+
+  void prune() {
+    kmers_.prune_below(params_.kmer_threshold);
+    tiles_.prune_below(params_.tile_threshold);
+  }
+
+  std::uint32_t kmer_count(seq::kmer_id_t id) override {
+    ++stats_.kmer_lookups;
+    const auto c = kmers_.find(extractor_.canon_kmer(id));
+    if (!c) ++stats_.kmer_misses;
+    return c.value_or(0);
+  }
+  std::uint32_t tile_count(seq::tile_id_t id) override {
+    ++stats_.tile_lookups;
+    const auto c = tiles_.find(extractor_.canon_tile(id));
+    if (!c) ++stats_.tile_misses;
+    return c.value_or(0);
+  }
+  const core::LookupStats& stats() const override { return stats_; }
+
+  std::size_t memory_bytes() const noexcept {
+    return kmers_.memory_bytes() + tiles_.memory_bytes();
+  }
+
+ private:
+  core::SpectrumExtractor extractor_;
+  core::CorrectorParams params_;
+  hash::CountTable<> kmers_;
+  hash::CountTable<> tiles_;
+  core::LookupStats stats_;
+  std::vector<seq::kmer_id_t> kmer_scratch_;
+  std::vector<seq::tile_id_t> tile_scratch_;
+};
+
+/// The global master (a thread on rank 0): answers work requests with the
+/// next chunk of read indices until the queue is empty, then hands every
+/// rank one empty grant.
+void run_master(rtm::Comm& comm, std::uint64_t total_reads,
+                std::uint64_t chunk) {
+  std::uint64_t next = 0;
+  int retired = 0;
+  while (retired < comm.size()) {
+    const rtm::Message request = comm.recv(rtm::kAnySource, kTagWorkRequest);
+    WorkGrant grant;
+    if (next < total_reads) {
+      grant.begin = next;
+      grant.end = std::min(total_reads, next + chunk);
+      next = grant.end;
+    } else {
+      ++retired;  // empty grant retires the requesting worker
+    }
+    comm.send_value(request.source, kTagWorkGrant, grant);
+  }
+}
+
+}  // namespace
+
+BaselineResult run_replicated_baseline(const std::vector<seq::Read>& reads,
+                                       const BaselineConfig& config) {
+  config.params.validate();
+
+  std::vector<std::vector<seq::Read>> corrected_per_rank(
+      static_cast<std::size_t>(config.ranks));
+  std::vector<BaselineRankReport> reports(
+      static_cast<std::size_t>(config.ranks));
+
+  rtm::run_world(
+      {config.ranks, config.ranks_per_node}, [&](rtm::Comm& comm) {
+        const int rank = comm.rank();
+        const int np = comm.size();
+        BaselineRankReport report;
+        report.rank = rank;
+
+        // --- replicated spectrum construction --------------------------
+        stats::Stopwatch clock;
+        ReplicatedSpectrum spectrum(config.params);
+        const std::size_t begin =
+            reads.size() * static_cast<std::size_t>(rank) /
+            static_cast<std::size_t>(np);
+        const std::size_t end =
+            reads.size() * static_cast<std::size_t>(rank + 1) /
+            static_cast<std::size_t>(np);
+        for (std::size_t i = begin; i < end; ++i) {
+          spectrum.add_read(reads[i].bases);
+        }
+        spectrum.replicate(comm);
+        spectrum.prune();
+        report.construct_seconds = clock.seconds();
+        report.spectrum_bytes = spectrum.memory_bytes();
+
+        // --- dynamic master-worker correction ---------------------------
+        std::thread master;
+        if (rank == 0) {
+          master = std::thread([&comm, &reads, &config] {
+            run_master(comm, reads.size(), config.work_chunk);
+          });
+        }
+        clock.restart();
+        core::TileCorrector corrector(config.params);
+        std::vector<seq::Read> corrected;
+        while (true) {
+          comm.send_value(0, kTagWorkRequest, std::uint32_t{0});
+          const WorkGrant grant =
+              comm.recv(0, kTagWorkGrant).as_value<WorkGrant>();
+          if (grant.begin == grant.end) break;
+          ++report.chunks_granted;
+          for (std::uint64_t i = grant.begin; i < grant.end; ++i) {
+            seq::Read read = reads[i];
+            const auto rc = corrector.correct(read, spectrum);
+            report.substitutions +=
+                static_cast<std::uint64_t>(rc.substitutions);
+            ++report.reads_processed;
+            corrected.push_back(std::move(read));
+          }
+        }
+        if (master.joinable()) master.join();
+        report.correct_seconds = clock.seconds();
+        comm.barrier();
+
+        corrected_per_rank[static_cast<std::size_t>(rank)] =
+            std::move(corrected);
+        reports[static_cast<std::size_t>(rank)] = report;
+      });
+
+  BaselineResult result;
+  result.ranks = std::move(reports);
+  std::size_t total = 0;
+  for (const auto& part : corrected_per_rank) total += part.size();
+  result.corrected.reserve(total);
+  for (auto& part : corrected_per_rank) {
+    for (auto& r : part) result.corrected.push_back(std::move(r));
+  }
+  std::sort(result.corrected.begin(), result.corrected.end(),
+            [](const seq::Read& a, const seq::Read& b) {
+              return a.number < b.number;
+            });
+  return result;
+}
+
+}  // namespace reptile::parallel

@@ -1,0 +1,174 @@
+#include "parallel/config_file.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace reptile::parallel {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("config line " + std::to_string(line) + ": " + what);
+}
+
+bool parse_bool(const std::string& v, int line) {
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  fail(line, "expected boolean, got '" + v + "'");
+}
+
+long parse_int(const std::string& v, int line) {
+  try {
+    std::size_t pos = 0;
+    const long x = std::stol(v, &pos);
+    if (pos != v.size()) fail(line, "trailing characters in number '" + v + "'");
+    return x;
+  } catch (const std::logic_error&) {
+    fail(line, "expected integer, got '" + v + "'");
+  }
+}
+
+double parse_double(const std::string& v, int line) {
+  try {
+    std::size_t pos = 0;
+    const double x = std::stod(v, &pos);
+    if (pos != v.size()) fail(line, "trailing characters in number '" + v + "'");
+    return x;
+  } catch (const std::logic_error&) {
+    fail(line, "expected number, got '" + v + "'");
+  }
+}
+
+}  // namespace
+
+RunConfigFile parse_config_text(const std::string& text) {
+  RunConfigFile config;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key, value;
+    if (!(ls >> key)) continue;  // blank or comment-only line
+    if (!(ls >> value)) fail(lineno, "key '" + key + "' has no value");
+    std::string extra;
+    if (ls >> extra) fail(lineno, "unexpected trailing token '" + extra + "'");
+
+    if (key == "fasta_file") {
+      config.fasta_file = value;
+    } else if (key == "qual_file") {
+      config.qual_file = value;
+    } else if (key == "output_file") {
+      config.output_file = value;
+    } else if (key == "kmer_length") {
+      config.params.k = static_cast<int>(parse_int(value, lineno));
+    } else if (key == "tile_overlap") {
+      config.params.tile_overlap = static_cast<int>(parse_int(value, lineno));
+    } else if (key == "kmer_threshold") {
+      config.params.kmer_threshold =
+          static_cast<unsigned>(parse_int(value, lineno));
+    } else if (key == "tile_threshold") {
+      config.params.tile_threshold =
+          static_cast<unsigned>(parse_int(value, lineno));
+    } else if (key == "canonical") {
+      config.params.canonical = parse_bool(value, lineno);
+    } else if (key == "qual_threshold") {
+      config.params.qual_threshold =
+          static_cast<int>(parse_int(value, lineno));
+    } else if (key == "restrict_to_low_quality") {
+      config.params.restrict_to_low_quality = parse_bool(value, lineno);
+    } else if (key == "max_positions_per_tile") {
+      config.params.max_positions_per_tile =
+          static_cast<int>(parse_int(value, lineno));
+    } else if (key == "max_hamming") {
+      config.params.max_hamming = static_cast<int>(parse_int(value, lineno));
+    } else if (key == "dominance_ratio") {
+      config.params.dominance_ratio = parse_double(value, lineno);
+    } else if (key == "max_corrections_per_read") {
+      config.params.max_corrections_per_read =
+          static_cast<int>(parse_int(value, lineno));
+    } else if (key == "chunk_size") {
+      config.params.chunk_size =
+          static_cast<std::size_t>(parse_int(value, lineno));
+    } else if (key == "universal") {
+      config.heuristics.universal = parse_bool(value, lineno);
+    } else if (key == "read_kmers") {
+      config.heuristics.read_kmers = parse_bool(value, lineno);
+    } else if (key == "allgather_kmers") {
+      config.heuristics.allgather_kmers = parse_bool(value, lineno);
+    } else if (key == "allgather_tiles") {
+      config.heuristics.allgather_tiles = parse_bool(value, lineno);
+    } else if (key == "add_remote") {
+      config.heuristics.add_remote = parse_bool(value, lineno);
+    } else if (key == "batch_reads") {
+      config.heuristics.batch_reads = parse_bool(value, lineno);
+    } else if (key == "load_balance") {
+      config.heuristics.load_balance = parse_bool(value, lineno);
+    } else if (key == "partial_replication_group") {
+      config.heuristics.partial_replication_group =
+          static_cast<int>(parse_int(value, lineno));
+    } else if (key == "bloom_construction") {
+      config.heuristics.bloom_construction = parse_bool(value, lineno);
+    } else {
+      fail(lineno, "unknown key '" + key + "'");
+    }
+  }
+  config.params.validate();
+  config.heuristics.validate();
+  return config;
+}
+
+RunConfigFile parse_config_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("config: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_config_text(buffer.str());
+}
+
+std::string to_config_text(const RunConfigFile& config) {
+  std::ostringstream out;
+  out << "# reptile-dist run configuration\n";
+  if (!config.fasta_file.empty()) {
+    out << "fasta_file " << config.fasta_file.string() << '\n';
+  }
+  if (!config.qual_file.empty()) {
+    out << "qual_file " << config.qual_file.string() << '\n';
+  }
+  if (!config.output_file.empty()) {
+    out << "output_file " << config.output_file.string() << '\n';
+  }
+  const auto& p = config.params;
+  out << "kmer_length " << p.k << '\n'
+      << "tile_overlap " << p.tile_overlap << '\n'
+      << "kmer_threshold " << p.kmer_threshold << '\n'
+      << "tile_threshold " << p.tile_threshold << '\n'
+      << "canonical " << (p.canonical ? 1 : 0) << '\n'
+      << "qual_threshold " << p.qual_threshold << '\n'
+      << "restrict_to_low_quality " << (p.restrict_to_low_quality ? 1 : 0)
+      << '\n'
+      << "max_positions_per_tile " << p.max_positions_per_tile << '\n'
+      << "max_hamming " << p.max_hamming << '\n'
+      << "dominance_ratio " << p.dominance_ratio << '\n'
+      << "max_corrections_per_read " << p.max_corrections_per_read << '\n'
+      << "chunk_size " << p.chunk_size << '\n';
+  const auto& h = config.heuristics;
+  out << "universal " << (h.universal ? 1 : 0) << '\n'
+      << "read_kmers " << (h.read_kmers ? 1 : 0) << '\n'
+      << "allgather_kmers " << (h.allgather_kmers ? 1 : 0) << '\n'
+      << "allgather_tiles " << (h.allgather_tiles ? 1 : 0) << '\n'
+      << "add_remote " << (h.add_remote ? 1 : 0) << '\n'
+      << "batch_reads " << (h.batch_reads ? 1 : 0) << '\n'
+      << "load_balance " << (h.load_balance ? 1 : 0) << '\n'
+      << "partial_replication_group " << h.partial_replication_group << '\n'
+      << "bloom_construction " << (h.bloom_construction ? 1 : 0) << '\n';
+  return out.str();
+}
+
+}  // namespace reptile::parallel

@@ -1,0 +1,49 @@
+#pragma once
+// Reptile-style configuration file.
+//
+// The paper's Step I: "The input to parallel Reptile consists of a
+// configuration file, which specifies the fasta file and the quality file to
+// be used for the error correction" plus the chunk size and algorithm
+// knobs. Format: one `key value` pair per line, '#' starts a comment.
+//
+//   fasta_file        reads.fa
+//   qual_file         reads.qual
+//   kmer_length       12
+//   tile_overlap      4
+//   kmer_threshold    3
+//   tile_threshold    3
+//   chunk_size        2000
+//   universal         1
+//   batch_reads       1
+//   load_balance      1
+//   ...
+
+#include <filesystem>
+#include <string>
+
+#include "core/params.hpp"
+#include "parallel/heuristics.hpp"
+
+namespace reptile::parallel {
+
+/// Fully parsed run configuration.
+struct RunConfigFile {
+  std::filesystem::path fasta_file;
+  std::filesystem::path qual_file;
+  std::filesystem::path output_file;  ///< corrected FASTA (optional)
+  core::CorrectorParams params;
+  Heuristics heuristics;
+};
+
+/// Parses a configuration file. Throws std::runtime_error with the line
+/// number on malformed input or unknown keys, and validates the result.
+RunConfigFile parse_config_file(const std::filesystem::path& path);
+
+/// Parses configuration text (used by tests and string-based setup).
+RunConfigFile parse_config_text(const std::string& text);
+
+/// Serializes a configuration back to file text (round-trips through
+/// parse_config_text).
+std::string to_config_text(const RunConfigFile& config);
+
+}  // namespace reptile::parallel

@@ -1,0 +1,311 @@
+#include "parallel/dist_pipeline.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "seq/fasta_io.hpp"
+
+#include "parallel/rebalance.hpp"
+#include "rtm/comm.hpp"
+#include "stats/stopwatch.hpp"
+
+namespace reptile::parallel {
+
+std::uint64_t DistResult::total_substitutions() const {
+  std::uint64_t n = 0;
+  for (const auto& r : ranks) n += r.substitutions;
+  return n;
+}
+
+std::uint64_t DistResult::total_reads_changed() const {
+  std::uint64_t n = 0;
+  for (const auto& r : ranks) n += r.reads_changed;
+  return n;
+}
+
+double DistResult::max_construct_seconds() const {
+  double m = 0;
+  for (const auto& r : ranks) m = std::max(m, r.construct_seconds);
+  return m;
+}
+
+double DistResult::max_correct_seconds() const {
+  double m = 0;
+  for (const auto& r : ranks) m = std::max(m, r.correct_seconds);
+  return m;
+}
+
+namespace {
+
+/// ReadSource over a contiguous slice of a shared in-memory read vector —
+/// the in-memory equivalent of the Step I byte-range file partition.
+class SliceReadSource final : public seq::ReadSource {
+ public:
+  SliceReadSource(const std::vector<seq::Read>& reads, std::size_t begin,
+                  std::size_t end)
+      : reads_(&reads), begin_(begin), end_(end), pos_(begin) {}
+
+  bool next_chunk(std::size_t max_reads, seq::ReadBatch& out) override {
+    out.clear();
+    while (pos_ < end_ && out.size() < max_reads) {
+      out.push_back((*reads_)[pos_++]);
+    }
+    return !out.empty();
+  }
+  void reset() override { pos_ = begin_; }
+  std::size_t size() const override { return end_ - begin_; }
+
+ private:
+  const std::vector<seq::Read>* reads_;
+  std::size_t begin_, end_, pos_;
+};
+
+/// One rank's run over its Step I partition `raw_source`; writes its slice
+/// of the shared output arrays.
+void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
+               const DistConfig& config,
+               std::vector<std::vector<seq::Read>>& corrected_per_rank,
+               std::vector<RankReport>& reports) {
+  const int rank = comm.rank();
+  const int np = comm.size();
+  RankReport report;
+  report.rank = rank;
+
+  // --- Load balance (Section III-A): re-home reads by sequence hash. -----
+  // With balancing on, the rank's working set becomes the reads it owns;
+  // without it, the raw Step I partition is streamed directly (never
+  // materialized — the paper re-reads the file to keep the footprint low).
+  std::unique_ptr<seq::OwningReadSource> balanced;
+  seq::ReadSource* source = &raw_source;
+  if (config.heuristics.load_balance) {
+    std::vector<seq::Read> mine;
+    mine.reserve(raw_source.size());
+    seq::ReadBatch batch;
+    raw_source.reset();
+    while (raw_source.next_chunk(config.params.chunk_size, batch)) {
+      mine.insert(mine.end(), batch.begin(), batch.end());
+    }
+    balanced =
+        std::make_unique<seq::OwningReadSource>(rebalance_reads(comm, mine));
+    source = balanced.get();
+  }
+  report.reads_processed = source->size();
+
+  // --- Steps II-III: distributed spectrum construction. ------------------
+  stats::Stopwatch clock;
+  DistSpectrum spectrum(config.params, config.heuristics, comm);
+  const std::size_t chunk = config.params.chunk_size;
+  seq::ReadBatch batch;
+  source->reset();
+  if (config.heuristics.batch_reads) {
+    // All ranks must join every exchange, so run to the global maximum
+    // batch count (the paper's MPI_Reduce over batch counts).
+    const std::uint64_t my_batches =
+        (source->size() + chunk - 1) / chunk;
+    const std::uint64_t max_batches = comm.allreduce_max(my_batches);
+    for (std::uint64_t b = 0; b < max_batches; ++b) {
+      source->next_chunk(chunk, batch);  // possibly empty near the end
+      for (const seq::Read& r : batch) spectrum.add_read(r.bases);
+      spectrum.exchange_to_owners();
+      ++report.batches;
+      report.construction_peak_bytes =
+          std::max(report.construction_peak_bytes, spectrum.footprint().bytes);
+    }
+  } else {
+    while (source->next_chunk(chunk, batch)) {
+      for (const seq::Read& r : batch) spectrum.add_read(r.bases);
+      ++report.batches;
+      report.construction_peak_bytes =
+          std::max(report.construction_peak_bytes, spectrum.footprint().bytes);
+    }
+    spectrum.exchange_to_owners();
+    report.construction_peak_bytes =
+        std::max(report.construction_peak_bytes, spectrum.footprint().bytes);
+  }
+  spectrum.prune();
+  if (config.heuristics.read_kmers) {
+    spectrum.fetch_global_reads_tables();
+  } else {
+    spectrum.drop_reads_tables();
+  }
+  if (config.heuristics.allgather_kmers) spectrum.replicate_kmers();
+  if (config.heuristics.allgather_tiles) spectrum.replicate_tiles();
+  spectrum.replicate_group();  // no-op unless partial replication is on
+  comm.barrier();
+  report.construct_seconds = clock.seconds();
+  report.footprint_after_construction = spectrum.footprint();
+  report.construction_peak_bytes = std::max(
+      report.construction_peak_bytes, report.footprint_after_construction.bytes);
+
+  // --- Step IV: error correction with a communication thread. ------------
+  comm.reset_done();
+  LookupService service(comm, spectrum);
+  std::thread comm_thread;
+  const bool needs_service = np > 1 && !config.heuristics.fully_replicated();
+  if (needs_service) {
+    comm_thread = std::thread([&service] { service.serve(); });
+  }
+
+  clock.restart();
+  const int workers = std::max(1, config.worker_threads);
+  source->reset();
+  std::mutex source_mutex;
+  std::vector<std::vector<seq::Read>> per_worker_corrected(
+      static_cast<std::size_t>(workers));
+  struct WorkerStats {
+    std::uint64_t reads_changed = 0;
+    std::uint64_t substitutions = 0;
+    std::uint64_t tiles_untrusted = 0;
+    std::uint64_t tiles_fixed = 0;
+    core::LookupStats lookups;
+    RemoteLookupStats remote;
+    double comm_seconds = 0;
+  };
+  std::vector<WorkerStats> worker_stats(static_cast<std::size_t>(workers));
+
+  auto worker_body = [&](int slot) {
+    RemoteSpectrumView view(comm, spectrum, slot);
+    core::TileCorrector corrector(config.params);
+    WorkerStats& ws = worker_stats[static_cast<std::size_t>(slot)];
+    auto& corrected = per_worker_corrected[static_cast<std::size_t>(slot)];
+    seq::ReadBatch local_batch;
+    while (true) {
+      {
+        std::lock_guard lock(source_mutex);
+        if (!source->next_chunk(chunk, local_batch)) break;
+      }
+      for (seq::Read& r : local_batch) {
+        const core::ReadCorrection rc = corrector.correct(r, view);
+        if (rc.changed()) ++ws.reads_changed;
+        ws.substitutions += static_cast<std::uint64_t>(rc.substitutions);
+        ws.tiles_untrusted += static_cast<std::uint64_t>(rc.tiles_untrusted);
+        ws.tiles_fixed += static_cast<std::uint64_t>(rc.tiles_fixed);
+        corrected.push_back(std::move(r));
+      }
+    }
+    ws.lookups = view.stats();
+    ws.remote = view.remote_stats();
+    ws.comm_seconds = view.comm_seconds();
+  };
+
+  std::vector<std::thread> extra_workers;
+  for (int slot = 1; slot < workers; ++slot) {
+    extra_workers.emplace_back(worker_body, slot);
+  }
+  worker_body(0);
+  for (auto& t : extra_workers) t.join();
+  comm.signal_done();
+  if (comm_thread.joinable()) comm_thread.join();
+  report.correct_seconds = clock.seconds();
+
+  std::vector<seq::Read> corrected;
+  corrected.reserve(source->size());
+  for (auto& part : per_worker_corrected) {
+    for (auto& r : part) corrected.push_back(std::move(r));
+  }
+  for (const WorkerStats& ws : worker_stats) {
+    report.reads_changed += ws.reads_changed;
+    report.substitutions += ws.substitutions;
+    report.tiles_untrusted += ws.tiles_untrusted;
+    report.tiles_fixed += ws.tiles_fixed;
+    report.lookups += ws.lookups;
+    report.remote.remote_kmer_lookups += ws.remote.remote_kmer_lookups;
+    report.remote.remote_tile_lookups += ws.remote.remote_tile_lookups;
+    report.remote.remote_kmer_absent += ws.remote.remote_kmer_absent;
+    report.remote.remote_tile_absent += ws.remote.remote_tile_absent;
+    report.remote.reads_table_hits += ws.remote.reads_table_hits;
+    report.remote.group_lookups += ws.remote.group_lookups;
+    // The per-rank communication time is the wall time any worker spent
+    // blocked; with concurrent workers we report the maximum.
+    report.comm_seconds = std::max(report.comm_seconds, ws.comm_seconds);
+  }
+  report.service = service.stats();
+  report.footprint_after_correction = spectrum.footprint();
+  comm.barrier();
+  report.traffic = comm.world().traffic().snapshot(rank);
+
+  corrected_per_rank[static_cast<std::size_t>(rank)] = std::move(corrected);
+  reports[static_cast<std::size_t>(rank)] = report;
+}
+
+}  // namespace
+
+namespace {
+
+DistResult merge_results(std::vector<std::vector<seq::Read>> corrected_per_rank,
+                         std::vector<RankReport> reports) {
+  DistResult result;
+  result.ranks = std::move(reports);
+  std::size_t total = 0;
+  for (const auto& part : corrected_per_rank) total += part.size();
+  result.corrected.reserve(total);
+  for (auto& part : corrected_per_rank) {
+    for (auto& r : part) result.corrected.push_back(std::move(r));
+  }
+  std::sort(result.corrected.begin(), result.corrected.end(),
+            [](const seq::Read& a, const seq::Read& b) {
+              return a.number < b.number;
+            });
+  return result;
+}
+
+}  // namespace
+
+namespace {
+void validate_config(const DistConfig& config) {
+  config.params.validate();
+  config.heuristics.validate();
+  if (config.worker_threads < 1) {
+    throw std::invalid_argument("worker_threads must be >= 1");
+  }
+  if (config.worker_threads > 1 && config.heuristics.add_remote) {
+    throw std::invalid_argument(
+        "add_remote caches into the reads tables, which is not thread-safe: "
+        "use worker_threads == 1 with that heuristic");
+  }
+}
+}  // namespace
+
+DistResult run_distributed(const std::vector<seq::Read>& reads,
+                           const DistConfig& config) {
+  validate_config(config);
+
+  std::vector<std::vector<seq::Read>> corrected_per_rank(
+      static_cast<std::size_t>(config.ranks));
+  std::vector<RankReport> reports(static_cast<std::size_t>(config.ranks));
+
+  rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
+    const std::size_t begin = reads.size() *
+                              static_cast<std::size_t>(comm.rank()) /
+                              static_cast<std::size_t>(comm.size());
+    const std::size_t end = reads.size() *
+                            static_cast<std::size_t>(comm.rank() + 1) /
+                            static_cast<std::size_t>(comm.size());
+    SliceReadSource source(reads, begin, end);
+    rank_main(comm, source, config, corrected_per_rank, reports);
+  }, config.run_options);
+
+  return merge_results(std::move(corrected_per_rank), std::move(reports));
+}
+
+DistResult run_distributed_files(const std::filesystem::path& fasta,
+                                 const std::filesystem::path& qual,
+                                 const DistConfig& config) {
+  validate_config(config);
+
+  std::vector<std::vector<seq::Read>> corrected_per_rank(
+      static_cast<std::size_t>(config.ranks));
+  std::vector<RankReport> reports(static_cast<std::size_t>(config.ranks));
+
+  rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
+    // Step I proper: every rank opens both files and takes its byte range.
+    seq::PartitionedReadSource source(fasta, qual, comm.rank(), comm.size());
+    rank_main(comm, source, config, corrected_per_rank, reports);
+  }, config.run_options);
+
+  return merge_results(std::move(corrected_per_rank), std::move(reports));
+}
+
+}  // namespace reptile::parallel

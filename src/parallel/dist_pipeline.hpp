@@ -1,0 +1,103 @@
+#pragma once
+// End-to-end distributed Reptile: the paper's full pipeline (Steps I-IV
+// plus load balancing and heuristics), driven over the in-process runtime.
+//
+// Every functional configuration produces corrected reads bit-identical to
+// core::run_sequential on the same input — the integration tests pin this
+// for all heuristic combinations and rank counts.
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "core/corrector.hpp"
+#include "core/params.hpp"
+#include "parallel/dist_spectrum.hpp"
+#include "parallel/heuristics.hpp"
+#include "parallel/lookup_service.hpp"
+#include "parallel/remote_spectrum.hpp"
+#include "rtm/topology.hpp"
+#include "rtm/traffic.hpp"
+#include "seq/read.hpp"
+
+namespace reptile::parallel {
+
+/// Configuration of one distributed run.
+struct DistConfig {
+  core::CorrectorParams params;
+  Heuristics heuristics;
+  int ranks = 4;
+  int ranks_per_node = 1;
+  /// Correction worker threads per rank (besides the communication
+  /// thread). The paper runs 1 worker + 1 communication thread per rank in
+  /// the distributed modes, and many workers per rank in the
+  /// fully-replicated mode (64 threads/rank on BlueGene/Q). Each worker
+  /// uses its own reply tags, so remote lookups from concurrent workers
+  /// never mix. Incompatible with the add_remote heuristic (its reads-table
+  /// cache is not thread-safe).
+  int worker_threads = 1;
+  /// Runtime options (chaos delivery for robustness testing; see
+  /// rtm/chaos.hpp). Defaults to instant delivery.
+  rtm::RunOptions run_options;
+
+  rtm::Topology topology() const { return {ranks, ranks_per_node}; }
+};
+
+/// Everything one rank measured; the unit of the paper's per-rank figures
+/// (errors corrected per rank, fastest/slowest rank times, remote tile
+/// lookups per rank, MB per rank, ...).
+struct RankReport {
+  int rank = 0;
+  std::uint64_t reads_processed = 0;
+  std::uint64_t reads_changed = 0;
+  std::uint64_t substitutions = 0;   ///< "errors corrected" in the figures
+  std::uint64_t tiles_untrusted = 0;
+  std::uint64_t tiles_fixed = 0;
+  std::uint64_t batches = 0;         ///< construction-phase chunks processed
+
+  core::LookupStats lookups;         ///< correction-phase lookups issued
+  RemoteLookupStats remote;          ///< of which remote
+  ServiceStats service;              ///< requests served for other ranks
+
+  SpectrumFootprint footprint_after_construction;
+  SpectrumFootprint footprint_after_correction;
+  /// Peak construction-phase footprint (sampled after each chunk; the
+  /// batch-reads heuristic exists to cap exactly this).
+  std::size_t construction_peak_bytes = 0;
+
+  double construct_seconds = 0;  ///< k-mer construction wall time
+  double correct_seconds = 0;    ///< error-correction wall time
+  double comm_seconds = 0;       ///< of which blocked on remote replies
+
+  rtm::TrafficSnapshot traffic;
+};
+
+/// Result of a distributed run.
+struct DistResult {
+  /// Corrected reads, merged from all ranks and sorted by sequence number
+  /// (i.e. in original file order, regardless of load balancing).
+  std::vector<seq::Read> corrected;
+  std::vector<RankReport> ranks;
+
+  std::uint64_t total_substitutions() const;
+  std::uint64_t total_reads_changed() const;
+  double max_construct_seconds() const;
+  double max_correct_seconds() const;
+};
+
+/// Runs the full distributed pipeline over an in-memory dataset. Step I is
+/// emulated by slicing `reads` into np contiguous partitions (the byte-range
+/// file partitioning applied to in-memory data); file-based runs use
+/// seq::PartitionedReadSource via the example binaries.
+DistResult run_distributed(const std::vector<seq::Read>& reads,
+                           const DistConfig& config);
+
+/// Runs the full distributed pipeline from a FASTA + quality file pair:
+/// every rank performs the paper's Step I itself (opens both files, takes
+/// its byte range, aligns to record boundaries, seeks the quality file to
+/// the same starting sequence number).
+DistResult run_distributed_files(const std::filesystem::path& fasta,
+                                 const std::filesystem::path& qual,
+                                 const DistConfig& config);
+
+}  // namespace reptile::parallel

@@ -1,0 +1,263 @@
+#include "parallel/dist_spectrum.hpp"
+
+#include <algorithm>
+
+namespace reptile::parallel {
+
+DistSpectrum::DistSpectrum(const core::CorrectorParams& params,
+                           const Heuristics& heur, rtm::Comm& comm)
+    : params_(params), heur_(heur), comm_(&comm), extractor_(params) {
+  params_.validate();
+  heur_.validate();
+}
+
+void DistSpectrum::owner_add(hash::CountTable<>& owned_table,
+                             std::unique_ptr<hash::BloomFilter>& bloom,
+                             std::uint64_t id, std::uint32_t count) {
+  if (!heur_.bloom_construction) {
+    owned_table.increment(id, count);
+    return;
+  }
+  // Bloom-filter construction (paper Step III note): singletons stay in
+  // the filter; the exact table only holds IDs sighted at least twice.
+  if (owned_table.contains(id)) {
+    owned_table.increment(id, count);
+    return;
+  }
+  if (!bloom) {
+    // Lazy sizing: a generous default; fill ratio is tested separately.
+    bloom = std::make_unique<hash::BloomFilter>(1 << 20, 0.01);
+  }
+  if (count >= 2) {
+    owned_table.increment(id, count);
+    bloom->insert(id);
+    return;
+  }
+  if (bloom->insert(id)) {
+    // Second sighting (or a rare false positive): admit, crediting the
+    // first sighting parked in the filter.
+    owned_table.increment(id, count + 1);
+  }
+}
+
+void DistSpectrum::add_read(std::string_view bases) {
+  kmer_scratch_.clear();
+  tile_scratch_.clear();
+  extractor_.extract(bases, kmer_scratch_, tile_scratch_);
+  const int me = comm_->rank();
+  const int np = comm_->size();
+  for (seq::kmer_id_t id : kmer_scratch_) {
+    if (hash::owner_of(id, np) == me) {
+      owner_add(hash_kmer_, bloom_kmer_, id, 1);
+    } else {
+      pending_kmer_.increment(id);
+      if (heur_.read_kmers) reads_kmer_.increment(id);
+    }
+  }
+  for (seq::tile_id_t id : tile_scratch_) {
+    if (hash::owner_of(id, np) == me) {
+      owner_add(hash_tile_, bloom_tile_, id, 1);
+    } else {
+      pending_tile_.increment(id);
+      if (heur_.read_kmers) reads_tile_.increment(id);
+    }
+  }
+}
+
+template <class Table>
+std::vector<std::vector<IdCount>> DistSpectrum::bucket_by_owner(
+    const Table& table) const {
+  const int np = comm_->size();
+  std::vector<std::vector<IdCount>> buckets(static_cast<std::size_t>(np));
+  table.for_each([&](std::uint64_t id, std::uint32_t count) {
+    buckets[static_cast<std::size_t>(hash::owner_of(id, np))].push_back(
+        {id, count});
+  });
+  return buckets;
+}
+
+void DistSpectrum::exchange_one(hash::CountTable<>& pending_table,
+                                hash::CountTable<>& owned_table,
+                                std::unique_ptr<hash::BloomFilter>& bloom) {
+  const auto buckets = bucket_by_owner(pending_table);
+  const auto received = comm_->alltoallv(buckets);
+  for (const auto& part : received) {
+    for (const IdCount& e : part) owner_add(owned_table, bloom, e.id, e.count);
+  }
+  pending_table.clear();
+}
+
+void DistSpectrum::exchange_to_owners() {
+  exchange_one(pending_kmer_, hash_kmer_, bloom_kmer_);
+  exchange_one(pending_tile_, hash_tile_, bloom_tile_);
+}
+
+void DistSpectrum::prune() {
+  hash_kmer_.prune_below(params_.kmer_threshold);
+  hash_tile_.prune_below(params_.tile_threshold);
+}
+
+void DistSpectrum::fetch_one(hash::CountTable<>& reads_table,
+                             const hash::CountTable<>& owned_table) {
+  const int np = comm_->size();
+  // Round 1: send the IDs we want counted to their owners.
+  std::vector<std::vector<std::uint64_t>> asks(static_cast<std::size_t>(np));
+  reads_table.for_each([&](std::uint64_t id, std::uint32_t) {
+    asks[static_cast<std::size_t>(hash::owner_of(id, np))].push_back(id);
+  });
+  const auto questions = comm_->alltoallv(asks);
+
+  // Answer from the (pruned) owned table, order-aligned with the request.
+  std::vector<std::vector<std::uint32_t>> answers(
+      static_cast<std::size_t>(np));
+  for (int src = 0; src < np; ++src) {
+    const auto& q = questions[static_cast<std::size_t>(src)];
+    auto& a = answers[static_cast<std::size_t>(src)];
+    a.reserve(q.size());
+    for (std::uint64_t id : q) {
+      a.push_back(owned_table.find(id).value_or(0));
+    }
+  }
+  const auto replies = comm_->alltoallv(answers);
+
+  // Rebuild the reads table with global counts, in the same per-owner order
+  // the asks were issued.
+  hash::CountTable<> rebuilt(reads_table.size());
+  for (int owner = 0; owner < np; ++owner) {
+    const auto& sent = asks[static_cast<std::size_t>(owner)];
+    const auto& got = replies[static_cast<std::size_t>(owner)];
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      rebuilt.increment(sent[i], got[i]);  // count 0 marks known-absent
+    }
+  }
+  reads_table = std::move(rebuilt);
+}
+
+void DistSpectrum::fetch_global_reads_tables() {
+  fetch_one(reads_kmer_, hash_kmer_);
+  fetch_one(reads_tile_, hash_tile_);
+}
+
+void DistSpectrum::replicate_kmers() {
+  const auto mine = hash_kmer_.entries();
+  std::vector<IdCount> flat;
+  flat.reserve(mine.size());
+  for (const auto& [id, count] : mine) flat.push_back({id, count});
+  const auto all =
+      comm_->allgatherv(std::span<const IdCount>(flat.data(), flat.size()));
+  replica_kmer_ = hash::CountTable<>(all.size());
+  for (const IdCount& e : all) replica_kmer_.increment(e.id, e.count);
+  kmers_replicated_ = true;
+  // Every rank now resolves k-mers from the replica; the owned shard is
+  // redundant (no rank will request k-mers remotely in this mode).
+  hash_kmer_.clear();
+}
+
+void DistSpectrum::replicate_tiles() {
+  const auto mine = hash_tile_.entries();
+  std::vector<IdCount> flat;
+  flat.reserve(mine.size());
+  for (const auto& [id, count] : mine) flat.push_back({id, count});
+  const auto all =
+      comm_->allgatherv(std::span<const IdCount>(flat.data(), flat.size()));
+  replica_tile_ = hash::CountTable<>(all.size());
+  for (const IdCount& e : all) replica_tile_.increment(e.id, e.count);
+  tiles_replicated_ = true;
+  hash_tile_.clear();
+}
+
+void DistSpectrum::replicate_group() {
+  const int g = heur_.partial_replication_group;
+  if (g <= 1) return;
+  const int np = comm_->size();
+  const int me = comm_->rank();
+  const int my_group = me / g;
+
+  auto replicate_one = [&](const hash::CountTable<>& owned,
+                           hash::CountTable<>& group_table) {
+    // Send my owned shard to every other member of my group; everyone must
+    // participate in the alltoallv regardless of group membership.
+    const auto mine = owned.entries();
+    std::vector<IdCount> flat;
+    flat.reserve(mine.size());
+    for (const auto& [id, count] : mine) flat.push_back({id, count});
+    std::vector<std::vector<IdCount>> buckets(static_cast<std::size_t>(np));
+    for (int dst = 0; dst < np; ++dst) {
+      if (dst != me && dst / g == my_group) {
+        buckets[static_cast<std::size_t>(dst)] = flat;
+      }
+    }
+    const auto received = comm_->alltoallv(buckets);
+    group_table = hash::CountTable<>(owned.size() * static_cast<std::size_t>(g));
+    for (const auto& [id, count] : mine) group_table.increment(id, count);
+    for (const auto& part : received) {
+      for (const IdCount& e : part) group_table.increment(e.id, e.count);
+    }
+  };
+  replicate_one(hash_kmer_, group_kmer_);
+  replicate_one(hash_tile_, group_tile_);
+}
+
+void DistSpectrum::drop_reads_tables() {
+  pending_kmer_.clear();
+  pending_tile_.clear();
+  reads_kmer_.clear();
+  reads_tile_.clear();
+}
+
+std::optional<std::uint32_t> DistSpectrum::owned_kmer(seq::kmer_id_t id) const {
+  return hash_kmer_.find(id);
+}
+std::optional<std::uint32_t> DistSpectrum::owned_tile(seq::tile_id_t id) const {
+  return hash_tile_.find(id);
+}
+std::optional<std::uint32_t> DistSpectrum::reads_kmer(seq::kmer_id_t id) const {
+  return reads_kmer_.find(id);
+}
+std::optional<std::uint32_t> DistSpectrum::reads_tile(seq::tile_id_t id) const {
+  return reads_tile_.find(id);
+}
+std::optional<std::uint32_t> DistSpectrum::replica_kmer(
+    seq::kmer_id_t id) const {
+  return replica_kmer_.find(id);
+}
+std::optional<std::uint32_t> DistSpectrum::replica_tile(
+    seq::tile_id_t id) const {
+  return replica_tile_.find(id);
+}
+
+std::optional<std::uint32_t> DistSpectrum::group_kmer(seq::kmer_id_t id) const {
+  return group_kmer_.find(id);
+}
+std::optional<std::uint32_t> DistSpectrum::group_tile(seq::tile_id_t id) const {
+  return group_tile_.find(id);
+}
+
+void DistSpectrum::cache_remote_kmer(seq::kmer_id_t id, std::uint32_t count) {
+  reads_kmer_.increment(id, count);
+}
+void DistSpectrum::cache_remote_tile(seq::tile_id_t id, std::uint32_t count) {
+  reads_tile_.increment(id, count);
+}
+
+SpectrumFootprint DistSpectrum::footprint() const {
+  SpectrumFootprint f;
+  f.hash_kmer_entries = hash_kmer_.size();
+  f.hash_tile_entries = hash_tile_.size();
+  f.reads_kmer_entries = reads_kmer_.size() + pending_kmer_.size();
+  f.reads_tile_entries = reads_tile_.size() + pending_tile_.size();
+  f.replica_kmer_entries = replica_kmer_.size();
+  f.replica_tile_entries = replica_tile_.size();
+  f.replica_kmer_entries += group_kmer_.size();
+  f.replica_tile_entries += group_tile_.size();
+  f.bytes = hash_kmer_.memory_bytes() + hash_tile_.memory_bytes() +
+            pending_kmer_.memory_bytes() + pending_tile_.memory_bytes() +
+            reads_kmer_.memory_bytes() + reads_tile_.memory_bytes() +
+            replica_kmer_.memory_bytes() + replica_tile_.memory_bytes() +
+            group_kmer_.memory_bytes() + group_tile_.memory_bytes();
+  if (bloom_kmer_) f.bytes += bloom_kmer_->memory_bytes();
+  if (bloom_tile_) f.bytes += bloom_tile_->memory_bytes();
+  return f;
+}
+
+}  // namespace reptile::parallel

@@ -1,0 +1,195 @@
+#pragma once
+// The distributed k-mer + tile spectrum: paper Steps II and III.
+//
+// Each rank keeps four hash tables:
+//   hashKmer  / hashTile  — entries this rank OWNS (hash(id) % np == rank),
+//                           holding true global counts after the exchange;
+//   readsKmer / readsTile — entries extracted from the rank's own reads that
+//                           it does not own, holding local counts until the
+//                           exchange routes them to their owners.
+//
+// Step III is an alltoallv of (id, count) pairs to owners followed by a
+// merge; in batch mode (the "Batch Reads Table" heuristic) the exchange runs
+// after every chunk of reads and the reads tables are emptied, bounding the
+// construction-phase memory footprint.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/spectrum.hpp"
+#include "hash/bloom_filter.hpp"
+#include "hash/count_table.hpp"
+#include "hash/hashing.hpp"
+#include "parallel/heuristics.hpp"
+#include "rtm/comm.hpp"
+#include "seq/kmer.hpp"
+#include "seq/tile.hpp"
+
+namespace reptile::parallel {
+
+/// (id, count) pair exchanged in Step III.
+struct IdCount {
+  std::uint64_t id = 0;
+  std::uint32_t count = 0;
+};
+static_assert(std::is_trivially_copyable_v<IdCount>);
+
+/// Sizes/memory snapshot of the four tables (plus replicas).
+struct SpectrumFootprint {
+  std::size_t hash_kmer_entries = 0;
+  std::size_t hash_tile_entries = 0;
+  std::size_t reads_kmer_entries = 0;
+  std::size_t reads_tile_entries = 0;
+  std::size_t replica_kmer_entries = 0;
+  std::size_t replica_tile_entries = 0;
+  std::size_t bytes = 0;  ///< total table memory
+};
+
+class DistSpectrum {
+ public:
+  DistSpectrum(const core::CorrectorParams& params, const Heuristics& heur,
+               rtm::Comm& comm);
+
+  /// Step II for one read: k-mers/tiles the rank owns go to hashKmer /
+  /// hashTile, the rest to readsKmer / readsTile.
+  void add_read(std::string_view bases);
+
+  /// Step III: alltoallv the reads tables to their owners, merge received
+  /// counts into the owned tables, and clear the reads tables. Collective.
+  /// Safe to call repeatedly (batch mode runs it once per chunk; ranks that
+  /// exhausted their reads keep participating with empty sends).
+  void exchange_to_owners();
+
+  /// Prunes the owned tables below the thresholds (end of Step III).
+  /// Collective only in that every rank should do it at the same point.
+  void prune();
+
+  /// Read-kmers heuristic: replaces the local counts of readsKmer/readsTile
+  /// (the non-owned IDs seen in this rank's reads) with *global* counts
+  /// fetched from the owners; IDs pruned from the global spectrum are kept
+  /// with count 0, i.e. known-absent. Collective (two alltoallv rounds per
+  /// spectrum). Call after prune().
+  void fetch_global_reads_tables();
+
+  /// Allgather replication heuristics: replicate the full k-mer (tile)
+  /// spectrum on every rank. Collective.
+  void replicate_kmers();
+  void replicate_tiles();
+
+  /// Partial replication (paper Section V future work): every rank
+  /// receives the owned spectra of all ranks in its replication group
+  /// (blocks of heuristics().partial_replication_group consecutive ranks),
+  /// merged with its own shard into the group tables. Collective; call
+  /// after prune(). No-op when the group size is 1.
+  void replicate_group();
+
+  /// Frees the reads tables (default mode does not keep them for
+  /// correction).
+  void drop_reads_tables();
+
+  // --- lookups (all local; messaging lives in RemoteSpectrumView) --------
+
+  /// Count in the owned table; nullopt when this rank is not the owner or
+  /// the entry was pruned/absent. Pass canonical IDs.
+  std::optional<std::uint32_t> owned_kmer(seq::kmer_id_t id) const;
+  std::optional<std::uint32_t> owned_tile(seq::tile_id_t id) const;
+
+  /// Count in the reads table; nullopt when absent.
+  std::optional<std::uint32_t> reads_kmer(seq::kmer_id_t id) const;
+  std::optional<std::uint32_t> reads_tile(seq::tile_id_t id) const;
+
+  /// Count in the replicated table (only meaningful after replicate_*).
+  std::optional<std::uint32_t> replica_kmer(seq::kmer_id_t id) const;
+  std::optional<std::uint32_t> replica_tile(seq::tile_id_t id) const;
+
+  /// Count in the group table (after replicate_group()); a miss is a
+  /// definitive absence when owner_in_my_group(owner_of(id)) holds.
+  std::optional<std::uint32_t> group_kmer(seq::kmer_id_t id) const;
+  std::optional<std::uint32_t> group_tile(seq::tile_id_t id) const;
+
+  /// True when `owner` belongs to this rank's replication group.
+  bool owner_in_my_group(int owner) const noexcept {
+    const int g = heur_.partial_replication_group;
+    return g > 1 && owner / g == comm_->rank() / g;
+  }
+
+  /// Caches a remote reply (add_remote heuristic); count 0 records a
+  /// definitive absence.
+  void cache_remote_kmer(seq::kmer_id_t id, std::uint32_t count);
+  void cache_remote_tile(seq::tile_id_t id, std::uint32_t count);
+
+  bool owns_kmer(seq::kmer_id_t id) const {
+    return hash::owner_of(id, comm_->size()) == comm_->rank();
+  }
+  bool owns_tile(seq::tile_id_t id) const {
+    return hash::owner_of(id, comm_->size()) == comm_->rank();
+  }
+
+  const core::SpectrumExtractor& extractor() const noexcept {
+    return extractor_;
+  }
+  const Heuristics& heuristics() const noexcept { return heur_; }
+
+  SpectrumFootprint footprint() const;
+
+  const hash::CountTable<>& hash_kmers() const noexcept { return hash_kmer_; }
+  const hash::CountTable<>& hash_tiles() const noexcept { return hash_tile_; }
+
+ private:
+  /// Buckets a table's entries by owning rank for the alltoallv.
+  template <class Table>
+  std::vector<std::vector<IdCount>> bucket_by_owner(const Table& table) const;
+
+  /// One spectrum's exchange-and-merge round.
+  void exchange_one(hash::CountTable<>& pending_table,
+                    hash::CountTable<>& owned_table,
+                    std::unique_ptr<hash::BloomFilter>& bloom);
+
+  /// Owner-side insert; with bloom_construction, singletons are parked in
+  /// the Bloom filter and admitted to the exact table on second sighting.
+  void owner_add(hash::CountTable<>& owned_table,
+                 std::unique_ptr<hash::BloomFilter>& bloom, std::uint64_t id,
+                 std::uint32_t count);
+
+  /// One spectrum's global-count fetch (read-kmers heuristic).
+  void fetch_one(hash::CountTable<>& reads_table,
+                 const hash::CountTable<>& owned_table);
+
+  core::CorrectorParams params_;
+  Heuristics heur_;
+  rtm::Comm* comm_;
+  core::SpectrumExtractor extractor_;
+
+  hash::CountTable<> hash_kmer_;
+  hash::CountTable<> hash_tile_;
+  /// Non-owned entries staged since the last exchange (what the paper calls
+  /// readsKmer/readsTile during Step II); cleared by every exchange.
+  hash::CountTable<> pending_kmer_;
+  hash::CountTable<> pending_tile_;
+  /// Persistent reads tables of the read-kmers heuristic (union of all
+  /// non-owned IDs of this rank's reads, later refreshed to global counts).
+  hash::CountTable<> reads_kmer_;
+  hash::CountTable<> reads_tile_;
+  hash::CountTable<> replica_kmer_;
+  hash::CountTable<> replica_tile_;
+  /// Group tables of the partial-replication mode: the merged owned shards
+  /// of this rank's replication group.
+  hash::CountTable<> group_kmer_;
+  hash::CountTable<> group_tile_;
+  bool kmers_replicated_ = false;
+  bool tiles_replicated_ = false;
+  /// Bloom filters of the bloom_construction mode (owner-side singleton
+  /// suppression); sized lazily on first use.
+  std::unique_ptr<hash::BloomFilter> bloom_kmer_;
+  std::unique_ptr<hash::BloomFilter> bloom_tile_;
+
+  // Scratch buffers reused across add_read calls.
+  std::vector<seq::kmer_id_t> kmer_scratch_;
+  std::vector<seq::tile_id_t> tile_scratch_;
+};
+
+}  // namespace reptile::parallel

@@ -1,0 +1,79 @@
+#include "parallel/lookup_service.hpp"
+
+#include <chrono>
+
+namespace reptile::parallel {
+
+namespace {
+constexpr auto kServiceWait = std::chrono::microseconds(200);
+
+bool is_request_tag(int tag) noexcept {
+  return tag == kTagKmerRequest || tag == kTagTileRequest ||
+         tag == kTagUniversalRequest;
+}
+}  // namespace
+
+LookupService::LookupService(rtm::Comm& comm, const DistSpectrum& spectrum)
+    : comm_(&comm),
+      spectrum_(&spectrum),
+      universal_(spectrum.heuristics().universal) {}
+
+void LookupService::reply(int requester, LookupKind kind, std::uint64_t id,
+                          int reply_to) {
+  LookupReply r;
+  if (kind == LookupKind::kKmer) {
+    const auto c = spectrum_->owned_kmer(id);
+    r.count = c ? static_cast<std::int32_t>(*c) : -1;
+    ++stats_.kmer_requests;
+  } else {
+    const auto c = spectrum_->owned_tile(id);
+    r.count = c ? static_cast<std::int32_t>(*c) : -1;
+    ++stats_.tile_requests;
+  }
+  if (r.count < 0) ++stats_.absent_replies;
+  comm_->send_value(requester, reply_to, r);
+  ++stats_.requests_served;
+}
+
+void LookupService::handle(const rtm::Message& msg) {
+  if (msg.tag == kTagUniversalRequest) {
+    const auto req = msg.as_value<UniversalLookupRequest>();
+    reply(msg.source, req.kind, req.id, req.reply_to);
+  } else {
+    const auto req = msg.as_value<LookupRequest>();
+    const LookupKind kind =
+        msg.tag == kTagKmerRequest ? LookupKind::kKmer : LookupKind::kTile;
+    reply(msg.source, kind, req.id, req.reply_to);
+  }
+}
+
+void LookupService::serve() {
+  // Non-universal mode mirrors the paper's probe-then-receive protocol: the
+  // thread probes for each request tag to learn the request kind before
+  // receiving. Universal mode accepts any request message directly.
+  while (!comm_->all_done()) {
+    if (!universal_) {
+      // MPI_Iprobe per request tag; counted so the performance model can
+      // price the probe overhead universal mode removes.
+      ++stats_.probe_calls;
+      if (!comm_->iprobe(rtm::kAnySource, kTagKmerRequest)) {
+        ++stats_.probe_calls;
+        (void)comm_->iprobe(rtm::kAnySource, kTagTileRequest);
+      }
+    }
+    const auto msg = comm_->recv_match_for(
+        [](const rtm::Message& m) { return is_request_tag(m.tag); },
+        kServiceWait);
+    if (msg) handle(*msg);
+  }
+  // Drain any requests already queued when the last rank signalled done.
+  while (true) {
+    auto msg = comm_->try_recv(rtm::kAnySource, kTagKmerRequest);
+    if (!msg) msg = comm_->try_recv(rtm::kAnySource, kTagTileRequest);
+    if (!msg) msg = comm_->try_recv(rtm::kAnySource, kTagUniversalRequest);
+    if (!msg) break;
+    handle(*msg);
+  }
+}
+
+}  // namespace reptile::parallel

@@ -1,0 +1,59 @@
+#pragma once
+// The communication thread: serves remote k-mer/tile count requests.
+//
+// Paper Step IV: "Each rank at the beginning of this step forks two separate
+// threads — one thread is responsible for the error correction of the reads
+// in its part of the file, while the other thread acts as a communication
+// thread. ... The communication thread of each rank probes any incoming
+// messages; based on the probe, it first finds out the nature of the request
+// (if it is a k-mer or a tile lookup) ... and sends the appropriate
+// response."
+//
+// Termination: every rank announces completion of its own correction work
+// via Comm::signal_done(); the service loops until all ranks are done and
+// its request queue is drained (a requester is never "done" while it has an
+// outstanding request, so no request can arrive after that point).
+
+#include <cstdint>
+
+#include "parallel/dist_spectrum.hpp"
+#include "parallel/protocol.hpp"
+#include "rtm/comm.hpp"
+
+namespace reptile::parallel {
+
+/// Per-service counters, read after the thread is joined.
+struct ServiceStats {
+  std::uint64_t requests_served = 0;
+  std::uint64_t kmer_requests = 0;
+  std::uint64_t tile_requests = 0;
+  std::uint64_t probe_calls = 0;  ///< tag probes (non-universal mode only)
+  std::uint64_t absent_replies = 0;
+};
+
+class LookupService {
+ public:
+  /// The service answers from `spectrum`'s owned tables; `comm` is the
+  /// rank's communicator (shared with the worker thread — all mailbox
+  /// operations are thread-safe, and the service touches no collectives).
+  LookupService(rtm::Comm& comm, const DistSpectrum& spectrum);
+
+  /// Runs until every rank has signalled done and the request queue is
+  /// empty. Call on a dedicated thread.
+  void serve();
+
+  const ServiceStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Services one request message; updates counters.
+  void handle(const rtm::Message& msg);
+
+  void reply(int requester, LookupKind kind, std::uint64_t id, int reply_to);
+
+  rtm::Comm* comm_;
+  const DistSpectrum* spectrum_;
+  bool universal_;
+  ServiceStats stats_;
+};
+
+}  // namespace reptile::parallel

@@ -1,0 +1,62 @@
+#pragma once
+// Wire protocol of the correction-phase lookup messages.
+//
+// Non-universal mode (paper default): the requesting rank tags the message
+// as a k-mer or a tile request; the owner's communication thread probes by
+// tag to learn the request kind before receiving. Universal mode: one tag,
+// and the kind travels inside the payload ("the message is itself a
+// structure with the tag included as part of the message"), trading a
+// slightly larger message for skipping the probe.
+//
+// Replies carry the count as int32, with -1 meaning the ID is not in the
+// owner's (pruned) spectrum — the paper's "response like (-1) implying that
+// the k-mer or tile does not exist ... at all in the entire spectrum".
+
+#include <cstdint>
+
+namespace reptile::parallel {
+
+/// Message tags. Values are arbitrary but stable.
+enum Tag : int {
+  kTagKmerRequest = 11,
+  kTagTileRequest = 12,
+  kTagUniversalRequest = 13,
+  kTagKmerReply = 21,
+  kTagTileReply = 22,
+};
+
+/// Request kinds carried inside universal-mode payloads.
+enum class LookupKind : std::uint32_t { kKmer = 0, kTile = 1 };
+
+/// Non-universal request payload: the ID (the kind is the tag) plus the
+/// tag the reply must carry. Multiple correction worker threads on one
+/// rank (the paper's full-replication runs used 64 threads per rank) each
+/// use a distinct reply tag so concurrent outstanding requests to the same
+/// owner cannot steal each other's replies.
+struct LookupRequest {
+  std::uint64_t id = 0;
+  std::int32_t reply_to = kTagKmerReply;
+  std::uint32_t reserved = 0;  // explicit padding for a stable layout
+};
+
+/// Universal request payload: kind + ID + reply tag in one self-describing
+/// message.
+struct UniversalLookupRequest {
+  LookupKind kind = LookupKind::kKmer;
+  std::int32_t reply_to = kTagKmerReply;
+  std::uint64_t id = 0;
+};
+
+/// Reply payload: the global count, or -1 when absent from the spectrum.
+struct LookupReply {
+  std::int32_t count = -1;
+};
+
+/// Reply tag for request kind `kind` issued by worker `slot` (slot 0 uses
+/// the base tags).
+constexpr int reply_tag(LookupKind kind, int slot = 0) noexcept {
+  return (kind == LookupKind::kKmer ? kTagKmerReply : kTagTileReply) +
+         2 * slot;
+}
+
+}  // namespace reptile::parallel

@@ -1,0 +1,23 @@
+#include "parallel/rebalance.hpp"
+
+#include "hash/hashing.hpp"
+#include "parallel/wire.hpp"
+
+namespace reptile::parallel {
+
+std::vector<seq::Read> rebalance_reads(rtm::Comm& comm,
+                                       const std::vector<seq::Read>& mine) {
+  const int np = comm.size();
+  std::vector<std::vector<std::uint8_t>> buckets(
+      static_cast<std::size_t>(np));
+  for (const seq::Read& r : mine) {
+    const int owner = hash::owner_of_sequence(r.bases, np);
+    encode_read(r, buckets[static_cast<std::size_t>(owner)]);
+  }
+  const auto received = comm.alltoallv(buckets);
+  std::vector<seq::Read> out;
+  for (const auto& part : received) decode_reads(part, out);
+  return out;
+}
+
+}  // namespace reptile::parallel

@@ -1,0 +1,26 @@
+#pragma once
+// Static load balancing through sequence-hash redistribution.
+//
+// Paper Section III-A: errors are localized in parts of the read file, so
+// contiguous byte-range partitioning gives some ranks far more erroneous
+// (expensive) reads than others. The fix is static: "a sequence is
+// designated to be owned by a rank p if hashFunction(seq) % np == p"; after
+// the partitioned read, each rank buckets its reads by owning rank and one
+// MPI_Alltoallv re-homes every read — "the same effect as the randomization
+// of the file".
+
+#include <vector>
+
+#include "rtm/comm.hpp"
+#include "seq/read.hpp"
+
+namespace reptile::parallel {
+
+/// Collectively redistributes reads: each rank passes the reads of its file
+/// partition and receives exactly the reads it owns (by sequence hash).
+/// Order within the result follows (source rank, source order), which is
+/// deterministic for a fixed input partitioning.
+std::vector<seq::Read> rebalance_reads(rtm::Comm& comm,
+                                       const std::vector<seq::Read>& mine);
+
+}  // namespace reptile::parallel

@@ -1,0 +1,111 @@
+#include "parallel/remote_spectrum.hpp"
+
+#include "hash/hashing.hpp"
+
+namespace reptile::parallel {
+
+RemoteSpectrumView::RemoteSpectrumView(rtm::Comm& comm, DistSpectrum& spectrum,
+                                       int worker_slot)
+    : comm_(&comm),
+      spectrum_(&spectrum),
+      heur_(spectrum.heuristics()),
+      worker_slot_(worker_slot) {}
+
+std::uint32_t RemoteSpectrumView::remote_lookup(int owner, std::uint64_t id,
+                                                LookupKind kind) {
+  const int reply_to = reply_tag(kind, worker_slot_);
+  comm_wait_.start();
+  if (heur_.universal) {
+    UniversalLookupRequest req;
+    req.kind = kind;
+    req.id = id;
+    req.reply_to = reply_to;
+    comm_->send_value(owner, kTagUniversalRequest, req);
+  } else {
+    LookupRequest req;
+    req.id = id;
+    req.reply_to = reply_to;
+    comm_->send_value(
+        owner, kind == LookupKind::kKmer ? kTagKmerRequest : kTagTileRequest,
+        req);
+  }
+  const rtm::Message msg = comm_->recv(owner, reply_to);
+  comm_wait_.stop();
+  const auto reply = msg.as_value<LookupReply>();
+
+  if (kind == LookupKind::kKmer) {
+    ++remote_.remote_kmer_lookups;
+    if (reply.count < 0) ++remote_.remote_kmer_absent;
+  } else {
+    ++remote_.remote_tile_lookups;
+    if (reply.count < 0) ++remote_.remote_tile_absent;
+  }
+  const std::uint32_t count =
+      reply.count < 0 ? 0 : static_cast<std::uint32_t>(reply.count);
+  if (heur_.add_remote) {
+    // Cache the reply — absences included — so a future lookup of the same
+    // ID stays local ("this mode will be useful if the k-mers or tiles
+    // needed from remote ranks will be needed in the future").
+    if (kind == LookupKind::kKmer) {
+      spectrum_->cache_remote_kmer(id, count);
+    } else {
+      spectrum_->cache_remote_tile(id, count);
+    }
+  }
+  return count;
+}
+
+std::uint32_t RemoteSpectrumView::lookup(std::uint64_t id, LookupKind kind) {
+  const bool is_kmer = kind == LookupKind::kKmer;
+
+  if (is_kmer ? heur_.allgather_kmers : heur_.allgather_tiles) {
+    const auto c = is_kmer ? spectrum_->replica_kmer(id)
+                           : spectrum_->replica_tile(id);
+    return c.value_or(0);
+  }
+
+  const int owner = hash::owner_of(id, comm_->size());
+  if (owner == comm_->rank()) {
+    // We are the owner: a miss in our shard is a definitive global absence.
+    const auto c = is_kmer ? spectrum_->owned_kmer(id)
+                           : spectrum_->owned_tile(id);
+    return c.value_or(0);
+  }
+
+  if (spectrum_->owner_in_my_group(owner)) {
+    // Partial replication: we hold the owner's shard; a miss is definitive.
+    ++remote_.group_lookups;
+    const auto c = is_kmer ? spectrum_->group_kmer(id)
+                           : spectrum_->group_tile(id);
+    return c.value_or(0);
+  }
+
+  if (heur_.read_kmers) {
+    const auto c = is_kmer ? spectrum_->reads_kmer(id)
+                           : spectrum_->reads_tile(id);
+    if (c) {
+      ++remote_.reads_table_hits;
+      return *c;
+    }
+  }
+
+  return remote_lookup(owner, id, kind);
+}
+
+std::uint32_t RemoteSpectrumView::kmer_count(seq::kmer_id_t id) {
+  ++stats_.kmer_lookups;
+  const std::uint32_t c =
+      lookup(spectrum_->extractor().canon_kmer(id), LookupKind::kKmer);
+  if (c == 0) ++stats_.kmer_misses;
+  return c;
+}
+
+std::uint32_t RemoteSpectrumView::tile_count(seq::tile_id_t id) {
+  ++stats_.tile_lookups;
+  const std::uint32_t c =
+      lookup(spectrum_->extractor().canon_tile(id), LookupKind::kTile);
+  if (c == 0) ++stats_.tile_misses;
+  return c;
+}
+
+}  // namespace reptile::parallel

@@ -1,0 +1,80 @@
+#pragma once
+// SpectrumView over the distributed spectrum: the worker thread's lookup
+// chain.
+//
+// Paper Step IV lookup strategy: "If a rank during error correction does not
+// have a k-mer (or tile), it first finds out if it is the owning rank. In
+// case the processing rank p is the owning rank, this implies that the k-mer
+// or tile does not exist; in case the processing rank is not the owning
+// rank, it looks up its readsKmer hash table (in case of the corresponding
+// mode of execution). If the k-mer is not found, it sends a message to the
+// owning rank, requesting the count."
+//
+// Chain, in order (first hit wins):
+//   1. replicated table        (allgather_* heuristics; never remote)
+//   2. owned table             (when this rank is the owner — a miss here is
+//                               a definitive global absence)
+//   3. group table             (partial replication, the paper's Section V
+//                               future work: definitive for owners inside
+//                               this rank's replication group)
+//   4. reads table             (read_kmers heuristic; holds global counts)
+//   5. remote request/reply    (blocking; reply -1 maps to count 0);
+//      with add_remote the reply is cached into the reads table.
+
+#include <cstdint>
+
+#include "core/spectrum.hpp"
+#include "parallel/dist_spectrum.hpp"
+#include "parallel/protocol.hpp"
+#include "rtm/comm.hpp"
+#include "stats/stopwatch.hpp"
+
+namespace reptile::parallel {
+
+/// Remote-side counters for one rank's correction phase.
+struct RemoteLookupStats {
+  std::uint64_t remote_kmer_lookups = 0;
+  std::uint64_t remote_tile_lookups = 0;
+  std::uint64_t remote_kmer_absent = 0;  ///< replies that said "not in spectrum"
+  std::uint64_t remote_tile_absent = 0;
+  std::uint64_t reads_table_hits = 0;    ///< resolved by the reads tables
+  std::uint64_t group_lookups = 0;       ///< resolved by partial replication
+
+  std::uint64_t remote_lookups() const noexcept {
+    return remote_kmer_lookups + remote_tile_lookups;
+  }
+};
+
+class RemoteSpectrumView final : public core::SpectrumView {
+ public:
+  /// `worker_slot` distinguishes concurrent correction worker threads of
+  /// one rank: each slot's remote requests carry their own reply tag so
+  /// replies route back to the right thread. Slot 0 is the single-threaded
+  /// default.
+  RemoteSpectrumView(rtm::Comm& comm, DistSpectrum& spectrum,
+                     int worker_slot = 0);
+
+  std::uint32_t kmer_count(seq::kmer_id_t id) override;
+  std::uint32_t tile_count(seq::tile_id_t id) override;
+  const core::LookupStats& stats() const override { return stats_; }
+
+  const RemoteLookupStats& remote_stats() const noexcept { return remote_; }
+
+  /// Wall-clock time the worker spent blocked on remote replies — the
+  /// paper's per-rank "communication time".
+  double comm_seconds() const noexcept { return comm_wait_.seconds(); }
+
+ private:
+  std::uint32_t lookup(std::uint64_t id, LookupKind kind);
+  std::uint32_t remote_lookup(int owner, std::uint64_t id, LookupKind kind);
+
+  rtm::Comm* comm_;
+  DistSpectrum* spectrum_;
+  Heuristics heur_;
+  int worker_slot_;
+  core::LookupStats stats_;
+  RemoteLookupStats remote_;
+  stats::Accumulator comm_wait_;
+};
+
+}  // namespace reptile::parallel

@@ -1,0 +1,42 @@
+#pragma once
+// Flattening a distributed run into a machine-readable report.
+
+#include "parallel/dist_pipeline.hpp"
+#include "stats/report.hpp"
+
+namespace reptile::parallel {
+
+/// One record per rank with the quantities the paper's figures track.
+inline stats::RunReport to_report(const DistResult& result,
+                                  const std::string& title) {
+  stats::RunReport report(title);
+  for (const RankReport& r : result.ranks) {
+    report.record()
+        .add("rank", r.rank)
+        .add("reads", static_cast<double>(r.reads_processed))
+        .add("reads_changed", static_cast<double>(r.reads_changed))
+        .add("substitutions", static_cast<double>(r.substitutions))
+        .add("tiles_untrusted", static_cast<double>(r.tiles_untrusted))
+        .add("kmer_lookups", static_cast<double>(r.lookups.kmer_lookups))
+        .add("tile_lookups", static_cast<double>(r.lookups.tile_lookups))
+        .add("remote_kmer_lookups",
+             static_cast<double>(r.remote.remote_kmer_lookups))
+        .add("remote_tile_lookups",
+             static_cast<double>(r.remote.remote_tile_lookups))
+        .add("requests_served",
+             static_cast<double>(r.service.requests_served))
+        .add("probe_calls", static_cast<double>(r.service.probe_calls))
+        .add("construct_seconds", r.construct_seconds)
+        .add("correct_seconds", r.correct_seconds)
+        .add("comm_seconds", r.comm_seconds)
+        .add("spectrum_bytes",
+             static_cast<double>(r.footprint_after_correction.bytes))
+        .add("construction_peak_bytes",
+             static_cast<double>(r.construction_peak_bytes))
+        .add("sent_msgs", static_cast<double>(r.traffic.sent_msgs()))
+        .add("sent_bytes", static_cast<double>(r.traffic.sent_bytes()));
+  }
+  return report;
+}
+
+}  // namespace reptile::parallel

@@ -1,0 +1,66 @@
+#pragma once
+// Flat serialization of reads for the load-balancing alltoallv.
+//
+// The static load balancer (paper Section III-A) moves whole reads — bases
+// and quality scores — between ranks, so reads must cross the message layer
+// as byte buffers. Layout per read, little-endian host order:
+//
+//   u64 sequence_number | u32 length | length x base char | length x qual
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "seq/read.hpp"
+
+namespace reptile::parallel {
+
+/// Appends the wire encoding of `read` to `out`.
+inline void encode_read(const seq::Read& read, std::vector<std::uint8_t>& out) {
+  const auto len = static_cast<std::uint32_t>(read.bases.size());
+  if (read.quals.size() != read.bases.size()) {
+    throw std::invalid_argument("encode_read: quals/bases length mismatch");
+  }
+  const std::size_t start = out.size();
+  out.resize(start + 8 + 4 + 2 * static_cast<std::size_t>(len));
+  std::uint8_t* p = out.data() + start;
+  std::memcpy(p, &read.number, 8);
+  p += 8;
+  std::memcpy(p, &len, 4);
+  p += 4;
+  std::memcpy(p, read.bases.data(), len);
+  p += len;
+  std::memcpy(p, read.quals.data(), len);
+}
+
+/// Decodes every read of a wire buffer, appending to `out`. Throws on a
+/// truncated buffer.
+inline void decode_reads(const std::uint8_t* data, std::size_t size,
+                         std::vector<seq::Read>& out) {
+  std::size_t pos = 0;
+  while (pos < size) {
+    if (size - pos < 12) throw std::runtime_error("decode_reads: truncated header");
+    seq::Read r;
+    std::memcpy(&r.number, data + pos, 8);
+    pos += 8;
+    std::uint32_t len = 0;
+    std::memcpy(&len, data + pos, 4);
+    pos += 4;
+    if (size - pos < 2 * static_cast<std::size_t>(len)) {
+      throw std::runtime_error("decode_reads: truncated body");
+    }
+    r.bases.assign(reinterpret_cast<const char*>(data + pos), len);
+    pos += len;
+    r.quals.assign(data + pos, data + pos + len);
+    pos += len;
+    out.push_back(std::move(r));
+  }
+}
+
+inline void decode_reads(const std::vector<std::uint8_t>& buffer,
+                         std::vector<seq::Read>& out) {
+  decode_reads(buffer.data(), buffer.size(), out);
+}
+
+}  // namespace reptile::parallel

@@ -1,0 +1,50 @@
+#include "perfmodel/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reptile::perfmodel {
+
+double MachineModel::compute_slowdown(int ranks_per_node) const {
+  // Each rank runs 2 threads (worker + communication). Up to one thread per
+  // core there is no sharing; beyond that, SMT threads contend for the
+  // in-order core. A2 SMT gives roughly 1.6x throughput for 2 threads/core
+  // and 2.1x for 4, i.e. per-thread slowdowns of ~1.25x and ~1.9x.
+  const int threads = 2 * ranks_per_node;
+  if (threads <= cores_per_node) return 1.0;
+  const double per_core =
+      static_cast<double>(threads) / static_cast<double>(cores_per_node);
+  if (per_core <= 2.0) return 1.0 + 0.25 * (per_core - 1.0);
+  return 1.25 + 0.65 * std::min(per_core - 2.0, 2.0) / 2.0;
+}
+
+double MachineModel::comm_slowdown(int ranks_per_node) const {
+  // Communication threads share the node's messaging unit and, past one
+  // thread per core, the cores themselves. Calibrated so 32 ranks/node is
+  // ~40-50% slower on communication than 8 ranks/node (Fig. 2: ~30% total
+  // slowdown, dominated by communication).
+  const int threads = 2 * ranks_per_node;
+  if (threads <= cores_per_node) return 1.0;
+  const double per_core =
+      static_cast<double>(threads) / static_cast<double>(cores_per_node);
+  return 1.0 + 0.16 * (per_core - 1.0);
+}
+
+double MachineModel::rtt_scale(int nodes) const {
+  if (nodes <= reference_nodes) return 1.0;
+  const double doublings = std::log2(static_cast<double>(nodes) /
+                                     static_cast<double>(reference_nodes));
+  return 1.0 + torus_hop_cost * doublings;
+}
+
+double MachineModel::alltoallv_cost(std::size_t bytes, int np,
+                                    int ranks_per_node) const {
+  const double lat =
+      collective_latency * std::max(1.0, std::log2(static_cast<double>(np)));
+  return lat + static_cast<double>(bytes) * collective_byte_cost *
+                   comm_slowdown(ranks_per_node);
+}
+
+MachineModel MachineModel::bluegene_q() { return MachineModel{}; }
+
+}  // namespace reptile::perfmodel

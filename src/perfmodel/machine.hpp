@@ -1,0 +1,101 @@
+#pragma once
+// Machine model: a LogGP-style cost model of the paper's testbed.
+//
+// The paper's evaluation ran on IBM BlueGene/Q: 1.6 GHz in-order PowerPC
+// A2 cores, 16 user cores (64 SMT threads) and 16 GB per node, 32 ranks per
+// node for most experiments, 5-D torus interconnect. We cannot time that
+// hardware, so large-scale figures are produced by composing *measured
+// workload counters* (src/perfmodel/workload.hpp) with the per-operation
+// costs below.
+//
+// The constants are calibrated so the paper's anchor points land in the
+// right range (Fig. 4: ~8886 s total / ~5170 s communication per rank at 128
+// ranks with ~64 M remote tile lookups; Fig. 2: 32 ranks/node ~30 % slower
+// than 8 ranks/node, driven by communication). Absolute seconds are a model,
+// not a measurement; the reproduced quantity is the *shape* of each figure.
+
+#include <cstddef>
+
+namespace reptile::perfmodel {
+
+struct MachineModel {
+  // --- compute ------------------------------------------------------------
+  /// Cores available for user ranks on one node.
+  int cores_per_node = 16;
+  /// Hardware (SMT) threads per core.
+  int threads_per_core = 4;
+
+  /// Fixed per-read overhead of the correction loop (s).
+  double read_base_cost = 2.0e-4;
+  /// Cost of one local hash-table lookup plus the surrounding candidate
+  /// arithmetic (s). Applied to every k-mer/tile lookup, local or remote
+  /// (remote lookups additionally pay the round trip).
+  double lookup_compute_cost = 3.0e-5;
+  /// Cost of extracting and table-inserting one k-mer or tile during
+  /// construction — parsing, packing, hashing and the robin-hood insert on
+  /// a 1.6 GHz in-order A2 core, including its share of file reading (s).
+  double extract_insert_cost = 2.0e-6;
+
+  // --- point-to-point messaging --------------------------------------------
+  /// Effective per-lookup stall of one remote lookup between ranks on
+  /// DIFFERENT nodes: round-trip latency plus the owner's service delay and
+  /// queueing at 32 ranks/node (the paper's correction phase is a
+  /// request-per-lookup protocol, so this effective cost — not the raw wire
+  /// latency — is what the worker thread observes) (s).
+  double remote_rtt_inter = 4.0e-4;
+  /// Same, for ranks on the SAME node (shared-memory transport).
+  double remote_rtt_intra = 5.0e-5;
+  /// Effective cost of the owner probing for the request's tag before
+  /// receiving it (~1.5 MPI_Iprobe calls per serviced request, including
+  /// misses); universal mode removes it entirely, which is its Fig. 5
+  /// advantage. Charged to the requester's round trip since the worker
+  /// blocks on the reply (s).
+  double probe_cost = 2.0e-5;
+  /// Growth of the effective round trip with machine size: every doubling
+  /// of the node count beyond the reference partition adds this fraction
+  /// (longer 5-D torus routes, more link sharing). This is what bends the
+  /// strong-scaling curve below ideal — the paper's 0.81 (E.Coli) / 0.64
+  /// (Drosophila) efficiencies at 8x the ranks.
+  double torus_hop_cost = 0.07;
+  /// Node count at which remote_rtt_* were calibrated.
+  int reference_nodes = 32;
+  /// Extra wire time per additional payload byte (universal requests are
+  /// 16 B instead of 8 B) (s/byte).
+  double byte_cost = 5.0e-10;
+
+  // --- collectives ----------------------------------------------------------
+  /// Per-byte cost of alltoallv/allgatherv payload on the torus (s/byte).
+  double collective_byte_cost = 1.0e-9;
+  /// Latency term per collective call, multiplied by log2(np) (s).
+  double collective_latency = 2.0e-5;
+
+  // --- memory ---------------------------------------------------------------
+  /// Bytes per hash-table slot (8 key + 4 count + 1 probe byte).
+  double table_bytes_per_slot = 13.0;
+  /// Inverse load factor of the tables (capacity/entries).
+  double table_overhead = 1.6;
+  std::size_t memory_per_rank_budget = 512ull << 20;  ///< paper: 512 MB/rank
+
+  /// Compute-side slowdown from SMT oversubscription: with 2 threads per
+  /// rank (worker + communication), 8 ranks/node exactly fills the 16
+  /// cores; beyond that, hardware threads share cores.
+  double compute_slowdown(int ranks_per_node) const;
+
+  /// Communication-side slowdown as a function of ranks per node: more
+  /// ranks share the node's injection bandwidth, and SMT sharing slows the
+  /// communication threads (the Fig. 2 effect: most of the 32-vs-8
+  /// ranks/node slowdown comes from communication).
+  double comm_slowdown(int ranks_per_node) const;
+
+  /// Round-trip multiplier for a partition of `nodes` nodes (>= 1).
+  double rtt_scale(int nodes) const;
+
+  /// Cost of one alltoallv round where this rank sends/receives `bytes`
+  /// payload across `np` ranks.
+  double alltoallv_cost(std::size_t bytes, int np, int ranks_per_node) const;
+
+  /// The paper's testbed.
+  static MachineModel bluegene_q();
+};
+
+}  // namespace reptile::perfmodel

@@ -1,0 +1,76 @@
+#include "rtm/chaos.hpp"
+
+#include "rtm/world.hpp"
+
+namespace reptile::rtm {
+
+ChaosDelayer::ChaosDelayer(World& world, std::uint64_t seed, int max_delay_us)
+    : world_(&world),
+      max_delay_us_(max_delay_us),
+      rng_(seed),
+      queues_(static_cast<std::size_t>(world.size())),
+      last_release_(static_cast<std::size_t>(world.size()), clock::now()) {
+  thread_ = std::thread([this] { run(); });
+}
+
+ChaosDelayer::~ChaosDelayer() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Drain anything still queued so no message is ever lost.
+  std::lock_guard lock(mutex_);
+  deliver_due_locked(/*drain=*/true);
+}
+
+void ChaosDelayer::submit(int dst, Message m) {
+  {
+    std::lock_guard lock(mutex_);
+    const auto delay = std::chrono::microseconds(
+        max_delay_us_ > 0
+            ? rng_.below(static_cast<std::uint64_t>(max_delay_us_) + 1)
+            : 0);
+    auto release = clock::now() + delay;
+    auto& floor = last_release_[static_cast<std::size_t>(dst)];
+    // Non-overtaking per destination: never release before a predecessor.
+    if (release < floor) release = floor;
+    floor = release;
+    queues_[static_cast<std::size_t>(dst)].push_back(
+        {release, std::move(m)});
+  }
+  cv_.notify_all();
+}
+
+bool ChaosDelayer::deliver_due_locked(bool drain) {
+  const auto now = clock::now();
+  bool pending = false;
+  for (std::size_t dst = 0; dst < queues_.size(); ++dst) {
+    auto& q = queues_[dst];
+    while (!q.empty() && (drain || q.front().release <= now)) {
+      world_->mailbox(static_cast<int>(dst))
+          .push(std::move(q.front().message));
+      q.pop_front();
+      ++delivered_;
+    }
+    pending = pending || !q.empty();
+  }
+  return pending;
+}
+
+void ChaosDelayer::run() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    const bool pending = deliver_due_locked(/*drain=*/false);
+    if (stop_ && !pending) return;
+    if (stop_) {
+      // Shutting down: flush the remainder immediately.
+      deliver_due_locked(/*drain=*/true);
+      return;
+    }
+    cv_.wait_for(lock, std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace reptile::rtm

@@ -1,0 +1,74 @@
+#pragma once
+// Chaos delivery: randomized message delays for protocol robustness tests.
+//
+// The in-process runtime delivers messages instantly, which hides timing
+// races a real interconnect would expose (a reply arriving long after the
+// requester started waiting, requests landing while a server is busy,
+// termination racing late deliveries). ChaosDelayer interposes on
+// point-to-point delivery and holds each message for a random delay before
+// pushing it to the destination mailbox.
+//
+// MPI's non-overtaking guarantee is preserved: messages to the SAME
+// destination are released in submission order (a message's release time is
+// clamped to be no earlier than its queue predecessor's); messages to
+// different destinations may interleave arbitrarily, as on a real network.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rtm/mailbox.hpp"
+#include "seq/rng.hpp"
+
+namespace reptile::rtm {
+
+class World;
+
+class ChaosDelayer {
+ public:
+  /// Delays are uniform in [0, max_delay_us]. The delayer starts its
+  /// delivery thread immediately; the destructor drains every queued
+  /// message (delivering instantly) before joining.
+  ChaosDelayer(World& world, std::uint64_t seed, int max_delay_us);
+  ~ChaosDelayer();
+
+  ChaosDelayer(const ChaosDelayer&) = delete;
+  ChaosDelayer& operator=(const ChaosDelayer&) = delete;
+
+  /// Takes ownership of `m` and delivers it to `dst` after a random delay.
+  void submit(int dst, Message m);
+
+  /// Messages delayed so far (diagnostics).
+  std::uint64_t delivered() const {
+    std::lock_guard lock(mutex_);
+    return delivered_;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  struct Item {
+    clock::time_point release;
+    Message message;
+  };
+
+  void run();
+  /// Pushes every due (or, when draining, every queued) message; returns
+  /// whether any queue is still non-empty. Caller holds the lock.
+  bool deliver_due_locked(bool drain);
+
+  World* world_;
+  const int max_delay_us_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  seq::Rng rng_;
+  std::vector<std::deque<Item>> queues_;  ///< per destination, FIFO
+  std::vector<clock::time_point> last_release_;
+  std::uint64_t delivered_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace reptile::rtm

@@ -1,0 +1,42 @@
+#include "rtm/comm.hpp"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace reptile::rtm {
+
+void run_ranks(World& world, const std::function<void(Comm&)>& rank_main) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world.size()));
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (int r = 0; r < world.size(); ++r) {
+    threads.emplace_back([&world, &rank_main, &first_error, &error_mutex, r] {
+      try {
+        Comm comm(world, r);
+        rank_main(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::unique_ptr<World> run_world(Topology topo,
+                                 const std::function<void(Comm&)>& rank_main,
+                                 const RunOptions& options) {
+  auto world = std::make_unique<World>(topo);
+  if (options.chaos_seed != 0) {
+    world->enable_chaos(options.chaos_seed, options.chaos_max_delay_us);
+  }
+  run_ranks(*world, rank_main);
+  return world;
+}
+
+}  // namespace reptile::rtm

@@ -1,0 +1,223 @@
+#pragma once
+// Per-rank communicator: the API the Reptile pipelines are written against.
+//
+// Mirrors the MPI subset the paper uses — tagged point-to-point send /
+// blocking receive / non-blocking probe (MPI_Iprobe), MPI_Alltoallv,
+// MPI_Allgatherv, MPI_Allreduce, MPI_Barrier — implemented over the
+// in-process mailboxes of rtm::World. A Comm is bound to one rank and may be
+// shared by that rank's worker and communication threads (all operations on
+// the underlying mailbox are thread-safe; collectives must only be entered
+// by one thread per rank, as in MPI).
+
+#include <cassert>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rtm/world.hpp"
+
+namespace reptile::rtm {
+
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {
+    assert(rank >= 0 && rank < world.size());
+  }
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return world_->size(); }
+  const Topology& topology() const noexcept { return world_->topology(); }
+  World& world() noexcept { return *world_; }
+
+  // --- point to point -----------------------------------------------------
+
+  /// Sends `items` to `dst` with `tag`. Buffered and non-blocking, like an
+  /// MPI_Send that always completes locally.
+  template <class T>
+  void send(int dst, int tag, std::span<const T> items) {
+    Message m = Message::of<T>(rank_, tag, items);
+    world_->traffic().record_send(rank_, dst, m.payload.size());
+    if (ChaosDelayer* chaos = world_->chaos()) {
+      chaos->submit(dst, std::move(m));
+    } else {
+      world_->mailbox(dst).push(std::move(m));
+    }
+  }
+
+  /// Sends a single value.
+  template <class T>
+  void send_value(int dst, int tag, const T& value) {
+    send<T>(dst, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Blocking matched receive (source/tag may be wildcards).
+  Message recv(int source = kAnySource, int tag = kAnyTag) {
+    return world_->mailbox(rank_).pop(source, tag);
+  }
+
+  /// Non-blocking matched receive.
+  std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag) {
+    return world_->mailbox(rank_).try_pop(source, tag);
+  }
+
+  /// Timed predicate receive: first queued message satisfying `pred`,
+  /// waiting up to `timeout`. See Mailbox::pop_match_for.
+  template <class Pred, class Rep, class Period>
+  std::optional<Message> recv_match_for(
+      Pred&& pred, std::chrono::duration<Rep, Period> timeout) {
+    return world_->mailbox(rank_).pop_match_for(std::forward<Pred>(pred),
+                                                timeout);
+  }
+
+  /// Non-blocking probe (MPI_Iprobe): envelope of the first matching queued
+  /// message, without consuming it.
+  std::optional<MessageInfo> iprobe(int source = kAnySource,
+                                    int tag = kAnyTag) const {
+    return world_->mailbox(rank_).probe(source, tag);
+  }
+
+  /// Number of messages queued at this rank (diagnostics).
+  std::size_t pending() const { return world_->mailbox(rank_).size(); }
+
+  // --- collectives ----------------------------------------------------------
+  // All collectives are bulk-synchronous: every rank must call them in the
+  // same order, from exactly one thread per rank.
+
+  void barrier() { world_->barrier().arrive_and_wait(); }
+
+  /// MPI_Alltoallv: `send[d]` goes to rank d; returns the per-source
+  /// received buffers (`result[s]` came from rank s).
+  template <class T>
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& send) {
+    assert(static_cast<int>(send.size()) == size());
+    world_->staging()[static_cast<std::size_t>(rank_)] = &send;
+    barrier();
+    std::vector<std::vector<T>> recv(static_cast<std::size_t>(size()));
+    std::size_t bytes_in = 0;
+    for (int src = 0; src < size(); ++src) {
+      const auto& theirs = *static_cast<const std::vector<std::vector<T>>*>(
+          world_->staging()[static_cast<std::size_t>(src)]);
+      recv[static_cast<std::size_t>(src)] =
+          theirs[static_cast<std::size_t>(rank_)];
+      bytes_in +=
+          recv[static_cast<std::size_t>(src)].size() * sizeof(T);
+    }
+    std::size_t bytes_out = 0;
+    for (const auto& part : send) bytes_out += part.size() * sizeof(T);
+    world_->traffic().record_collective(rank_, bytes_out, bytes_in);
+    barrier();  // staging slots must stay valid until everyone copied
+    return recv;
+  }
+
+  /// MPI_Allgatherv: every rank contributes `mine`; returns the
+  /// concatenation in rank order.
+  template <class T>
+  std::vector<T> allgatherv(std::span<const T> mine) {
+    struct View {
+      const T* data;
+      std::size_t n;
+    };
+    const View view{mine.data(), mine.size()};
+    world_->staging()[static_cast<std::size_t>(rank_)] = &view;
+    barrier();
+    std::vector<T> out;
+    std::size_t total = 0;
+    for (int src = 0; src < size(); ++src) {
+      total += static_cast<const View*>(
+                   world_->staging()[static_cast<std::size_t>(src)])
+                   ->n;
+    }
+    out.reserve(total);
+    for (int src = 0; src < size(); ++src) {
+      const auto* v = static_cast<const View*>(
+          world_->staging()[static_cast<std::size_t>(src)]);
+      out.insert(out.end(), v->data, v->data + v->n);
+    }
+    world_->traffic().record_collective(rank_, mine.size_bytes(),
+                                        total * sizeof(T));
+    barrier();
+    return out;
+  }
+
+  /// MPI_Allreduce with an arbitrary associative combiner. Every rank
+  /// computes the same result (reduction in rank order).
+  template <class T, class F>
+  T allreduce(const T& value, F combine) {
+    world_->staging()[static_cast<std::size_t>(rank_)] = &value;
+    barrier();
+    T acc = *static_cast<const T*>(world_->staging()[0]);
+    for (int src = 1; src < size(); ++src) {
+      acc = combine(acc, *static_cast<const T*>(
+                             world_->staging()[static_cast<std::size_t>(src)]));
+    }
+    world_->traffic().record_collective(rank_, sizeof(T),
+                                        sizeof(T) * static_cast<std::size_t>(size()));
+    barrier();
+    return acc;
+  }
+
+  template <class T>
+  T allreduce_sum(const T& value) {
+    return allreduce(value, [](const T& a, const T& b) { return a + b; });
+  }
+
+  template <class T>
+  T allreduce_max(const T& value) {
+    return allreduce(value, [](const T& a, const T& b) { return a > b ? a : b; });
+  }
+
+  template <class T>
+  T allreduce_min(const T& value) {
+    return allreduce(value, [](const T& a, const T& b) { return a < b ? a : b; });
+  }
+
+  // --- phase completion ------------------------------------------------------
+  // Termination protocol for the correction phase: each rank announces when
+  // its own correction work is done; communication threads keep serving
+  // until every rank has announced and their request queues drained.
+
+  /// Collectively resets the completion counter (call before the phase).
+  void reset_done() {
+    barrier();
+    if (rank_ == 0) world_->done_count().store(0, std::memory_order_release);
+    barrier();
+  }
+
+  /// Announces this rank's phase completion.
+  void signal_done() {
+    world_->done_count().fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// True when every rank has announced completion.
+  bool all_done() const {
+    return world_->done_count().load(std::memory_order_acquire) ==
+           world_->size();
+  }
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+/// Spawns one thread per rank running `rank_main` and joins them all.
+/// The first exception thrown by any rank is rethrown after the join.
+/// NOTE: if one rank throws while others wait in a collective, the run
+/// deadlocks (as a crashed MPI job would hang its peers) — rank bodies
+/// should not throw between matching collective calls.
+void run_ranks(World& world, const std::function<void(Comm&)>& rank_main);
+
+/// Options for run_world.
+struct RunOptions {
+  /// Non-zero enables chaos delivery with this seed (see rtm/chaos.hpp).
+  std::uint64_t chaos_seed = 0;
+  int chaos_max_delay_us = 300;
+};
+
+/// Convenience: builds a World for `topo`, runs `rank_main` on every rank,
+/// and returns the World for post-run inspection (traffic counters).
+std::unique_ptr<World> run_world(Topology topo,
+                                 const std::function<void(Comm&)>& rank_main,
+                                 const RunOptions& options = {});
+
+}  // namespace reptile::rtm

@@ -1,0 +1,122 @@
+#pragma once
+// Per-rank mailbox: a thread-safe queue with MPI-style selective matching.
+//
+// Multiple sender threads push; the owning rank's worker thread and
+// communication thread pop concurrently with different (source, tag)
+// filters — the worker pops replies, the communication thread pops lookup
+// requests — so matching must be selective and thread-safe. Messages from
+// the same (source, tag) pair are delivered in FIFO order, the MPI
+// non-overtaking guarantee the protocols rely on.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "rtm/message.hpp"
+
+namespace reptile::rtm {
+
+class Mailbox {
+ public:
+  /// Enqueues a message (called by sender threads).
+  void push(Message m) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(m));
+    }
+    cv_.notify_all();
+  }
+
+  /// Removes and returns the first message matching (source, tag), or
+  /// std::nullopt when none is queued. Wildcards kAnySource / kAnyTag match
+  /// anything.
+  std::optional<Message> try_pop(int source, int tag) {
+    std::lock_guard lock(mutex_);
+    return pop_locked(source, tag);
+  }
+
+  /// Blocking matched receive.
+  Message pop(int source, int tag) {
+    std::unique_lock lock(mutex_);
+    while (true) {
+      if (auto m = pop_locked(source, tag)) return std::move(*m);
+      cv_.wait(lock);
+    }
+  }
+
+  /// Removes and returns the first message satisfying `pred`, waiting up to
+  /// `timeout` for one to arrive. Used by communication threads, which must
+  /// match several request tags at once while never stealing reply messages
+  /// destined for the worker thread.
+  template <class Pred, class Rep, class Period>
+  std::optional<Message> pop_match_for(
+      Pred&& pred, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (pred(*it)) {
+          Message m = std::move(*it);
+          queue_.erase(it);
+          return m;
+        }
+      }
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // One last scan in case a push raced the timeout.
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (pred(*it)) {
+            Message m = std::move(*it);
+            queue_.erase(it);
+            return m;
+          }
+        }
+        return std::nullopt;
+      }
+    }
+  }
+
+  /// Non-blocking probe: envelope of the first matching message without
+  /// removing it (MPI_Iprobe).
+  std::optional<MessageInfo> probe(int source, int tag) const {
+    std::lock_guard lock(mutex_);
+    for (const Message& m : queue_) {
+      if (matches(m, source, tag)) return m.info();
+    }
+    return std::nullopt;
+  }
+
+  bool empty() const {
+    std::lock_guard lock(mutex_);
+    return queue_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  static bool matches(const Message& m, int source, int tag) noexcept {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  std::optional<Message> pop_locked(int source, int tag) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message m = std::move(*it);
+        queue_.erase(it);
+        return m;
+      }
+    }
+    return std::nullopt;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace reptile::rtm

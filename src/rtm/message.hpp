@@ -1,0 +1,82 @@
+#pragma once
+// Messages of the in-process message-passing runtime.
+//
+// The runtime replaces MPI on this host (see DESIGN.md §2): ranks are
+// threads inside one process, and a message is an owned byte buffer tagged
+// with its source rank and a user tag, matching MPI's (source, tag)
+// selection model including ANY_SOURCE / ANY_TAG wildcards.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace reptile::rtm {
+
+/// Wildcard source rank for receive/probe matching (MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+/// Wildcard tag for receive/probe matching (MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// Envelope information returned by probe operations (MPI_Status analog).
+struct MessageInfo {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// An owned, delivered message.
+struct Message {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::vector<std::byte> payload;
+
+  MessageInfo info() const noexcept { return {source, tag, payload.size()}; }
+
+  /// Builds a message from an array of trivially copyable elements.
+  template <class T>
+  static Message of(int source, int tag, std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m;
+    m.source = source;
+    m.tag = tag;
+    m.payload.resize(items.size_bytes());
+    if (!items.empty()) {
+      std::memcpy(m.payload.data(), items.data(), items.size_bytes());
+    }
+    return m;
+  }
+
+  /// Builds a message from a single trivially copyable value.
+  template <class T>
+  static Message of_value(int source, int tag, const T& value) {
+    return of<T>(source, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Reinterprets the payload as an array of T. Precondition: the payload
+  /// size is a multiple of sizeof(T).
+  template <class T>
+  std::vector<T> as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(payload.size() % sizeof(T) == 0);
+    std::vector<T> out(payload.size() / sizeof(T));
+    if (!out.empty()) {
+      std::memcpy(out.data(), payload.data(), payload.size());
+    }
+    return out;
+  }
+
+  /// Reinterprets the payload as exactly one T.
+  template <class T>
+  T as_value() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(payload.size() == sizeof(T));
+    T out;
+    std::memcpy(&out, payload.data(), sizeof(T));
+    return out;
+  }
+};
+
+}  // namespace reptile::rtm

@@ -1,0 +1,37 @@
+#pragma once
+// Node topology: mapping ranks to nodes.
+//
+// The paper runs 8/16/32 ranks per BlueGene/Q node and relies on
+// "communication between the ranks on the same node [using] the shared
+// memory on the node". The topology classifies every (src, dst) pair as
+// intra- or inter-node so the traffic recorder and the performance model
+// can price them differently (this is what makes the Fig. 2 ranks-per-node
+// sweep reproducible).
+
+#include <cassert>
+
+namespace reptile::rtm {
+
+struct Topology {
+  int nranks = 1;
+  int ranks_per_node = 1;
+
+  Topology() = default;
+  Topology(int nranks_, int ranks_per_node_)
+      : nranks(nranks_), ranks_per_node(ranks_per_node_) {
+    assert(nranks >= 1);
+    assert(ranks_per_node >= 1);
+  }
+
+  int nodes() const noexcept {
+    return (nranks + ranks_per_node - 1) / ranks_per_node;
+  }
+
+  int node_of(int rank) const noexcept { return rank / ranks_per_node; }
+
+  bool same_node(int a, int b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+};
+
+}  // namespace reptile::rtm

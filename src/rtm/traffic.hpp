@@ -1,0 +1,110 @@
+#pragma once
+// Per-rank communication counters.
+//
+// Everything the performance model needs to price a run is counted here at
+// the runtime layer: point-to-point messages/bytes split by intra- vs
+// inter-node, and collective participation volume. Counters are per-rank
+// and written only by threads of that rank, except message receipt counts
+// which use relaxed atomics because sender threads touch the receiver's row.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "rtm/topology.hpp"
+
+namespace reptile::rtm {
+
+/// One rank's traffic counters. Atomics with relaxed ordering: counters are
+/// only read after a barrier / join, which provides the synchronization.
+struct RankTraffic {
+  std::atomic<std::uint64_t> sent_msgs_intra{0};
+  std::atomic<std::uint64_t> sent_msgs_inter{0};
+  std::atomic<std::uint64_t> sent_bytes_intra{0};
+  std::atomic<std::uint64_t> sent_bytes_inter{0};
+  std::atomic<std::uint64_t> collective_bytes_out{0};
+  std::atomic<std::uint64_t> collective_bytes_in{0};
+  std::atomic<std::uint64_t> collective_calls{0};
+
+  std::uint64_t sent_msgs() const noexcept {
+    return sent_msgs_intra.load(std::memory_order_relaxed) +
+           sent_msgs_inter.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sent_bytes() const noexcept {
+    return sent_bytes_intra.load(std::memory_order_relaxed) +
+           sent_bytes_inter.load(std::memory_order_relaxed);
+  }
+};
+
+/// Plain-value snapshot of RankTraffic (copyable, for reports).
+struct TrafficSnapshot {
+  std::uint64_t sent_msgs_intra = 0;
+  std::uint64_t sent_msgs_inter = 0;
+  std::uint64_t sent_bytes_intra = 0;
+  std::uint64_t sent_bytes_inter = 0;
+  std::uint64_t collective_bytes_out = 0;
+  std::uint64_t collective_bytes_in = 0;
+  std::uint64_t collective_calls = 0;
+
+  std::uint64_t sent_msgs() const noexcept {
+    return sent_msgs_intra + sent_msgs_inter;
+  }
+  std::uint64_t sent_bytes() const noexcept {
+    return sent_bytes_intra + sent_bytes_inter;
+  }
+};
+
+class TrafficRecorder {
+ public:
+  explicit TrafficRecorder(Topology topo)
+      : topo_(topo), rows_(static_cast<std::size_t>(topo.nranks)) {}
+
+  const Topology& topology() const noexcept { return topo_; }
+
+  void record_send(int src, int dst, std::size_t bytes) {
+    auto& row = rows_[static_cast<std::size_t>(src)];
+    if (topo_.same_node(src, dst)) {
+      row.sent_msgs_intra.fetch_add(1, std::memory_order_relaxed);
+      row.sent_bytes_intra.fetch_add(bytes, std::memory_order_relaxed);
+    } else {
+      row.sent_msgs_inter.fetch_add(1, std::memory_order_relaxed);
+      row.sent_bytes_inter.fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+
+  void record_collective(int rank, std::size_t bytes_out,
+                         std::size_t bytes_in) {
+    auto& row = rows_[static_cast<std::size_t>(rank)];
+    row.collective_calls.fetch_add(1, std::memory_order_relaxed);
+    row.collective_bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
+    row.collective_bytes_in.fetch_add(bytes_in, std::memory_order_relaxed);
+  }
+
+  TrafficSnapshot snapshot(int rank) const {
+    const auto& r = rows_[static_cast<std::size_t>(rank)];
+    TrafficSnapshot s;
+    s.sent_msgs_intra = r.sent_msgs_intra.load(std::memory_order_relaxed);
+    s.sent_msgs_inter = r.sent_msgs_inter.load(std::memory_order_relaxed);
+    s.sent_bytes_intra = r.sent_bytes_intra.load(std::memory_order_relaxed);
+    s.sent_bytes_inter = r.sent_bytes_inter.load(std::memory_order_relaxed);
+    s.collective_bytes_out =
+        r.collective_bytes_out.load(std::memory_order_relaxed);
+    s.collective_bytes_in =
+        r.collective_bytes_in.load(std::memory_order_relaxed);
+    s.collective_calls = r.collective_calls.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  std::vector<TrafficSnapshot> snapshot_all() const {
+    std::vector<TrafficSnapshot> out;
+    out.reserve(rows_.size());
+    for (int r = 0; r < topo_.nranks; ++r) out.push_back(snapshot(r));
+    return out;
+  }
+
+ private:
+  Topology topo_;
+  std::vector<RankTraffic> rows_;
+};
+
+}  // namespace reptile::rtm

@@ -1,0 +1,97 @@
+#pragma once
+// Shared state of one runtime instance: mailboxes, barrier, collective
+// staging, phase-completion flags, traffic counters.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rtm/chaos.hpp"
+#include "rtm/mailbox.hpp"
+#include "rtm/topology.hpp"
+#include "rtm/traffic.hpp"
+
+namespace reptile::rtm {
+
+/// Reusable generation-counting barrier for a fixed set of participants.
+class Barrier {
+ public:
+  explicit Barrier(int participants) : n_(participants) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t gen = gen_;
+    if (++waiting_ == n_) {
+      waiting_ = 0;
+      ++gen_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return gen_ != gen; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int n_;
+  int waiting_ = 0;
+  std::uint64_t gen_ = 0;
+};
+
+/// State shared by all ranks of a run. Created once per Runtime; rank
+/// threads access it through their Comm handles.
+class World {
+ public:
+  explicit World(Topology topo)
+      : topo_(topo),
+        mailboxes_(static_cast<std::size_t>(topo.nranks)),
+        barrier_(topo.nranks),
+        staging_(static_cast<std::size_t>(topo.nranks), nullptr),
+        traffic_(topo) {}
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const noexcept { return topo_.nranks; }
+  const Topology& topology() const noexcept { return topo_; }
+
+  Mailbox& mailbox(int rank) {
+    return mailboxes_[static_cast<std::size_t>(rank)];
+  }
+
+  Barrier& barrier() noexcept { return barrier_; }
+
+  /// Collective staging slots: during a collective, slot r holds a pointer
+  /// to rank r's send-side data, valid between the entry and exit barriers.
+  std::vector<const void*>& staging() noexcept { return staging_; }
+
+  /// Phase-completion counter used by the correction phase's termination
+  /// protocol (see parallel::LookupService).
+  std::atomic<int>& done_count() noexcept { return done_count_; }
+
+  TrafficRecorder& traffic() noexcept { return traffic_; }
+
+  /// Enables chaos delivery (see rtm/chaos.hpp): every subsequent
+  /// point-to-point send is delayed by a random amount while preserving
+  /// per-destination order. Call before spawning rank threads.
+  void enable_chaos(std::uint64_t seed, int max_delay_us = 300) {
+    chaos_ = std::make_unique<ChaosDelayer>(*this, seed, max_delay_us);
+  }
+
+  /// Active chaos delayer, or nullptr for instant delivery.
+  ChaosDelayer* chaos() noexcept { return chaos_.get(); }
+
+ private:
+  Topology topo_;
+  std::vector<Mailbox> mailboxes_;
+  Barrier barrier_;
+  std::vector<const void*> staging_;
+  std::atomic<int> done_count_{0};
+  TrafficRecorder traffic_;
+  std::unique_ptr<ChaosDelayer> chaos_;
+};
+
+}  // namespace reptile::rtm

@@ -1,0 +1,30 @@
+#include "seq/alphabet.hpp"
+
+#include <algorithm>
+
+namespace reptile::seq {
+
+bool is_valid_sequence(std::string_view s) noexcept {
+  return std::all_of(s.begin(), s.end(),
+                     [](char c) { return is_valid_base_char(c); });
+}
+
+std::string reverse_complement(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (auto it = s.rbegin(); it != s.rend(); ++it) {
+    const base_t b = base_from_char(*it);
+    out.push_back(b == kInvalidBase ? *it : char_from_base(complement(b)));
+  }
+  return out;
+}
+
+std::string sanitize_sequence(std::string_view s, char replacement) {
+  std::string out(s);
+  for (char& c : out) {
+    if (!is_valid_base_char(c)) c = replacement;
+  }
+  return out;
+}
+
+}  // namespace reptile::seq

@@ -1,0 +1,74 @@
+#pragma once
+// DNA alphabet: 2-bit base codes, character conversion, complementation.
+//
+// Reptile operates on the four-letter DNA alphabet {A, C, G, T}. Bases are
+// encoded as 2-bit codes (A=0, C=1, G=2, T=3) so that a k-mer of up to 32
+// bases packs into a single 64-bit word (see kmer.hpp). The code order is
+// chosen so that the complement of a base is `3 - code`, and so that packed
+// k-mers compare in the same order as their string spellings.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace reptile::seq {
+
+/// 2-bit code of a DNA base. Values 0..3 are valid bases.
+using base_t = std::uint8_t;
+
+inline constexpr base_t kBaseA = 0;
+inline constexpr base_t kBaseC = 1;
+inline constexpr base_t kBaseG = 2;
+inline constexpr base_t kBaseT = 3;
+
+/// Number of distinct bases.
+inline constexpr int kAlphabetSize = 4;
+
+/// Sentinel returned by base_from_char for characters outside {ACGTacgt}.
+inline constexpr base_t kInvalidBase = 0xFF;
+
+/// Uppercase character spelling of each base code, indexed by code.
+inline constexpr std::array<char, 4> kBaseChars = {'A', 'C', 'G', 'T'};
+
+/// Converts an ASCII character to its 2-bit base code.
+/// Accepts upper- and lower-case; anything else (including 'N') yields
+/// kInvalidBase. Reads containing invalid characters are either skipped or
+/// have the character replaced upstream (Reptile handles only ACGT).
+constexpr base_t base_from_char(char c) noexcept {
+  switch (c) {
+    case 'A': case 'a': return kBaseA;
+    case 'C': case 'c': return kBaseC;
+    case 'G': case 'g': return kBaseG;
+    case 'T': case 't': return kBaseT;
+    default: return kInvalidBase;
+  }
+}
+
+/// Converts a 2-bit base code to its uppercase character. Precondition:
+/// `b < 4`.
+constexpr char char_from_base(base_t b) noexcept { return kBaseChars[b]; }
+
+/// Watson–Crick complement of a base code (A<->T, C<->G).
+constexpr base_t complement(base_t b) noexcept {
+  return static_cast<base_t>(3 - b);
+}
+
+/// True iff `c` spells a valid DNA base (case-insensitive).
+constexpr bool is_valid_base_char(char c) noexcept {
+  return base_from_char(c) != kInvalidBase;
+}
+
+/// True iff every character of `s` is a valid DNA base.
+bool is_valid_sequence(std::string_view s) noexcept;
+
+/// Returns the reverse complement of a base-character string.
+/// Invalid characters are passed through complement-of-self unchanged
+/// (callers should validate first when that matters).
+std::string reverse_complement(std::string_view s);
+
+/// Replaces every non-ACGT character with the given base character
+/// (default 'A', matching Reptile's preprocessing of 'N' bases).
+std::string sanitize_sequence(std::string_view s, char replacement = 'A');
+
+}  // namespace reptile::seq

@@ -1,0 +1,125 @@
+#include "seq/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "seq/alphabet.hpp"
+
+namespace reptile::seq {
+
+DatasetSpec DatasetSpec::scaled(double factor) const {
+  DatasetSpec out = *this;
+  out.n_reads = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(
+             static_cast<double>(n_reads) * factor)));
+  out.genome_size = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(read_length),
+      static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(genome_size) * factor)));
+  return out;
+}
+
+DatasetSpec DatasetSpec::ecoli() {
+  return {"E.Coli", 8'874'761, 102, 4'600'000, 96.0};
+}
+
+DatasetSpec DatasetSpec::drosophila() {
+  return {"Drosophila", 95'674'872, 96, 122'000'000, 75.0};
+}
+
+DatasetSpec DatasetSpec::human() {
+  return {"Human", 1'549'111'800, 102, 3'300'000'000ull, 47.0};
+}
+
+std::vector<DatasetSpec> DatasetSpec::table1() {
+  return {ecoli(), drosophila(), human()};
+}
+
+std::string random_genome(std::uint64_t size, const GenomeParams& params,
+                          Rng& rng) {
+  std::string genome(size, 'A');
+  for (auto& c : genome) {
+    c = char_from_base(static_cast<base_t>(rng.below(kAlphabetSize)));
+  }
+  // Overlay repeat copies: a handful of fixed segments pasted at random
+  // positions until the requested fraction of the genome is repeat content.
+  if (params.repeat_fraction > 0 && params.repeat_length > 0 &&
+      size > static_cast<std::uint64_t>(2 * params.repeat_length)) {
+    const int seg_len = params.repeat_length;
+    constexpr int kSegments = 4;
+    std::vector<std::string> segments;
+    segments.reserve(kSegments);
+    for (int s = 0; s < kSegments; ++s) {
+      std::string seg(static_cast<std::size_t>(seg_len), 'A');
+      for (auto& c : seg) {
+        c = char_from_base(static_cast<base_t>(rng.below(kAlphabetSize)));
+      }
+      segments.push_back(std::move(seg));
+    }
+    const auto target = static_cast<std::uint64_t>(
+        static_cast<double>(size) * params.repeat_fraction);
+    std::uint64_t placed = 0;
+    while (placed < target) {
+      const auto& seg = segments[rng.below(kSegments)];
+      const std::uint64_t pos = rng.below(size - seg.size());
+      std::copy(seg.begin(), seg.end(), genome.begin() + static_cast<long>(pos));
+      placed += seg.size();
+    }
+  }
+  return genome;
+}
+
+SyntheticDataset SyntheticDataset::generate(const DatasetSpec& spec,
+                                            const ErrorModelParams& errors,
+                                            std::uint64_t seed,
+                                            const GenomeParams& genome_params) {
+  SyntheticDataset out;
+  out.spec = spec;
+  Rng rng(seed);
+  out.genome = random_genome(spec.genome_size, genome_params, rng);
+
+  // Diploid mode: the second haplotype differs by SNPs at the requested
+  // rate; each read is drawn from one haplotype uniformly.
+  if (genome_params.heterozygosity > 0) {
+    out.alt_genome = out.genome;
+    for (auto& c : out.alt_genome) {
+      if (rng.chance(genome_params.heterozygosity)) {
+        const base_t original = base_from_char(c);
+        const auto offset = static_cast<base_t>(1 + rng.below(3));
+        c = char_from_base(
+            static_cast<base_t>((original + offset) % kAlphabetSize));
+        ++out.heterozygous_sites;
+      }
+    }
+  }
+
+  const IlluminaErrorModel model(errors, spec.n_reads);
+  const auto read_len = static_cast<std::uint64_t>(spec.read_length);
+  const std::uint64_t max_start =
+      spec.genome_size > read_len ? spec.genome_size - read_len + 1 : 1;
+
+  out.reads.resize(spec.n_reads);
+  out.truth.resize(spec.n_reads);
+  for (std::uint64_t i = 0; i < spec.n_reads; ++i) {
+    const std::uint64_t start = rng.below(max_start);
+    const std::string& haplotype =
+        (!out.alt_genome.empty() && rng.chance(0.5)) ? out.alt_genome
+                                                     : out.genome;
+    out.truth[i] = haplotype.substr(start, read_len);
+    Read& r = out.reads[i];
+    out.total_errors += static_cast<std::uint64_t>(
+        model.corrupt(out.truth[i], i, rng, r));
+    r.number = i + 1;
+  }
+  return out;
+}
+
+std::uint64_t SyntheticDataset::erroneous_reads() const {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    if (reads[i].bases != truth[i]) ++n;
+  }
+  return n;
+}
+
+}  // namespace reptile::seq

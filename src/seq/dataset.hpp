@@ -1,0 +1,104 @@
+#pragma once
+// Dataset catalog and synthetic dataset generation.
+//
+// Table I of the paper fixes the three evaluation datasets:
+//
+//   Genome      reads         length  genome size  coverage
+//   E.Coli      8,874,761     102     4.6e6        96X
+//   Drosophila  95,674,872    96      1.22e8       75X
+//   Human       1,549,111,800 102     3.3e9        47X
+//
+// The real datasets are SRA downloads we cannot access offline, so we keep
+// the *geometry* (read length, coverage = length*reads/genome) and generate
+// synthetic genomes + reads at a configurable scale factor. The performance
+// model (src/perfmodel) scales measured per-read workload back up to the
+// full read counts when reproducing the paper's figures.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/error_model.hpp"
+#include "seq/read.hpp"
+#include "seq/rng.hpp"
+
+namespace reptile::seq {
+
+/// Geometry of one evaluation dataset (a Table I row).
+struct DatasetSpec {
+  std::string name;
+  std::uint64_t n_reads = 0;
+  int read_length = 0;
+  std::uint64_t genome_size = 0;
+  /// Coverage as LABELLED by the paper's Table I. For Drosophila and Human
+  /// this matches coverage(); for E.Coli the table's own numbers give
+  /// 102 * 8874761 / 4.6e6 = 196.8X, not the printed 96X (the printed value
+  /// corresponds to ~half the reads — likely one mate of each pair). We
+  /// keep the literal table values and record both figures.
+  double nominal_coverage = 0;
+
+  /// Read coverage, computed as in the paper:
+  /// (Length * Number of Reads) / (Genome Size).
+  double coverage() const noexcept {
+    return genome_size == 0
+               ? 0.0
+               : static_cast<double>(read_length) *
+                     static_cast<double>(n_reads) /
+                     static_cast<double>(genome_size);
+  }
+
+  /// Returns a geometry with genome size and read count scaled by `factor`
+  /// (coverage and read length preserved). Used to build laptop-scale
+  /// replicas of the Table I datasets.
+  DatasetSpec scaled(double factor) const;
+
+  // Table I rows.
+  static DatasetSpec ecoli();
+  static DatasetSpec drosophila();
+  static DatasetSpec human();
+  static std::vector<DatasetSpec> table1();
+};
+
+/// Parameters controlling synthetic genome content.
+struct GenomeParams {
+  /// Fraction of the genome covered by copies of repeated segments
+  /// (repeats create high-count k-mers, as in real genomes).
+  double repeat_fraction = 0.05;
+  /// Length of each repeated segment.
+  int repeat_length = 400;
+  /// Per-base SNP rate between the two haplotypes of a diploid sample
+  /// (0 = haploid). Reads sample either haplotype with equal probability;
+  /// heterozygous sites produce two balanced spectrum variants, which
+  /// Reptile's dominance rule must leave uncorrected.
+  double heterozygosity = 0.0;
+};
+
+/// Generates a random genome of `size` bases. A `repeat_fraction` portion is
+/// tiled with copies of a few fixed segments to mimic genomic repeats.
+std::string random_genome(std::uint64_t size, const GenomeParams& params,
+                          Rng& rng);
+
+/// A fully materialized synthetic dataset: genome, corrupted reads in file
+/// order, and the error-free truth for accuracy scoring.
+struct SyntheticDataset {
+  DatasetSpec spec;
+  std::string genome;
+  /// Second haplotype (empty unless GenomeParams::heterozygosity > 0).
+  std::string alt_genome;
+  std::vector<Read> reads;        ///< observed reads, numbered 1..n in order
+  std::vector<std::string> truth; ///< error-free bases, parallel to reads
+  std::uint64_t total_errors = 0; ///< substitutions introduced
+  std::uint64_t heterozygous_sites = 0; ///< SNPs between the haplotypes
+
+  /// Samples `spec.n_reads` reads uniformly from a fresh random genome and
+  /// corrupts them with the given error model. Deterministic in `seed`.
+  static SyntheticDataset generate(const DatasetSpec& spec,
+                                   const ErrorModelParams& errors,
+                                   std::uint64_t seed,
+                                   const GenomeParams& genome = {});
+
+  /// Number of reads that contain at least one introduced error.
+  std::uint64_t erroneous_reads() const;
+};
+
+}  // namespace reptile::seq

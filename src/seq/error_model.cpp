@@ -1,0 +1,78 @@
+#include "seq/error_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "seq/alphabet.hpp"
+
+namespace reptile::seq {
+
+int phred_from_probability(double p, int min_qual, int max_qual) {
+  if (p <= 0) return max_qual;
+  const int q = static_cast<int>(std::lround(-10.0 * std::log10(p)));
+  return std::clamp(q, min_qual, max_qual);
+}
+
+IlluminaErrorModel::IlluminaErrorModel(ErrorModelParams params,
+                                       std::uint64_t total_reads)
+    : params_(params), total_reads_(total_reads) {
+  if (params_.burst_fraction > 0 && params_.burst_regions > 0 &&
+      total_reads_ > 0) {
+    const auto regions = static_cast<std::uint64_t>(params_.burst_regions);
+    burst_period_ = std::max<std::uint64_t>(1, total_reads_ / regions);
+    burst_span_ = static_cast<std::uint64_t>(
+        static_cast<double>(burst_period_) * params_.burst_fraction);
+  }
+}
+
+bool IlluminaErrorModel::in_burst(std::uint64_t file_index) const noexcept {
+  if (burst_span_ == 0) return false;
+  return (file_index % burst_period_) < burst_span_;
+}
+
+double IlluminaErrorModel::error_probability(int pos, int len,
+                                             std::uint64_t file_index) const {
+  const double t = len > 1 ? static_cast<double>(pos) / (len - 1) : 0.0;
+  double p = params_.error_rate_start +
+             t * (params_.error_rate_end - params_.error_rate_start);
+  if (in_burst(file_index)) p *= params_.burst_multiplier;
+  return std::min(p, 0.75);  // cap below the random-base limit
+}
+
+int IlluminaErrorModel::corrupt(const std::string& truth,
+                                std::uint64_t file_index, Rng& rng, Read& out,
+                                std::vector<int>* error_positions) const {
+  const int len = static_cast<int>(truth.size());
+  out.bases = truth;
+  out.quals.resize(truth.size());
+  int errors = 0;
+  for (int i = 0; i < len; ++i) {
+    const double p = error_probability(i, len, file_index);
+    const bool flip = rng.chance(p);
+    if (flip) {
+      const base_t original = base_from_char(truth[static_cast<std::size_t>(i)]);
+      // Substitute with one of the three other bases, uniformly.
+      auto offset = static_cast<base_t>(1 + rng.below(3));
+      const auto replacement =
+          static_cast<base_t>((original + offset) % kAlphabetSize);
+      out.bases[static_cast<std::size_t>(i)] = char_from_base(replacement);
+      ++errors;
+      if (error_positions) error_positions->push_back(i);
+    }
+    // Quality reflects the modeled error probability, jittered. Erroneous
+    // bases tend to report lower quality, as on real machines.
+    const double reported_p = flip ? std::max(p, 0.05) : p;
+    int q = phred_from_probability(reported_p, params_.min_qual,
+                                   params_.max_qual);
+    if (params_.qual_jitter > 0) {
+      q += static_cast<int>(
+               rng.below(static_cast<std::uint64_t>(2 * params_.qual_jitter + 1))) -
+           params_.qual_jitter;
+    }
+    out.quals[static_cast<std::size_t>(i)] = static_cast<qual_t>(
+        std::clamp(q, params_.min_qual, params_.max_qual));
+  }
+  return errors;
+}
+
+}  // namespace reptile::seq

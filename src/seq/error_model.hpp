@@ -1,0 +1,78 @@
+#pragma once
+// Illumina-like substitution error model with Phred quality generation.
+//
+// Reptile targets substitution errors only (paper Section I), so the model
+// introduces substitutions with a per-position probability that ramps up
+// toward the 3' end of the read, as on real Illumina machines, and emits
+// Phred quality scores correlated with the true per-base error probability
+// (the corrector uses qualities to rank candidate positions).
+//
+// The model also supports *error bursts localized in file regions*: the
+// paper attributes its load imbalance to "errors appear[ing] localized in
+// several parts of the file", so the generator can mark contiguous spans of
+// the read file as high-error regions. This is what makes the Fig. 4/6/7
+// balanced-vs-imbalanced experiments meaningful.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/read.hpp"
+#include "seq/rng.hpp"
+
+namespace reptile::seq {
+
+/// Parameters of the substitution/quality model.
+struct ErrorModelParams {
+  /// Substitution probability at the first base of a read.
+  double error_rate_start = 0.002;
+  /// Substitution probability at the last base (linear ramp in between).
+  double error_rate_end = 0.015;
+  /// Multiplier applied to the per-base error probability for reads that
+  /// fall in a burst region of the file.
+  double burst_multiplier = 8.0;
+  /// Fraction of the file (by read index) covered by burst regions.
+  double burst_fraction = 0.0;
+  /// Number of contiguous burst regions spread over the file.
+  int burst_regions = 4;
+  /// Quality score bounds (Phred).
+  int min_qual = 2;
+  int max_qual = 40;
+  /// Uniform +/- jitter applied to emitted quality scores.
+  int qual_jitter = 3;
+};
+
+/// Deterministic per-read error/quality generator.
+class IlluminaErrorModel {
+ public:
+  IlluminaErrorModel(ErrorModelParams params, std::uint64_t total_reads);
+
+  const ErrorModelParams& params() const noexcept { return params_; }
+
+  /// True when read index `file_index` (0-based position in the output
+  /// file) lies inside a burst region.
+  bool in_burst(std::uint64_t file_index) const noexcept;
+
+  /// Per-base substitution probability for position `pos` of a read of
+  /// length `len` located at `file_index` in the file.
+  double error_probability(int pos, int len, std::uint64_t file_index) const;
+
+  /// Applies the model to the error-free bases `truth`, producing the
+  /// observed bases and qualities of `out` (its `number` field is left to
+  /// the caller) and returning the number of substitutions introduced.
+  /// Positions of introduced errors are appended to `error_positions` when
+  /// it is non-null.
+  int corrupt(const std::string& truth, std::uint64_t file_index, Rng& rng,
+              Read& out, std::vector<int>* error_positions = nullptr) const;
+
+ private:
+  ErrorModelParams params_;
+  std::uint64_t total_reads_;
+  std::uint64_t burst_period_ = 0;  ///< file span containing one burst
+  std::uint64_t burst_span_ = 0;    ///< burst length within each period
+};
+
+/// Converts an error probability to a Phred score, clamped to [min, max].
+int phred_from_probability(double p, int min_qual, int max_qual);
+
+}  // namespace reptile::seq

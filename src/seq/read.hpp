@@ -1,0 +1,103 @@
+#pragma once
+// Read records: a short read's sequence number, bases and Phred qualities.
+//
+// Reptile's input (paper Step I) is a FASTA file whose sequence names have
+// been pre-processed to ascending sequence numbers starting at 1, plus a
+// parallel quality-score file keyed by the same numbers. We carry both in a
+// single in-memory record.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace reptile::seq {
+
+/// Phred quality score of one base (typically 0..41 for Illumina).
+using qual_t = std::uint8_t;
+
+/// 1-based sequence number, as used in the pre-processed FASTA headers.
+using seq_num_t = std::uint64_t;
+
+/// One short read.
+struct Read {
+  seq_num_t number = 0;       ///< 1-based sequence number from the header.
+  std::string bases;          ///< ACGT characters.
+  std::vector<qual_t> quals;  ///< Per-base Phred scores; same length as bases.
+
+  int length() const noexcept { return static_cast<int>(bases.size()); }
+
+  friend bool operator==(const Read& a, const Read& b) = default;
+};
+
+/// A batch of reads, the unit of chunked processing (paper: "this subset of
+/// reads is read in chunks by each rank; the chunk size is also defined in
+/// the configuration file").
+using ReadBatch = std::vector<Read>;
+
+/// Abstract source of reads for a rank, consumed chunk by chunk. Both the
+/// in-memory datasets used in tests and the partitioned file readers used by
+/// the pipelines implement this.
+class ReadSource {
+ public:
+  virtual ~ReadSource() = default;
+
+  /// Fills `out` (cleared first) with up to `max_reads` further reads.
+  /// Returns false when the source is exhausted and `out` is empty.
+  virtual bool next_chunk(std::size_t max_reads, ReadBatch& out) = 0;
+
+  /// Rewinds to the beginning (the pipelines stream the file twice: once for
+  /// spectrum construction, once for correction).
+  virtual void reset() = 0;
+
+  /// Total number of reads this source will deliver.
+  virtual std::size_t size() const = 0;
+};
+
+/// ReadSource over an in-memory vector (not owning; the vector must outlive
+/// the source).
+class VectorReadSource final : public ReadSource {
+ public:
+  explicit VectorReadSource(const std::vector<Read>& reads) : reads_(&reads) {}
+
+  bool next_chunk(std::size_t max_reads, ReadBatch& out) override {
+    out.clear();
+    while (pos_ < reads_->size() && out.size() < max_reads) {
+      out.push_back((*reads_)[pos_++]);
+    }
+    return !out.empty();
+  }
+
+  void reset() override { pos_ = 0; }
+  std::size_t size() const override { return reads_->size(); }
+
+ private:
+  const std::vector<Read>* reads_;
+  std::size_t pos_ = 0;
+};
+
+/// ReadSource that owns its reads (used after load-balancing redistribution).
+class OwningReadSource final : public ReadSource {
+ public:
+  explicit OwningReadSource(std::vector<Read> reads)
+      : reads_(std::move(reads)) {}
+
+  bool next_chunk(std::size_t max_reads, ReadBatch& out) override {
+    out.clear();
+    while (pos_ < reads_.size() && out.size() < max_reads) {
+      out.push_back(reads_[pos_++]);
+    }
+    return !out.empty();
+  }
+
+  void reset() override { pos_ = 0; }
+  std::size_t size() const override { return reads_.size(); }
+
+  const std::vector<Read>& reads() const noexcept { return reads_; }
+
+ private:
+  std::vector<Read> reads_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace reptile::seq

@@ -1,0 +1,75 @@
+#pragma once
+// Error-correction accuracy scoring against ground truth.
+//
+// Standard spectrum-corrector metrics (Yang, Chockalingam, Aluru 2013
+// survey): a corrected base is a true positive when an introduced error was
+// reverted to the truth, a false positive when the corrector changed a base
+// that was correct, and a false negative when an introduced error survived.
+//
+//   sensitivity = TP / (TP + FN)        (fraction of errors removed)
+//   gain        = (TP - FP) / (TP + FN) (net improvement; can be negative)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/read.hpp"
+
+namespace reptile::stats {
+
+struct AccuracyReport {
+  std::uint64_t true_positives = 0;   ///< errors corrected to the truth
+  std::uint64_t false_positives = 0;  ///< correct bases miscorrected
+  std::uint64_t false_negatives = 0;  ///< errors left (or changed wrongly)
+  std::uint64_t reads_changed = 0;    ///< reads touched by the corrector
+  std::uint64_t reads_fully_fixed = 0;///< erroneous reads now exactly true
+
+  double sensitivity() const noexcept {
+    const double d = static_cast<double>(true_positives + false_negatives);
+    return d == 0 ? 1.0 : static_cast<double>(true_positives) / d;
+  }
+  double gain() const noexcept {
+    const double d = static_cast<double>(true_positives + false_negatives);
+    if (d == 0) {
+      // No errors existed: perfect if nothing was broken, otherwise count
+      // each miscorrection as a full unit of damage.
+      return false_positives == 0 ? 1.0
+                                  : -static_cast<double>(false_positives);
+    }
+    return (static_cast<double>(true_positives) -
+            static_cast<double>(false_positives)) /
+           d;
+  }
+};
+
+/// Scores corrected reads against the error-free truth. `observed`,
+/// `corrected` and `truth` are parallel arrays in the same read order.
+inline AccuracyReport score_correction(
+    const std::vector<seq::Read>& observed,
+    const std::vector<seq::Read>& corrected,
+    const std::vector<std::string>& truth) {
+  AccuracyReport rep;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const std::string& obs = observed[i].bases;
+    const std::string& cor = corrected[i].bases;
+    const std::string& tru = truth[i];
+    bool changed = false;
+    for (std::size_t p = 0; p < tru.size(); ++p) {
+      const bool was_error = obs[p] != tru[p];
+      const bool now_error = cor[p] != tru[p];
+      if (obs[p] != cor[p]) changed = true;
+      if (was_error && !now_error) {
+        ++rep.true_positives;
+      } else if (!was_error && now_error) {
+        ++rep.false_positives;
+      } else if (was_error && now_error) {
+        ++rep.false_negatives;
+      }
+    }
+    if (changed) ++rep.reads_changed;
+    if (obs != tru && cor == tru) ++rep.reads_fully_fixed;
+  }
+  return rep;
+}
+
+}  // namespace reptile::stats

@@ -1,0 +1,115 @@
+#pragma once
+// Machine-readable run reports.
+//
+// The bench binaries print human tables; downstream analysis (plotting the
+// reproduced figures, regression tracking) wants flat records. RunReport
+// renders per-rank pipeline statistics as CSV and as a minimal JSON
+// document (no external dependency — the writer only needs numbers and
+// ASCII identifiers).
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace reptile::stats {
+
+/// One named numeric field of a record.
+struct ReportField {
+  std::string name;
+  double value = 0;
+};
+
+/// A flat table of records with a shared schema (records may omit trailing
+/// fields; missing values render as 0).
+class RunReport {
+ public:
+  explicit RunReport(std::string title) : title_(std::move(title)) {}
+
+  const std::string& title() const noexcept { return title_; }
+
+  /// Starts a new record; subsequent add() calls fill it.
+  RunReport& record() {
+    records_.emplace_back();
+    return *this;
+  }
+
+  /// Adds a field to the current record. The first record defines the
+  /// schema order; later records must add fields in the same order.
+  RunReport& add(const std::string& name, double value) {
+    if (records_.size() == 1) {
+      schema_.push_back(name);
+    }
+    records_.back().push_back({name, value});
+    return *this;
+  }
+
+  std::size_t size() const noexcept { return records_.size(); }
+  const std::vector<std::string>& schema() const noexcept { return schema_; }
+
+  /// CSV with a header row; numbers rendered with full precision.
+  std::string to_csv() const {
+    std::ostringstream os;
+    for (std::size_t c = 0; c < schema_.size(); ++c) {
+      if (c) os << ',';
+      os << schema_[c];
+    }
+    os << '\n';
+    for (const auto& rec : records_) {
+      for (std::size_t c = 0; c < schema_.size(); ++c) {
+        if (c) os << ',';
+        if (c < rec.size()) emit_number(os, rec[c].value);
+      }
+      os << '\n';
+    }
+    return os.str();
+  }
+
+  /// JSON: {"title": ..., "records": [{field: value, ...}, ...]}.
+  std::string to_json() const {
+    std::ostringstream os;
+    os << "{\"title\":\"" << escape(title_) << "\",\"records\":[";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      if (r) os << ',';
+      os << '{';
+      for (std::size_t c = 0; c < records_[r].size(); ++c) {
+        if (c) os << ',';
+        os << '"' << escape(records_[r][c].name) << "\":";
+        emit_number(os, records_[r][c].value);
+      }
+      os << '}';
+    }
+    os << "]}";
+    return os.str();
+  }
+
+ private:
+  static void emit_number(std::ostream& os, double v) {
+    // Integers print without a decimal point; others with enough digits to
+    // round-trip.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v > -1e15 && v < 1e15) {
+      os << static_cast<long long>(v);
+    } else {
+      os.precision(17);
+      os << v;
+    }
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string title_;
+  std::vector<std::string> schema_;
+  std::vector<std::vector<ReportField>> records_;
+};
+
+}  // namespace reptile::stats

@@ -1,0 +1,42 @@
+#pragma once
+// Wall-clock stopwatch and accumulating phase timers.
+
+#include <chrono>
+#include <cstdint>
+
+namespace reptile::stats {
+
+/// Simple wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across many start/stop intervals (e.g. total time a
+/// worker thread spent blocked on remote lookups).
+class Accumulator {
+ public:
+  void start() { start_ = clock::now(); }
+  void stop() {
+    total_ += std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double seconds() const noexcept { return total_; }
+  void reset() noexcept { total_ = 0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_{};
+  double total_ = 0;
+};
+
+}  // namespace reptile::stats

@@ -1,0 +1,56 @@
+#pragma once
+// Descriptive statistics over per-rank measurements.
+//
+// The paper's evaluation repeatedly reports per-rank spreads ("the variation
+// between the ranks having the highest and the lowest number of k-mers is
+// less than 1%", fastest vs slowest rank times, etc.); Summary captures
+// exactly those quantities.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace reptile::stats {
+
+struct Summary {
+  std::size_t n = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+
+  /// (max - min) / mean: the paper's "variation between the ranks having
+  /// the highest and the lowest" as a fraction of the average.
+  double relative_spread() const noexcept {
+    return mean == 0 ? 0 : (max - min) / mean;
+  }
+
+  /// max / mean: the load-imbalance factor (1.0 = perfectly balanced).
+  double imbalance() const noexcept { return mean == 0 ? 0 : max / mean; }
+};
+
+template <class T>
+Summary summarize(std::span<const T> values) {
+  Summary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  double sum = 0;
+  s.min = s.max = static_cast<double>(values[0]);
+  for (const T& v : values) {
+    const auto x = static_cast<double>(v);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  double ss = 0;
+  for (const T& v : values) {
+    const double d = static_cast<double>(v) - s.mean;
+    ss += d * d;
+  }
+  s.stddev = std::sqrt(ss / static_cast<double>(s.n));
+  return s;
+}
+
+}  // namespace reptile::stats

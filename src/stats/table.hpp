@@ -1,0 +1,96 @@
+#pragma once
+// Aligned text tables for the benchmark harness output.
+//
+// Every bench binary prints the rows/series of one paper table or figure;
+// TextTable renders them with aligned columns so paper-vs-measured
+// comparisons are easy to eyeball (and greppable as CSV via to_csv()).
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace reptile::stats {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  TextTable& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  TextTable& cell(const std::string& value) {
+    rows_.back().push_back(value);
+    return *this;
+  }
+
+  TextTable& cell(const char* value) { return cell(std::string(value)); }
+
+  template <class T>
+  TextTable& cell(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return cell(os.str());
+  }
+
+  /// Numeric cell with fixed decimal places.
+  TextTable& cell_fixed(double value, int places) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(places) << value;
+    return cell(os.str());
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    print_row(os, header_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c], '-');
+      if (c + 1 < width.size()) rule += "--";
+    }
+    os << rule << '\n';
+    for (const auto& r : rows_) print_row(os, r, width);
+  }
+
+  std::string to_csv() const {
+    std::ostringstream os;
+    emit_csv_row(os, header_);
+    for (const auto& r : rows_) emit_csv_row(os, r);
+    return os.str();
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  }
+
+  static void emit_csv_row(std::ostream& os,
+                           const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace reptile::stats

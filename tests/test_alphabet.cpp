@@ -1,0 +1,62 @@
+// Unit tests: DNA alphabet encoding and complementation.
+#include "seq/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reptile::seq {
+namespace {
+
+TEST(Alphabet, RoundTripsAllBases) {
+  for (base_t b = 0; b < kAlphabetSize; ++b) {
+    EXPECT_EQ(base_from_char(char_from_base(b)), b);
+  }
+}
+
+TEST(Alphabet, AcceptsLowercase) {
+  EXPECT_EQ(base_from_char('a'), kBaseA);
+  EXPECT_EQ(base_from_char('c'), kBaseC);
+  EXPECT_EQ(base_from_char('g'), kBaseG);
+  EXPECT_EQ(base_from_char('t'), kBaseT);
+}
+
+TEST(Alphabet, RejectsInvalidCharacters) {
+  for (char c : {'N', 'n', 'U', 'x', ' ', '>', '0', '\n'}) {
+    EXPECT_EQ(base_from_char(c), kInvalidBase) << "char: " << c;
+    EXPECT_FALSE(is_valid_base_char(c));
+  }
+}
+
+TEST(Alphabet, ComplementIsInvolution) {
+  for (base_t b = 0; b < kAlphabetSize; ++b) {
+    EXPECT_EQ(complement(complement(b)), b);
+  }
+  EXPECT_EQ(complement(kBaseA), kBaseT);
+  EXPECT_EQ(complement(kBaseC), kBaseG);
+}
+
+TEST(Alphabet, ValidatesSequences) {
+  EXPECT_TRUE(is_valid_sequence("ACGTACGT"));
+  EXPECT_TRUE(is_valid_sequence(""));
+  EXPECT_FALSE(is_valid_sequence("ACGNACGT"));
+}
+
+TEST(Alphabet, ReverseComplement) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(reverse_complement("AAAA"), "TTTT");
+  EXPECT_EQ(reverse_complement("GATTACA"), "TGTAATC");
+  EXPECT_EQ(reverse_complement(""), "");
+}
+
+TEST(Alphabet, ReverseComplementIsInvolution) {
+  const std::string s = "ACGGTTACGATCGATT";
+  EXPECT_EQ(reverse_complement(reverse_complement(s)), s);
+}
+
+TEST(Alphabet, SanitizeReplacesInvalid) {
+  EXPECT_EQ(sanitize_sequence("ACNNGT"), "ACAAGT");
+  EXPECT_EQ(sanitize_sequence("NNN", 'T'), "TTT");
+  EXPECT_EQ(sanitize_sequence("ACGT"), "ACGT");
+}
+
+}  // namespace
+}  // namespace reptile::seq

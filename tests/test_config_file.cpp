@@ -1,0 +1,123 @@
+// Unit tests: Reptile-style configuration file parsing.
+#include "parallel/config_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace reptile::parallel {
+namespace {
+
+TEST(ConfigFile, ParsesFullConfiguration) {
+  const std::string text = R"(
+# a comment
+fasta_file   reads.fa
+qual_file    reads.qual
+output_file  corrected.fa
+kmer_length  14
+tile_overlap 6
+kmer_threshold 4
+tile_threshold 5
+canonical    1
+chunk_size   2000    # trailing comment
+universal    yes
+read_kmers   0
+batch_reads  true
+load_balance 1
+)";
+  const auto c = parse_config_text(text);
+  EXPECT_EQ(c.fasta_file, "reads.fa");
+  EXPECT_EQ(c.qual_file, "reads.qual");
+  EXPECT_EQ(c.output_file, "corrected.fa");
+  EXPECT_EQ(c.params.k, 14);
+  EXPECT_EQ(c.params.tile_overlap, 6);
+  EXPECT_EQ(c.params.kmer_threshold, 4u);
+  EXPECT_EQ(c.params.tile_threshold, 5u);
+  EXPECT_TRUE(c.params.canonical);
+  EXPECT_EQ(c.params.chunk_size, 2000u);
+  EXPECT_TRUE(c.heuristics.universal);
+  EXPECT_FALSE(c.heuristics.read_kmers);
+  EXPECT_TRUE(c.heuristics.batch_reads);
+  EXPECT_TRUE(c.heuristics.load_balance);
+}
+
+TEST(ConfigFile, DefaultsWhenOmitted) {
+  const auto c = parse_config_text("kmer_length 12\n");
+  EXPECT_EQ(c.params.k, 12);
+  EXPECT_EQ(c.params.tile_overlap, core::CorrectorParams{}.tile_overlap);
+  EXPECT_FALSE(c.heuristics.universal);
+  EXPECT_TRUE(c.heuristics.load_balance);  // heuristics default
+}
+
+TEST(ConfigFile, RejectsUnknownKey) {
+  EXPECT_THROW(parse_config_text("frobnicate 1\n"), std::runtime_error);
+}
+
+TEST(ConfigFile, RejectsMissingValue) {
+  EXPECT_THROW(parse_config_text("kmer_length\n"), std::runtime_error);
+}
+
+TEST(ConfigFile, RejectsTrailingGarbage) {
+  EXPECT_THROW(parse_config_text("kmer_length 12 13\n"), std::runtime_error);
+}
+
+TEST(ConfigFile, RejectsBadBoolean) {
+  EXPECT_THROW(parse_config_text("universal maybe\n"), std::runtime_error);
+}
+
+TEST(ConfigFile, RejectsBadNumber) {
+  EXPECT_THROW(parse_config_text("kmer_length twelve\n"), std::runtime_error);
+  EXPECT_THROW(parse_config_text("kmer_length 12x\n"), std::runtime_error);
+}
+
+TEST(ConfigFile, ValidatesResult) {
+  // k out of range is caught by CorrectorParams::validate.
+  EXPECT_THROW(parse_config_text("kmer_length 2\n"), std::invalid_argument);
+  // add_remote without read_kmers is caught by Heuristics::validate.
+  EXPECT_THROW(parse_config_text("add_remote 1\n"), std::invalid_argument);
+}
+
+TEST(ConfigFile, ErrorsCarryLineNumbers) {
+  try {
+    parse_config_text("kmer_length 12\nbogus_key 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ConfigFile, RoundTripsThroughText) {
+  RunConfigFile config;
+  config.fasta_file = "a.fa";
+  config.qual_file = "a.qual";
+  config.params.k = 16;
+  config.params.tile_overlap = 8;
+  config.params.chunk_size = 512;
+  config.heuristics.universal = true;
+  config.heuristics.batch_reads = true;
+  const auto back = parse_config_text(to_config_text(config));
+  EXPECT_EQ(back.fasta_file, config.fasta_file);
+  EXPECT_EQ(back.params.k, config.params.k);
+  EXPECT_EQ(back.params.tile_overlap, config.params.tile_overlap);
+  EXPECT_EQ(back.params.chunk_size, config.params.chunk_size);
+  EXPECT_EQ(back.heuristics.universal, config.heuristics.universal);
+  EXPECT_EQ(back.heuristics.batch_reads, config.heuristics.batch_reads);
+}
+
+TEST(ConfigFile, ReadsFromDisk) {
+  const auto dir = std::filesystem::temp_directory_path() / "reptile_cfg";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "run.cfg";
+  {
+    std::ofstream out(path);
+    out << "fasta_file x.fa\nqual_file x.qual\nkmer_length 10\n";
+  }
+  const auto c = parse_config_file(path);
+  EXPECT_EQ(c.params.k, 10);
+  std::filesystem::remove_all(dir);
+  EXPECT_THROW(parse_config_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace reptile::parallel

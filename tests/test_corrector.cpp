@@ -1,0 +1,161 @@
+// Unit tests: the tile corrector on hand-constructed spectra.
+#include "core/corrector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "seq/dataset.hpp"
+
+namespace reptile::core {
+namespace {
+
+CorrectorParams tiny_params() {
+  CorrectorParams p;
+  p.k = 6;
+  p.tile_overlap = 2;       // tile length 10, step 4
+  p.kmer_threshold = 3;
+  p.tile_threshold = 3;
+  p.max_positions_per_tile = 4;
+  p.max_hamming = 2;
+  return p;
+}
+
+/// Builds a spectrum from `coverage` copies of the given genome-like
+/// string's reads (here: the string itself, repeated).
+LocalSpectrum make_spectrum(const CorrectorParams& p, const std::string& truth,
+                            int coverage) {
+  LocalSpectrum s(p);
+  for (int i = 0; i < coverage; ++i) s.add_read(truth);
+  s.prune();
+  return s;
+}
+
+seq::Read make_read(const std::string& bases, seq::qual_t q = 30) {
+  seq::Read r;
+  r.number = 1;
+  r.bases = bases;
+  r.quals.assign(bases.size(), q);
+  return r;
+}
+
+TEST(TileCorrector, LeavesCorrectReadsAlone) {
+  const auto p = tiny_params();
+  const std::string truth = "ACGGTTAACCGGATCGGATTAC";
+  auto spectrum = make_spectrum(p, truth, 5);
+  seq::Read read = make_read(truth);
+  TileCorrector corrector(p);
+  const auto rc = corrector.correct(read, spectrum);
+  EXPECT_EQ(rc.substitutions, 0);
+  EXPECT_EQ(rc.tiles_untrusted, 0);
+  EXPECT_EQ(read.bases, truth);
+}
+
+TEST(TileCorrector, FixesSingleSubstitution) {
+  const auto p = tiny_params();
+  const std::string truth = "ACGGTTAACCGGATCGGATTAC";
+  auto spectrum = make_spectrum(p, truth, 5);
+  std::string corrupted = truth;
+  corrupted[5] = corrupted[5] == 'A' ? 'C' : 'A';
+  seq::Read read = make_read(corrupted);
+  read.quals[5] = 5;  // the erroneous base reports low quality
+  TileCorrector corrector(p);
+  const auto rc = corrector.correct(read, spectrum);
+  EXPECT_EQ(read.bases, truth);
+  EXPECT_GE(rc.substitutions, 1);
+  EXPECT_GE(rc.tiles_fixed, 1);
+}
+
+TEST(TileCorrector, FixesErrorEvenWithUniformQualities) {
+  // Quality ordering helps but must not be required: with uniform scores
+  // the corrector still explores positions (bounded by
+  // max_positions_per_tile per tile, distance 2 pairs included).
+  CorrectorParams p = tiny_params();
+  p.max_positions_per_tile = 10;  // allow the full tile
+  const std::string truth = "ACGGTTAACCGGATCGGATTAC";
+  auto spectrum = make_spectrum(p, truth, 5);
+  std::string corrupted = truth;
+  corrupted[6] = corrupted[6] == 'G' ? 'T' : 'G';
+  seq::Read read = make_read(corrupted);
+  TileCorrector corrector(p);
+  corrector.correct(read, spectrum);
+  EXPECT_EQ(read.bases, truth);
+}
+
+TEST(TileCorrector, DoesNotTouchShortReads) {
+  const auto p = tiny_params();
+  auto spectrum = make_spectrum(p, "ACGGTTAACCGGATCGGATTAC", 5);
+  seq::Read read = make_read("ACGGTTAAC");  // 9 < tile length 10
+  TileCorrector corrector(p);
+  const auto rc = corrector.correct(read, spectrum);
+  EXPECT_EQ(rc.substitutions, 0);
+}
+
+TEST(TileCorrector, AmbiguousCandidatesAreNotApplied) {
+  // Two equally supported alternatives -> dominance fails -> no correction.
+  const auto p = tiny_params();
+  LocalSpectrum spectrum(p);
+  const std::string variant_a = "ACGGTTAACCGGATCGGATTAC";
+  std::string variant_b = variant_a;
+  variant_b[1] = 'T';  // ATGG... vs ACGG...
+  for (int i = 0; i < 5; ++i) {
+    spectrum.add_read(variant_a);
+    spectrum.add_read(variant_b);
+  }
+  spectrum.prune();
+  std::string ambiguous = variant_a;
+  ambiguous[1] = 'G';  // AGGG...: equally distant from both variants
+  seq::Read read = make_read(ambiguous);
+  read.quals[1] = 5;
+  TileCorrector corrector(p);
+  corrector.correct(read, spectrum);
+  // The first tile's fix is ambiguous; base 1 must remain unchanged.
+  EXPECT_EQ(read.bases[1], 'G');
+}
+
+TEST(TileCorrector, RespectsCorrectionBudget) {
+  CorrectorParams p = tiny_params();
+  p.max_corrections_per_read = 1;
+  const std::string truth = "ACGGTTAACCGGATCGGATTACGGACCATT";
+  auto spectrum = make_spectrum(p, truth, 5);
+  std::string corrupted = truth;
+  corrupted[2] = corrupted[2] == 'G' ? 'A' : 'G';
+  corrupted[20] = corrupted[20] == 'T' ? 'C' : 'T';
+  seq::Read read = make_read(corrupted);
+  read.quals[2] = 4;
+  read.quals[20] = 4;
+  TileCorrector corrector(p);
+  const auto rc = corrector.correct(read, spectrum);
+  EXPECT_LE(rc.substitutions, 1);
+}
+
+TEST(TileCorrector, FixesTwoErrorsInOneTileAtDistanceTwo) {
+  const auto p = tiny_params();
+  const std::string truth = "ACGGTTAACCGGATCGGATTAC";
+  auto spectrum = make_spectrum(p, truth, 6);
+  std::string corrupted = truth;
+  corrupted[2] = corrupted[2] == 'G' ? 'C' : 'G';
+  corrupted[7] = corrupted[7] == 'A' ? 'T' : 'A';
+  seq::Read read = make_read(corrupted);
+  read.quals[2] = 4;
+  read.quals[7] = 4;
+  TileCorrector corrector(p);
+  const auto rc = corrector.correct(read, spectrum);
+  EXPECT_EQ(read.bases, truth);
+  EXPECT_EQ(rc.substitutions, 2);
+}
+
+TEST(TileCorrector, DeterministicAcrossRuns) {
+  const auto p = tiny_params();
+  seq::DatasetSpec spec{"t", 400, 60, 2500};
+  seq::ErrorModelParams errors;
+  errors.error_rate_start = 0.01;
+  errors.error_rate_end = 0.02;
+  const auto ds = seq::SyntheticDataset::generate(spec, errors, 21);
+  const auto r1 = run_sequential(ds.reads, p);
+  const auto r2 = run_sequential(ds.reads, p);
+  EXPECT_EQ(r1.corrected, r2.corrected);
+  EXPECT_EQ(r1.substitutions, r2.substitutions);
+}
+
+}  // namespace
+}  // namespace reptile::core

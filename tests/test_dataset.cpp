@@ -1,0 +1,190 @@
+// Unit tests: dataset catalog (Table I geometries) and synthetic generation.
+#include "seq/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/alphabet.hpp"
+
+namespace reptile::seq {
+namespace {
+
+TEST(DatasetSpec, Table1Geometries) {
+  const auto ecoli = DatasetSpec::ecoli();
+  EXPECT_EQ(ecoli.n_reads, 8'874'761u);
+  EXPECT_EQ(ecoli.read_length, 102);
+  EXPECT_DOUBLE_EQ(ecoli.nominal_coverage, 96.0);
+  // Table I's own numbers are internally inconsistent for E.Coli: the
+  // computed coverage is ~196.8X (see DatasetSpec doc comment).
+  EXPECT_NEAR(ecoli.coverage(), 196.8, 1.0);
+
+  const auto droso = DatasetSpec::drosophila();
+  EXPECT_EQ(droso.read_length, 96);
+  EXPECT_NEAR(droso.coverage(), droso.nominal_coverage, 3.0);
+
+  const auto human = DatasetSpec::human();
+  EXPECT_EQ(human.n_reads, 1'549'111'800u);
+  EXPECT_NEAR(human.coverage(), human.nominal_coverage, 2.0);
+
+  EXPECT_EQ(DatasetSpec::table1().size(), 3u);
+}
+
+TEST(DatasetSpec, ScalingPreservesCoverage) {
+  const auto full = DatasetSpec::ecoli();
+  const auto small = full.scaled(0.001);
+  EXPECT_NEAR(small.coverage(), full.coverage(), full.coverage() * 0.05);
+  EXPECT_EQ(small.read_length, full.read_length);
+  EXPECT_LT(small.n_reads, full.n_reads / 500);
+}
+
+TEST(RandomGenome, SizeAndAlphabet) {
+  Rng rng(1);
+  const auto genome = random_genome(10000, {}, rng);
+  EXPECT_EQ(genome.size(), 10000u);
+  for (char c : genome) EXPECT_TRUE(is_valid_base_char(c));
+}
+
+TEST(RandomGenome, RepeatsCreateDuplicateSegments) {
+  Rng rng(2);
+  GenomeParams gp;
+  gp.repeat_fraction = 0.3;
+  gp.repeat_length = 50;
+  const auto genome = random_genome(20000, gp, rng);
+  // With 30% repeat content from 4 segments, at least one 50-mer appears
+  // more than once.
+  bool found_repeat = false;
+  for (std::size_t i = 0; i + 50 <= genome.size() && !found_repeat;
+       i += 50) {
+    const auto seg = genome.substr(i, 50);
+    if (genome.find(seg, i + 1) != std::string::npos) found_repeat = true;
+  }
+  EXPECT_TRUE(found_repeat);
+}
+
+TEST(SyntheticDataset, GeneratesRequestedGeometry) {
+  DatasetSpec spec{"test", 500, 60, 5000};
+  ErrorModelParams errors;
+  const auto ds = SyntheticDataset::generate(spec, errors, 42);
+  EXPECT_EQ(ds.genome.size(), 5000u);
+  ASSERT_EQ(ds.reads.size(), 500u);
+  ASSERT_EQ(ds.truth.size(), 500u);
+  for (std::size_t i = 0; i < ds.reads.size(); ++i) {
+    EXPECT_EQ(ds.reads[i].number, i + 1);
+    EXPECT_EQ(ds.reads[i].bases.size(), 60u);
+    EXPECT_EQ(ds.reads[i].quals.size(), 60u);
+    EXPECT_EQ(ds.truth[i].size(), 60u);
+  }
+}
+
+TEST(SyntheticDataset, TruthComesFromGenome) {
+  DatasetSpec spec{"test", 100, 40, 2000};
+  const auto ds = SyntheticDataset::generate(spec, {}, 7);
+  for (const auto& t : ds.truth) {
+    EXPECT_NE(ds.genome.find(t), std::string::npos);
+  }
+}
+
+TEST(SyntheticDataset, DeterministicInSeed) {
+  DatasetSpec spec{"test", 50, 40, 1000};
+  const auto a = SyntheticDataset::generate(spec, {}, 9);
+  const auto b = SyntheticDataset::generate(spec, {}, 9);
+  EXPECT_EQ(a.genome, b.genome);
+  EXPECT_EQ(a.reads, b.reads);
+  const auto c = SyntheticDataset::generate(spec, {}, 10);
+  EXPECT_NE(a.genome, c.genome);
+}
+
+TEST(SyntheticDataset, ErrorAccountingConsistent) {
+  DatasetSpec spec{"test", 300, 80, 4000};
+  ErrorModelParams errors;
+  errors.error_rate_start = 0.01;
+  errors.error_rate_end = 0.03;
+  const auto ds = SyntheticDataset::generate(spec, errors, 11);
+  std::uint64_t recount = 0;
+  for (std::size_t i = 0; i < ds.reads.size(); ++i) {
+    for (std::size_t p = 0; p < ds.truth[i].size(); ++p) {
+      if (ds.reads[i].bases[p] != ds.truth[i][p]) ++recount;
+    }
+  }
+  EXPECT_EQ(recount, ds.total_errors);
+  EXPECT_GT(ds.total_errors, 0u);
+  EXPECT_LE(ds.erroneous_reads(), ds.reads.size());
+  EXPECT_GT(ds.erroneous_reads(), 0u);
+}
+
+TEST(SyntheticDataset, DiploidModeProducesTwoHaplotypes) {
+  DatasetSpec spec{"dip", 400, 50, 3000};
+  GenomeParams gp;
+  gp.heterozygosity = 0.01;
+  seq::ErrorModelParams no_errors;
+  no_errors.error_rate_start = 0;
+  no_errors.error_rate_end = 0;
+  const auto ds = SyntheticDataset::generate(spec, no_errors, 21, gp);
+  ASSERT_EQ(ds.alt_genome.size(), ds.genome.size());
+  std::uint64_t diffs = 0;
+  for (std::size_t i = 0; i < ds.genome.size(); ++i) {
+    if (ds.genome[i] != ds.alt_genome[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, ds.heterozygous_sites);
+  EXPECT_NEAR(static_cast<double>(diffs), 30.0, 20.0);  // ~1% of 3000
+  // Every truth read comes from one of the two haplotypes.
+  std::uint64_t from_primary = 0, from_alt = 0;
+  for (const auto& t : ds.truth) {
+    const bool in_primary = ds.genome.find(t) != std::string::npos;
+    const bool in_alt = ds.alt_genome.find(t) != std::string::npos;
+    ASSERT_TRUE(in_primary || in_alt);
+    if (in_primary) ++from_primary;
+    if (in_alt) ++from_alt;
+  }
+  EXPECT_GT(from_primary, 100u);
+  EXPECT_GT(from_alt, 100u);
+}
+
+TEST(SyntheticDataset, HaploidModeUnchangedByDiploidCode) {
+  // heterozygosity == 0 must not consume extra RNG draws (golden outputs
+  // depend on the stream).
+  DatasetSpec spec{"h", 100, 40, 800};
+  const auto a = SyntheticDataset::generate(spec, {}, 33);
+  GenomeParams gp;  // heterozygosity defaults to 0
+  const auto b = SyntheticDataset::generate(spec, {}, 33, gp);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_TRUE(a.alt_genome.empty());
+  EXPECT_EQ(a.heterozygous_sites, 0u);
+}
+
+TEST(SyntheticDataset, BurstsConcentrateErrorsInFileRegions) {
+  DatasetSpec spec{"test", 1000, 80, 20000};
+  ErrorModelParams errors;
+  errors.error_rate_start = 0.002;
+  errors.error_rate_end = 0.002;
+  errors.burst_fraction = 0.2;
+  errors.burst_regions = 2;
+  errors.burst_multiplier = 20.0;
+  const auto ds = SyntheticDataset::generate(spec, errors, 13);
+  // Count errors in burst vs non-burst halves of the file.
+  const IlluminaErrorModel model(errors, spec.n_reads);
+  std::uint64_t burst_errors = 0, quiet_errors = 0, burst_reads = 0,
+                quiet_reads = 0;
+  for (std::size_t i = 0; i < ds.reads.size(); ++i) {
+    std::uint64_t e = 0;
+    for (std::size_t p = 0; p < ds.truth[i].size(); ++p) {
+      if (ds.reads[i].bases[p] != ds.truth[i][p]) ++e;
+    }
+    if (model.in_burst(i)) {
+      burst_errors += e;
+      ++burst_reads;
+    } else {
+      quiet_errors += e;
+      ++quiet_reads;
+    }
+  }
+  ASSERT_GT(burst_reads, 0u);
+  ASSERT_GT(quiet_reads, 0u);
+  const double burst_rate =
+      static_cast<double>(burst_errors) / static_cast<double>(burst_reads);
+  const double quiet_rate =
+      static_cast<double>(quiet_errors) / static_cast<double>(quiet_reads);
+  EXPECT_GT(burst_rate, 5 * quiet_rate);
+}
+
+}  // namespace
+}  // namespace reptile::seq

@@ -1,0 +1,128 @@
+// Unit tests: Illumina-like error model and burst localization.
+#include "seq/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "seq/alphabet.hpp"
+
+namespace reptile::seq {
+namespace {
+
+ErrorModelParams flat_params(double rate) {
+  ErrorModelParams p;
+  p.error_rate_start = rate;
+  p.error_rate_end = rate;
+  p.qual_jitter = 0;
+  return p;
+}
+
+TEST(PhredConversion, MapsKnownValues) {
+  EXPECT_EQ(phred_from_probability(0.1, 2, 40), 10);
+  EXPECT_EQ(phred_from_probability(0.01, 2, 40), 20);
+  EXPECT_EQ(phred_from_probability(0.001, 2, 40), 30);
+  EXPECT_EQ(phred_from_probability(0.0, 2, 40), 40);   // clamp high
+  EXPECT_EQ(phred_from_probability(0.9, 2, 40), 2);    // clamp low
+}
+
+TEST(ErrorModel, ZeroRateIntroducesNoErrors) {
+  const IlluminaErrorModel model(flat_params(0.0), 100);
+  Rng rng(1);
+  const std::string truth(100, 'A');
+  Read out;
+  EXPECT_EQ(model.corrupt(truth, 0, rng, out), 0);
+  EXPECT_EQ(out.bases, truth);
+  EXPECT_EQ(out.quals.size(), truth.size());
+}
+
+TEST(ErrorModel, ErrorRateMatchesExpectation) {
+  const IlluminaErrorModel model(flat_params(0.02), 1000);
+  Rng rng(2);
+  const std::string truth(100, 'C');
+  int total = 0;
+  constexpr int kReads = 2000;
+  for (int i = 0; i < kReads; ++i) {
+    Read out;
+    total += model.corrupt(truth, 0, rng, out);
+  }
+  const double observed = static_cast<double>(total) / (kReads * 100.0);
+  EXPECT_NEAR(observed, 0.02, 0.004);
+}
+
+TEST(ErrorModel, ErrorsAreSubstitutionsOnly) {
+  const IlluminaErrorModel model(flat_params(0.1), 10);
+  Rng rng(3);
+  const std::string truth = "ACGTACGTACGTACGTACGT";
+  Read out;
+  std::vector<int> positions;
+  const int n = model.corrupt(truth, 0, rng, out, &positions);
+  EXPECT_EQ(out.bases.size(), truth.size());
+  int diffs = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (out.bases[i] != truth[i]) {
+      ++diffs;
+      EXPECT_TRUE(is_valid_base_char(out.bases[i]));
+    }
+  }
+  EXPECT_EQ(diffs, n);
+  EXPECT_EQ(positions.size(), static_cast<std::size_t>(n));
+}
+
+TEST(ErrorModel, RampRaisesErrorProbabilityTowardEnd) {
+  ErrorModelParams p;
+  p.error_rate_start = 0.001;
+  p.error_rate_end = 0.03;
+  const IlluminaErrorModel model(p, 10);
+  EXPECT_LT(model.error_probability(0, 100, 0),
+            model.error_probability(99, 100, 0));
+  EXPECT_DOUBLE_EQ(model.error_probability(0, 100, 0), 0.001);
+  EXPECT_DOUBLE_EQ(model.error_probability(99, 100, 0), 0.03);
+}
+
+TEST(ErrorModel, BurstRegionsAreLocalized) {
+  ErrorModelParams p = flat_params(0.005);
+  p.burst_fraction = 0.25;
+  p.burst_regions = 4;
+  p.burst_multiplier = 10.0;
+  const IlluminaErrorModel model(p, 1000);
+  // Period = 250, span = 62: indices 0..61 burst, 62..249 not, then repeat.
+  int burst_count = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (model.in_burst(i)) ++burst_count;
+  }
+  EXPECT_NEAR(burst_count, 250, 10);
+  EXPECT_TRUE(model.in_burst(0));
+  EXPECT_FALSE(model.in_burst(200));
+  EXPECT_TRUE(model.in_burst(250));
+  // Burst multiplies the probability.
+  EXPECT_GT(model.error_probability(0, 100, 0),
+            5 * model.error_probability(0, 100, 200));
+}
+
+TEST(ErrorModel, QualityCorrelatesWithErrorProbability) {
+  ErrorModelParams p;
+  p.error_rate_start = 0.0001;
+  p.error_rate_end = 0.05;
+  p.qual_jitter = 0;
+  const IlluminaErrorModel model(p, 10);
+  Rng rng(4);
+  const std::string truth(100, 'G');
+  Read out;
+  model.corrupt(truth, 0, rng, out);
+  // Early bases (low error prob) must report higher quality than late ones.
+  EXPECT_GT(static_cast<int>(out.quals.front()),
+            static_cast<int>(out.quals.back()));
+}
+
+TEST(ErrorModel, ProbabilityCappedBelowRandom) {
+  ErrorModelParams p = flat_params(0.5);
+  p.burst_fraction = 0.5;
+  p.burst_regions = 1;
+  p.burst_multiplier = 100.0;
+  const IlluminaErrorModel model(p, 10);
+  EXPECT_LE(model.error_probability(50, 100, 0), 0.75);
+}
+
+}  // namespace
+}  // namespace reptile::seq

@@ -1,0 +1,160 @@
+// Unit tests: FASTA + quality IO and Step I partitioned reading.
+#include "seq/fasta_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "seq/dataset.hpp"
+
+namespace reptile::seq {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FastaIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "reptile_fasta_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::vector<Read> make_reads(std::size_t n, int len = 30) {
+    DatasetSpec spec{"t", n, len, n * 10};
+    auto ds = SyntheticDataset::generate(spec, {}, 77);
+    return std::move(ds.reads);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(FastaIoTest, WriteReadRoundTrip) {
+  const auto reads = make_reads(25);
+  write_read_files(dir_ / "r.fa", dir_ / "r.qual", reads);
+  const auto back = read_all(dir_ / "r.fa", dir_ / "r.qual");
+  EXPECT_EQ(back, reads);
+}
+
+TEST_F(FastaIoTest, ParseHeaderAcceptsOnlyNumericHeaders) {
+  EXPECT_EQ(detail::parse_header(">12"), 12u);
+  EXPECT_EQ(detail::parse_header(">1"), 1u);
+  EXPECT_FALSE(detail::parse_header("ACGT"));
+  EXPECT_FALSE(detail::parse_header(">abc"));
+  EXPECT_FALSE(detail::parse_header(">"));
+  EXPECT_FALSE(detail::parse_header(""));
+  EXPECT_EQ(detail::parse_header(">7\r"), 7u);  // CRLF tolerance
+}
+
+TEST_F(FastaIoTest, SinglePartitionSeesEverything) {
+  const auto reads = make_reads(40);
+  write_read_files(dir_ / "r.fa", dir_ / "r.qual", reads);
+  PartitionedReadSource src(dir_ / "r.fa", dir_ / "r.qual", 0, 1);
+  EXPECT_EQ(src.size(), 40u);
+  ReadBatch batch;
+  std::vector<Read> got;
+  while (src.next_chunk(7, batch)) {
+    got.insert(got.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(got, reads);
+}
+
+TEST_F(FastaIoTest, PartitionsAreDisjointAndComplete) {
+  const auto reads = make_reads(101);
+  write_read_files(dir_ / "r.fa", dir_ / "r.qual", reads);
+  for (int np : {2, 3, 5, 8}) {
+    std::vector<Read> got;
+    std::size_t total = 0;
+    for (int rank = 0; rank < np; ++rank) {
+      PartitionedReadSource src(dir_ / "r.fa", dir_ / "r.qual", rank, np);
+      total += src.size();
+      ReadBatch batch;
+      while (src.next_chunk(13, batch)) {
+        got.insert(got.end(), batch.begin(), batch.end());
+      }
+    }
+    EXPECT_EQ(total, reads.size()) << "np=" << np;
+    ASSERT_EQ(got.size(), reads.size()) << "np=" << np;
+    // Ranks cover ascending, contiguous, disjoint subsets.
+    EXPECT_EQ(got, reads) << "np=" << np;
+  }
+}
+
+TEST_F(FastaIoTest, PartitionBoundariesAreContiguous) {
+  const auto reads = make_reads(64);
+  write_read_files(dir_ / "r.fa", dir_ / "r.qual", reads);
+  const int np = 4;
+  seq_num_t expected_first = 1;
+  for (int rank = 0; rank < np; ++rank) {
+    PartitionedReadSource src(dir_ / "r.fa", dir_ / "r.qual", rank, np);
+    EXPECT_EQ(src.first_sequence(), expected_first);
+    expected_first = src.end_sequence();
+  }
+  EXPECT_EQ(expected_first, 65u);
+}
+
+TEST_F(FastaIoTest, MorePartitionsThanReads) {
+  const auto reads = make_reads(3);
+  write_read_files(dir_ / "r.fa", dir_ / "r.qual", reads);
+  std::size_t total = 0;
+  for (int rank = 0; rank < 8; ++rank) {
+    PartitionedReadSource src(dir_ / "r.fa", dir_ / "r.qual", rank, 8);
+    total += src.size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST_F(FastaIoTest, ResetReplaysTheSameReads) {
+  const auto reads = make_reads(30);
+  write_read_files(dir_ / "r.fa", dir_ / "r.qual", reads);
+  PartitionedReadSource src(dir_ / "r.fa", dir_ / "r.qual", 1, 3);
+  ReadBatch batch;
+  std::vector<Read> first_pass, second_pass;
+  while (src.next_chunk(4, batch)) {
+    first_pass.insert(first_pass.end(), batch.begin(), batch.end());
+  }
+  src.reset();
+  while (src.next_chunk(9, batch)) {
+    second_pass.insert(second_pass.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(first_pass, second_pass);
+  EXPECT_FALSE(first_pass.empty());
+}
+
+TEST_F(FastaIoTest, SeekToRecordFindsTargets) {
+  const auto reads = make_reads(200);
+  write_qual(dir_ / "r.qual", reads);
+  std::ifstream in(dir_ / "r.qual", std::ios::binary);
+  for (seq_num_t target : {1u, 2u, 57u, 100u, 199u, 200u}) {
+    const auto pos = detail::seek_to_record(in, target, 200);
+    in.clear();
+    in.seekg(pos);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(detail::parse_header(line), target);
+  }
+}
+
+TEST_F(FastaIoTest, SeekToMissingRecordThrows) {
+  const auto reads = make_reads(10);
+  write_qual(dir_ / "r.qual", reads);
+  std::ifstream in(dir_ / "r.qual", std::ios::binary);
+  EXPECT_THROW(detail::seek_to_record(in, 11, 10), std::runtime_error);
+}
+
+TEST_F(FastaIoTest, MismatchedQualityLengthThrows) {
+  auto reads = make_reads(5);
+  write_fasta(dir_ / "r.fa", reads);
+  reads[2].quals.pop_back();
+  write_qual(dir_ / "r.qual", reads);
+  EXPECT_THROW(read_all(dir_ / "r.fa", dir_ / "r.qual"), std::runtime_error);
+}
+
+TEST_F(FastaIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_all(dir_ / "nope.fa", dir_ / "nope.qual"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace reptile::seq

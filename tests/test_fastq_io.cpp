@@ -1,0 +1,130 @@
+// Unit tests: FASTQ parsing and the Reptile preprocessing conversion.
+#include "seq/fastq_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "seq/dataset.hpp"
+#include "seq/fasta_io.hpp"
+
+namespace reptile::seq {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Fastq, ParsesWellFormedRecords) {
+  const std::string text =
+      "@SRR001.1 some description\n"
+      "ACGT\n"
+      "+\n"
+      "IIII\n"
+      "@SRR001.2\n"
+      "TTGGCA\n"
+      "+SRR001.2\n"
+      "!!IIII\n";
+  const auto reads = parse_fastq(text);
+  ASSERT_EQ(reads.size(), 2u);
+  EXPECT_EQ(reads[0].number, 1u);   // renumbered, names discarded
+  EXPECT_EQ(reads[0].bases, "ACGT");
+  EXPECT_EQ(reads[0].quals, (std::vector<qual_t>{40, 40, 40, 40}));
+  EXPECT_EQ(reads[1].number, 2u);
+  EXPECT_EQ(reads[1].bases, "TTGGCA");
+  EXPECT_EQ(reads[1].quals[0], 0u);  // '!' = phred 0
+}
+
+TEST(Fastq, LowercaseAndNBasesAreSanitized) {
+  const std::string text = "@r\nacgNn\n+\nIIIII\n";
+  FastqStats stats;
+  const auto reads = parse_fastq(text, {}, &stats);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].bases, "ACGAA");
+  EXPECT_EQ(stats.bases_sanitized, 2u);
+}
+
+TEST(Fastq, Phred64Offset) {
+  FastqOptions options;
+  options.phred_offset = 64;
+  const std::string text = "@r\nAC\n+\nhh\n";  // 'h' = 104 -> q40
+  const auto reads = parse_fastq(text, options);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].quals, (std::vector<qual_t>{40, 40}));
+}
+
+TEST(Fastq, MinLengthFilter) {
+  FastqOptions options;
+  options.min_length = 5;
+  const std::string text = "@a\nACGT\n+\nIIII\n@b\nACGTA\n+\nIIIII\n";
+  FastqStats stats;
+  const auto reads = parse_fastq(text, options, &stats);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].bases, "ACGTA");
+  EXPECT_EQ(reads[0].number, 1u);  // renumbering is post-filter
+  EXPECT_EQ(stats.reads_dropped, 1u);
+  EXPECT_EQ(stats.reads_in, 2u);
+  EXPECT_EQ(stats.reads_out, 1u);
+}
+
+TEST(Fastq, ToleratesCrlfAndTrailingBlankLines) {
+  const std::string text = "@r\r\nACGT\r\n+\r\nIIII\r\n\n\n";
+  const auto reads = parse_fastq(text);
+  ASSERT_EQ(reads.size(), 1u);
+  EXPECT_EQ(reads[0].bases, "ACGT");
+}
+
+TEST(Fastq, MalformedInputsThrowWithLineNumbers) {
+  EXPECT_THROW(parse_fastq("ACGT\n+\nIIII\n"), std::runtime_error);  // no @
+  EXPECT_THROW(parse_fastq("@r\nACGT\n"), std::runtime_error);       // truncated
+  EXPECT_THROW(parse_fastq("@r\nACGT\nIIII\nIIII\n"), std::runtime_error);
+  EXPECT_THROW(parse_fastq("@r\nACGT\n+\nIII\n"), std::runtime_error);
+  try {
+    parse_fastq("@r\nACGT\n+\nIII\n");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(Fastq, QualityOutOfRangeThrows) {
+  FastqOptions options;
+  options.phred_offset = 64;
+  // ' ' (32) is below offset 64.
+  EXPECT_THROW(parse_fastq("@r\nAC\n+\n  \n", options), std::runtime_error);
+}
+
+TEST(Fastq, FileRoundTrip) {
+  const auto dir = fs::temp_directory_path() / "reptile_fastq";
+  fs::create_directories(dir);
+  seq::DatasetSpec spec{"t", 50, 40, 500};
+  const auto ds = SyntheticDataset::generate(spec, {}, 4);
+  write_fastq(dir / "r.fq", ds.reads);
+  const auto back = read_fastq(dir / "r.fq");
+  EXPECT_EQ(back, ds.reads);
+  fs::remove_all(dir);
+}
+
+TEST(Fastq, ConvertProducesReptileInputs) {
+  const auto dir = fs::temp_directory_path() / "reptile_fastq_conv";
+  fs::create_directories(dir);
+  seq::DatasetSpec spec{"t", 80, 50, 800};
+  seq::ErrorModelParams errors;
+  errors.error_rate_start = 0.01;
+  errors.error_rate_end = 0.01;
+  const auto ds = SyntheticDataset::generate(spec, errors, 5);
+  write_fastq(dir / "in.fq", ds.reads);
+
+  const auto stats =
+      convert_fastq(dir / "in.fq", dir / "out.fa", dir / "out.qual");
+  EXPECT_EQ(stats.reads_out, 80u);
+
+  // The converted pair is exactly what the Step I reader consumes.
+  const auto back = read_all(dir / "out.fa", dir / "out.qual");
+  EXPECT_EQ(back, ds.reads);
+  fs::remove_all(dir);
+}
+
+TEST(Fastq, MissingFileThrows) {
+  EXPECT_THROW(read_fastq("/nonexistent/path.fq"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace reptile::seq

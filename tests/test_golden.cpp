@@ -1,0 +1,81 @@
+// Golden regression test: the full pipeline's output on a fixed seed is
+// pinned by checksum. Every layer is deterministic by design (seeded RNG,
+// deterministic corrector tie-breaks, order-restoring merge), so any change
+// to these checksums means an algorithmic behaviour change — which must be
+// deliberate, reviewed, and re-pinned.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "hash/hashing.hpp"
+#include "parallel/dist_pipeline.hpp"
+#include "seq/dataset.hpp"
+
+namespace reptile {
+namespace {
+
+/// Order-sensitive FNV over all read bases.
+std::uint64_t checksum_reads(const std::vector<seq::Read>& reads) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const auto& r : reads) {
+    h ^= hash::fnv1a(r.bases);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+core::CorrectorParams golden_params() {
+  core::CorrectorParams p;
+  p.k = 12;
+  p.tile_overlap = 4;
+  p.kmer_threshold = 3;
+  p.tile_threshold = 3;
+  p.chunk_size = 128;
+  return p;
+}
+
+const seq::SyntheticDataset& golden_dataset() {
+  static const seq::SyntheticDataset ds = [] {
+    seq::DatasetSpec spec{"golden", 2000, 80, 3000};
+    seq::ErrorModelParams errors;
+    errors.error_rate_start = 0.004;
+    errors.error_rate_end = 0.012;
+    errors.burst_fraction = 0.1;
+    errors.burst_regions = 2;
+    errors.burst_multiplier = 5.0;
+    return seq::SyntheticDataset::generate(spec, errors, 0xC0FFEE);
+  }();
+  return ds;
+}
+
+TEST(Golden, DatasetGenerationIsPinned) {
+  const auto& ds = golden_dataset();
+  // If these fire, the synthetic-data RNG stream changed: every modeled
+  // figure moves with it.
+  EXPECT_EQ(checksum_reads(ds.reads), 0x6664e40ea476aef0ull)
+      << "actual: 0x" << std::hex << checksum_reads(ds.reads);
+  EXPECT_EQ(ds.total_errors, 1739u);
+}
+
+TEST(Golden, SequentialCorrectionIsPinned) {
+  const auto result =
+      core::run_sequential(golden_dataset().reads, golden_params());
+  EXPECT_EQ(checksum_reads(result.corrected), 0x8c14c08e3007d618ull)
+      << "actual: 0x" << std::hex << checksum_reads(result.corrected);
+  EXPECT_EQ(result.substitutions, 1226u);
+}
+
+TEST(Golden, DistributedMatchesThePinnedSequentialChecksum) {
+  parallel::DistConfig config;
+  config.params = golden_params();
+  config.ranks = 4;
+  config.heuristics.universal = true;
+  config.heuristics.batch_reads = true;
+  const auto result = parallel::run_distributed(golden_dataset().reads, config);
+  const auto seq_result =
+      core::run_sequential(golden_dataset().reads, golden_params());
+  EXPECT_EQ(checksum_reads(result.corrected),
+            checksum_reads(seq_result.corrected));
+}
+
+}  // namespace
+}  // namespace reptile

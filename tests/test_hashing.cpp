@@ -1,0 +1,74 @@
+// Unit tests: hash functions and ownership mapping.
+#include "hash/hashing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "seq/kmer.hpp"
+#include "seq/rng.hpp"
+
+namespace reptile::hash {
+namespace {
+
+TEST(Mix64, IsDeterministicAndNontrivial) {
+  EXPECT_EQ(mix64(0x1234), mix64(0x1234));
+  EXPECT_NE(mix64(0), mix64(1));
+  EXPECT_NE(mix64(1), 1u);
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Consecutive inputs (like packed k-mers of similar sequences) must land
+  // in different low-bit buckets most of the time.
+  int same_bucket = 0;
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    if ((mix64(i) % 64) == (mix64(i + 1) % 64)) ++same_bucket;
+  }
+  EXPECT_LT(same_bucket, 64);  // ~16 expected by chance
+}
+
+TEST(Fnv1a, KnownVectors) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xAF63DC4C8601EC8Cull);
+}
+
+TEST(OwnerOf, InRangeAndDeterministic) {
+  for (int np : {1, 2, 7, 128}) {
+    for (std::uint64_t id : {0ull, 1ull, 999999ull, ~0ull}) {
+      const int o = owner_of(id, np);
+      EXPECT_GE(o, 0);
+      EXPECT_LT(o, np);
+      EXPECT_EQ(o, owner_of(id, np));
+    }
+  }
+}
+
+TEST(OwnerOf, SpreadsKmersUniformly) {
+  // The paper (Fig. 3) observes <1% spread of k-mers across 128 ranks.
+  // Check our ownership hash keeps the spread over random k-mer IDs small.
+  constexpr int kRanks = 128;
+  constexpr int kIds = 256000;
+  std::vector<int> counts(kRanks, 0);
+  seq::Rng rng(3);
+  for (int i = 0; i < kIds; ++i) {
+    ++counts[static_cast<std::size_t>(owner_of(rng.next(), kRanks))];
+  }
+  const double mean = static_cast<double>(kIds) / kRanks;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), mean, mean * 0.12);
+  }
+}
+
+TEST(OwnerOfSequence, MatchesFnvModulo) {
+  EXPECT_EQ(owner_of_sequence("ACGT", 16),
+            static_cast<int>(fnv1a("ACGT") % 16));
+}
+
+TEST(OwnerOfSequence, SingleRankOwnsEverything) {
+  EXPECT_EQ(owner_of_sequence("ACGT", 1), 0);
+  EXPECT_EQ(owner_of(123456, 1), 0);
+}
+
+}  // namespace
+}  // namespace reptile::hash

@@ -1,0 +1,149 @@
+// Unit tests: packed k-mer codec.
+#include "seq/kmer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "seq/rng.hpp"
+
+namespace reptile::seq {
+namespace {
+
+TEST(KmerCodec, PackUnpackRoundTrip) {
+  const KmerCodec codec(7);
+  const std::string s = "GATTACA";
+  EXPECT_EQ(codec.unpack(codec.pack(s)), s);
+}
+
+TEST(KmerCodec, PackedOrderMatchesLexicographic) {
+  const KmerCodec codec(4);
+  EXPECT_LT(codec.pack("AAAA"), codec.pack("AAAC"));
+  EXPECT_LT(codec.pack("ACGT"), codec.pack("CAAA"));
+  EXPECT_LT(codec.pack("GGGG"), codec.pack("TTTT"));
+}
+
+TEST(KmerCodec, RejectsInvalidK) {
+  EXPECT_THROW(KmerCodec(0), std::invalid_argument);
+  EXPECT_THROW(KmerCodec(33), std::invalid_argument);
+  EXPECT_NO_THROW(KmerCodec(32));
+}
+
+TEST(KmerCodec, MaskCoversExactBits) {
+  EXPECT_EQ(KmerCodec(1).mask(), 0x3u);
+  EXPECT_EQ(KmerCodec(4).mask(), 0xFFu);
+  EXPECT_EQ(KmerCodec(32).mask(), ~kmer_id_t{0});
+}
+
+TEST(KmerCodec, BaseAtReadsEveryPosition) {
+  const KmerCodec codec(6);
+  const kmer_id_t id = codec.pack("ACGTCA");
+  EXPECT_EQ(codec.base_at(id, 0), kBaseA);
+  EXPECT_EQ(codec.base_at(id, 1), kBaseC);
+  EXPECT_EQ(codec.base_at(id, 2), kBaseG);
+  EXPECT_EQ(codec.base_at(id, 3), kBaseT);
+  EXPECT_EQ(codec.base_at(id, 4), kBaseC);
+  EXPECT_EQ(codec.base_at(id, 5), kBaseA);
+}
+
+TEST(KmerCodec, SubstituteChangesOnlyTarget) {
+  const KmerCodec codec(8);
+  const kmer_id_t id = codec.pack("AACCGGTT");
+  const kmer_id_t sub = codec.substitute(id, 3, kBaseT);
+  EXPECT_EQ(codec.unpack(sub), "AACTGGTT");
+  EXPECT_EQ(codec.substitute(sub, 3, kBaseC), id);
+}
+
+TEST(KmerCodec, RollSlidesWindow) {
+  const KmerCodec codec(4);
+  kmer_id_t id = codec.pack("ACGT");
+  id = codec.roll(id, kBaseA);
+  EXPECT_EQ(codec.unpack(id), "CGTA");
+  id = codec.roll(id, kBaseG);
+  EXPECT_EQ(codec.unpack(id), "GTAG");
+}
+
+TEST(KmerCodec, ReverseComplementMatchesStringVersion) {
+  const KmerCodec codec(9);
+  const std::string s = "ACGGTTACG";
+  EXPECT_EQ(codec.unpack(codec.reverse_complement(codec.pack(s))),
+            reverse_complement(s));
+}
+
+TEST(KmerCodec, CanonicalIsStrandInvariant) {
+  const KmerCodec codec(9);
+  const kmer_id_t id = codec.pack("ACGGTTACG");
+  EXPECT_EQ(codec.canonical(id), codec.canonical(codec.reverse_complement(id)));
+}
+
+TEST(KmerCodec, HammingDistance) {
+  const KmerCodec codec(8);
+  const kmer_id_t a = codec.pack("AACCGGTT");
+  EXPECT_EQ(codec.hamming_distance(a, a), 0);
+  EXPECT_EQ(codec.hamming_distance(a, codec.pack("AACCGGTA")), 1);
+  EXPECT_EQ(codec.hamming_distance(a, codec.pack("TACCGGTA")), 2);
+  EXPECT_EQ(codec.hamming_distance(codec.pack("AAAAAAAA"),
+                                   codec.pack("TTTTTTTT")),
+            8);
+}
+
+TEST(KmerCodec, Neighbors1AreExactlyDistanceOne) {
+  const KmerCodec codec(5);
+  const kmer_id_t id = codec.pack("ACGTA");
+  std::vector<kmer_id_t> neighbors;
+  codec.neighbors1(id, neighbors);
+  EXPECT_EQ(neighbors.size(), 15u);  // 3 * k
+  const std::set<kmer_id_t> unique(neighbors.begin(), neighbors.end());
+  EXPECT_EQ(unique.size(), neighbors.size());
+  for (kmer_id_t n : neighbors) {
+    EXPECT_EQ(codec.hamming_distance(id, n), 1);
+  }
+}
+
+TEST(KmerCodec, ExtractProducesAllWindows) {
+  const KmerCodec codec(3);
+  std::vector<kmer_id_t> out;
+  EXPECT_EQ(codec.extract("ACGTA", out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(codec.unpack(out[0]), "ACG");
+  EXPECT_EQ(codec.unpack(out[1]), "CGT");
+  EXPECT_EQ(codec.unpack(out[2]), "GTA");
+}
+
+TEST(KmerCodec, ExtractOnShortReadIsEmpty) {
+  const KmerCodec codec(10);
+  std::vector<kmer_id_t> out;
+  EXPECT_EQ(codec.extract("ACGT", out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KmerCodec, ExtractMatchesDirectPackOnRandomSequences) {
+  Rng rng(42);
+  for (int k : {4, 12, 16, 31}) {
+    const KmerCodec codec(k);
+    std::string s(64, 'A');
+    for (auto& c : s) c = char_from_base(static_cast<base_t>(rng.below(4)));
+    std::vector<kmer_id_t> rolled;
+    codec.extract(s, rolled);
+    ASSERT_EQ(rolled.size(), s.size() - static_cast<std::size_t>(k) + 1);
+    for (std::size_t i = 0; i < rolled.size(); ++i) {
+      EXPECT_EQ(rolled[i], codec.pack(std::string_view(s).substr(i)))
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(KmerCodec, K32UsesFullWord) {
+  const KmerCodec codec(32);
+  const std::string s(32, 'T');
+  EXPECT_EQ(codec.pack(s), ~kmer_id_t{0});
+  EXPECT_EQ(codec.unpack(~kmer_id_t{0}), s);
+}
+
+TEST(KmerHelpers, PackUnpackConvenience) {
+  EXPECT_EQ(unpack_kmer(pack_kmer("ACGT"), 4), "ACGT");
+}
+
+}  // namespace
+}  // namespace reptile::seq

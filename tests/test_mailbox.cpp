@@ -1,0 +1,140 @@
+// Unit tests: mailbox matching semantics (the MPI envelope model).
+#include "rtm/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace reptile::rtm {
+namespace {
+
+Message msg(int src, int tag, std::uint64_t value = 0) {
+  return Message::of_value(src, tag, value);
+}
+
+TEST(Message, PayloadRoundTrip) {
+  const std::vector<std::uint64_t> items{1, 2, 3};
+  const Message m =
+      Message::of<std::uint64_t>(3, 7, std::span<const std::uint64_t>(items));
+  EXPECT_EQ(m.source, 3);
+  EXPECT_EQ(m.tag, 7);
+  EXPECT_EQ(m.as<std::uint64_t>(), items);
+  EXPECT_EQ(m.info().bytes, 24u);
+}
+
+TEST(Message, SingleValueRoundTrip) {
+  const Message m = Message::of_value(0, 1, 0xDEADBEEFull);
+  EXPECT_EQ(m.as_value<std::uint64_t>(), 0xDEADBEEFull);
+}
+
+TEST(Mailbox, FifoWithinMatch) {
+  Mailbox mb;
+  mb.push(msg(1, 5, 10));
+  mb.push(msg(1, 5, 11));
+  EXPECT_EQ(mb.try_pop(1, 5)->as_value<std::uint64_t>(), 10u);
+  EXPECT_EQ(mb.try_pop(1, 5)->as_value<std::uint64_t>(), 11u);
+  EXPECT_FALSE(mb.try_pop(1, 5));
+}
+
+TEST(Mailbox, SelectiveMatchSkipsNonMatching) {
+  Mailbox mb;
+  mb.push(msg(1, 5));
+  mb.push(msg(2, 6, 42));
+  // Pop (2, 6) first even though (1, 5) arrived earlier.
+  const auto m = mb.try_pop(2, 6);
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->as_value<std::uint64_t>(), 42u);
+  EXPECT_EQ(mb.size(), 1u);
+}
+
+TEST(Mailbox, WildcardsMatchAnything) {
+  Mailbox mb;
+  mb.push(msg(3, 9));
+  EXPECT_TRUE(mb.probe(kAnySource, kAnyTag));
+  EXPECT_TRUE(mb.probe(3, kAnyTag));
+  EXPECT_TRUE(mb.probe(kAnySource, 9));
+  EXPECT_FALSE(mb.probe(4, kAnyTag));
+  EXPECT_FALSE(mb.probe(kAnySource, 8));
+  EXPECT_TRUE(mb.try_pop(kAnySource, kAnyTag));
+}
+
+TEST(Mailbox, ProbeDoesNotConsume) {
+  Mailbox mb;
+  mb.push(msg(1, 2));
+  EXPECT_TRUE(mb.probe(1, 2));
+  EXPECT_TRUE(mb.probe(1, 2));
+  EXPECT_EQ(mb.size(), 1u);
+  const auto info = mb.probe(1, 2);
+  EXPECT_EQ(info->source, 1);
+  EXPECT_EQ(info->tag, 2);
+}
+
+TEST(Mailbox, BlockingPopWakesOnPush) {
+  Mailbox mb;
+  std::thread producer([&mb] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mb.push(msg(0, 1, 77));
+  });
+  const Message m = mb.pop(0, 1);
+  EXPECT_EQ(m.as_value<std::uint64_t>(), 77u);
+  producer.join();
+}
+
+TEST(Mailbox, PopMatchForTimesOut) {
+  Mailbox mb;
+  mb.push(msg(0, 99));
+  const auto m = mb.pop_match_for(
+      [](const Message& m) { return m.tag == 1; },
+      std::chrono::milliseconds(10));
+  EXPECT_FALSE(m);
+  EXPECT_EQ(mb.size(), 1u);  // non-matching message untouched
+}
+
+TEST(Mailbox, PopMatchForFindsLaterArrival) {
+  Mailbox mb;
+  std::thread producer([&mb] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    mb.push(msg(2, 42, 5));
+  });
+  const auto m = mb.pop_match_for(
+      [](const Message& m) { return m.tag == 42; },
+      std::chrono::seconds(5));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->source, 2);
+  producer.join();
+}
+
+TEST(Mailbox, ConcurrentSelectivePopsDoNotSteal) {
+  // A "worker" popping replies and a "server" popping requests must never
+  // take each other's messages.
+  Mailbox mb;
+  constexpr int kEach = 2000;
+  constexpr int kReqTag = 1, kRepTag = 2;
+  std::thread pusher([&mb] {
+    for (int i = 0; i < kEach; ++i) {
+      mb.push(msg(0, kReqTag, static_cast<std::uint64_t>(i)));
+      mb.push(msg(0, kRepTag, static_cast<std::uint64_t>(i)));
+    }
+  });
+  int reqs = 0, reps = 0;
+  std::thread server([&] {
+    while (reqs < kEach) {
+      if (auto m = mb.try_pop(kAnySource, kReqTag)) {
+        EXPECT_EQ(m->tag, kReqTag);
+        ++reqs;
+      }
+    }
+  });
+  while (reps < kEach) {
+    if (auto m = mb.try_pop(kAnySource, kRepTag)) {
+      EXPECT_EQ(m->tag, kRepTag);
+      ++reps;
+    }
+  }
+  pusher.join();
+  server.join();
+  EXPECT_TRUE(mb.empty());
+}
+
+}  // namespace
+}  // namespace reptile::rtm

@@ -1,0 +1,118 @@
+// Robustness: irregular inputs — mixed read lengths (including reads too
+// short for a single k-mer or tile), empty datasets, single-read datasets —
+// through every pipeline.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "parallel/baseline_replicated.hpp"
+#include "parallel/dist_pipeline.hpp"
+#include "seq/dataset.hpp"
+
+namespace reptile {
+namespace {
+
+core::CorrectorParams params() {
+  core::CorrectorParams p;
+  p.k = 10;
+  p.tile_overlap = 4;  // tile length 16
+  p.chunk_size = 32;
+  return p;
+}
+
+/// A dataset mixing normal reads with ones shorter than a tile, shorter
+/// than a k-mer, and a giant one.
+std::vector<seq::Read> mixed_reads() {
+  seq::DatasetSpec spec{"mix", 400, 60, 1200};
+  seq::ErrorModelParams errors;
+  errors.error_rate_start = 0.005;
+  errors.error_rate_end = 0.01;
+  auto ds = seq::SyntheticDataset::generate(spec, errors, 61);
+  auto reads = std::move(ds.reads);
+  auto inject = [&](std::size_t at, int len) {
+    seq::Read r;
+    r.bases = ds.genome.substr(at % 600, static_cast<std::size_t>(len));
+    r.quals.assign(r.bases.size(), 30);
+    reads.insert(reads.begin() + static_cast<long>(at % reads.size()),
+                 std::move(r));
+  };
+  inject(13, 12);   // shorter than one tile (16) but >= k
+  inject(71, 6);    // shorter than one k-mer
+  inject(140, 1);   // single base
+  inject(222, 300); // much longer than the rest
+  // Renumber 1..n, as the preprocessed input guarantees.
+  for (std::size_t i = 0; i < reads.size(); ++i) reads[i].number = i + 1;
+  return reads;
+}
+
+TEST(MixedInputs, SequentialHandlesIrregularLengths) {
+  const auto reads = mixed_reads();
+  const auto result = core::run_sequential(reads, params());
+  ASSERT_EQ(result.corrected.size(), reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i) {
+    EXPECT_EQ(result.corrected[i].bases.size(), reads[i].bases.size());
+  }
+}
+
+TEST(MixedInputs, DistributedIdenticalOnIrregularLengths) {
+  const auto reads = mixed_reads();
+  const auto ref = core::run_sequential(reads, params());
+  parallel::DistConfig config;
+  config.params = params();
+  config.ranks = 4;
+  config.heuristics.batch_reads = true;
+  const auto result = parallel::run_distributed(reads, config);
+  ASSERT_EQ(result.corrected.size(), ref.corrected.size());
+  for (std::size_t i = 0; i < ref.corrected.size(); ++i) {
+    ASSERT_EQ(result.corrected[i].bases, ref.corrected[i].bases);
+  }
+}
+
+TEST(MixedInputs, BaselineIdenticalOnIrregularLengths) {
+  const auto reads = mixed_reads();
+  const auto ref = core::run_sequential(reads, params());
+  parallel::BaselineConfig config;
+  config.params = params();
+  config.ranks = 4;
+  config.work_chunk = 25;
+  const auto result = parallel::run_replicated_baseline(reads, config);
+  EXPECT_EQ(result.corrected.size(), ref.corrected.size());
+  for (std::size_t i = 0; i < ref.corrected.size(); ++i) {
+    ASSERT_EQ(result.corrected[i].bases, ref.corrected[i].bases);
+  }
+}
+
+TEST(MixedInputs, EmptyAndTinyDatasets) {
+  const std::vector<seq::Read> none;
+  const auto empty_result = core::run_sequential(none, params());
+  EXPECT_TRUE(empty_result.corrected.empty());
+  EXPECT_EQ(empty_result.substitutions, 0u);
+
+  std::vector<seq::Read> one{{1, std::string(40, 'A'),
+                              std::vector<seq::qual_t>(40, 30)}};
+  const auto single = core::run_sequential(one, params());
+  EXPECT_EQ(single.corrected.size(), 1u);
+
+  parallel::DistConfig config;
+  config.params = params();
+  config.ranks = 4;
+  const auto dist_empty = parallel::run_distributed(none, config);
+  EXPECT_TRUE(dist_empty.corrected.empty());
+  const auto dist_single = parallel::run_distributed(one, config);
+  EXPECT_EQ(dist_single.corrected.size(), 1u);
+}
+
+TEST(MixedInputs, MoreRanksThanReads) {
+  std::vector<seq::Read> few;
+  for (int i = 0; i < 3; ++i) {
+    few.push_back({static_cast<seq::seq_num_t>(i + 1), std::string(40, 'C'),
+                   std::vector<seq::qual_t>(40, 30)});
+  }
+  parallel::DistConfig config;
+  config.params = params();
+  config.ranks = 8;
+  const auto result = parallel::run_distributed(few, config);
+  EXPECT_EQ(result.corrected.size(), 3u);
+}
+
+}  // namespace
+}  // namespace reptile

@@ -1,0 +1,227 @@
+// Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+// invariants that must hold across the whole parameter space, not just the
+// defaults the other suites use.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/pipeline.hpp"
+#include "hash/count_table.hpp"
+#include "parallel/dist_pipeline.hpp"
+#include "seq/dataset.hpp"
+#include "seq/kmer.hpp"
+#include "seq/rng.hpp"
+#include "seq/tile.hpp"
+
+namespace reptile {
+namespace {
+
+// --- k-mer codec properties over every supported k ---------------------------
+
+class KmerCodecProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KmerCodecProperty, RoundTripSubstituteRollCanonical) {
+  const int k = GetParam();
+  const seq::KmerCodec codec(k);
+  seq::Rng rng(static_cast<std::uint64_t>(k));
+  for (int trial = 0; trial < 50; ++trial) {
+    const seq::kmer_id_t id = rng.next() & codec.mask();
+    // Pack/unpack round trip.
+    EXPECT_EQ(codec.pack(codec.unpack(id)), id);
+    // Substitution at a random position writes exactly that base.
+    const int pos = static_cast<int>(rng.below(static_cast<std::uint64_t>(k)));
+    const auto b = static_cast<seq::base_t>(rng.below(4));
+    const seq::kmer_id_t sub = codec.substitute(id, pos, b);
+    EXPECT_EQ(codec.base_at(sub, pos), b);
+    EXPECT_LE(codec.hamming_distance(id, sub), 1);
+    // Reverse complement is an involution; canonical is strand-invariant.
+    EXPECT_EQ(codec.reverse_complement(codec.reverse_complement(id)), id);
+    EXPECT_EQ(codec.canonical(id),
+              codec.canonical(codec.reverse_complement(id)));
+    // Rolling keeps the window inside the mask.
+    EXPECT_EQ(codec.roll(id, b) & ~codec.mask(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, KmerCodecProperty,
+                         ::testing::Values(1, 2, 4, 8, 12, 15, 16, 21, 31, 32));
+
+// --- tile codec properties over the (k, overlap) grid -------------------------
+
+struct TileGeometry {
+  int k;
+  int overlap;
+};
+
+class TileCodecProperty : public ::testing::TestWithParam<TileGeometry> {};
+
+TEST_P(TileCodecProperty, GeometryAndChainInvariants) {
+  const auto [k, overlap] = GetParam();
+  const seq::TileCodec codec(k, overlap);
+  EXPECT_EQ(codec.tile_len(), 2 * k - overlap);
+  EXPECT_LE(codec.tile_len(), 32);
+
+  // Random reads: tiles cover the read, consecutive strided tiles chain
+  // through a shared k-mer, and combine() inverts the split.
+  seq::Rng rng(static_cast<std::uint64_t>(k * 100 + overlap));
+  for (int len : {codec.tile_len(), codec.tile_len() + 3, 60, 101}) {
+    std::string read(static_cast<std::size_t>(len), 'A');
+    for (auto& c : read) {
+      c = seq::char_from_base(static_cast<seq::base_t>(rng.below(4)));
+    }
+    const auto positions = codec.tile_positions(len);
+    ASSERT_FALSE(positions.empty());
+    EXPECT_EQ(positions.front(), 0);
+    EXPECT_EQ(positions.back() + codec.tile_len(), len);
+    std::vector<seq::tile_id_t> tiles;
+    codec.extract(read, tiles);
+    ASSERT_EQ(tiles.size(), positions.size());
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+      EXPECT_EQ(codec.combine(codec.first_kmer(tiles[i]),
+                              codec.second_kmer(tiles[i])),
+                tiles[i]);
+      // Strided neighbors share a k-mer (tail tile may not be strided).
+      if (i + 1 < tiles.size() &&
+          positions[i + 1] - positions[i] == codec.step()) {
+        EXPECT_EQ(codec.second_kmer(tiles[i]), codec.first_kmer(tiles[i + 1]));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TileCodecProperty,
+    ::testing::Values(TileGeometry{4, 0}, TileGeometry{4, 3},
+                      TileGeometry{8, 2}, TileGeometry{10, 4},
+                      TileGeometry{12, 4}, TileGeometry{12, 8},
+                      TileGeometry{16, 0}, TileGeometry{16, 15}),
+    [](const ::testing::TestParamInfo<TileGeometry>& info) {
+      return "k" + std::to_string(info.param.k) + "_o" +
+             std::to_string(info.param.overlap);
+    });
+
+// --- count table vs reference map, across load patterns ----------------------
+
+class CountTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CountTableProperty, AgreesWithReferenceUnderMixedWorkload) {
+  const std::uint64_t key_space = GetParam();
+  hash::CountTable<> table;
+  std::map<std::uint64_t, std::uint32_t> reference;
+  seq::Rng rng(key_space);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng.below(key_space);
+    const double dice = rng.uniform();
+    if (dice < 0.70) {
+      const auto delta = static_cast<std::uint32_t>(1 + rng.below(3));
+      table.increment(key, delta);
+      reference[key] += delta;
+    } else if (dice < 0.85) {
+      EXPECT_EQ(table.erase(key), reference.erase(key) > 0);
+    } else {
+      const auto got = table.find(key);
+      const auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(table.size(), reference.size());
+  std::size_t visited = 0;
+  table.for_each([&](std::uint64_t k, std::uint32_t c) {
+    ++visited;
+    const auto it = reference.find(k);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(c, it->second);
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySpaces, CountTableProperty,
+                         ::testing::Values(8, 64, 1024, 1 << 20),
+                         [](const auto& info) {
+                           return "keys_" + std::to_string(info.param);
+                         });
+
+// --- distributed identity across corrector geometries -------------------------
+
+struct GeometryCase {
+  int k;
+  int overlap;
+  unsigned threshold;
+  bool canonical;
+};
+
+class DistIdentityGeometry : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(DistIdentityGeometry, DistributedMatchesSequential) {
+  const auto gc = GetParam();
+  core::CorrectorParams params;
+  params.k = gc.k;
+  params.tile_overlap = gc.overlap;
+  params.kmer_threshold = gc.threshold;
+  params.tile_threshold = gc.threshold;
+  params.canonical = gc.canonical;
+  params.chunk_size = 128;
+
+  seq::DatasetSpec spec{"geom", 700, 60, 1500};
+  seq::ErrorModelParams errors;
+  errors.error_rate_start = 0.005;
+  errors.error_rate_end = 0.01;
+  const auto ds = seq::SyntheticDataset::generate(
+      spec, errors, 1000 + static_cast<std::uint64_t>(gc.k));
+
+  const auto ref = core::run_sequential(ds.reads, params);
+  parallel::DistConfig config;
+  config.params = params;
+  config.ranks = 4;
+  config.ranks_per_node = 2;
+  const auto dist = parallel::run_distributed(ds.reads, config);
+  ASSERT_EQ(dist.corrected.size(), ref.corrected.size());
+  for (std::size_t i = 0; i < ref.corrected.size(); ++i) {
+    ASSERT_EQ(dist.corrected[i].bases, ref.corrected[i].bases)
+        << "read " << ref.corrected[i].number;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DistIdentityGeometry,
+    ::testing::Values(GeometryCase{8, 0, 2, false},
+                      GeometryCase{8, 4, 3, false},
+                      GeometryCase{12, 4, 3, false},
+                      GeometryCase{12, 4, 3, true},
+                      GeometryCase{14, 8, 2, false},
+                      GeometryCase{16, 8, 4, true}),
+    [](const ::testing::TestParamInfo<GeometryCase>& info) {
+      return "k" + std::to_string(info.param.k) + "_o" +
+             std::to_string(info.param.overlap) + "_t" +
+             std::to_string(info.param.threshold) +
+             (info.param.canonical ? "_canon" : "");
+    });
+
+// --- ownership partition property ---------------------------------------------
+
+class OwnershipProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OwnershipProperty, EveryIdHasExactlyOneOwner) {
+  const int np = GetParam();
+  seq::Rng rng(static_cast<std::uint64_t>(np));
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t id = rng.next();
+    const int owner = hash::owner_of(id, np);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, np);
+    // Determinism: the owner never depends on who asks.
+    EXPECT_EQ(owner, hash::owner_of(id, np));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, OwnershipProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 128, 8192, 32768));
+
+}  // namespace
+}  // namespace reptile

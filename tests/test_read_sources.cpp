@@ -1,0 +1,91 @@
+// Unit tests: ReadSource implementations (chunking, reset, ownership).
+#include <gtest/gtest.h>
+
+#include "seq/read.hpp"
+
+namespace reptile::seq {
+namespace {
+
+std::vector<Read> make_reads(std::size_t n) {
+  std::vector<Read> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    Read r;
+    r.number = i + 1;
+    r.bases = std::string(10, "ACGT"[i % 4]);
+    r.quals.assign(10, static_cast<qual_t>(30));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+template <class Source>
+std::vector<Read> drain(Source& src, std::size_t chunk) {
+  std::vector<Read> out;
+  ReadBatch batch;
+  while (src.next_chunk(chunk, batch)) {
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+  return out;
+}
+
+TEST(VectorReadSource, DeliversEverythingInOrder) {
+  const auto reads = make_reads(23);
+  VectorReadSource src(reads);
+  EXPECT_EQ(src.size(), 23u);
+  EXPECT_EQ(drain(src, 5), reads);
+}
+
+TEST(VectorReadSource, ChunkBoundariesExact) {
+  const auto reads = make_reads(10);
+  VectorReadSource src(reads);
+  ReadBatch batch;
+  ASSERT_TRUE(src.next_chunk(4, batch));
+  EXPECT_EQ(batch.size(), 4u);
+  ASSERT_TRUE(src.next_chunk(4, batch));
+  EXPECT_EQ(batch.size(), 4u);
+  ASSERT_TRUE(src.next_chunk(4, batch));
+  EXPECT_EQ(batch.size(), 2u);  // final partial chunk
+  EXPECT_FALSE(src.next_chunk(4, batch));
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(VectorReadSource, ResetReplays) {
+  const auto reads = make_reads(7);
+  VectorReadSource src(reads);
+  const auto first = drain(src, 3);
+  src.reset();
+  const auto second = drain(src, 7);
+  EXPECT_EQ(first, second);
+}
+
+TEST(VectorReadSource, EmptySource) {
+  const std::vector<Read> none;
+  VectorReadSource src(none);
+  ReadBatch batch;
+  EXPECT_EQ(src.size(), 0u);
+  EXPECT_FALSE(src.next_chunk(8, batch));
+  src.reset();
+  EXPECT_FALSE(src.next_chunk(8, batch));
+}
+
+TEST(OwningReadSource, OwnsItsReads) {
+  auto reads = make_reads(5);
+  const auto copy = reads;
+  OwningReadSource src(std::move(reads));
+  EXPECT_EQ(src.size(), 5u);
+  EXPECT_EQ(src.reads(), copy);
+  EXPECT_EQ(drain(src, 2), copy);
+  src.reset();
+  EXPECT_EQ(drain(src, 100), copy);
+}
+
+TEST(OwningReadSource, ChunkLargerThanContent) {
+  OwningReadSource src(make_reads(3));
+  ReadBatch batch;
+  ASSERT_TRUE(src.next_chunk(1000, batch));
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_FALSE(src.next_chunk(1000, batch));
+}
+
+}  // namespace
+}  // namespace reptile::seq

@@ -1,0 +1,167 @@
+// Integration tests: read wire format and static load-balancing
+// redistribution.
+#include "parallel/rebalance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+
+#include "hash/hashing.hpp"
+#include "parallel/wire.hpp"
+#include "seq/dataset.hpp"
+#include "stats/summary.hpp"
+
+namespace reptile::parallel {
+namespace {
+
+TEST(Wire, EncodeDecodeRoundTrip) {
+  std::vector<seq::Read> reads;
+  for (int i = 0; i < 10; ++i) {
+    seq::Read r;
+    r.number = static_cast<seq::seq_num_t>(i + 1);
+    r.bases = std::string(static_cast<std::size_t>(10 + i), 'A' + (i % 2 ? 0 : 2 /*G*/) );
+    for (auto& c : r.bases) c = (i % 2) ? 'C' : 'G';
+    r.quals.assign(r.bases.size(), static_cast<seq::qual_t>(i * 3));
+    reads.push_back(std::move(r));
+  }
+  std::vector<std::uint8_t> buffer;
+  for (const auto& r : reads) encode_read(r, buffer);
+  std::vector<seq::Read> back;
+  decode_reads(buffer, back);
+  EXPECT_EQ(back, reads);
+}
+
+TEST(Wire, EmptyBufferDecodesToNothing) {
+  std::vector<std::uint8_t> buffer;
+  std::vector<seq::Read> out;
+  decode_reads(buffer, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Wire, TruncatedBufferThrows) {
+  seq::Read r{1, "ACGT", {30, 30, 30, 30}};
+  std::vector<std::uint8_t> buffer;
+  encode_read(r, buffer);
+  buffer.pop_back();
+  std::vector<seq::Read> out;
+  EXPECT_THROW(decode_reads(buffer, out), std::runtime_error);
+}
+
+TEST(Wire, MismatchedQualsThrow) {
+  seq::Read r{1, "ACGT", {30, 30}};
+  std::vector<std::uint8_t> buffer;
+  EXPECT_THROW(encode_read(r, buffer), std::invalid_argument);
+}
+
+TEST(Rebalance, ConservesReadsAndAssignsByHash) {
+  seq::DatasetSpec spec{"t", 400, 40, 1200};
+  const auto ds = seq::SyntheticDataset::generate(spec, {}, 8);
+  constexpr int kRanks = 4;
+  std::vector<std::vector<seq::Read>> per_rank(kRanks);
+  std::mutex m;
+  rtm::run_world({kRanks, 1}, [&](rtm::Comm& comm) {
+    const std::size_t begin =
+        ds.reads.size() * static_cast<std::size_t>(comm.rank()) / kRanks;
+    const std::size_t end =
+        ds.reads.size() * static_cast<std::size_t>(comm.rank() + 1) / kRanks;
+    std::vector<seq::Read> mine(ds.reads.begin() + static_cast<long>(begin),
+                                ds.reads.begin() + static_cast<long>(end));
+    auto balanced = rebalance_reads(comm, mine);
+    std::lock_guard lock(m);
+    per_rank[static_cast<std::size_t>(comm.rank())] = std::move(balanced);
+  });
+
+  std::vector<seq::Read> all;
+  for (int r = 0; r < kRanks; ++r) {
+    for (const auto& read : per_rank[static_cast<std::size_t>(r)]) {
+      // Every read landed on the rank its sequence hash designates.
+      EXPECT_EQ(hash::owner_of_sequence(read.bases, kRanks), r);
+      all.push_back(read);
+    }
+  }
+  ASSERT_EQ(all.size(), ds.reads.size());
+  std::sort(all.begin(), all.end(),
+            [](const seq::Read& a, const seq::Read& b) {
+              return a.number < b.number;
+            });
+  EXPECT_EQ(all, ds.reads);
+}
+
+TEST(Rebalance, EvensOutBurstyWork) {
+  // Reads with errors are clustered in file regions; contiguous partitions
+  // then give some ranks many more erroneous reads. After rebalancing, the
+  // spread of erroneous reads per rank must shrink dramatically.
+  seq::DatasetSpec spec{"t", 2000, 60, 10000};
+  seq::ErrorModelParams errors;
+  errors.error_rate_start = 0.001;
+  errors.error_rate_end = 0.001;
+  errors.burst_fraction = 0.25;
+  errors.burst_regions = 2;
+  errors.burst_multiplier = 30.0;
+  const auto ds = seq::SyntheticDataset::generate(spec, errors, 9);
+
+  auto erroneous = [&](const seq::Read& r) {
+    const std::size_t idx = static_cast<std::size_t>(r.number - 1);
+    return r.bases != ds.truth[idx];
+  };
+
+  constexpr int kRanks = 8;
+  std::vector<std::uint64_t> before(kRanks, 0), after(kRanks, 0);
+  std::mutex m;
+  rtm::run_world({kRanks, 1}, [&](rtm::Comm& comm) {
+    const std::size_t begin =
+        ds.reads.size() * static_cast<std::size_t>(comm.rank()) / kRanks;
+    const std::size_t end =
+        ds.reads.size() * static_cast<std::size_t>(comm.rank() + 1) / kRanks;
+    std::vector<seq::Read> mine(ds.reads.begin() + static_cast<long>(begin),
+                                ds.reads.begin() + static_cast<long>(end));
+    std::uint64_t bad_before = 0;
+    for (const auto& r : mine) {
+      if (erroneous(r)) ++bad_before;
+    }
+    const auto balanced = rebalance_reads(comm, mine);
+    std::uint64_t bad_after = 0;
+    for (const auto& r : balanced) {
+      if (erroneous(r)) ++bad_after;
+    }
+    std::lock_guard lock(m);
+    before[static_cast<std::size_t>(comm.rank())] = bad_before;
+    after[static_cast<std::size_t>(comm.rank())] = bad_after;
+  });
+
+  const auto s_before =
+      stats::summarize(std::span<const std::uint64_t>(before));
+  const auto s_after = stats::summarize(std::span<const std::uint64_t>(after));
+  // Bursty layout makes some ranks nearly error-free and others saturated;
+  // hashing must collapse the spread to statistical noise.
+  EXPECT_GT(s_before.relative_spread(), 1.0);
+  EXPECT_LT(s_after.relative_spread(), 0.6);
+  EXPECT_LT(s_after.relative_spread(), s_before.relative_spread() / 2);
+}
+
+TEST(Rebalance, DeterministicResult) {
+  seq::DatasetSpec spec{"t", 300, 40, 1000};
+  const auto ds = seq::SyntheticDataset::generate(spec, {}, 10);
+  auto run_once = [&] {
+    constexpr int kRanks = 4;
+    std::vector<std::vector<seq::Read>> per_rank(kRanks);
+    std::mutex m;
+    rtm::run_world({kRanks, 1}, [&](rtm::Comm& comm) {
+      const std::size_t begin =
+          ds.reads.size() * static_cast<std::size_t>(comm.rank()) / kRanks;
+      const std::size_t end =
+          ds.reads.size() * static_cast<std::size_t>(comm.rank() + 1) / kRanks;
+      std::vector<seq::Read> mine(ds.reads.begin() + static_cast<long>(begin),
+                                  ds.reads.begin() + static_cast<long>(end));
+      auto balanced = rebalance_reads(comm, mine);
+      std::lock_guard lock(m);
+      per_rank[static_cast<std::size_t>(comm.rank())] = std::move(balanced);
+    });
+    return per_rank;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace reptile::parallel

@@ -1,0 +1,80 @@
+// Unit tests: machine-readable run reports (CSV/JSON) and the DistResult
+// flattening.
+#include "stats/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parallel/report.hpp"
+#include "seq/dataset.hpp"
+
+namespace reptile::stats {
+namespace {
+
+TEST(RunReport, CsvHasHeaderAndRows) {
+  RunReport r("demo");
+  r.record().add("rank", 0).add("time", 1.5);
+  r.record().add("rank", 1).add("time", 2.0);
+  EXPECT_EQ(r.to_csv(), "rank,time\n0,1.5\n1,2\n");
+}
+
+TEST(RunReport, IntegersRenderWithoutDecimalPoint) {
+  RunReport r("ints");
+  r.record().add("big", 123456789.0).add("frac", 0.25);
+  const auto csv = r.to_csv();
+  EXPECT_NE(csv.find("123456789,"), std::string::npos);
+  EXPECT_EQ(csv.find("123456789.0"), std::string::npos);
+  EXPECT_NE(csv.find("0.25"), std::string::npos);
+}
+
+TEST(RunReport, JsonIsWellFormedForSimpleRecords) {
+  RunReport r("j");
+  r.record().add("a", 1).add("b", 2.5);
+  EXPECT_EQ(r.to_json(), R"({"title":"j","records":[{"a":1,"b":2.5}]})");
+}
+
+TEST(RunReport, JsonEscapesQuotesAndBackslashes) {
+  RunReport r("say \"hi\" \\ there");
+  r.record().add("x", 1);
+  const auto json = r.to_json();
+  EXPECT_NE(json.find(R"(say \"hi\" \\ there)"), std::string::npos);
+}
+
+TEST(RunReport, EmptyReportStillRenders) {
+  RunReport r("empty");
+  EXPECT_EQ(r.to_csv(), "\n");
+  EXPECT_EQ(r.to_json(), R"({"title":"empty","records":[]})");
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RunReport, SchemaComesFromFirstRecord) {
+  RunReport r("s");
+  r.record().add("one", 1).add("two", 2);
+  r.record().add("one", 3).add("two", 4);
+  EXPECT_EQ(r.schema(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(DistReport, FlattensEveryRank) {
+  seq::DatasetSpec spec{"rep", 400, 60, 900};
+  seq::ErrorModelParams errors;
+  errors.error_rate_start = 0.005;
+  errors.error_rate_end = 0.01;
+  const auto ds = seq::SyntheticDataset::generate(spec, errors, 17);
+  parallel::DistConfig config;
+  config.params.k = 10;
+  config.params.tile_overlap = 4;
+  config.ranks = 4;
+  const auto result = parallel::run_distributed(ds.reads, config);
+
+  const auto report = parallel::to_report(result, "test run");
+  EXPECT_EQ(report.size(), 4u);
+  const auto csv = report.to_csv();
+  EXPECT_NE(csv.find("remote_tile_lookups"), std::string::npos);
+  EXPECT_NE(csv.find("construct_seconds"), std::string::npos);
+  // 4 data rows + header.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  const auto json = report.to_json();
+  EXPECT_NE(json.find("\"records\":[{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reptile::stats

@@ -1,0 +1,137 @@
+// Unit tests: local spectrum construction, pruning, lookup accounting.
+#include "core/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/dataset.hpp"
+
+namespace reptile::core {
+namespace {
+
+CorrectorParams small_params() {
+  CorrectorParams p;
+  p.k = 6;
+  p.tile_overlap = 2;
+  p.kmer_threshold = 2;
+  p.tile_threshold = 2;
+  return p;
+}
+
+TEST(SpectrumExtractor, ExtractsKmersAndTiles) {
+  const CorrectorParams p = small_params();
+  SpectrumExtractor ex(p);
+  std::vector<seq::kmer_id_t> kmers;
+  std::vector<seq::tile_id_t> tiles;
+  const std::string read = "ACGTACGTACGTAC";  // len 14
+  ex.extract(read, kmers, tiles);
+  EXPECT_EQ(kmers.size(), 9u);   // 14 - 6 + 1
+  EXPECT_EQ(tiles.size(), ex.tile_codec().tile_positions(14).size());
+}
+
+TEST(SpectrumExtractor, CanonicalModeFoldsStrands) {
+  CorrectorParams p = small_params();
+  p.canonical = true;
+  SpectrumExtractor ex(p);
+  std::vector<seq::kmer_id_t> k1, k2;
+  std::vector<seq::tile_id_t> t1, t2;
+  const std::string fwd = "ACGGTTACAG";
+  const std::string rev = seq::reverse_complement(fwd);
+  ex.extract(fwd, k1, t1);
+  ex.extract(rev, k2, t2);
+  // Same k-mer multiset from either strand (reversed order).
+  std::sort(k1.begin(), k1.end());
+  std::sort(k2.begin(), k2.end());
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(LocalSpectrum, CountsOccurrences) {
+  const CorrectorParams p = small_params();
+  LocalSpectrum s(p);
+  const std::string read = "ACGTACGTAC";
+  s.add_read(read);
+  s.add_read(read);
+  s.add_read(read);
+  const seq::KmerCodec kc(p.k);
+  EXPECT_EQ(s.kmer_count(kc.pack("ACGTAC")), 3u + 3u);  // appears at 0 and 4
+  EXPECT_EQ(s.kmer_count(kc.pack("CGTACG")), 3u);
+  EXPECT_EQ(s.kmer_count(kc.pack("TTTTTT")), 0u);
+}
+
+TEST(LocalSpectrum, PruneDropsBelowThreshold) {
+  const CorrectorParams p = small_params();  // thresholds 2
+  LocalSpectrum s(p);
+  s.add_read("ACGTACGTAC");   // once
+  s.add_read("TTGGCCAATT");   // once
+  s.add_read("TTGGCCAATT");   // twice total
+  const std::size_t before = s.kmer_entries();
+  s.prune();
+  EXPECT_LT(s.kmer_entries(), before);
+  const seq::KmerCodec kc(p.k);
+  // "CGTACG" occurs once in the first read (while "ACGTAC" occurs twice).
+  EXPECT_EQ(s.kmer_count(kc.pack("CGTACG")), 0u);  // count 1, pruned
+  EXPECT_EQ(s.kmer_count(kc.pack("ACGTAC")), 2u);  // twice in one read
+  EXPECT_EQ(s.kmer_count(kc.pack("TTGGCC")), 2u);  // survives
+}
+
+TEST(LocalSpectrum, LookupStatsTrackMisses) {
+  const CorrectorParams p = small_params();
+  LocalSpectrum s(p);
+  s.add_read("ACGTACGTAC");
+  const seq::KmerCodec kc(p.k);
+  s.kmer_count(kc.pack("ACGTAC"));
+  s.kmer_count(kc.pack("TTTTTT"));
+  s.tile_count(12345);
+  EXPECT_EQ(s.stats().kmer_lookups, 2u);
+  EXPECT_EQ(s.stats().kmer_misses, 1u);
+  EXPECT_EQ(s.stats().tile_lookups, 1u);
+  EXPECT_EQ(s.stats().tile_misses, 1u);
+}
+
+TEST(LocalSpectrum, MemoryGrowsWithContent) {
+  const CorrectorParams p = small_params();
+  LocalSpectrum s(p);
+  const std::size_t empty = s.memory_bytes();
+  seq::DatasetSpec spec{"t", 200, 60, 3000};
+  const auto ds = seq::SyntheticDataset::generate(spec, {}, 3);
+  for (const auto& r : ds.reads) s.add_read(r.bases);
+  EXPECT_GT(s.memory_bytes(), empty);
+  EXPECT_GT(s.kmer_entries(), 1000u);
+  EXPECT_GT(s.tile_entries(), 1000u);
+}
+
+TEST(LocalSpectrum, CanonicalLookupMatchesEitherStrand) {
+  CorrectorParams p = small_params();
+  p.canonical = true;
+  LocalSpectrum s(p);
+  s.add_read("ACGGTTACAG");
+  s.add_read("ACGGTTACAG");
+  const seq::KmerCodec kc(p.k);
+  const auto fwd = kc.pack("ACGGTT");
+  const auto rc = kc.reverse_complement(fwd);
+  EXPECT_EQ(s.kmer_count(fwd), 2u);
+  EXPECT_EQ(s.kmer_count(rc), 2u);  // same canonical entry
+}
+
+TEST(LocalSpectrum, RejectsInvalidParams) {
+  CorrectorParams p = small_params();
+  p.k = 3;
+  EXPECT_THROW(LocalSpectrum{p}, std::invalid_argument);
+  p = small_params();
+  p.tile_overlap = 6;
+  EXPECT_THROW(LocalSpectrum{p}, std::invalid_argument);
+}
+
+TEST(CorrectorParams, TileGeometryHelpers) {
+  CorrectorParams p;
+  p.k = 12;
+  p.tile_overlap = 4;
+  EXPECT_EQ(p.tile_length(), 20);
+  EXPECT_EQ(p.tile_step(), 8);
+  EXPECT_NO_THROW(p.validate());
+  p.k = 18;
+  p.tile_overlap = 2;  // tile length 34
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reptile::core

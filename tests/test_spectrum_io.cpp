@@ -1,0 +1,113 @@
+// Unit tests: spectrum checkpoint save/load.
+#include "core/spectrum_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/corrector.hpp"
+#include "seq/dataset.hpp"
+
+namespace reptile::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SpectrumIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "reptile_spectrum_io";
+    fs::create_directories(dir_);
+    params_.k = 10;
+    params_.tile_overlap = 4;
+    params_.kmer_threshold = 3;
+    params_.tile_threshold = 3;
+    seq::DatasetSpec spec{"sp", 600, 60, 1200};
+    seq::ErrorModelParams errors;
+    errors.error_rate_start = 0.005;
+    errors.error_rate_end = 0.01;
+    ds_ = seq::SyntheticDataset::generate(spec, errors, 44);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  LocalSpectrum build() {
+    LocalSpectrum s(params_);
+    for (const auto& r : ds_.reads) s.add_read(r.bases);
+    s.prune();
+    return s;
+  }
+
+  fs::path dir_;
+  CorrectorParams params_;
+  seq::SyntheticDataset ds_;
+};
+
+TEST_F(SpectrumIoTest, RoundTripPreservesEveryEntry) {
+  auto original = build();
+  save_spectrum(dir_ / "s.rptl", original, params_);
+  auto loaded = load_spectrum(dir_ / "s.rptl", params_);
+  EXPECT_EQ(loaded.kmer_entries(), original.kmer_entries());
+  EXPECT_EQ(loaded.tile_entries(), original.tile_entries());
+  original.kmers().for_each([&](std::uint64_t id, std::uint32_t c) {
+    ASSERT_EQ(loaded.kmer_count(id), c);
+  });
+  original.tiles().for_each([&](std::uint64_t id, std::uint32_t c) {
+    ASSERT_EQ(loaded.tile_count(id), c);
+  });
+}
+
+TEST_F(SpectrumIoTest, CorrectionFromLoadedSpectrumIsIdentical) {
+  auto original = build();
+  save_spectrum(dir_ / "s.rptl", original, params_);
+  auto loaded = load_spectrum(dir_ / "s.rptl", params_);
+  TileCorrector corrector(params_);
+  auto via_original = ds_.reads;
+  auto via_loaded = ds_.reads;
+  for (auto& r : via_original) corrector.correct(r, original);
+  for (auto& r : via_loaded) corrector.correct(r, loaded);
+  EXPECT_EQ(via_original, via_loaded);
+}
+
+TEST_F(SpectrumIoTest, ParameterMismatchRejected) {
+  auto original = build();
+  save_spectrum(dir_ / "s.rptl", original, params_);
+  CorrectorParams other = params_;
+  other.k = 12;
+  other.tile_overlap = 6;
+  EXPECT_THROW(load_spectrum(dir_ / "s.rptl", other), std::invalid_argument);
+  other = params_;
+  other.kmer_threshold = 5;
+  EXPECT_THROW(load_spectrum(dir_ / "s.rptl", other), std::invalid_argument);
+  other = params_;
+  other.canonical = true;
+  EXPECT_THROW(load_spectrum(dir_ / "s.rptl", other), std::invalid_argument);
+}
+
+TEST_F(SpectrumIoTest, CorruptFilesRejected) {
+  EXPECT_THROW(load_spectrum(dir_ / "missing.rptl", params_),
+               std::runtime_error);
+  {
+    std::ofstream out(dir_ / "bad.rptl", std::ios::binary);
+    out << "not a spectrum";
+  }
+  EXPECT_THROW(load_spectrum(dir_ / "bad.rptl", params_), std::runtime_error);
+
+  // Truncated: valid header then cut off mid-table.
+  auto original = build();
+  save_spectrum(dir_ / "s.rptl", original, params_);
+  const auto full_size = fs::file_size(dir_ / "s.rptl");
+  fs::resize_file(dir_ / "s.rptl", full_size / 2);
+  EXPECT_THROW(load_spectrum(dir_ / "s.rptl", params_), std::runtime_error);
+}
+
+TEST_F(SpectrumIoTest, EmptySpectrumRoundTrips) {
+  LocalSpectrum empty(params_);
+  save_spectrum(dir_ / "e.rptl", empty, params_);
+  auto loaded = load_spectrum(dir_ / "e.rptl", params_);
+  EXPECT_EQ(loaded.kmer_entries(), 0u);
+  EXPECT_EQ(loaded.tile_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace reptile::core

@@ -1,0 +1,92 @@
+// Unit tests: summary statistics, accuracy scoring, text tables.
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/accuracy.hpp"
+#include "stats/table.hpp"
+
+namespace reptile::stats {
+namespace {
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize(std::span<const double>{});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  const double v[] = {2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(std::span<const double>(v));
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+}
+
+TEST(Summary, SpreadAndImbalance) {
+  const std::uint64_t v[] = {90, 100, 110};
+  const Summary s = summarize(std::span<const std::uint64_t>(v));
+  EXPECT_NEAR(s.relative_spread(), 0.2, 1e-9);
+  EXPECT_NEAR(s.imbalance(), 1.1, 1e-9);
+}
+
+TEST(Accuracy, PerfectCorrection) {
+  std::vector<seq::Read> observed{{1, "ACGA", {30, 30, 30, 30}}};
+  std::vector<seq::Read> corrected{{1, "ACGT", {30, 30, 30, 30}}};
+  std::vector<std::string> truth{"ACGT"};
+  const auto rep = score_correction(observed, corrected, truth);
+  EXPECT_EQ(rep.true_positives, 1u);
+  EXPECT_EQ(rep.false_positives, 0u);
+  EXPECT_EQ(rep.false_negatives, 0u);
+  EXPECT_EQ(rep.reads_fully_fixed, 1u);
+  EXPECT_DOUBLE_EQ(rep.sensitivity(), 1.0);
+  EXPECT_DOUBLE_EQ(rep.gain(), 1.0);
+}
+
+TEST(Accuracy, MiscorrectionCountsAsFalsePositive) {
+  std::vector<seq::Read> observed{{1, "ACGT", {30, 30, 30, 30}}};
+  std::vector<seq::Read> corrected{{1, "ACGA", {30, 30, 30, 30}}};
+  std::vector<std::string> truth{"ACGT"};
+  const auto rep = score_correction(observed, corrected, truth);
+  EXPECT_EQ(rep.true_positives, 0u);
+  EXPECT_EQ(rep.false_positives, 1u);
+  EXPECT_EQ(rep.reads_changed, 1u);
+  EXPECT_DOUBLE_EQ(rep.gain(), -1.0);  // only breaking things
+}
+
+TEST(Accuracy, UncorrectedErrorIsFalseNegative) {
+  std::vector<seq::Read> observed{{1, "ACGA", {30, 30, 30, 30}}};
+  std::vector<seq::Read> corrected{{1, "ACGA", {30, 30, 30, 30}}};
+  std::vector<std::string> truth{"ACGT"};
+  const auto rep = score_correction(observed, corrected, truth);
+  EXPECT_EQ(rep.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(rep.sensitivity(), 0.0);
+  EXPECT_EQ(rep.reads_changed, 0u);
+}
+
+TEST(Accuracy, NoErrorsNoChangesIsPerfect) {
+  std::vector<seq::Read> observed{{1, "ACGT", {30, 30, 30, 30}}};
+  const auto rep = score_correction(observed, observed, {"ACGT"});
+  EXPECT_DOUBLE_EQ(rep.sensitivity(), 1.0);
+  EXPECT_DOUBLE_EQ(rep.gain(), 1.0);
+}
+
+TEST(TextTable, AlignsColumnsAndRendersCsv) {
+  TextTable t({"name", "value"});
+  t.row().cell("alpha").cell(12);
+  t.row().cell("b").cell_fixed(3.14159, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,12\nb,3.14\n");
+}
+
+}  // namespace
+}  // namespace reptile::stats

@@ -1,0 +1,245 @@
+// Unit + integration tests: workload measurement and synthesis.
+#include "perfmodel/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/error_model.hpp"
+
+namespace reptile::perfmodel {
+namespace {
+
+core::CorrectorParams small_params() {
+  core::CorrectorParams p;
+  p.k = 10;
+  p.tile_overlap = 4;
+  p.kmer_threshold = 3;
+  p.tile_threshold = 3;
+  return p;
+}
+
+struct Fixture {
+  seq::DatasetSpec spec{"mini", 3000, 70, 5000};
+  seq::ErrorModelParams errors;
+  seq::SyntheticDataset ds;
+  DatasetTraits traits;
+
+  Fixture() {
+    errors.error_rate_start = 0.003;
+    errors.error_rate_end = 0.01;
+    errors.burst_fraction = 0.2;
+    errors.burst_regions = 2;
+    errors.burst_multiplier = 8.0;
+    ds = seq::SyntheticDataset::generate(spec, errors, 31);
+    traits = measure_traits(ds, small_params(), errors, /*np_ref=*/32);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+TEST(CountBurstReads, MatchesErrorModelExactly) {
+  constexpr std::uint64_t kTotal = 977;
+  seq::ErrorModelParams errors;
+  errors.burst_fraction = 0.23;
+  errors.burst_regions = 3;
+  const seq::IlluminaErrorModel model(errors, kTotal);
+  std::uint64_t brute = 0;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    if (model.in_burst(i)) ++brute;
+  }
+  EXPECT_EQ(count_burst_reads(0, kTotal, kTotal, 0.23, 3), brute);
+  // Arbitrary sub-ranges match a brute-force count too.
+  for (auto [b, e] : {std::pair<std::uint64_t, std::uint64_t>{0, 100},
+                      {317, 711},
+                      {650, 977}}) {
+    std::uint64_t expect = 0;
+    for (std::uint64_t i = b; i < e; ++i) {
+      if (model.in_burst(i)) ++expect;
+    }
+    EXPECT_EQ(count_burst_reads(b, e, kTotal, 0.23, 3), expect)
+        << b << ".." << e;
+  }
+}
+
+TEST(CountBurstReads, EdgeCases) {
+  EXPECT_EQ(count_burst_reads(0, 100, 100, 0.0, 4), 0u);
+  EXPECT_EQ(count_burst_reads(0, 100, 100, 0.5, 0), 0u);
+  EXPECT_EQ(count_burst_reads(50, 50, 100, 0.5, 2), 0u);
+  EXPECT_EQ(count_burst_reads(0, 100, 100, 1.0, 1), 100u);
+}
+
+TEST(MeasureTraits, BurstReadsCostMoreWork) {
+  const auto& t = fixture().traits;
+  EXPECT_GT(t.burst_reads, 0u);
+  EXPECT_GT(t.quiet_reads, 0u);
+  // Burst reads trigger more untrusted tiles, hence more candidate lookups
+  // of both species. (Substitutions do NOT scale the same way — heavily
+  // corrupted reads are often uncorrectable, which is exactly why work, not
+  // output, drives the paper's load imbalance.)
+  EXPECT_GT(t.burst.tile_lookups, 2 * t.quiet.tile_lookups);
+  EXPECT_GT(t.burst.kmer_lookups, t.quiet.kmer_lookups);
+}
+
+TEST(MeasureTraits, GeometryAndCensusPopulated) {
+  const auto& t = fixture().traits;
+  EXPECT_DOUBLE_EQ(t.kmers_per_read, 70 - 10 + 1);
+  EXPECT_GT(t.tiles_per_read, 5);
+  EXPECT_GT(t.kept_kmers, 0u);
+  EXPECT_GT(t.dropped_kmers, 0u);
+  EXPECT_GT(t.kept_tiles, 0u);
+  EXPECT_GE(t.repeat_remote_fraction, 0.0);
+  EXPECT_LE(t.repeat_remote_fraction, 1.0);
+}
+
+TEST(MeasureTraits, TileChecksAtLeastTilePositions) {
+  const auto& t = fixture().traits;
+  // Every read pays one trusted-check per tile position; candidate lookups
+  // add more tile lookups on top.
+  EXPECT_GE(t.quiet.tile_lookups, t.quiet.tile_checks * 0.99);
+  EXPECT_GE(t.burst.tile_lookups, t.burst.tile_checks);
+}
+
+TEST(MeasureTraits, OwnSetHitsBoundedByLookups) {
+  const auto& t = fixture().traits;
+  EXPECT_LE(t.quiet.own_tile_hits, t.quiet.tile_lookups);
+  EXPECT_LE(t.burst.own_kmer_hits, t.burst.kmer_lookups);
+  // The read's own trusted tiles are in the rank's reads-table, so hits
+  // must be substantial.
+  EXPECT_GT(t.quiet.own_tile_hits, 0.0);
+}
+
+TEST(Synthesize, ConservesReadsAndSpreadsUniformlyWhenBalanced) {
+  const auto& f = fixture();
+  parallel::Heuristics heur;  // load_balance on by default
+  const auto ranks =
+      synthesize_workload(f.traits, f.spec, 16, 8, heur);
+  ASSERT_EQ(ranks.size(), 16u);
+  std::uint64_t reads = 0;
+  for (const auto& w : ranks) reads += w.reads;
+  EXPECT_EQ(reads, f.spec.n_reads);
+  // Balanced: per-rank tile lookups within ~1%.
+  double lo = ranks[0].tile_lookups, hi = ranks[0].tile_lookups;
+  for (const auto& w : ranks) {
+    lo = std::min(lo, w.tile_lookups);
+    hi = std::max(hi, w.tile_lookups);
+  }
+  EXPECT_LT((hi - lo) / hi, 0.02);
+}
+
+TEST(Synthesize, ImbalancedModeConcentratesBurstWork) {
+  const auto& f = fixture();
+  parallel::Heuristics heur;
+  heur.load_balance = false;
+  const auto ranks = synthesize_workload(f.traits, f.spec, 16, 8, heur);
+  double lo = ranks[0].tile_lookups, hi = ranks[0].tile_lookups;
+  for (const auto& w : ranks) {
+    lo = std::min(lo, w.tile_lookups);
+    hi = std::max(hi, w.tile_lookups);
+  }
+  // Some ranks hold entire burst regions, others none.
+  EXPECT_GT(hi / lo, 1.5);
+}
+
+TEST(Synthesize, RemoteFractionFollowsRankCount) {
+  const auto& f = fixture();
+  parallel::Heuristics heur;
+  const auto at = [&](int np) {
+    const auto ranks = synthesize_workload(f.traits, f.spec, np, 8, heur);
+    double remote = 0, total = 0;
+    for (const auto& w : ranks) {
+      remote += w.remote_lookups();
+      total += w.kmer_lookups + w.tile_lookups;
+    }
+    return remote / total;
+  };
+  EXPECT_NEAR(at(2), 0.5, 0.02);
+  EXPECT_NEAR(at(8), 7.0 / 8.0, 0.02);
+  EXPECT_GT(at(128), at(8));
+}
+
+TEST(Synthesize, HeuristicsShrinkRemoteTraffic) {
+  const auto& f = fixture();
+  parallel::Heuristics base;
+  const auto remote_of = [&](const parallel::Heuristics& h) {
+    const auto ranks = synthesize_workload(f.traits, f.spec, 32, 8, h);
+    double r = 0;
+    for (const auto& w : ranks) r += w.remote_lookups();
+    return r;
+  };
+  const double base_remote = remote_of(base);
+
+  parallel::Heuristics rk = base;
+  rk.read_kmers = true;
+  EXPECT_LT(remote_of(rk), base_remote);
+
+  parallel::Heuristics ar = rk;
+  ar.add_remote = true;
+  EXPECT_LE(remote_of(ar), remote_of(rk));
+
+  parallel::Heuristics agt = base;
+  agt.allgather_tiles = true;
+  const auto ranks_agt = synthesize_workload(f.traits, f.spec, 32, 8, agt);
+  for (const auto& w : ranks_agt) {
+    EXPECT_EQ(w.remote_tile_lookups, 0.0);
+    EXPECT_GT(w.remote_kmer_lookups, 0.0);
+    EXPECT_GT(w.replica_bytes, 0.0);
+  }
+
+  parallel::Heuristics both = base;
+  both.allgather_kmers = both.allgather_tiles = true;
+  EXPECT_EQ(remote_of(both), 0.0);
+}
+
+TEST(Synthesize, IntraNodeShareFollowsTopology) {
+  const auto& f = fixture();
+  parallel::Heuristics heur;
+  const auto ranks32 = synthesize_workload(f.traits, f.spec, 64, 32, heur);
+  const auto ranks1 = synthesize_workload(f.traits, f.spec, 64, 1, heur);
+  // 32 ranks/node: 31/63 of partners are local; 1 rank/node: none.
+  EXPECT_NEAR(ranks32[0].remote_intra /
+                  (ranks32[0].remote_intra + ranks32[0].remote_inter),
+              31.0 / 63.0, 0.01);
+  EXPECT_EQ(ranks1[0].remote_intra, 0.0);
+}
+
+TEST(Synthesize, BatchModeCapsConstructionPeak) {
+  const auto& f = fixture();
+  parallel::Heuristics base;
+  parallel::Heuristics batched = base;
+  batched.batch_reads = true;
+  // At full scale each rank handles far more reads than one chunk, which is
+  // when batching pays (the paper used it for the human dataset).
+  seq::DatasetSpec big = f.spec;
+  big.n_reads *= 100;
+  big.genome_size *= 100;
+  const auto normal = synthesize_workload(f.traits, big, 8, 8, base);
+  const auto capped = synthesize_workload(f.traits, big, 8, 8, batched);
+  EXPECT_LT(capped[0].construction_peak_bytes,
+            normal[0].construction_peak_bytes);
+  // With reads-per-rank below one chunk, batching changes nothing.
+  const auto small_normal = synthesize_workload(f.traits, f.spec, 8, 8, base);
+  const auto small_capped =
+      synthesize_workload(f.traits, f.spec, 8, 8, batched);
+  EXPECT_NEAR(small_capped[0].construction_peak_bytes,
+              small_normal[0].construction_peak_bytes,
+              0.01 * small_normal[0].construction_peak_bytes);
+}
+
+TEST(Synthesize, SpectrumScalesWithFullDataset) {
+  const auto& f = fixture();
+  parallel::Heuristics heur;
+  // Model the same dataset at 10x the geometry: owned entries grow, but by
+  // less than 10x for the genome-driven part only when genome also grows.
+  seq::DatasetSpec big = f.spec;
+  big.n_reads *= 10;
+  big.genome_size *= 10;
+  const auto small = synthesize_workload(f.traits, f.spec, 8, 8, heur);
+  const auto large = synthesize_workload(f.traits, big, 8, 8, heur);
+  EXPECT_NEAR(large[0].owned_entries / small[0].owned_entries, 10.0, 0.5);
+  EXPECT_GT(large[0].spectrum_bytes, small[0].spectrum_bytes);
+}
+
+}  // namespace
+}  // namespace reptile::perfmodel
