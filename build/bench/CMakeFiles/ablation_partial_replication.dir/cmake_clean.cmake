@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partial_replication.dir/ablation_partial_replication.cpp.o"
+  "CMakeFiles/ablation_partial_replication.dir/ablation_partial_replication.cpp.o.d"
+  "ablation_partial_replication"
+  "ablation_partial_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partial_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

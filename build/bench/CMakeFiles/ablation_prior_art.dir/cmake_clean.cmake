@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prior_art.dir/ablation_prior_art.cpp.o"
+  "CMakeFiles/ablation_prior_art.dir/ablation_prior_art.cpp.o.d"
+  "ablation_prior_art"
+  "ablation_prior_art.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prior_art.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ranks_per_node.dir/fig2_ranks_per_node.cpp.o"
+  "CMakeFiles/fig2_ranks_per_node.dir/fig2_ranks_per_node.cpp.o.d"
+  "fig2_ranks_per_node"
+  "fig2_ranks_per_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ranks_per_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_heuristics.dir/fig5_heuristics.cpp.o"
+  "CMakeFiles/fig5_heuristics.dir/fig5_heuristics.cpp.o.d"
+  "fig5_heuristics"
+  "fig5_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecoli_pipeline.dir/ecoli_pipeline.cpp.o"
+  "CMakeFiles/ecoli_pipeline.dir/ecoli_pipeline.cpp.o.d"
+  "ecoli_pipeline"
+  "ecoli_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecoli_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

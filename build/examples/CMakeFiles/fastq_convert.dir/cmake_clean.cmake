@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastq_convert.dir/fastq_convert.cpp.o"
+  "CMakeFiles/fastq_convert.dir/fastq_convert.cpp.o.d"
+  "fastq_convert"
+  "fastq_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastq_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

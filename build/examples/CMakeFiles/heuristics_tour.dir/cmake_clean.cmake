@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristics_tour.dir/heuristics_tour.cpp.o"
+  "CMakeFiles/heuristics_tour.dir/heuristics_tour.cpp.o.d"
+  "heuristics_tour"
+  "heuristics_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristics_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reptile_correct.dir/reptile_correct.cpp.o"
+  "CMakeFiles/reptile_correct.dir/reptile_correct.cpp.o.d"
+  "reptile_correct"
+  "reptile_correct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reptile_correct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

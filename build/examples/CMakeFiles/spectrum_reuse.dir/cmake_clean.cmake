@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_reuse.dir/spectrum_reuse.cpp.o"
+  "CMakeFiles/spectrum_reuse.dir/spectrum_reuse.cpp.o.d"
+  "spectrum_reuse"
+  "spectrum_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

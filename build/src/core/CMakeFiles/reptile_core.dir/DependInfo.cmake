@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/corrector.cpp" "src/core/CMakeFiles/reptile_core.dir/corrector.cpp.o" "gcc" "src/core/CMakeFiles/reptile_core.dir/corrector.cpp.o.d"
+  "/root/repo/src/core/frozen_spectrum.cpp" "src/core/CMakeFiles/reptile_core.dir/frozen_spectrum.cpp.o" "gcc" "src/core/CMakeFiles/reptile_core.dir/frozen_spectrum.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/reptile_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/reptile_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/spectrum.cpp" "src/core/CMakeFiles/reptile_core.dir/spectrum.cpp.o" "gcc" "src/core/CMakeFiles/reptile_core.dir/spectrum.cpp.o.d"
+  "/root/repo/src/core/spectrum_io.cpp" "src/core/CMakeFiles/reptile_core.dir/spectrum_io.cpp.o" "gcc" "src/core/CMakeFiles/reptile_core.dir/spectrum_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/reptile_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/reptile_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reptile_core.dir/corrector.cpp.o"
+  "CMakeFiles/reptile_core.dir/corrector.cpp.o.d"
+  "CMakeFiles/reptile_core.dir/frozen_spectrum.cpp.o"
+  "CMakeFiles/reptile_core.dir/frozen_spectrum.cpp.o.d"
+  "CMakeFiles/reptile_core.dir/pipeline.cpp.o"
+  "CMakeFiles/reptile_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/reptile_core.dir/spectrum.cpp.o"
+  "CMakeFiles/reptile_core.dir/spectrum.cpp.o.d"
+  "CMakeFiles/reptile_core.dir/spectrum_io.cpp.o"
+  "CMakeFiles/reptile_core.dir/spectrum_io.cpp.o.d"
+  "libreptile_core.a"
+  "libreptile_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reptile_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reptile_hash.dir/sorted_spectrum.cpp.o"
+  "CMakeFiles/reptile_hash.dir/sorted_spectrum.cpp.o.d"
+  "libreptile_hash.a"
+  "libreptile_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reptile_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

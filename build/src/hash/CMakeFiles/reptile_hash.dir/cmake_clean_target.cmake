@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreptile_hash.a"
+)

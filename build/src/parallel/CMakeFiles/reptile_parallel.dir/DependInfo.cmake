@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/baseline_replicated.cpp" "src/parallel/CMakeFiles/reptile_parallel.dir/baseline_replicated.cpp.o" "gcc" "src/parallel/CMakeFiles/reptile_parallel.dir/baseline_replicated.cpp.o.d"
+  "/root/repo/src/parallel/config_file.cpp" "src/parallel/CMakeFiles/reptile_parallel.dir/config_file.cpp.o" "gcc" "src/parallel/CMakeFiles/reptile_parallel.dir/config_file.cpp.o.d"
+  "/root/repo/src/parallel/dist_pipeline.cpp" "src/parallel/CMakeFiles/reptile_parallel.dir/dist_pipeline.cpp.o" "gcc" "src/parallel/CMakeFiles/reptile_parallel.dir/dist_pipeline.cpp.o.d"
+  "/root/repo/src/parallel/dist_spectrum.cpp" "src/parallel/CMakeFiles/reptile_parallel.dir/dist_spectrum.cpp.o" "gcc" "src/parallel/CMakeFiles/reptile_parallel.dir/dist_spectrum.cpp.o.d"
+  "/root/repo/src/parallel/lookup_service.cpp" "src/parallel/CMakeFiles/reptile_parallel.dir/lookup_service.cpp.o" "gcc" "src/parallel/CMakeFiles/reptile_parallel.dir/lookup_service.cpp.o.d"
+  "/root/repo/src/parallel/rebalance.cpp" "src/parallel/CMakeFiles/reptile_parallel.dir/rebalance.cpp.o" "gcc" "src/parallel/CMakeFiles/reptile_parallel.dir/rebalance.cpp.o.d"
+  "/root/repo/src/parallel/remote_spectrum.cpp" "src/parallel/CMakeFiles/reptile_parallel.dir/remote_spectrum.cpp.o" "gcc" "src/parallel/CMakeFiles/reptile_parallel.dir/remote_spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/reptile_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtm/CMakeFiles/reptile_rtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/reptile_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/reptile_seq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

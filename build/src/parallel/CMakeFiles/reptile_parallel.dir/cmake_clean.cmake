@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reptile_parallel.dir/baseline_replicated.cpp.o"
+  "CMakeFiles/reptile_parallel.dir/baseline_replicated.cpp.o.d"
+  "CMakeFiles/reptile_parallel.dir/config_file.cpp.o"
+  "CMakeFiles/reptile_parallel.dir/config_file.cpp.o.d"
+  "CMakeFiles/reptile_parallel.dir/dist_pipeline.cpp.o"
+  "CMakeFiles/reptile_parallel.dir/dist_pipeline.cpp.o.d"
+  "CMakeFiles/reptile_parallel.dir/dist_spectrum.cpp.o"
+  "CMakeFiles/reptile_parallel.dir/dist_spectrum.cpp.o.d"
+  "CMakeFiles/reptile_parallel.dir/lookup_service.cpp.o"
+  "CMakeFiles/reptile_parallel.dir/lookup_service.cpp.o.d"
+  "CMakeFiles/reptile_parallel.dir/rebalance.cpp.o"
+  "CMakeFiles/reptile_parallel.dir/rebalance.cpp.o.d"
+  "CMakeFiles/reptile_parallel.dir/remote_spectrum.cpp.o"
+  "CMakeFiles/reptile_parallel.dir/remote_spectrum.cpp.o.d"
+  "libreptile_parallel.a"
+  "libreptile_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reptile_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

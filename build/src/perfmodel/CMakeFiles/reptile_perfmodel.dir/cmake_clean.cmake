@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reptile_perfmodel.dir/machine.cpp.o"
+  "CMakeFiles/reptile_perfmodel.dir/machine.cpp.o.d"
+  "CMakeFiles/reptile_perfmodel.dir/phase_model.cpp.o"
+  "CMakeFiles/reptile_perfmodel.dir/phase_model.cpp.o.d"
+  "CMakeFiles/reptile_perfmodel.dir/workload.cpp.o"
+  "CMakeFiles/reptile_perfmodel.dir/workload.cpp.o.d"
+  "libreptile_perfmodel.a"
+  "libreptile_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reptile_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

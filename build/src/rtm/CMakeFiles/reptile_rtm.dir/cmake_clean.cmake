@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reptile_rtm.dir/chaos.cpp.o"
+  "CMakeFiles/reptile_rtm.dir/chaos.cpp.o.d"
+  "CMakeFiles/reptile_rtm.dir/comm.cpp.o"
+  "CMakeFiles/reptile_rtm.dir/comm.cpp.o.d"
+  "libreptile_rtm.a"
+  "libreptile_rtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reptile_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for reptile_rtm.
+# This may be replaced when dependencies are built.

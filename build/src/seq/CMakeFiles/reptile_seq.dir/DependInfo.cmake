@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/alphabet.cpp" "src/seq/CMakeFiles/reptile_seq.dir/alphabet.cpp.o" "gcc" "src/seq/CMakeFiles/reptile_seq.dir/alphabet.cpp.o.d"
+  "/root/repo/src/seq/dataset.cpp" "src/seq/CMakeFiles/reptile_seq.dir/dataset.cpp.o" "gcc" "src/seq/CMakeFiles/reptile_seq.dir/dataset.cpp.o.d"
+  "/root/repo/src/seq/error_model.cpp" "src/seq/CMakeFiles/reptile_seq.dir/error_model.cpp.o" "gcc" "src/seq/CMakeFiles/reptile_seq.dir/error_model.cpp.o.d"
+  "/root/repo/src/seq/fasta_io.cpp" "src/seq/CMakeFiles/reptile_seq.dir/fasta_io.cpp.o" "gcc" "src/seq/CMakeFiles/reptile_seq.dir/fasta_io.cpp.o.d"
+  "/root/repo/src/seq/fastq_io.cpp" "src/seq/CMakeFiles/reptile_seq.dir/fastq_io.cpp.o" "gcc" "src/seq/CMakeFiles/reptile_seq.dir/fastq_io.cpp.o.d"
+  "/root/repo/src/seq/kmer.cpp" "src/seq/CMakeFiles/reptile_seq.dir/kmer.cpp.o" "gcc" "src/seq/CMakeFiles/reptile_seq.dir/kmer.cpp.o.d"
+  "/root/repo/src/seq/tile.cpp" "src/seq/CMakeFiles/reptile_seq.dir/tile.cpp.o" "gcc" "src/seq/CMakeFiles/reptile_seq.dir/tile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

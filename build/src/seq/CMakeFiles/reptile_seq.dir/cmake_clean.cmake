@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reptile_seq.dir/alphabet.cpp.o"
+  "CMakeFiles/reptile_seq.dir/alphabet.cpp.o.d"
+  "CMakeFiles/reptile_seq.dir/dataset.cpp.o"
+  "CMakeFiles/reptile_seq.dir/dataset.cpp.o.d"
+  "CMakeFiles/reptile_seq.dir/error_model.cpp.o"
+  "CMakeFiles/reptile_seq.dir/error_model.cpp.o.d"
+  "CMakeFiles/reptile_seq.dir/fasta_io.cpp.o"
+  "CMakeFiles/reptile_seq.dir/fasta_io.cpp.o.d"
+  "CMakeFiles/reptile_seq.dir/fastq_io.cpp.o"
+  "CMakeFiles/reptile_seq.dir/fastq_io.cpp.o.d"
+  "CMakeFiles/reptile_seq.dir/kmer.cpp.o"
+  "CMakeFiles/reptile_seq.dir/kmer.cpp.o.d"
+  "CMakeFiles/reptile_seq.dir/tile.cpp.o"
+  "CMakeFiles/reptile_seq.dir/tile.cpp.o.d"
+  "libreptile_seq.a"
+  "libreptile_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reptile_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corrector.dir/test_corrector.cpp.o"
+  "CMakeFiles/test_corrector.dir/test_corrector.cpp.o.d"
+  "test_corrector"
+  "test_corrector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corrector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

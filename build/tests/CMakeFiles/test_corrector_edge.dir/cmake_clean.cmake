@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corrector_edge.dir/test_corrector_edge.cpp.o"
+  "CMakeFiles/test_corrector_edge.dir/test_corrector_edge.cpp.o.d"
+  "test_corrector_edge"
+  "test_corrector_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corrector_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

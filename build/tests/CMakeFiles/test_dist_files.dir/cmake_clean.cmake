@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_files.dir/test_dist_files.cpp.o"
+  "CMakeFiles/test_dist_files.dir/test_dist_files.cpp.o.d"
+  "test_dist_files"
+  "test_dist_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_identity.dir/test_dist_identity.cpp.o"
+  "CMakeFiles/test_dist_identity.dir/test_dist_identity.cpp.o.d"
+  "test_dist_identity"
+  "test_dist_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

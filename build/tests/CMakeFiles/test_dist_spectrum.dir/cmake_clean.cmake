@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_spectrum.dir/test_dist_spectrum.cpp.o"
+  "CMakeFiles/test_dist_spectrum.dir/test_dist_spectrum.cpp.o.d"
+  "test_dist_spectrum"
+  "test_dist_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fasta_io.dir/test_fasta_io.cpp.o"
+  "CMakeFiles/test_fasta_io.dir/test_fasta_io.cpp.o.d"
+  "test_fasta_io"
+  "test_fasta_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fasta_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

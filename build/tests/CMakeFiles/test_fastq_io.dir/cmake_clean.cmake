@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastq_io.dir/test_fastq_io.cpp.o"
+  "CMakeFiles/test_fastq_io.dir/test_fastq_io.cpp.o.d"
+  "test_fastq_io"
+  "test_fastq_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastq_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kmer.dir/test_kmer.cpp.o"
+  "CMakeFiles/test_kmer.dir/test_kmer.cpp.o.d"
+  "test_kmer"
+  "test_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

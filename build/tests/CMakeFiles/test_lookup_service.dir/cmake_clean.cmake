@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lookup_service.dir/test_lookup_service.cpp.o"
+  "CMakeFiles/test_lookup_service.dir/test_lookup_service.cpp.o.d"
+  "test_lookup_service"
+  "test_lookup_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lookup_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_inputs.dir/test_mixed_inputs.cpp.o"
+  "CMakeFiles/test_mixed_inputs.dir/test_mixed_inputs.cpp.o.d"
+  "test_mixed_inputs"
+  "test_mixed_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

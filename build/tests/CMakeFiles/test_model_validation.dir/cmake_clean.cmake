@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_validation.dir/test_model_validation.cpp.o"
+  "CMakeFiles/test_model_validation.dir/test_model_validation.cpp.o.d"
+  "test_model_validation"
+  "test_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_read_sources.dir/test_read_sources.cpp.o"
+  "CMakeFiles/test_read_sources.dir/test_read_sources.cpp.o.d"
+  "test_read_sources"
+  "test_read_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_read_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

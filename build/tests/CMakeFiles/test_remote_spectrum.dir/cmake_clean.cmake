@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote_spectrum.dir/test_remote_spectrum.cpp.o"
+  "CMakeFiles/test_remote_spectrum.dir/test_remote_spectrum.cpp.o.d"
+  "test_remote_spectrum"
+  "test_remote_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtm_stress.dir/test_rtm_stress.cpp.o"
+  "CMakeFiles/test_rtm_stress.dir/test_rtm_stress.cpp.o.d"
+  "test_rtm_stress"
+  "test_rtm_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtm_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential_pipeline.dir/test_sequential_pipeline.cpp.o"
+  "CMakeFiles/test_sequential_pipeline.dir/test_sequential_pipeline.cpp.o.d"
+  "test_sequential_pipeline"
+  "test_sequential_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sorted_spectrum.dir/test_sorted_spectrum.cpp.o"
+  "CMakeFiles/test_sorted_spectrum.dir/test_sorted_spectrum.cpp.o.d"
+  "test_sorted_spectrum"
+  "test_sorted_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sorted_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectrum_io.dir/test_spectrum_io.cpp.o"
+  "CMakeFiles/test_spectrum_io.dir/test_spectrum_io.cpp.o.d"
+  "test_spectrum_io"
+  "test_spectrum_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectrum_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

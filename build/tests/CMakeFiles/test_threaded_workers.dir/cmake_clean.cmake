@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threaded_workers.dir/test_threaded_workers.cpp.o"
+  "CMakeFiles/test_threaded_workers.dir/test_threaded_workers.cpp.o.d"
+  "test_threaded_workers"
+  "test_threaded_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threaded_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
