@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "parallel/report.hpp"
 
 int main() {
   using namespace reptile;
@@ -95,7 +96,7 @@ int main() {
   config.ranks_per_node = 4;
 
   stats::TextTable fn({"heuristic", "remote lookups", "probes", "served",
-                       "peak MB (max rank)"});
+                       "prefetch hits", "peak MB (max rank)"});
   const Row fn_rows[] = {
       {"base", 8, 4, h([](auto&) {})},
       {"universal", 8, 4, h([](auto& x) { x.universal = true; })},
@@ -106,16 +107,22 @@ int main() {
       {"allgather both", 8, 4,
        h([](auto& x) { x.allgather_kmers = x.allgather_tiles = true; })},
       {"batch reads", 8, 4, h([](auto& x) { x.batch_reads = true; })},
+      // Extension: vectored per-chunk prefetch (see DESIGN.md).
+      {"batched lookups", 8, 4, h([](auto& x) { x.batch_lookups = true; })},
+      {"batched + read kmers", 8, 4,
+       h([](auto& x) { x.batch_lookups = x.read_kmers = true; })},
   };
+  parallel::DistResult batched_result;
   for (const Row& row : fn_rows) {
     config.heuristics = row.heur;
-    const auto result = parallel::run_distributed(ds.reads, config);
-    std::uint64_t remote = 0, probes = 0, served = 0;
+    auto result = parallel::run_distributed(ds.reads, config);
+    std::uint64_t remote = 0, probes = 0, served = 0, hits = 0;
     std::size_t peak = 0;
     for (const auto& r : result.ranks) {
       remote += r.remote.remote_kmer_lookups + r.remote.remote_tile_lookups;
       probes += r.service.probe_calls;
       served += r.service.requests_served;
+      hits += r.remote.prefetch_hits;
       peak = std::max({peak, r.construction_peak_bytes,
                        r.footprint_after_correction.bytes});
     }
@@ -124,8 +131,19 @@ int main() {
         .cell(remote)
         .cell(probes)
         .cell(served)
+        .cell(hits)
         .cell_fixed(static_cast<double>(peak) / (1 << 20), 2);
+    if (row.heur.batch_lookups && !row.heur.read_kmers) {
+      batched_result = std::move(result);
+    }
   }
   fn.print(std::cout);
+
+  // Machine-readable per-rank report of the batched-lookups run (batch and
+  // prefetch counters included).
+  std::printf("\n%s\n",
+              parallel::to_report(batched_result, "fig5_batched_lookups")
+                  .to_json()
+                  .c_str());
   return 0;
 }

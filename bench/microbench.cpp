@@ -9,6 +9,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <thread>
 #include <vector>
 
 #include "core/corrector.hpp"
@@ -16,10 +19,15 @@
 #include "hash/bloom_filter.hpp"
 #include "hash/count_table.hpp"
 #include "hash/sorted_spectrum.hpp"
+#include "parallel/lookup_service.hpp"
+#include "parallel/wire.hpp"
 #include "rtm/mailbox.hpp"
 #include "seq/dataset.hpp"
 #include "seq/kmer.hpp"
 #include "seq/rng.hpp"
+#include "stats/report.hpp"
+#include "stats/stopwatch.hpp"
+#include "stats/table.hpp"
 
 namespace {
 
@@ -173,6 +181,148 @@ void BM_MailboxPushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxPushPop);
 
+// --- scalar vs batched remote lookups ----------------------------------------
+
+/// One measured configuration of the remote-lookup protocol comparison.
+struct LookupRow {
+  std::size_t batch_size = 1;  ///< 1 = scalar request/reply
+  std::size_t lookups = 0;
+  std::size_t messages = 0;  ///< request messages sent by the driver
+  double seconds = 0;
+};
+
+/// Times `lookups` remote k-mer resolutions against a live LookupService
+/// over a 2-rank world: the scalar one-request-per-ID protocol vs one
+/// vectored request per `batch` IDs (the batch_lookups wire path). Same
+/// IDs, same service, same runtime — the difference is purely the number of
+/// round trips the driver blocks on.
+std::vector<LookupRow> measure_remote_lookups(
+    std::size_t lookups, const std::vector<std::size_t>& batch_sizes) {
+  using namespace reptile::parallel;
+  seq::DatasetSpec spec{"mb_remote", 2000, 70, 4000};
+  const auto ds = seq::SyntheticDataset::generate(spec, {}, 97);
+  core::CorrectorParams params;
+  params.k = 12;
+  params.tile_overlap = 4;
+  params.kmer_threshold = 2;
+  params.tile_threshold = 2;
+
+  std::vector<LookupRow> rows;
+  rtm::run_world({2, 1}, [&](rtm::Comm& comm) {
+    // Rank 1 owns a populated shard and serves; rank 0 drives lookups.
+    DistSpectrum spectrum(params, Heuristics{}, comm);
+    if (comm.rank() == 1) {
+      for (const auto& r : ds.reads) spectrum.add_read(r.bases);
+    }
+    spectrum.exchange_to_owners();
+    spectrum.prune();
+
+    if (comm.rank() == 1) {
+      std::vector<std::uint64_t> owned;
+      spectrum.hash_kmers().for_each(
+          [&](std::uint64_t id, std::uint32_t) { owned.push_back(id); });
+      comm.send<std::uint64_t>(
+          0, 97, std::span<const std::uint64_t>(owned.data(), owned.size()));
+      comm.reset_done();
+      LookupService service(comm, spectrum);
+      std::thread server([&service] { service.serve(); });
+      comm.signal_done();
+      server.join();
+    } else {
+      auto ids = comm.recv(1, 97).as<std::uint64_t>();
+      comm.reset_done();
+      stats::Stopwatch clock;
+
+      // Scalar baseline: one blocking round trip per lookup.
+      LookupRow scalar;
+      scalar.batch_size = 1;
+      clock.restart();
+      for (std::size_t i = 0; i < lookups; ++i) {
+        LookupRequest req;
+        req.id = ids[i % ids.size()];
+        comm.send_value(1, kTagKmerRequest, req);
+        benchmark::DoNotOptimize(
+            comm.recv(1, kTagKmerReply).as_value<LookupReply>().count);
+        ++scalar.messages;
+        ++scalar.lookups;
+      }
+      scalar.seconds = clock.seconds();
+      rows.push_back(scalar);
+
+      // Batched: one vectored round trip per `batch` lookups.
+      std::vector<std::uint8_t> buf;
+      std::vector<std::uint64_t> group;
+      for (const std::size_t batch : batch_sizes) {
+        LookupRow row;
+        row.batch_size = batch;
+        clock.restart();
+        for (std::size_t done = 0; done < lookups; done += group.size()) {
+          group.clear();
+          for (std::size_t j = 0; j < batch && done + j < lookups; ++j) {
+            group.push_back(ids[(done + j) % ids.size()]);
+          }
+          buf.clear();
+          encode_batch_request(
+              LookupKind::kKmer, batch_reply_tag(LookupKind::kKmer),
+              std::span<const std::uint64_t>(group.data(), group.size()),
+              buf);
+          comm.send<std::uint8_t>(
+              1, kTagBatchRequest,
+              std::span<const std::uint8_t>(buf.data(), buf.size()));
+          const auto counts =
+              comm.recv(1, batch_reply_tag(LookupKind::kKmer))
+                  .as<std::int32_t>();
+          benchmark::DoNotOptimize(counts.data());
+          ++row.messages;
+          row.lookups += counts.size();
+        }
+        row.seconds = clock.seconds();
+        rows.push_back(row);
+      }
+      comm.signal_done();
+    }
+    comm.barrier();
+  });
+  return rows;
+}
+
+void report_remote_lookups() {
+  std::printf("\n--- remote lookups: scalar request/reply vs batched "
+              "(batch_lookups wire path) ---\n");
+  const auto rows = measure_remote_lookups(20000, {16, 64, 256, 1024});
+  const double scalar_ns =
+      rows.front().seconds * 1e9 / static_cast<double>(rows.front().lookups);
+  stats::TextTable table(
+      {"mode", "batch_size", "lookups", "messages", "ns/lookup", "speedup"});
+  stats::RunReport report("microbench_remote_lookups");
+  for (const auto& r : rows) {
+    const double ns =
+        r.seconds * 1e9 / static_cast<double>(std::max<std::size_t>(r.lookups, 1));
+    table.row()
+        .cell(r.batch_size == 1 ? "scalar" : "batched")
+        .cell(r.batch_size)
+        .cell(r.lookups)
+        .cell(r.messages)
+        .cell_fixed(ns, 1)
+        .cell_fixed(scalar_ns / ns, 2);
+    report.record()
+        .add("batch_size", static_cast<double>(r.batch_size))
+        .add("lookups", static_cast<double>(r.lookups))
+        .add("messages", static_cast<double>(r.messages))
+        .add("seconds", r.seconds)
+        .add("ns_per_lookup", ns);
+  }
+  table.print(std::cout);
+  std::printf("%s\n", report.to_json().c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_remote_lookups();
+  return 0;
+}

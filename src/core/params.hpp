@@ -50,6 +50,18 @@ struct CorrectorParams {
   /// configuration-file chunk size).
   std::size_t chunk_size = 1024;
 
+  /// Upper bound on entries held in a correction worker's chunk-local
+  /// prefetch cache (the batched-lookup extension). The cache is cleared at
+  /// every chunk boundary; within a chunk at most this many IDs are
+  /// prefetched or cached from scalar replies, so correction-phase memory
+  /// stays capped no matter the chunk contents.
+  std::size_t prefetch_capacity = std::size_t{1} << 20;
+
+  /// Upper bound on entries the add_remote heuristic may append to the
+  /// shared reads tables. Beyond it the oldest cached reply is evicted
+  /// (FIFO), bounding the paper's unbounded 119 MB -> 199 MB growth.
+  std::size_t remote_cache_capacity = std::size_t{1} << 20;
+
   int tile_length() const noexcept { return 2 * k - tile_overlap; }
   int tile_step() const noexcept { return k - tile_overlap; }
 
@@ -72,6 +84,12 @@ struct CorrectorParams {
       throw std::invalid_argument("dominance_ratio must be >= 1");
     }
     if (chunk_size == 0) throw std::invalid_argument("chunk_size must be > 0");
+    if (prefetch_capacity == 0) {
+      throw std::invalid_argument("prefetch_capacity must be > 0");
+    }
+    if (remote_cache_capacity == 0) {
+      throw std::invalid_argument("remote_cache_capacity must be > 0");
+    }
   }
 };
 

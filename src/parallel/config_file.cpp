@@ -94,6 +94,12 @@ RunConfigFile parse_config_text(const std::string& text) {
     } else if (key == "chunk_size") {
       config.params.chunk_size =
           static_cast<std::size_t>(parse_int(value, lineno));
+    } else if (key == "prefetch_capacity") {
+      config.params.prefetch_capacity =
+          static_cast<std::size_t>(parse_int(value, lineno));
+    } else if (key == "remote_cache_capacity") {
+      config.params.remote_cache_capacity =
+          static_cast<std::size_t>(parse_int(value, lineno));
     } else if (key == "universal") {
       config.heuristics.universal = parse_bool(value, lineno);
     } else if (key == "read_kmers") {
@@ -106,6 +112,8 @@ RunConfigFile parse_config_text(const std::string& text) {
       config.heuristics.add_remote = parse_bool(value, lineno);
     } else if (key == "batch_reads") {
       config.heuristics.batch_reads = parse_bool(value, lineno);
+    } else if (key == "batch_lookups") {
+      config.heuristics.batch_lookups = parse_bool(value, lineno);
     } else if (key == "load_balance") {
       config.heuristics.load_balance = parse_bool(value, lineno);
     } else if (key == "partial_replication_group") {
@@ -157,7 +165,9 @@ std::string to_config_text(const RunConfigFile& config) {
       << "max_hamming " << p.max_hamming << '\n'
       << "dominance_ratio " << p.dominance_ratio << '\n'
       << "max_corrections_per_read " << p.max_corrections_per_read << '\n'
-      << "chunk_size " << p.chunk_size << '\n';
+      << "chunk_size " << p.chunk_size << '\n'
+      << "prefetch_capacity " << p.prefetch_capacity << '\n'
+      << "remote_cache_capacity " << p.remote_cache_capacity << '\n';
   const auto& h = config.heuristics;
   out << "universal " << (h.universal ? 1 : 0) << '\n'
       << "read_kmers " << (h.read_kmers ? 1 : 0) << '\n'
@@ -165,6 +175,7 @@ std::string to_config_text(const RunConfigFile& config) {
       << "allgather_tiles " << (h.allgather_tiles ? 1 : 0) << '\n'
       << "add_remote " << (h.add_remote ? 1 : 0) << '\n'
       << "batch_reads " << (h.batch_reads ? 1 : 0) << '\n'
+      << "batch_lookups " << (h.batch_lookups ? 1 : 0) << '\n'
       << "load_balance " << (h.load_balance ? 1 : 0) << '\n'
       << "partial_replication_group " << h.partial_replication_group << '\n'
       << "bloom_construction " << (h.bloom_construction ? 1 : 0) << '\n';

@@ -165,8 +165,12 @@ void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
   };
   std::vector<WorkerStats> worker_stats(static_cast<std::size_t>(workers));
 
+  // With concurrent workers, add_remote must not write the shared reads
+  // tables; each view then caches replies into its own chunk-local cache.
+  const bool cache_remote_locally =
+      workers > 1 && config.heuristics.add_remote;
   auto worker_body = [&](int slot) {
-    RemoteSpectrumView view(comm, spectrum, slot);
+    RemoteSpectrumView view(comm, spectrum, slot, cache_remote_locally);
     core::TileCorrector corrector(config.params);
     WorkerStats& ws = worker_stats[static_cast<std::size_t>(slot)];
     auto& corrected = per_worker_corrected[static_cast<std::size_t>(slot)];
@@ -176,6 +180,7 @@ void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
         std::lock_guard lock(source_mutex);
         if (!source->next_chunk(chunk, local_batch)) break;
       }
+      view.prefetch_chunk(local_batch);
       for (seq::Read& r : local_batch) {
         const core::ReadCorrection rc = corrector.correct(r, view);
         if (rc.changed()) ++ws.reads_changed;
@@ -211,12 +216,7 @@ void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
     report.tiles_untrusted += ws.tiles_untrusted;
     report.tiles_fixed += ws.tiles_fixed;
     report.lookups += ws.lookups;
-    report.remote.remote_kmer_lookups += ws.remote.remote_kmer_lookups;
-    report.remote.remote_tile_lookups += ws.remote.remote_tile_lookups;
-    report.remote.remote_kmer_absent += ws.remote.remote_kmer_absent;
-    report.remote.remote_tile_absent += ws.remote.remote_tile_absent;
-    report.remote.reads_table_hits += ws.remote.reads_table_hits;
-    report.remote.group_lookups += ws.remote.group_lookups;
+    report.remote += ws.remote;
     // The per-rank communication time is the wall time any worker spent
     // blocked; with concurrent workers we report the maximum.
     report.comm_seconds = std::max(report.comm_seconds, ws.comm_seconds);
@@ -260,10 +260,13 @@ void validate_config(const DistConfig& config) {
   if (config.worker_threads < 1) {
     throw std::invalid_argument("worker_threads must be >= 1");
   }
-  if (config.worker_threads > 1 && config.heuristics.add_remote) {
+  if (config.worker_threads > 1 && config.heuristics.add_remote &&
+      !config.heuristics.batch_lookups) {
     throw std::invalid_argument(
-        "add_remote caches into the reads tables, which is not thread-safe: "
-        "use worker_threads == 1 with that heuristic");
+        "add_remote caches into the shared reads tables, which is not "
+        "thread-safe with worker_threads > 1: enable "
+        "heuristics.batch_lookups (replies then land in each worker's "
+        "chunk-local prefetch cache) or use worker_threads == 1");
   }
 }
 }  // namespace

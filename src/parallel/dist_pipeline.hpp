@@ -33,8 +33,10 @@ struct DistConfig {
   /// the distributed modes, and many workers per rank in the
   /// fully-replicated mode (64 threads/rank on BlueGene/Q). Each worker
   /// uses its own reply tags, so remote lookups from concurrent workers
-  /// never mix. Incompatible with the add_remote heuristic (its reads-table
-  /// cache is not thread-safe).
+  /// never mix. Combining >1 workers with the add_remote heuristic
+  /// additionally requires batch_lookups: replies are then cached in each
+  /// worker's private chunk-local cache instead of the shared reads tables
+  /// (which are not thread-safe to write during correction).
   int worker_threads = 1;
   /// Runtime options (chaos delivery for robustness testing; see
   /// rtm/chaos.hpp). Defaults to instant delivery.

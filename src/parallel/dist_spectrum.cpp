@@ -203,6 +203,8 @@ void DistSpectrum::drop_reads_tables() {
   pending_tile_.clear();
   reads_kmer_.clear();
   reads_tile_.clear();
+  remote_cache_order_kmer_.clear();
+  remote_cache_order_tile_.clear();
 }
 
 std::optional<std::uint32_t> DistSpectrum::owned_kmer(seq::kmer_id_t id) const {
@@ -233,11 +235,23 @@ std::optional<std::uint32_t> DistSpectrum::group_tile(seq::tile_id_t id) const {
   return group_tile_.find(id);
 }
 
+void DistSpectrum::cache_into(hash::CountTable<>& table,
+                              std::deque<std::uint64_t>& order,
+                              std::uint64_t id, std::uint32_t count) {
+  if (table.contains(id)) return;  // fetched or already cached
+  while (order.size() >= params_.remote_cache_capacity) {
+    table.erase(order.front());
+    order.pop_front();
+  }
+  table.increment(id, count);
+  order.push_back(id);
+}
+
 void DistSpectrum::cache_remote_kmer(seq::kmer_id_t id, std::uint32_t count) {
-  reads_kmer_.increment(id, count);
+  cache_into(reads_kmer_, remote_cache_order_kmer_, id, count);
 }
 void DistSpectrum::cache_remote_tile(seq::tile_id_t id, std::uint32_t count) {
-  reads_tile_.increment(id, count);
+  cache_into(reads_tile_, remote_cache_order_tile_, id, count);
 }
 
 SpectrumFootprint DistSpectrum::footprint() const {
@@ -255,6 +269,9 @@ SpectrumFootprint DistSpectrum::footprint() const {
             reads_kmer_.memory_bytes() + reads_tile_.memory_bytes() +
             replica_kmer_.memory_bytes() + replica_tile_.memory_bytes() +
             group_kmer_.memory_bytes() + group_tile_.memory_bytes();
+  f.bytes += (remote_cache_order_kmer_.size() +
+              remote_cache_order_tile_.size()) *
+             sizeof(std::uint64_t);
   if (bloom_kmer_) f.bytes += bloom_kmer_->memory_bytes();
   if (bloom_tile_) f.bytes += bloom_tile_->memory_bytes();
   return f;

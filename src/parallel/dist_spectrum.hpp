@@ -14,6 +14,7 @@
 // construction-phase memory footprint.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -118,7 +119,11 @@ class DistSpectrum {
   }
 
   /// Caches a remote reply (add_remote heuristic); count 0 records a
-  /// definitive absence.
+  /// definitive absence. The cache is bounded by
+  /// core::CorrectorParams::remote_cache_capacity entries per table: beyond
+  /// it the oldest cached reply is evicted (FIFO). Entries placed in the
+  /// reads tables by fetch_global_reads_tables are never evicted — eviction
+  /// only ever costs a redundant remote lookup, never a wrong count.
   void cache_remote_kmer(seq::kmer_id_t id, std::uint32_t count);
   void cache_remote_tile(seq::tile_id_t id, std::uint32_t count);
 
@@ -133,6 +138,7 @@ class DistSpectrum {
     return extractor_;
   }
   const Heuristics& heuristics() const noexcept { return heur_; }
+  const core::CorrectorParams& params() const noexcept { return params_; }
 
   SpectrumFootprint footprint() const;
 
@@ -159,6 +165,11 @@ class DistSpectrum {
   void fetch_one(hash::CountTable<>& reads_table,
                  const hash::CountTable<>& owned_table);
 
+  /// Shared bounded-insert path of cache_remote_kmer/tile.
+  void cache_into(hash::CountTable<>& table,
+                  std::deque<std::uint64_t>& order, std::uint64_t id,
+                  std::uint32_t count);
+
   core::CorrectorParams params_;
   Heuristics heur_;
   rtm::Comm* comm_;
@@ -174,6 +185,11 @@ class DistSpectrum {
   /// non-owned IDs of this rank's reads, later refreshed to global counts).
   hash::CountTable<> reads_kmer_;
   hash::CountTable<> reads_tile_;
+  /// Insertion order of add_remote-cached entries, for FIFO eviction once
+  /// remote_cache_capacity is reached. Holds only cached replies, never the
+  /// fetch_global_reads_tables base entries.
+  std::deque<std::uint64_t> remote_cache_order_kmer_;
+  std::deque<std::uint64_t> remote_cache_order_tile_;
   hash::CountTable<> replica_kmer_;
   hash::CountTable<> replica_tile_;
   /// Group tables of the partial-replication mode: the merged owned shards

@@ -38,6 +38,16 @@ struct Heuristics {
   /// reads and empty the reads tables, capping construction memory.
   bool batch_reads = false;
 
+  /// Batched remote lookups (extension beyond the paper, see DESIGN.md):
+  /// before correcting a chunk, every non-locally-resolvable k-mer/tile ID
+  /// of the chunk's reads is deduplicated, bucketed by owning rank, and
+  /// fetched with one vectored request per owner. Replies fill a bounded
+  /// chunk-local prefetch cache consulted before the scalar remote
+  /// fallback, so the correction inner loop is latency-bound only on the
+  /// rare mid-correction candidate miss. Output is bit-identical to the
+  /// scalar protocol.
+  bool batch_lookups = false;
+
   /// Static load balancing (Section III-A): redistribute reads to their
   /// owning ranks (hash of the sequence) before both phases.
   bool load_balance = true;
@@ -92,6 +102,7 @@ struct Heuristics {
     add(allgather_tiles, "allgather_tiles");
     add(add_remote, "add_remote");
     add(batch_reads, "batch_reads");
+    add(batch_lookups, "batch_lookups");
     add(load_balance, "load_balance");
     add(bloom_construction, "bloom");
     if (partial_replication_group > 1) {

@@ -1,6 +1,9 @@
 #include "parallel/lookup_service.hpp"
 
 #include <chrono>
+#include <vector>
+
+#include "parallel/wire.hpp"
 
 namespace reptile::parallel {
 
@@ -9,7 +12,7 @@ constexpr auto kServiceWait = std::chrono::microseconds(200);
 
 bool is_request_tag(int tag) noexcept {
   return tag == kTagKmerRequest || tag == kTagTileRequest ||
-         tag == kTagUniversalRequest;
+         tag == kTagUniversalRequest || tag == kTagBatchRequest;
 }
 }  // namespace
 
@@ -35,8 +38,28 @@ void LookupService::reply(int requester, LookupKind kind, std::uint64_t id,
   ++stats_.requests_served;
 }
 
+void LookupService::reply_batch(const rtm::Message& msg) {
+  const BatchLookupRequest req = decode_batch_request(msg.payload);
+  std::vector<std::int32_t> counts;
+  counts.reserve(req.ids.size());
+  for (std::uint64_t id : req.ids) {
+    const auto c = req.kind == LookupKind::kKmer ? spectrum_->owned_kmer(id)
+                                                 : spectrum_->owned_tile(id);
+    counts.push_back(c ? static_cast<std::int32_t>(*c) : -1);
+    if (!c) ++stats_.absent_replies;
+  }
+  comm_->send<std::int32_t>(
+      msg.source, req.reply_to,
+      std::span<const std::int32_t>(counts.data(), counts.size()));
+  ++stats_.batch_requests;
+  stats_.batch_ids_served += req.ids.size();
+  ++stats_.requests_served;
+}
+
 void LookupService::handle(const rtm::Message& msg) {
-  if (msg.tag == kTagUniversalRequest) {
+  if (msg.tag == kTagBatchRequest) {
+    reply_batch(msg);
+  } else if (msg.tag == kTagUniversalRequest) {
     const auto req = msg.as_value<UniversalLookupRequest>();
     reply(msg.source, req.kind, req.id, req.reply_to);
   } else {
@@ -71,6 +94,7 @@ void LookupService::serve() {
     auto msg = comm_->try_recv(rtm::kAnySource, kTagKmerRequest);
     if (!msg) msg = comm_->try_recv(rtm::kAnySource, kTagTileRequest);
     if (!msg) msg = comm_->try_recv(rtm::kAnySource, kTagUniversalRequest);
+    if (!msg) msg = comm_->try_recv(rtm::kAnySource, kTagBatchRequest);
     if (!msg) break;
     handle(*msg);
   }

@@ -24,11 +24,13 @@ namespace reptile::parallel {
 
 /// Per-service counters, read after the thread is joined.
 struct ServiceStats {
-  std::uint64_t requests_served = 0;
-  std::uint64_t kmer_requests = 0;
-  std::uint64_t tile_requests = 0;
+  std::uint64_t requests_served = 0;  ///< messages answered (scalar + batch)
+  std::uint64_t kmer_requests = 0;    ///< scalar k-mer requests
+  std::uint64_t tile_requests = 0;    ///< scalar tile requests
   std::uint64_t probe_calls = 0;  ///< tag probes (non-universal mode only)
-  std::uint64_t absent_replies = 0;
+  std::uint64_t absent_replies = 0;   ///< -1 answers, scalar or batched
+  std::uint64_t batch_requests = 0;   ///< vectored requests answered
+  std::uint64_t batch_ids_served = 0; ///< IDs looked up across all batches
 };
 
 class LookupService {
@@ -49,6 +51,10 @@ class LookupService {
   void handle(const rtm::Message& msg);
 
   void reply(int requester, LookupKind kind, std::uint64_t id, int reply_to);
+
+  /// Answers a vectored request with a packed i32 count vector, aligned
+  /// with the request's ID order (-1 = absent).
+  void reply_batch(const rtm::Message& msg);
 
   rtm::Comm* comm_;
   const DistSpectrum* spectrum_;

@@ -21,6 +21,7 @@ enum Tag : int {
   kTagKmerRequest = 11,
   kTagTileRequest = 12,
   kTagUniversalRequest = 13,
+  kTagBatchRequest = 14,
   kTagKmerReply = 21,
   kTagTileReply = 22,
 };
@@ -57,6 +58,29 @@ struct LookupReply {
 constexpr int reply_tag(LookupKind kind, int slot = 0) noexcept {
   return (kind == LookupKind::kKmer ? kTagKmerReply : kTagTileReply) +
          2 * slot;
+}
+
+/// Header of a vectored (batched) lookup request: `count` packed 64-bit IDs
+/// of one kind follow the header on the wire (see wire.hpp for the byte
+/// layout). Batch requests are self-describing like universal mode — one
+/// tag, kind in the payload — because the message is vectored anyway and a
+/// per-kind probe would buy nothing.
+struct BatchLookupHeader {
+  std::uint32_t kind = 0;       ///< LookupKind as uint32
+  std::int32_t reply_to = 0;    ///< tag the packed count vector must carry
+  std::uint32_t count = 0;      ///< number of IDs following the header
+  std::uint32_t reserved = 0;   ///< explicit padding for a stable layout
+};
+
+/// Base of the batch-reply tag space. Scalar reply tags grow as 21 + 2*slot
+/// / 22 + 2*slot, so the spaces stay disjoint for any worker slot < 501 —
+/// far beyond the paper's 64 threads/rank.
+inline constexpr int kTagBatchReplyBase = 1024;
+
+/// Reply tag of a batched request of `kind` issued by worker `slot`.
+constexpr int batch_reply_tag(LookupKind kind, int slot = 0) noexcept {
+  return kTagBatchReplyBase + 2 * slot +
+         (kind == LookupKind::kTile ? 1 : 0);
 }
 
 }  // namespace reptile::parallel

@@ -1,15 +1,137 @@
 #include "parallel/remote_spectrum.hpp"
 
 #include "hash/hashing.hpp"
+#include "parallel/wire.hpp"
 
 namespace reptile::parallel {
 
 RemoteSpectrumView::RemoteSpectrumView(rtm::Comm& comm, DistSpectrum& spectrum,
-                                       int worker_slot)
+                                       int worker_slot,
+                                       bool cache_remote_locally)
     : comm_(&comm),
       spectrum_(&spectrum),
       heur_(spectrum.heuristics()),
-      worker_slot_(worker_slot) {}
+      worker_slot_(worker_slot),
+      cache_remote_locally_(cache_remote_locally) {}
+
+void RemoteSpectrumView::cache_local(std::uint64_t id, LookupKind kind,
+                                     std::uint32_t count) {
+  const std::size_t cap = spectrum_->params().prefetch_capacity;
+  if (prefetch_kmer_.size() + prefetch_tile_.size() >= cap) return;
+  if (kind == LookupKind::kKmer) {
+    prefetch_kmer_.increment(id, count);
+  } else {
+    prefetch_tile_.increment(id, count);
+  }
+}
+
+bool RemoteSpectrumView::needs_remote(std::uint64_t id, LookupKind kind,
+                                      int& owner) const {
+  const bool is_kmer = kind == LookupKind::kKmer;
+  if (is_kmer ? heur_.allgather_kmers : heur_.allgather_tiles) return false;
+  owner = hash::owner_of(id, comm_->size());
+  if (owner == comm_->rank()) return false;
+  if (spectrum_->owner_in_my_group(owner)) return false;
+  if (heur_.read_kmers) {
+    const auto c = is_kmer ? spectrum_->reads_kmer(id)
+                           : spectrum_->reads_tile(id);
+    if (c) return false;
+  }
+  return true;
+}
+
+void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
+  if (!heur_.batch_lookups) return;
+  prefetch_kmer_.clear();
+  prefetch_tile_.clear();
+  const int np = comm_->size();
+  if (np <= 1 || heur_.fully_replicated()) return;
+
+  kmer_scratch_.clear();
+  tile_scratch_.clear();
+  for (const seq::Read& r : batch) {
+    spectrum_->extractor().extract(r.bases, kmer_scratch_, tile_scratch_);
+  }
+
+  // Filter to the remote-needing IDs, dedupe (the cache doubles as the
+  // seen-set: a sentinel entry marks "requested, reply pending" and is
+  // overwritten — CountTable::increment — by the real count on arrival).
+  // Buckets hold each owner's deduped ID vector.
+  const std::size_t cap = spectrum_->params().prefetch_capacity;
+  std::vector<std::vector<std::uint64_t>> kmer_buckets(
+      static_cast<std::size_t>(np));
+  std::vector<std::vector<std::uint64_t>> tile_buckets(
+      static_cast<std::size_t>(np));
+  hash::CountTable<> seen_kmer;
+  hash::CountTable<> seen_tile;
+  std::size_t total = 0;
+  auto collect = [&](std::uint64_t id, LookupKind kind) {
+    int owner = 0;
+    if (!needs_remote(id, kind, owner)) return;
+    ++remote_.batch_ids_raw;
+    if (total >= cap) return;  // bound the chunk cache; rest go scalar
+    auto& seen = kind == LookupKind::kKmer ? seen_kmer : seen_tile;
+    if (seen.contains(id)) return;
+    seen.increment(id);
+    auto& buckets = kind == LookupKind::kKmer ? kmer_buckets : tile_buckets;
+    buckets[static_cast<std::size_t>(owner)].push_back(id);
+    ++total;
+  };
+  for (seq::kmer_id_t id : kmer_scratch_) collect(id, LookupKind::kKmer);
+  for (seq::tile_id_t id : tile_scratch_) collect(id, LookupKind::kTile);
+  if (total == 0) return;
+
+  // One vectored request per owner per kind, all sent before any reply is
+  // awaited so the owners' communication threads overlap their work.
+  struct Pending {
+    int owner;
+    LookupKind kind;
+    const std::vector<std::uint64_t>* ids;
+  };
+  std::vector<Pending> pending;
+  auto send_buckets = [&](const std::vector<std::vector<std::uint64_t>>& bks,
+                          LookupKind kind) {
+    for (int owner = 0; owner < np; ++owner) {
+      const auto& ids = bks[static_cast<std::size_t>(owner)];
+      if (ids.empty()) continue;
+      encode_scratch_.clear();
+      encode_batch_request(kind, batch_reply_tag(kind, worker_slot_),
+                           std::span<const std::uint64_t>(ids.data(),
+                                                          ids.size()),
+                           encode_scratch_);
+      comm_->send<std::uint8_t>(
+          owner, kTagBatchRequest,
+          std::span<const std::uint8_t>(encode_scratch_.data(),
+                                        encode_scratch_.size()));
+      ++remote_.batch_requests;
+      remote_.batch_ids += ids.size();
+      pending.push_back({owner, kind, &ids});
+    }
+  };
+  send_buckets(kmer_buckets, LookupKind::kKmer);
+  send_buckets(tile_buckets, LookupKind::kTile);
+
+  comm_wait_.start();
+  for (const Pending& p : pending) {
+    const rtm::Message msg =
+        comm_->recv(p.owner, batch_reply_tag(p.kind, worker_slot_));
+    const auto counts = msg.as<std::int32_t>();
+    if (counts.size() != p.ids->size()) {
+      throw std::runtime_error(
+          "batched lookup reply length does not match the request");
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::uint32_t c =
+          counts[i] < 0 ? 0 : static_cast<std::uint32_t>(counts[i]);
+      if (p.kind == LookupKind::kKmer) {
+        prefetch_kmer_.increment((*p.ids)[i], c);
+      } else {
+        prefetch_tile_.increment((*p.ids)[i], c);
+      }
+    }
+  }
+  comm_wait_.stop();
+}
 
 std::uint32_t RemoteSpectrumView::remote_lookup(int owner, std::uint64_t id,
                                                 LookupKind kind) {
@@ -45,8 +167,12 @@ std::uint32_t RemoteSpectrumView::remote_lookup(int owner, std::uint64_t id,
   if (heur_.add_remote) {
     // Cache the reply — absences included — so a future lookup of the same
     // ID stays local ("this mode will be useful if the k-mers or tiles
-    // needed from remote ranks will be needed in the future").
-    if (kind == LookupKind::kKmer) {
+    // needed from remote ranks will be needed in the future"). With
+    // concurrent workers the shared reads tables are off limits, so the
+    // reply lands in this worker's chunk-local cache instead.
+    if (cache_remote_locally_) {
+      cache_local(id, kind, count);
+    } else if (kind == LookupKind::kKmer) {
       spectrum_->cache_remote_kmer(id, count);
     } else {
       spectrum_->cache_remote_tile(id, count);
@@ -87,6 +213,17 @@ std::uint32_t RemoteSpectrumView::lookup(std::uint64_t id, LookupKind kind) {
       ++remote_.reads_table_hits;
       return *c;
     }
+  }
+
+  if (heur_.batch_lookups || cache_remote_locally_) {
+    // Chunk-local prefetch cache: counts are verbatim remote replies, so a
+    // hit is exactly what the scalar round trip would have returned.
+    const auto c = is_kmer ? prefetch_kmer_.find(id) : prefetch_tile_.find(id);
+    if (c) {
+      ++remote_.prefetch_hits;
+      return *c;
+    }
+    ++remote_.prefetch_misses;
   }
 
   return remote_lookup(owner, id, kind);

@@ -18,15 +18,23 @@
 //                               future work: definitive for owners inside
 //                               this rank's replication group)
 //   4. reads table             (read_kmers heuristic; holds global counts)
-//   5. remote request/reply    (blocking; reply -1 maps to count 0);
-//      with add_remote the reply is cached into the reads table.
+//   5. prefetch cache          (batch_lookups extension: chunk-local counts
+//                               fetched ahead of correction with one
+//                               vectored request per owner; counts here are
+//                               verbatim remote replies, so hits are exact)
+//   6. remote request/reply    (blocking; reply -1 maps to count 0);
+//      with add_remote the reply is cached into the reads table (shared,
+//      single worker) or this worker's prefetch cache (multi-worker).
 
 #include <cstdint>
+#include <vector>
 
 #include "core/spectrum.hpp"
+#include "hash/count_table.hpp"
 #include "parallel/dist_spectrum.hpp"
 #include "parallel/protocol.hpp"
 #include "rtm/comm.hpp"
+#include "seq/read.hpp"
 #include "stats/stopwatch.hpp"
 
 namespace reptile::parallel {
@@ -40,8 +48,54 @@ struct RemoteLookupStats {
   std::uint64_t reads_table_hits = 0;    ///< resolved by the reads tables
   std::uint64_t group_lookups = 0;       ///< resolved by partial replication
 
+  // batch_lookups extension counters.
+  std::uint64_t batch_requests = 0;   ///< vectored prefetch messages sent
+  std::uint64_t batch_ids = 0;        ///< deduped IDs those messages carried
+  std::uint64_t batch_ids_raw = 0;    ///< remote-needing IDs before dedup
+  std::uint64_t prefetch_hits = 0;    ///< lookups answered by the chunk cache
+  std::uint64_t prefetch_misses = 0;  ///< fell through the cache to scalar
+
   std::uint64_t remote_lookups() const noexcept {
     return remote_kmer_lookups + remote_tile_lookups;
+  }
+
+  /// Average IDs per vectored request (0 when none were sent).
+  double avg_batch_size() const noexcept {
+    return batch_requests == 0
+               ? 0.0
+               : static_cast<double>(batch_ids) /
+                     static_cast<double>(batch_requests);
+  }
+
+  /// Fraction of remote-needing IDs removed by per-chunk deduplication.
+  double dedup_ratio() const noexcept {
+    return batch_ids_raw == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(batch_ids) /
+                           static_cast<double>(batch_ids_raw);
+  }
+
+  /// Fraction of would-be remote lookups answered by the prefetch cache.
+  double prefetch_hit_rate() const noexcept {
+    const std::uint64_t total = prefetch_hits + prefetch_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(prefetch_hits) /
+                            static_cast<double>(total);
+  }
+
+  RemoteLookupStats& operator+=(const RemoteLookupStats& o) noexcept {
+    remote_kmer_lookups += o.remote_kmer_lookups;
+    remote_tile_lookups += o.remote_tile_lookups;
+    remote_kmer_absent += o.remote_kmer_absent;
+    remote_tile_absent += o.remote_tile_absent;
+    reads_table_hits += o.reads_table_hits;
+    group_lookups += o.group_lookups;
+    batch_requests += o.batch_requests;
+    batch_ids += o.batch_ids;
+    batch_ids_raw += o.batch_ids_raw;
+    prefetch_hits += o.prefetch_hits;
+    prefetch_misses += o.prefetch_misses;
+    return *this;
   }
 };
 
@@ -50,9 +104,21 @@ class RemoteSpectrumView final : public core::SpectrumView {
   /// `worker_slot` distinguishes concurrent correction worker threads of
   /// one rank: each slot's remote requests carry their own reply tag so
   /// replies route back to the right thread. Slot 0 is the single-threaded
-  /// default.
+  /// default. With `cache_remote_locally` the add_remote heuristic caches
+  /// scalar replies into this worker's chunk-local prefetch cache instead
+  /// of the shared reads tables — the thread-safe variant used when
+  /// several workers share one rank.
   RemoteSpectrumView(rtm::Comm& comm, DistSpectrum& spectrum,
-                     int worker_slot = 0);
+                     int worker_slot = 0, bool cache_remote_locally = false);
+
+  /// Batched-lookup prefetch (batch_lookups heuristic; no-op otherwise):
+  /// scans `batch` once, extracts every k-mer and tile ID, filters out the
+  /// locally resolvable ones (same chain as lookup()), dedupes, buckets by
+  /// owning rank, and issues one vectored request per owner per kind.
+  /// Replies repopulate the chunk-local prefetch cache (cleared first, and
+  /// capped at core::CorrectorParams::prefetch_capacity IDs per chunk).
+  /// Call once per chunk, before correcting its reads.
+  void prefetch_chunk(const seq::ReadBatch& batch);
 
   std::uint32_t kmer_count(seq::kmer_id_t id) override;
   std::uint32_t tile_count(seq::tile_id_t id) override;
@@ -68,13 +134,32 @@ class RemoteSpectrumView final : public core::SpectrumView {
   std::uint32_t lookup(std::uint64_t id, LookupKind kind);
   std::uint32_t remote_lookup(int owner, std::uint64_t id, LookupKind kind);
 
+  /// True when `id` of `kind` can only be resolved by messaging `owner`
+  /// (i.e. it would reach step 5+ of the lookup chain).
+  bool needs_remote(std::uint64_t id, LookupKind kind, int& owner) const;
+
+  /// Inserts into the chunk-local cache, respecting prefetch_capacity.
+  void cache_local(std::uint64_t id, LookupKind kind, std::uint32_t count);
+
   rtm::Comm* comm_;
   DistSpectrum* spectrum_;
   Heuristics heur_;
   int worker_slot_;
+  bool cache_remote_locally_;
   core::LookupStats stats_;
   RemoteLookupStats remote_;
   stats::Accumulator comm_wait_;
+
+  /// Chunk-local prefetch cache: verbatim remote counts (0 = definitive
+  /// absence), cleared by every prefetch_chunk. Worker-private, so no
+  /// locking is ever needed.
+  hash::CountTable<> prefetch_kmer_;
+  hash::CountTable<> prefetch_tile_;
+
+  // Scratch reused across prefetch_chunk calls.
+  std::vector<seq::kmer_id_t> kmer_scratch_;
+  std::vector<seq::tile_id_t> tile_scratch_;
+  std::vector<std::uint8_t> encode_scratch_;
 };
 
 }  // namespace reptile::parallel

@@ -26,6 +26,13 @@ inline stats::RunReport to_report(const DistResult& result,
         .add("requests_served",
              static_cast<double>(r.service.requests_served))
         .add("probe_calls", static_cast<double>(r.service.probe_calls))
+        .add("batch_requests", static_cast<double>(r.remote.batch_requests))
+        .add("avg_batch_size", r.remote.avg_batch_size())
+        .add("dedup_ratio", r.remote.dedup_ratio())
+        .add("prefetch_hits", static_cast<double>(r.remote.prefetch_hits))
+        .add("prefetch_hit_rate", r.remote.prefetch_hit_rate())
+        .add("batch_requests_served",
+             static_cast<double>(r.service.batch_requests))
         .add("construct_seconds", r.construct_seconds)
         .add("correct_seconds", r.correct_seconds)
         .add("comm_seconds", r.comm_seconds)
@@ -34,7 +41,9 @@ inline stats::RunReport to_report(const DistResult& result,
         .add("construction_peak_bytes",
              static_cast<double>(r.construction_peak_bytes))
         .add("sent_msgs", static_cast<double>(r.traffic.sent_msgs()))
-        .add("sent_bytes", static_cast<double>(r.traffic.sent_bytes()));
+        .add("sent_bytes", static_cast<double>(r.traffic.sent_bytes()))
+        .add("largest_msg_bytes",
+             static_cast<double>(r.traffic.largest_msg_bytes));
   }
   return report;
 }

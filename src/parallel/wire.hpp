@@ -1,17 +1,28 @@
 #pragma once
-// Flat serialization of reads for the load-balancing alltoallv.
+// Flat serialization of the variable-length wire payloads.
 //
-// The static load balancer (paper Section III-A) moves whole reads — bases
-// and quality scores — between ranks, so reads must cross the message layer
-// as byte buffers. Layout per read, little-endian host order:
+// 1. Reads for the load-balancing alltoallv: the static load balancer
+//    (paper Section III-A) moves whole reads — bases and quality scores —
+//    between ranks. Layout per read, little-endian host order:
 //
-//   u64 sequence_number | u32 length | length x base char | length x qual
+//      u64 sequence_number | u32 length | length x base char | length x qual
+//
+// 2. Batched lookup requests (batch_lookups extension): one vectored
+//    request carries every ID a chunk needs from one owner. Layout:
+//
+//      BatchLookupHeader | count x u64 id
+//
+//    The reply is a plain packed i32 count vector (index-aligned with the
+//    request, -1 = absent), which needs no framing of its own.
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "parallel/protocol.hpp"
 #include "seq/read.hpp"
 
 namespace reptile::parallel {
@@ -61,6 +72,62 @@ inline void decode_reads(const std::uint8_t* data, std::size_t size,
 inline void decode_reads(const std::vector<std::uint8_t>& buffer,
                          std::vector<seq::Read>& out) {
   decode_reads(buffer.data(), buffer.size(), out);
+}
+
+/// Decoded form of a vectored lookup request.
+struct BatchLookupRequest {
+  LookupKind kind = LookupKind::kKmer;
+  std::int32_t reply_to = 0;
+  std::vector<std::uint64_t> ids;
+};
+
+/// Appends the wire encoding of one batched request to `out`.
+inline void encode_batch_request(LookupKind kind, int reply_to,
+                                 std::span<const std::uint64_t> ids,
+                                 std::vector<std::uint8_t>& out) {
+  BatchLookupHeader h;
+  h.kind = static_cast<std::uint32_t>(kind);
+  h.reply_to = static_cast<std::int32_t>(reply_to);
+  h.count = static_cast<std::uint32_t>(ids.size());
+  const std::size_t start = out.size();
+  out.resize(start + sizeof(h) + ids.size_bytes());
+  std::uint8_t* p = out.data() + start;
+  std::memcpy(p, &h, sizeof(h));
+  if (!ids.empty()) {
+    std::memcpy(p + sizeof(h), ids.data(), ids.size_bytes());
+  }
+}
+
+/// Decodes one batched request. Throws on a truncated or over-long buffer
+/// and on an unknown kind — a malformed message must never be answered.
+inline BatchLookupRequest decode_batch_request(const std::uint8_t* data,
+                                               std::size_t size) {
+  BatchLookupHeader h;
+  if (size < sizeof(h)) {
+    throw std::runtime_error("decode_batch_request: truncated header");
+  }
+  std::memcpy(&h, data, sizeof(h));
+  if (h.kind > static_cast<std::uint32_t>(LookupKind::kTile)) {
+    throw std::runtime_error("decode_batch_request: unknown lookup kind");
+  }
+  if (size - sizeof(h) != static_cast<std::size_t>(h.count) * 8) {
+    throw std::runtime_error("decode_batch_request: body/count mismatch");
+  }
+  BatchLookupRequest req;
+  req.kind = static_cast<LookupKind>(h.kind);
+  req.reply_to = h.reply_to;
+  req.ids.resize(h.count);
+  if (h.count != 0) {
+    std::memcpy(req.ids.data(), data + sizeof(h),
+                static_cast<std::size_t>(h.count) * 8);
+  }
+  return req;
+}
+
+inline BatchLookupRequest decode_batch_request(
+    const std::vector<std::byte>& payload) {
+  return decode_batch_request(
+      reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size());
 }
 
 }  // namespace reptile::parallel

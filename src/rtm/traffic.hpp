@@ -25,6 +25,9 @@ struct RankTraffic {
   std::atomic<std::uint64_t> collective_bytes_out{0};
   std::atomic<std::uint64_t> collective_bytes_in{0};
   std::atomic<std::uint64_t> collective_calls{0};
+  /// Largest single point-to-point payload sent (vectored lookups make this
+  /// grow with batch size; the scalar protocol keeps it at sizeof(request)).
+  std::atomic<std::uint64_t> largest_msg_bytes{0};
 
   std::uint64_t sent_msgs() const noexcept {
     return sent_msgs_intra.load(std::memory_order_relaxed) +
@@ -45,6 +48,7 @@ struct TrafficSnapshot {
   std::uint64_t collective_bytes_out = 0;
   std::uint64_t collective_bytes_in = 0;
   std::uint64_t collective_calls = 0;
+  std::uint64_t largest_msg_bytes = 0;
 
   std::uint64_t sent_msgs() const noexcept {
     return sent_msgs_intra + sent_msgs_inter;
@@ -70,6 +74,10 @@ class TrafficRecorder {
       row.sent_msgs_inter.fetch_add(1, std::memory_order_relaxed);
       row.sent_bytes_inter.fetch_add(bytes, std::memory_order_relaxed);
     }
+    std::uint64_t seen = row.largest_msg_bytes.load(std::memory_order_relaxed);
+    while (bytes > seen && !row.largest_msg_bytes.compare_exchange_weak(
+                               seen, bytes, std::memory_order_relaxed)) {
+    }
   }
 
   void record_collective(int rank, std::size_t bytes_out,
@@ -92,6 +100,7 @@ class TrafficRecorder {
     s.collective_bytes_in =
         r.collective_bytes_in.load(std::memory_order_relaxed);
     s.collective_calls = r.collective_calls.load(std::memory_order_relaxed);
+    s.largest_msg_bytes = r.largest_msg_bytes.load(std::memory_order_relaxed);
     return s;
   }
 

@@ -103,6 +103,11 @@ Heuristics make(bool universal, bool read_kmers, bool ag_k, bool ag_t,
   return h;
 }
 
+Heuristics batched(Heuristics h) {
+  h.batch_lookups = true;
+  return h;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Heuristics, DistIdentityHeuristics,
     ::testing::Values(
@@ -127,7 +132,22 @@ INSTANTIATE_TEST_SUITE_P(
         HeuristicsCase{"paper_production",
                        make(true, false, false, false, false, true, true)},
         HeuristicsCase{"everything_cacheable",
-                       make(true, true, false, false, true, true, true)}),
+                       make(true, true, false, false, true, true, true)},
+        HeuristicsCase{"batched_lookups",
+                       batched(make(false, false, false, false, false, false,
+                                    true))},
+        HeuristicsCase{"batched_read_kmers",
+                       batched(make(false, true, false, false, false, false,
+                                    true))},
+        HeuristicsCase{"batched_universal",
+                       batched(make(true, false, false, false, false, false,
+                                    true))},
+        HeuristicsCase{"batched_add_remote",
+                       batched(make(false, true, false, false, true, false,
+                                    true))},
+        HeuristicsCase{"batched_everything",
+                       batched(make(true, true, false, false, true, true,
+                                    true))}),
     [](const ::testing::TestParamInfo<HeuristicsCase>& info) {
       return info.param.name;
     });
