@@ -189,8 +189,9 @@ bench/CMakeFiles/fig6_ecoli_scaling.dir/fig6_ecoli_scaling.cpp.o: \
  /root/repo/src/hash/hashing.hpp /root/repo/src/seq/kmer.hpp \
  /root/repo/src/seq/alphabet.hpp /usr/include/c++/12/array \
  /root/repo/src/seq/read.hpp /root/repo/src/seq/tile.hpp \
- /root/repo/src/parallel/dist_spectrum.hpp /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/parallel/dist_spectrum.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -264,12 +265,10 @@ bench/CMakeFiles/fig6_ecoli_scaling.dir/fig6_ecoli_scaling.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /root/repo/src/rtm/chaos.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/thread \
- /root/repo/src/rtm/mailbox.hpp /root/repo/src/rtm/message.hpp \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/seq/rng.hpp /root/repo/src/rtm/topology.hpp \
- /root/repo/src/rtm/traffic.hpp \
+ /usr/include/c++/12/thread /root/repo/src/rtm/mailbox.hpp \
+ /root/repo/src/rtm/message.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /root/repo/src/seq/rng.hpp \
+ /root/repo/src/rtm/topology.hpp /root/repo/src/rtm/traffic.hpp \
  /root/repo/src/parallel/lookup_service.hpp \
  /root/repo/src/parallel/protocol.hpp \
  /root/repo/src/parallel/remote_spectrum.hpp \

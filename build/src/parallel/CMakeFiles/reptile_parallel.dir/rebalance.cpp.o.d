@@ -235,4 +235,5 @@ src/parallel/CMakeFiles/reptile_parallel.dir/rebalance.cpp.o: \
  /root/repo/src/seq/rng.hpp /root/repo/src/rtm/topology.hpp \
  /root/repo/src/rtm/traffic.hpp /root/repo/src/seq/read.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/hash/hashing.hpp /root/repo/src/parallel/wire.hpp
+ /root/repo/src/hash/hashing.hpp /root/repo/src/parallel/wire.hpp \
+ /root/repo/src/parallel/protocol.hpp

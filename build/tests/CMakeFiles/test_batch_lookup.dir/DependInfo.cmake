@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_batch_lookup.cpp" "tests/CMakeFiles/test_batch_lookup.dir/test_batch_lookup.cpp.o" "gcc" "tests/CMakeFiles/test_batch_lookup.dir/test_batch_lookup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/reptile_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/reptile_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/reptile_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/reptile_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtm/CMakeFiles/reptile_rtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/reptile_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

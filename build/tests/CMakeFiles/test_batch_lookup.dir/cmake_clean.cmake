@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_lookup.dir/test_batch_lookup.cpp.o"
+  "CMakeFiles/test_batch_lookup.dir/test_batch_lookup.cpp.o.d"
+  "test_batch_lookup"
+  "test_batch_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -20,7 +20,7 @@ tests/CMakeFiles/test_dist_spectrum.dir/test_dist_spectrum.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
@@ -48,14 +48,18 @@ tests/CMakeFiles/test_dist_spectrum.dir/test_dist_spectrum.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/ext/alloc_traits.h \
  /usr/include/c++/12/bits/alloc_traits.h \
+ /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/initializer_list /usr/include/c++/12/bits/refwrap.h \
+ /usr/include/c++/12/bits/invoke.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/backward/binders.h \
+ /usr/include/c++/12/bits/range_access.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/invoke.h \
- /usr/include/c++/12/bits/stl_function.h \
- /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/functional_hash.h \
  /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/iosfwd \
@@ -114,9 +118,6 @@ tests/CMakeFiles/test_dist_spectrum.dir/test_dist_spectrum.cpp.o: \
  /usr/include/c++/12/bits/locale_classes.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/ostream_insert.h \
  /usr/include/c++/12/bits/cxxabi_forced.h \
- /usr/include/c++/12/bits/refwrap.h \
- /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/initializer_list \
  /usr/include/c++/12/bits/basic_string.h /usr/include/c++/12/string_view \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
@@ -252,13 +253,11 @@ tests/CMakeFiles/test_dist_spectrum.dir/test_dist_spectrum.cpp.o: \
  /root/repo/src/rtm/chaos.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/thread /root/repo/src/rtm/mailbox.hpp \
- /root/repo/src/rtm/message.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/src/seq/rng.hpp \
- /root/repo/src/rtm/topology.hpp /root/repo/src/rtm/traffic.hpp \
- /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/thread \
+ /root/repo/src/rtm/mailbox.hpp /root/repo/src/rtm/message.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/seq/rng.hpp /root/repo/src/rtm/topology.hpp \
+ /root/repo/src/rtm/traffic.hpp /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \

@@ -303,7 +303,8 @@ tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o: \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/fs_path.h \
  /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
  /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/parallel/dist_spectrum.hpp \
+ /root/repo/src/parallel/dist_spectrum.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/hash/bloom_filter.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -337,11 +338,10 @@ tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /root/repo/src/rtm/chaos.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/thread \
- /root/repo/src/rtm/mailbox.hpp /root/repo/src/rtm/message.hpp \
- /usr/include/c++/12/cstring /root/repo/src/seq/rng.hpp \
- /root/repo/src/rtm/topology.hpp /root/repo/src/rtm/traffic.hpp \
+ /usr/include/c++/12/thread /root/repo/src/rtm/mailbox.hpp \
+ /root/repo/src/rtm/message.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/seq/rng.hpp /root/repo/src/rtm/topology.hpp \
+ /root/repo/src/rtm/traffic.hpp \
  /root/repo/src/parallel/lookup_service.hpp \
  /root/repo/src/parallel/protocol.hpp \
  /root/repo/src/parallel/remote_spectrum.hpp \

@@ -302,7 +302,8 @@ tests/CMakeFiles/test_model_validation.dir/test_model_validation.cpp.o: \
  /root/repo/src/hash/count_table.hpp /root/repo/src/hash/hashing.hpp \
  /root/repo/src/seq/kmer.hpp /root/repo/src/seq/alphabet.hpp \
  /root/repo/src/seq/read.hpp /root/repo/src/seq/tile.hpp \
- /root/repo/src/parallel/dist_spectrum.hpp \
+ /root/repo/src/parallel/dist_spectrum.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/hash/bloom_filter.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -336,11 +337,10 @@ tests/CMakeFiles/test_model_validation.dir/test_model_validation.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /root/repo/src/rtm/chaos.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/thread \
- /root/repo/src/rtm/mailbox.hpp /root/repo/src/rtm/message.hpp \
- /usr/include/c++/12/cstring /root/repo/src/seq/rng.hpp \
- /root/repo/src/rtm/topology.hpp /root/repo/src/rtm/traffic.hpp \
+ /usr/include/c++/12/thread /root/repo/src/rtm/mailbox.hpp \
+ /root/repo/src/rtm/message.hpp /usr/include/c++/12/cstring \
+ /root/repo/src/seq/rng.hpp /root/repo/src/rtm/topology.hpp \
+ /root/repo/src/rtm/traffic.hpp \
  /root/repo/src/parallel/lookup_service.hpp \
  /root/repo/src/parallel/protocol.hpp \
  /root/repo/src/parallel/remote_spectrum.hpp \

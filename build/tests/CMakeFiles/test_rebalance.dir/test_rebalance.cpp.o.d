@@ -315,9 +315,10 @@ tests/CMakeFiles/test_rebalance.dir/test_rebalance.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/hash/hashing.hpp /root/repo/src/parallel/wire.hpp \
- /root/repo/src/seq/dataset.hpp /root/repo/src/seq/error_model.hpp \
- /root/repo/src/stats/summary.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/parallel/protocol.hpp /root/repo/src/seq/dataset.hpp \
+ /root/repo/src/seq/error_model.hpp /root/repo/src/stats/summary.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
