@@ -64,6 +64,7 @@ int main() {
   const auto ds = bench::scaled_replica(full, 2000, 7);
   parallel::DistConfig config;
   config.params = bench::bench_params();
+  config.run_options.check.enabled = false;  // benchmark: no rtm-check hooks
   config.params.chunk_size = 256;
   config.ranks = 8;
   config.ranks_per_node = 4;

@@ -46,6 +46,7 @@ int main() {
 
   parallel::DistConfig dist_config;
   dist_config.params = params;
+  dist_config.run_options.check.enabled = false;  // benchmark: no rtm-check hooks
   dist_config.ranks = 8;
   dist_config.ranks_per_node = 4;
   const auto dist = parallel::run_distributed(ds.reads, dist_config);

@@ -282,7 +282,11 @@ std::vector<LookupRow> measure_remote_lookups(
       comm.signal_done();
     }
     comm.barrier();
-  });
+  }, [] {
+    rtm::RunOptions options;
+    options.check.enabled = false;  // benchmark: no rtm-check hooks
+    return options;
+  }());
   return rows;
 }
 

@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
     run.heuristics = file_config.heuristics;
     run.ranks = ranks;
     run.ranks_per_node = ranks_per_node;
+    run.run_options.check.enabled = file_config.rtm_check;
 
     std::printf("config:  %s\n", config_path.c_str());
     std::printf("input:   %s + %s\n", file_config.fasta_file.c_str(),

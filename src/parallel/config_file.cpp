@@ -121,6 +121,8 @@ RunConfigFile parse_config_text(const std::string& text) {
           static_cast<int>(parse_int(value, lineno));
     } else if (key == "bloom_construction") {
       config.heuristics.bloom_construction = parse_bool(value, lineno);
+    } else if (key == "rtm_check") {
+      config.rtm_check = parse_bool(value, lineno);
     } else {
       fail(lineno, "unknown key '" + key + "'");
     }
@@ -179,6 +181,7 @@ std::string to_config_text(const RunConfigFile& config) {
       << "load_balance " << (h.load_balance ? 1 : 0) << '\n'
       << "partial_replication_group " << h.partial_replication_group << '\n'
       << "bloom_construction " << (h.bloom_construction ? 1 : 0) << '\n';
+  out << "rtm_check " << (config.rtm_check ? 1 : 0) << '\n';
   return out.str();
 }
 

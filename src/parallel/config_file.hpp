@@ -33,6 +33,10 @@ struct RunConfigFile {
   std::filesystem::path output_file;  ///< corrected FASTA (optional)
   core::CorrectorParams params;
   Heuristics heuristics;
+  /// Run with rtm-check armed (deadlock watchdog, mailbox audit, protocol
+  /// linter — see rtm/check/check.hpp). On by default; benchmark configs
+  /// turn it off to keep hooks off the hot path.
+  bool rtm_check = true;
 };
 
 /// Parses a configuration file. Throws std::runtime_error with the line

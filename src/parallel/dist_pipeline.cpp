@@ -1,13 +1,17 @@
 #include "parallel/dist_pipeline.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "seq/fasta_io.hpp"
 
+#include "parallel/protocol_table.hpp"
 #include "parallel/rebalance.hpp"
+#include "rtm/check/check.hpp"
 #include "rtm/comm.hpp"
 #include "stats/stopwatch.hpp"
 
@@ -143,10 +147,36 @@ void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
   comm.reset_done();
   LookupService service(comm, spectrum);
   std::thread comm_thread;
+  std::exception_ptr service_error;
   const bool needs_service = np > 1 && !config.heuristics.fully_replicated();
   if (needs_service) {
-    comm_thread = std::thread([&service] { service.serve(); });
+    comm_thread = std::thread([&service, &service_error] {
+      try {
+        service.serve();
+      } catch (...) {
+        service_error = std::current_exception();
+      }
+    });
   }
+  // If a worker throws below (a check::ProtocolError at a send site, a
+  // check::DeadlockError out of a blocked receive), this guard still
+  // signals completion and joins the communication thread before the
+  // exception leaves rank_main — destroying a joinable std::thread would
+  // terminate the process. Under a deadlock abort the service exits on the
+  // checker's abort flag, so the join completes.
+  bool done_signaled = false;
+  struct ServiceJoiner {
+    rtm::Comm& comm;
+    std::thread& thread;
+    bool& signaled;
+    ~ServiceJoiner() {
+      if (!signaled) {
+        comm.signal_done();
+        signaled = true;
+      }
+      if (thread.joinable()) thread.join();
+    }
+  } service_joiner{comm, comm_thread, done_signaled};
 
   clock.restart();
   const int workers = std::max(1, config.worker_threads);
@@ -195,14 +225,42 @@ void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
     ws.comm_seconds = view.comm_seconds();
   };
 
+  // Workers run with errors captured, not thrown: an escaping exception on
+  // a std::thread would terminate the process, and the sibling threads
+  // must be joined before rank_main rethrows.
+  std::mutex worker_error_mutex;
+  std::exception_ptr worker_error;
+  auto guarded_worker = [&](int slot) {
+    try {
+      std::optional<rtm::check::ThreadScope> scope;
+      if (rtm::check::RunChecker* check = comm.world().checker()) {
+        scope.emplace(*check, rank, rtm::check::ThreadRole::kWorker);
+      }
+      worker_body(slot);
+    } catch (...) {
+      std::lock_guard lock(worker_error_mutex);
+      if (!worker_error) worker_error = std::current_exception();
+    }
+  };
   std::vector<std::thread> extra_workers;
+  struct WorkerJoiner {
+    std::vector<std::thread>& threads;
+    ~WorkerJoiner() {
+      for (auto& t : threads) {
+        if (t.joinable()) t.join();
+      }
+    }
+  } worker_joiner{extra_workers};
   for (int slot = 1; slot < workers; ++slot) {
-    extra_workers.emplace_back(worker_body, slot);
+    extra_workers.emplace_back(guarded_worker, slot);
   }
-  worker_body(0);
+  guarded_worker(0);
   for (auto& t : extra_workers) t.join();
+  if (worker_error) std::rethrow_exception(worker_error);
   comm.signal_done();
+  done_signaled = true;
   if (comm_thread.joinable()) comm_thread.join();
+  if (service_error) std::rethrow_exception(service_error);
   report.correct_seconds = clock.seconds();
 
   std::vector<seq::Read> corrected;
@@ -254,6 +312,31 @@ DistResult merge_results(std::vector<std::vector<seq::Read>> corrected_per_rank,
 }  // namespace
 
 namespace {
+
+/// The run options actually handed to the runtime: when checking is on and
+/// the caller supplied no custom tag table, arm the linter with the lookup
+/// protocol table and strict tags — the lookup protocol is the only
+/// point-to-point traffic the pipelines send, so any stray tag is a bug.
+rtm::RunOptions run_options_for(const DistConfig& config) {
+  rtm::RunOptions options = config.run_options;
+  if (options.check.enabled && options.check.lint &&
+      options.check.tags.empty()) {
+    options.check.tags = lookup_tag_table();
+    options.check.strict_tags = true;
+  }
+  return options;
+}
+
+/// Copies the finalized per-rank audit counters into the reports.
+void apply_check_snapshots(rtm::World& world,
+                           std::vector<RankReport>& reports) {
+  rtm::check::RunChecker* check = world.checker();
+  if (check == nullptr) return;
+  for (RankReport& report : reports) {
+    report.check = check->snapshot(report.rank);
+  }
+}
+
 void validate_config(const DistConfig& config) {
   config.params.validate();
   config.heuristics.validate();
@@ -279,7 +362,7 @@ DistResult run_distributed(const std::vector<seq::Read>& reads,
       static_cast<std::size_t>(config.ranks));
   std::vector<RankReport> reports(static_cast<std::size_t>(config.ranks));
 
-  rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
+  const auto world = rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
     const std::size_t begin = reads.size() *
                               static_cast<std::size_t>(comm.rank()) /
                               static_cast<std::size_t>(comm.size());
@@ -288,7 +371,8 @@ DistResult run_distributed(const std::vector<seq::Read>& reads,
                             static_cast<std::size_t>(comm.size());
     SliceReadSource source(reads, begin, end);
     rank_main(comm, source, config, corrected_per_rank, reports);
-  }, config.run_options);
+  }, run_options_for(config));
+  apply_check_snapshots(*world, reports);
 
   return merge_results(std::move(corrected_per_rank), std::move(reports));
 }
@@ -302,11 +386,12 @@ DistResult run_distributed_files(const std::filesystem::path& fasta,
       static_cast<std::size_t>(config.ranks));
   std::vector<RankReport> reports(static_cast<std::size_t>(config.ranks));
 
-  rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
+  const auto world = rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
     // Step I proper: every rank opens both files and takes its byte range.
     seq::PartitionedReadSource source(fasta, qual, comm.rank(), comm.size());
     rank_main(comm, source, config, corrected_per_rank, reports);
-  }, config.run_options);
+  }, run_options_for(config));
+  apply_check_snapshots(*world, reports);
 
   return merge_results(std::move(corrected_per_rank), std::move(reports));
 }

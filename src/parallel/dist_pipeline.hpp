@@ -16,6 +16,7 @@
 #include "parallel/heuristics.hpp"
 #include "parallel/lookup_service.hpp"
 #include "parallel/remote_spectrum.hpp"
+#include "rtm/check/check.hpp"
 #include "rtm/topology.hpp"
 #include "rtm/traffic.hpp"
 #include "seq/read.hpp"
@@ -38,8 +39,11 @@ struct DistConfig {
   /// worker's private chunk-local cache instead of the shared reads tables
   /// (which are not thread-safe to write during correction).
   int worker_threads = 1;
-  /// Runtime options (chaos delivery for robustness testing; see
-  /// rtm/chaos.hpp). Defaults to instant delivery.
+  /// Runtime options: chaos delivery (see rtm/chaos.hpp) and rtm-check
+  /// (see rtm/check/check.hpp). Checking defaults to on; when it is on,
+  /// the linter is armed with the lookup protocol table + strict tags
+  /// unless a custom table was supplied, since the lookup protocol is the
+  /// only point-to-point traffic these pipelines generate.
   rtm::RunOptions run_options;
 
   rtm::Topology topology() const { return {ranks, ranks_per_node}; }
@@ -72,6 +76,8 @@ struct RankReport {
   double comm_seconds = 0;       ///< of which blocked on remote replies
 
   rtm::TrafficSnapshot traffic;
+  /// rtm-check counters (all-zero when checking was off for the run).
+  rtm::check::CheckSnapshot check;
 };
 
 /// Result of a distributed run.

@@ -1,6 +1,7 @@
 #include "parallel/lookup_service.hpp"
 
 #include <chrono>
+#include <optional>
 #include <vector>
 
 #include "parallel/wire.hpp"
@@ -71,10 +72,21 @@ void LookupService::handle(const rtm::Message& msg) {
 }
 
 void LookupService::serve() {
+  // Register with rtm-check as this rank's communication thread: the
+  // deadlock watchdog must distinguish "service idle-polling because no
+  // request will ever come" from "rank making progress".
+  rtm::check::RunChecker* check = comm_->world().checker();
+  std::optional<rtm::check::ThreadScope> scope;
+  if (check != nullptr) {
+    scope.emplace(*check, comm_->rank(), rtm::check::ThreadRole::kService);
+  }
   // Non-universal mode mirrors the paper's probe-then-receive protocol: the
   // thread probes for each request tag to learn the request kind before
   // receiving. Universal mode accepts any request message directly.
   while (!comm_->all_done()) {
+    // Once the watchdog aborts the run, unwind quietly — the blocked
+    // worker threads carry the DeadlockError to run_ranks.
+    if (check != nullptr && check->aborted()) return;
     if (!universal_) {
       // MPI_Iprobe per request tag; counted so the performance model can
       // price the probe overhead universal mode removes.
@@ -87,7 +99,12 @@ void LookupService::serve() {
     const auto msg = comm_->recv_match_for(
         [](const rtm::Message& m) { return is_request_tag(m.tag); },
         kServiceWait);
-    if (msg) handle(*msg);
+    if (msg) {
+      if (check != nullptr) check->thread_active();
+      handle(*msg);
+    } else if (check != nullptr) {
+      check->thread_idle_poll();
+    }
   }
   // Drain any requests already queued when the last rank signalled done.
   while (true) {

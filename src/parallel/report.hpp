@@ -43,7 +43,18 @@ inline stats::RunReport to_report(const DistResult& result,
         .add("sent_msgs", static_cast<double>(r.traffic.sent_msgs()))
         .add("sent_bytes", static_cast<double>(r.traffic.sent_bytes()))
         .add("largest_msg_bytes",
-             static_cast<double>(r.traffic.largest_msg_bytes));
+             static_cast<double>(r.traffic.largest_msg_bytes))
+        .add("check_lint_msgs", static_cast<double>(r.check.lint_checked))
+        .add("check_fifo_violations",
+             static_cast<double>(r.check.fifo_violations))
+        .add("check_leaked_msgs",
+             static_cast<double>(r.check.leaked_messages))
+        .add("check_orphan_replies",
+             static_cast<double>(r.check.orphaned_replies))
+        .add("check_unanswered",
+             static_cast<double>(r.check.unanswered_requests))
+        .add("check_max_pending_at_barrier",
+             static_cast<double>(r.check.max_pending_at_barrier));
   }
   return report;
 }

@@ -47,6 +47,16 @@ class ChaosDelayer {
     return delivered_;
   }
 
+  /// True when no submitted message is still waiting for delivery. The
+  /// rtm-check watchdog treats a non-idle delayer as progress in flight.
+  bool idle() const {
+    std::lock_guard lock(mutex_);
+    for (const auto& queue : queues_) {
+      if (!queue.empty()) return false;
+    }
+    return true;
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   struct Item {

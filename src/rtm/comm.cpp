@@ -3,6 +3,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 namespace reptile::rtm {
@@ -16,6 +17,12 @@ void run_ranks(World& world, const std::function<void(Comm&)>& rank_main) {
   for (int r = 0; r < world.size(); ++r) {
     threads.emplace_back([&world, &rank_main, &first_error, &error_mutex, r] {
       try {
+        // Register eagerly so the deadlock watchdog knows this rank is
+        // live (and "running") from the very start of the run.
+        std::optional<check::ThreadScope> scope;
+        if (check::RunChecker* check = world.checker()) {
+          scope.emplace(*check, r, check::ThreadRole::kMain);
+        }
         Comm comm(world, r);
         rank_main(comm);
       } catch (...) {
@@ -32,10 +39,12 @@ std::unique_ptr<World> run_world(Topology topo,
                                  const std::function<void(Comm&)>& rank_main,
                                  const RunOptions& options) {
   auto world = std::make_unique<World>(topo);
+  if (options.check.enabled) world->enable_check(options.check);
   if (options.chaos_seed != 0) {
     world->enable_chaos(options.chaos_seed, options.chaos_max_delay_us);
   }
   run_ranks(*world, rank_main);
+  if (check::RunChecker* check = world->checker()) check->finalize();
   return world;
 }
 

@@ -32,10 +32,15 @@ class Comm {
   // --- point to point -----------------------------------------------------
 
   /// Sends `items` to `dst` with `tag`. Buffered and non-blocking, like an
-  /// MPI_Send that always completes locally.
+  /// MPI_Send that always completes locally. When rtm-check is active the
+  /// message is linted against the protocol tag table first and a
+  /// violation throws check::ProtocolError at this call site.
   template <class T>
   void send(int dst, int tag, std::span<const T> items) {
     Message m = Message::of<T>(rank_, tag, items);
+    if (check::RunChecker* check = world_->checker()) {
+      check->on_send(rank_, dst, tag, std::span<const std::byte>(m.payload));
+    }
     world_->traffic().record_send(rank_, dst, m.payload.size());
     if (ChaosDelayer* chaos = world_->chaos()) {
       chaos->submit(dst, std::move(m));
@@ -83,7 +88,14 @@ class Comm {
   // All collectives are bulk-synchronous: every rank must call them in the
   // same order, from exactly one thread per rank.
 
-  void barrier() { world_->barrier().arrive_and_wait(); }
+  void barrier() {
+    if (check::RunChecker* check = world_->checker()) {
+      // A barrier is a phase boundary: sample the queue depth so the audit
+      // can report the high-water mark of unconsumed messages.
+      check->on_phase_boundary(rank_, pending());
+    }
+    world_->barrier().arrive_and_wait(rank_);
+  }
 
   /// MPI_Alltoallv: `send[d]` goes to rank d; returns the per-source
   /// received buffers (`result[s]` came from rank s).
@@ -212,6 +224,9 @@ struct RunOptions {
   /// Non-zero enables chaos delivery with this seed (see rtm/chaos.hpp).
   std::uint64_t chaos_seed = 0;
   int chaos_max_delay_us = 300;
+  /// rtm-check configuration (see rtm/check/check.hpp). Checking defaults
+  /// to ON so tests run audited; benchmarks set check.enabled = false.
+  check::Options check;
 };
 
 /// Convenience: builds a World for `topo`, runs `rank_main` on every rank,

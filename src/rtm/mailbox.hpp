@@ -6,26 +6,45 @@
 // filters — the worker pops replies, the communication thread pops lookup
 // requests — so matching must be selective and thread-safe. Messages from
 // the same (source, tag) pair are delivered in FIFO order, the MPI
-// non-overtaking guarantee the protocols rely on.
+// non-overtaking guarantee the protocols rely on (and that the rtm-check
+// mailbox audit verifies at runtime, see rtm/check/check.hpp).
 
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
+#include "rtm/check/check.hpp"
 #include "rtm/message.hpp"
 
 namespace reptile::rtm {
 
 class Mailbox {
  public:
+  /// Installs (or, with nullptr, removes) the run checker's hooks. Called
+  /// by World::enable_check before rank threads start; the checker detaches
+  /// itself again on destruction.
+  void set_check(check::RunChecker* check, int owner_rank) {
+    std::lock_guard lock(mutex_);
+    check_ = check;
+    owner_ = owner_rank;
+  }
+
   /// Enqueues a message (called by sender threads).
   void push(Message m) {
     {
       std::lock_guard lock(mutex_);
+      if (check_ != nullptr) check_->on_push(owner_, m);
       queue_.push_back(std::move(m));
     }
+    // Deliberately outside the critical section: notifying under the mutex
+    // would wake receivers straight into a lock they cannot take (one
+    // futile context switch per push). Safe because a Mailbox always
+    // outlives its senders — World joins every rank thread before the
+    // mailboxes die. Contrast Barrier::arrive_and_wait, whose notify must
+    // stay inside (see world.hpp).
     cv_.notify_all();
   }
 
@@ -37,19 +56,41 @@ class Mailbox {
     return pop_locked(source, tag);
   }
 
-  /// Blocking matched receive.
+  /// Blocking matched receive. When rtm-check is attached, the wait is
+  /// registered with the deadlock detector and polls the abort flag, so a
+  /// diagnosed deadlock throws check::DeadlockError here instead of
+  /// hanging forever.
   Message pop(int source, int tag) {
     std::unique_lock lock(mutex_);
+    if (auto m = pop_locked(source, tag)) return std::move(*m);
+    if (check_ == nullptr) {
+      while (true) {
+        cv_.wait(lock);
+        if (auto m = pop_locked(source, tag)) return std::move(*m);
+      }
+    }
+    check::RunChecker* check = check_;
+    if (check->aborted()) check->throw_abort();
+    const std::uint64_t ticket =
+        check->begin_recv_wait(owner_, source, tag, this);
     while (true) {
-      if (auto m = pop_locked(source, tag)) return std::move(*m);
-      cv_.wait(lock);
+      cv_.wait_for(lock, check->poll_interval());
+      if (auto m = pop_locked(source, tag)) {
+        check->end_recv_wait(ticket);
+        return std::move(*m);
+      }
+      if (check->aborted()) {
+        check->end_recv_wait(ticket);
+        check->throw_abort();
+      }
     }
   }
 
   /// Removes and returns the first message satisfying `pred`, waiting up to
   /// `timeout` for one to arrive. Used by communication threads, which must
   /// match several request tags at once while never stealing reply messages
-  /// destined for the worker thread.
+  /// destined for the worker thread. Returns early (empty) once rtm-check
+  /// aborts the run.
   template <class Pred, class Rep, class Period>
   std::optional<Message> pop_match_for(
       Pred&& pred, std::chrono::duration<Rep, Period> timeout) {
@@ -57,23 +98,17 @@ class Mailbox {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (true) {
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (pred(*it)) {
-          Message m = std::move(*it);
-          queue_.erase(it);
-          return m;
-        }
+        if (pred(*it)) return take_locked(it);
       }
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-        // One last scan in case a push raced the timeout.
-        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-          if (pred(*it)) {
-            Message m = std::move(*it);
-            queue_.erase(it);
-            return m;
-          }
-        }
-        return std::nullopt;
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return std::nullopt;
+      if (check_ != nullptr && check_->aborted()) return std::nullopt;
+      auto wake = deadline;
+      if (check_ != nullptr) {
+        const auto slice = now + check_->poll_interval();
+        if (slice < wake) wake = slice;
       }
+      cv_.wait_until(lock, wake);
     }
   }
 
@@ -85,6 +120,16 @@ class Mailbox {
       if (matches(m, source, tag)) return m.info();
     }
     return std::nullopt;
+  }
+
+  /// Envelope snapshot of every queued message, in queue order (rtm-check
+  /// leak audit and deadlock state dumps).
+  std::vector<MessageInfo> pending_info() const {
+    std::lock_guard lock(mutex_);
+    std::vector<MessageInfo> out;
+    out.reserve(queue_.size());
+    for (const Message& m : queue_) out.push_back(m.info());
+    return out;
   }
 
   bool empty() const {
@@ -103,13 +148,16 @@ class Mailbox {
            (tag == kAnyTag || m.tag == tag);
   }
 
+  Message take_locked(std::deque<Message>::iterator it) {
+    Message m = std::move(*it);
+    queue_.erase(it);
+    if (check_ != nullptr) check_->on_pop(owner_, m);
+    return m;
+  }
+
   std::optional<Message> pop_locked(int source, int tag) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (matches(*it, source, tag)) {
-        Message m = std::move(*it);
-        queue_.erase(it);
-        return m;
-      }
+      if (matches(*it, source, tag)) return take_locked(it);
     }
     return std::nullopt;
   }
@@ -117,6 +165,8 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  check::RunChecker* check_ = nullptr;
+  int owner_ = -1;
 };
 
 }  // namespace reptile::rtm

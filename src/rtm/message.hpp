@@ -31,6 +31,9 @@ struct MessageInfo {
 struct Message {
   int source = kAnySource;
   int tag = kAnyTag;
+  /// Per-(source, tag) delivery sequence number, stamped by the rtm-check
+  /// mailbox audit on push (see rtm/check/check.hpp); 0 when unchecked.
+  std::uint64_t seq = 0;
   std::vector<std::byte> payload;
 
   MessageInfo info() const noexcept { return {source, tag, payload.size()}; }

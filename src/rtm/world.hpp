@@ -1,6 +1,6 @@
 #pragma once
 // Shared state of one runtime instance: mailboxes, barrier, collective
-// staging, phase-completion flags, traffic counters.
+// staging, phase-completion flags, traffic counters, optional checkers.
 
 #include <atomic>
 #include <condition_variable>
@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "rtm/chaos.hpp"
+#include "rtm/check/check.hpp"
 #include "rtm/mailbox.hpp"
 #include "rtm/topology.hpp"
 #include "rtm/traffic.hpp"
@@ -21,16 +22,43 @@ class Barrier {
  public:
   explicit Barrier(int participants) : n_(participants) {}
 
-  void arrive_and_wait() {
+  /// Installs (or removes) the rtm-check hooks.
+  void set_check(check::RunChecker* check) {
+    std::lock_guard lock(mutex_);
+    check_ = check;
+  }
+
+  /// `rank` identifies the arriving rank to rtm-check; pass -1 for an
+  /// anonymous arrival (disables deadlock attribution for the generation).
+  void arrive_and_wait(int rank = -1) {
     std::unique_lock lock(mutex_);
     const std::uint64_t gen = gen_;
     if (++waiting_ == n_) {
       waiting_ = 0;
       ++gen_;
+      if (check_ != nullptr) check_->on_barrier_arrive(rank, gen, true);
+      // Unlike Mailbox::push, this notify MUST stay inside the critical
+      // section: a woken waiter may return and destroy the Barrier (think
+      // "last barrier before teardown") the moment it reacquires the
+      // mutex, so notifying after unlock could touch a dead condition
+      // variable.
       cv_.notify_all();
       return;
     }
-    cv_.wait(lock, [&] { return gen_ != gen; });
+    if (check_ == nullptr) {
+      cv_.wait(lock, [&] { return gen_ != gen; });
+      return;
+    }
+    check_->on_barrier_arrive(rank, gen, false);
+    const std::uint64_t ticket = check_->begin_barrier_wait(rank, gen);
+    while (gen_ == gen) {
+      if (check_->aborted()) {
+        check_->end_barrier_wait(ticket);
+        check_->throw_abort();
+      }
+      cv_.wait_for(lock, check_->poll_interval());
+    }
+    check_->end_barrier_wait(ticket);
   }
 
  private:
@@ -39,6 +67,7 @@ class Barrier {
   int n_;
   int waiting_ = 0;
   std::uint64_t gen_ = 0;
+  check::RunChecker* check_ = nullptr;
 };
 
 /// State shared by all ranks of a run. Created once per Runtime; rank
@@ -84,6 +113,21 @@ class World {
   /// Active chaos delayer, or nullptr for instant delivery.
   ChaosDelayer* chaos() noexcept { return chaos_.get(); }
 
+  /// Enables rtm-check (see rtm/check/check.hpp): wait-for-graph deadlock
+  /// watchdog, mailbox FIFO/leak audit, protocol linter. Call before
+  /// spawning rank threads.
+  void enable_check(const check::Options& options) {
+    check_ = std::make_unique<check::RunChecker>(options, topo_.nranks, this);
+    for (int r = 0; r < topo_.nranks; ++r) {
+      check_->attach_mailbox(r, &mailboxes_[static_cast<std::size_t>(r)]);
+    }
+    check_->attach_barrier(&barrier_);
+    check_->start();
+  }
+
+  /// Active run checker, or nullptr when checking is off.
+  check::RunChecker* checker() noexcept { return check_.get(); }
+
  private:
   Topology topo_;
   std::vector<Mailbox> mailboxes_;
@@ -92,6 +136,10 @@ class World {
   std::atomic<int> done_count_{0};
   TrafficRecorder traffic_;
   std::unique_ptr<ChaosDelayer> chaos_;
+  // Declared after chaos_ so the checker is destroyed FIRST: ~RunChecker
+  // detaches its mailbox/barrier hooks, making the chaos drain that runs
+  // in ~ChaosDelayer safe.
+  std::unique_ptr<check::RunChecker> check_;
 };
 
 }  // namespace reptile::rtm

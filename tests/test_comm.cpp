@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <numeric>
 
 namespace reptile::rtm {
@@ -49,6 +51,34 @@ TEST(Comm, BarrierSynchronizes) {
     if (before.load() != 6) violated = true;
   });
   EXPECT_FALSE(violated);
+}
+
+TEST(Comm, BarrierGenerationReuseAcrossRepeatedPhases) {
+  // The Barrier recycles one generation counter across phases. Run many
+  // back-to-back phases where each rank bumps a per-phase counter before
+  // the barrier and checks the full count after: a generation mix-up
+  // (releasing a waiter early, or stranding one in a stale generation)
+  // shows up as a torn count or a hang.
+  constexpr int kRanks = 5;
+  constexpr int kPhases = 64;
+  std::array<std::atomic<int>, kPhases> arrived{};
+  std::atomic<bool> violated{false};
+  run_world({kRanks, 2}, [&](Comm& comm) {
+    for (int phase = 0; phase < kPhases; ++phase) {
+      arrived[static_cast<std::size_t>(phase)].fetch_add(1);
+      comm.barrier();
+      if (arrived[static_cast<std::size_t>(phase)].load() != kRanks) {
+        violated = true;
+      }
+      // A second barrier per phase doubles the generation churn and makes
+      // sure the wait predicate survives an immediate re-entry.
+      comm.barrier();
+    }
+  });
+  EXPECT_FALSE(violated);
+  for (int phase = 0; phase < kPhases; ++phase) {
+    EXPECT_EQ(arrived[static_cast<std::size_t>(phase)].load(), kRanks);
+  }
 }
 
 TEST(Comm, AlltoallvRoutesPerDestination) {

@@ -58,6 +58,61 @@ TEST(Mailbox, WildcardsMatchAnything) {
   EXPECT_TRUE(mb.try_pop(kAnySource, kAnyTag));
 }
 
+TEST(Mailbox, WildcardPopsInterleavedWithSelectiveKeepStreamFifo) {
+  // The non-overtaking guarantee is per (source, tag) stream. Mixing
+  // wildcard pops with selective ones must still deliver each stream in
+  // push order: a wildcard pop takes the overall-oldest matching message,
+  // so it can never skip ahead within a stream.
+  Mailbox mb;
+  mb.push(msg(1, 5, 10));  // stream A
+  mb.push(msg(2, 6, 20));  // stream B
+  mb.push(msg(1, 5, 11));  // stream A
+  mb.push(msg(2, 6, 21));  // stream B
+  mb.push(msg(1, 7, 30));  // stream C
+
+  // Wildcard-any takes the overall head: stream A's first message.
+  EXPECT_EQ(mb.try_pop(kAnySource, kAnyTag)->as_value<std::uint64_t>(), 10u);
+  // Selective pop on stream B takes B's head, leaving stream A untouched.
+  EXPECT_EQ(mb.try_pop(2, 6)->as_value<std::uint64_t>(), 20u);
+  // Source-wildcard on tag 5 now finds stream A's second message.
+  EXPECT_EQ(mb.try_pop(kAnySource, 5)->as_value<std::uint64_t>(), 11u);
+  // Tag-wildcard on source 2 finds stream B's second message.
+  EXPECT_EQ(mb.try_pop(2, kAnyTag)->as_value<std::uint64_t>(), 21u);
+  // The stragglers drain in order with a final full wildcard.
+  EXPECT_EQ(mb.try_pop(kAnySource, kAnyTag)->as_value<std::uint64_t>(), 30u);
+  EXPECT_EQ(mb.size(), 0u);
+}
+
+TEST(Mailbox, WildcardDrainObservesPerStreamOrder) {
+  // Two interleaved streams drained purely by wildcard pops: each stream's
+  // values must appear in increasing order even though the streams mix.
+  Mailbox mb;
+  for (int i = 0; i < 8; ++i) {
+    mb.push(msg(i % 2, 40 + i % 2, static_cast<std::uint64_t>(i)));
+  }
+  std::uint64_t last_even = 0, last_odd = 0;
+  bool first_even = true, first_odd = true;
+  for (int i = 0; i < 8; ++i) {
+    const auto m = mb.try_pop(kAnySource, kAnyTag);
+    ASSERT_TRUE(m);
+    const auto v = m->as_value<std::uint64_t>();
+    if (m->source == 0) {
+      if (!first_even) {
+        EXPECT_GT(v, last_even);
+      }
+      last_even = v;
+      first_even = false;
+    } else {
+      if (!first_odd) {
+        EXPECT_GT(v, last_odd);
+      }
+      last_odd = v;
+      first_odd = false;
+    }
+  }
+  EXPECT_EQ(mb.size(), 0u);
+}
+
 TEST(Mailbox, ProbeDoesNotConsume) {
   Mailbox mb;
   mb.push(msg(1, 2));
