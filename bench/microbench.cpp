@@ -269,12 +269,11 @@ std::vector<LookupRow> measure_remote_lookups(
           comm.send<std::uint8_t>(
               1, kTagBatchRequest,
               std::span<const std::uint8_t>(buf.data(), buf.size()));
-          const auto counts =
-              comm.recv(1, batch_reply_tag(LookupKind::kKmer))
-                  .as<std::int32_t>();
-          benchmark::DoNotOptimize(counts.data());
+          const auto reply = decode_batch_reply(
+              comm.recv(1, batch_reply_tag(LookupKind::kKmer)).payload);
+          benchmark::DoNotOptimize(reply.counts.data());
           ++row.messages;
-          row.lookups += counts.size();
+          row.lookups += reply.counts.size();
         }
         row.seconds = clock.seconds();
         rows.push_back(row);

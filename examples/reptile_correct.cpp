@@ -81,6 +81,8 @@ int main(int argc, char** argv) {
     run.ranks = ranks;
     run.ranks_per_node = ranks_per_node;
     run.run_options.check.enabled = file_config.rtm_check;
+    run.run_options.chaos = file_config.chaos;
+    run.retry = file_config.retry;
 
     std::printf("config:  %s\n", config_path.c_str());
     std::printf("input:   %s + %s\n", file_config.fasta_file.c_str(),

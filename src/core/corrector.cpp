@@ -49,8 +49,8 @@ bool TileCorrector::acceptable(seq::tile_id_t tile, SpectrumView& spectrum,
 }
 
 int TileCorrector::try_fix_tile(seq::Read& read, int tile_pos,
-                                seq::tile_id_t tile,
-                                SpectrumView& spectrum) const {
+                                seq::tile_id_t tile, SpectrumView& spectrum,
+                                std::uint64_t degraded_before) const {
   std::vector<int> positions;
   pick_positions(read, tile_pos, positions);
 
@@ -110,6 +110,11 @@ int TileCorrector::try_fix_tile(seq::Read& read, int tile_pos,
           params_.dominance_ratio * static_cast<double>(second_best)) {
     return 0;
   }
+  // Degradation guard: if any lookup since the tile's gate check gave up
+  // and returned a conservative 0 (remote timeout after max retries), the
+  // candidate comparison above may have missed evidence. Never correct on
+  // possibly-incomplete evidence — skip the tile instead.
+  if (spectrum.degraded_lookups() != degraded_before) return 0;
 
   int applied = 0;
   read.bases[static_cast<std::size_t>(tile_pos + best.off1)] =
@@ -138,12 +143,18 @@ ReadCorrection TileCorrector::correct(seq::Read& read,
     if (result.substitutions >= params_.max_corrections_per_read) break;
     const seq::tile_id_t tile = tc.pack(
         std::string_view(read.bases).substr(static_cast<std::size_t>(pos)));
+    // Snapshot the degradation counter BEFORE the gate lookup: a degraded
+    // gate can make a trusted tile look untrusted, so the whole decision
+    // (gate + candidate evaluation) must be covered by the guard.
+    const std::uint64_t degraded_before = spectrum.degraded_lookups();
     if (spectrum.tile_count(tile) >= params_.tile_threshold) continue;
     ++result.tiles_untrusted;
-    const int applied = try_fix_tile(read, pos, tile, spectrum);
+    const int applied = try_fix_tile(read, pos, tile, spectrum, degraded_before);
     if (applied > 0) {
       result.substitutions += applied;
       ++result.tiles_fixed;
+    } else if (spectrum.degraded_lookups() != degraded_before) {
+      ++result.tiles_degraded;
     }
   }
   return result;

@@ -32,6 +32,10 @@ struct ReadCorrection {
   int substitutions = 0;    ///< bases changed
   int tiles_untrusted = 0;  ///< tiles found below threshold
   int tiles_fixed = 0;      ///< untrusted tiles resolved by a correction
+  /// Tiles left unmodified because a lookup backing the decision degraded
+  /// (SpectrumView::degraded_lookups advanced): with evidence possibly
+  /// missing, the corrector skips the tile rather than risk a miscorrection.
+  int tiles_degraded = 0;
 
   bool changed() const noexcept { return substitutions > 0; }
 };
@@ -61,9 +65,13 @@ class TileCorrector {
 
   /// Attempts to fix the untrusted tile `tile` at read offset `tile_pos`.
   /// On success applies the substitutions to `read` and returns the number
-  /// of bases changed (0 = no unambiguous fix found).
+  /// of bases changed (0 = no unambiguous fix found). `degraded_before` is
+  /// the spectrum's degraded_lookups() value from before the tile's gate
+  /// lookup: if any lookup degraded since then, the candidate evidence is
+  /// unreliable and no substitution is applied.
   int try_fix_tile(seq::Read& read, int tile_pos, seq::tile_id_t tile,
-                   SpectrumView& spectrum) const;
+                   SpectrumView& spectrum,
+                   std::uint64_t degraded_before) const;
 
   /// True when `tile` is supported: tile count above threshold and both
   /// constituent k-mers solid. Returns the tile count through `count`.

@@ -51,6 +51,13 @@ class SpectrumView {
 
   /// Lookup counters accumulated so far.
   virtual const LookupStats& stats() const = 0;
+
+  /// Monotone count of lookups that could NOT be resolved and returned a
+  /// conservative 0 instead (remote views giving up after timeout retries,
+  /// see parallel::RetryPolicy). Local views never degrade. The corrector
+  /// snapshots this around every tile decision: a position whose evidence
+  /// involved a degraded lookup is skipped, never corrected on a guess.
+  virtual std::uint64_t degraded_lookups() const { return 0; }
 };
 
 /// Both spectra in local memory, with construction helpers.

@@ -123,12 +123,32 @@ RunConfigFile parse_config_text(const std::string& text) {
       config.heuristics.bloom_construction = parse_bool(value, lineno);
     } else if (key == "rtm_check") {
       config.rtm_check = parse_bool(value, lineno);
+    } else if (key == "chaos_seed") {
+      config.chaos.seed = static_cast<std::uint64_t>(parse_int(value, lineno));
+    } else if (key == "chaos_max_delay_us") {
+      config.chaos.max_delay_us = static_cast<int>(parse_int(value, lineno));
+    } else if (key == "chaos_drop_rate") {
+      config.chaos.drop_rate = parse_double(value, lineno);
+    } else if (key == "chaos_duplicate_rate") {
+      config.chaos.duplicate_rate = parse_double(value, lineno);
+    } else if (key == "chaos_truncate_rate") {
+      config.chaos.truncate_rate = parse_double(value, lineno);
+    } else if (key == "chaos_stall_rate") {
+      config.chaos.stall_rate = parse_double(value, lineno);
+    } else if (key == "chaos_stall_us") {
+      config.chaos.stall_us = static_cast<int>(parse_int(value, lineno));
+    } else if (key == "lookup_timeout_ticks") {
+      config.retry.timeout_ticks = static_cast<int>(parse_int(value, lineno));
+    } else if (key == "lookup_max_retries") {
+      config.retry.max_retries = static_cast<int>(parse_int(value, lineno));
     } else {
       fail(lineno, "unknown key '" + key + "'");
     }
   }
   config.params.validate();
   config.heuristics.validate();
+  config.chaos.validate();
+  config.retry.validate();
   return config;
 }
 
@@ -182,6 +202,16 @@ std::string to_config_text(const RunConfigFile& config) {
       << "partial_replication_group " << h.partial_replication_group << '\n'
       << "bloom_construction " << (h.bloom_construction ? 1 : 0) << '\n';
   out << "rtm_check " << (config.rtm_check ? 1 : 0) << '\n';
+  const auto& c = config.chaos;
+  out << "chaos_seed " << c.seed << '\n'
+      << "chaos_max_delay_us " << c.max_delay_us << '\n'
+      << "chaos_drop_rate " << c.drop_rate << '\n'
+      << "chaos_duplicate_rate " << c.duplicate_rate << '\n'
+      << "chaos_truncate_rate " << c.truncate_rate << '\n'
+      << "chaos_stall_rate " << c.stall_rate << '\n'
+      << "chaos_stall_us " << c.stall_us << '\n';
+  out << "lookup_timeout_ticks " << config.retry.timeout_ticks << '\n'
+      << "lookup_max_retries " << config.retry.max_retries << '\n';
   return out.str();
 }
 

@@ -23,6 +23,8 @@
 
 #include "core/params.hpp"
 #include "parallel/heuristics.hpp"
+#include "parallel/protocol.hpp"
+#include "rtm/chaos.hpp"
 
 namespace reptile::parallel {
 
@@ -37,6 +39,13 @@ struct RunConfigFile {
   /// linter — see rtm/check/check.hpp). On by default; benchmark configs
   /// turn it off to keep hooks off the hot path.
   bool rtm_check = true;
+  /// Fault-injection plan (chaos_* keys; inactive unless chaos_seed != 0).
+  /// A lossy plan (drops/truncation) additionally requires the retry
+  /// protocol below — validate_config enforces this at run time.
+  rtm::FaultPlan chaos;
+  /// Timeout/retry protocol for remote lookups (lookup_timeout_ticks /
+  /// lookup_max_retries keys; disabled by default).
+  RetryPolicy retry;
 };
 
 /// Parses a configuration file. Throws std::runtime_error with the line

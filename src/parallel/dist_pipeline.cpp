@@ -189,6 +189,7 @@ void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
     std::uint64_t substitutions = 0;
     std::uint64_t tiles_untrusted = 0;
     std::uint64_t tiles_fixed = 0;
+    std::uint64_t tiles_degraded = 0;
     core::LookupStats lookups;
     RemoteLookupStats remote;
     double comm_seconds = 0;
@@ -200,7 +201,8 @@ void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
   const bool cache_remote_locally =
       workers > 1 && config.heuristics.add_remote;
   auto worker_body = [&](int slot) {
-    RemoteSpectrumView view(comm, spectrum, slot, cache_remote_locally);
+    RemoteSpectrumView view(comm, spectrum, slot, cache_remote_locally,
+                            config.retry);
     core::TileCorrector corrector(config.params);
     WorkerStats& ws = worker_stats[static_cast<std::size_t>(slot)];
     auto& corrected = per_worker_corrected[static_cast<std::size_t>(slot)];
@@ -217,6 +219,7 @@ void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
         ws.substitutions += static_cast<std::uint64_t>(rc.substitutions);
         ws.tiles_untrusted += static_cast<std::uint64_t>(rc.tiles_untrusted);
         ws.tiles_fixed += static_cast<std::uint64_t>(rc.tiles_fixed);
+        ws.tiles_degraded += static_cast<std::uint64_t>(rc.tiles_degraded);
         corrected.push_back(std::move(r));
       }
     }
@@ -273,6 +276,7 @@ void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
     report.substitutions += ws.substitutions;
     report.tiles_untrusted += ws.tiles_untrusted;
     report.tiles_fixed += ws.tiles_fixed;
+    report.tiles_degraded += ws.tiles_degraded;
     report.lookups += ws.lookups;
     report.remote += ws.remote;
     // The per-rank communication time is the wall time any worker spent
@@ -350,6 +354,14 @@ void validate_config(const DistConfig& config) {
         "thread-safe with worker_threads > 1: enable "
         "heuristics.batch_lookups (replies then land in each worker's "
         "chunk-local prefetch cache) or use worker_threads == 1");
+  }
+  config.run_options.chaos.validate();
+  config.retry.validate();
+  if (config.run_options.chaos.lossy() && !config.retry.enabled()) {
+    throw std::invalid_argument(
+        "chaos plan drops or truncates messages but the retry protocol is "
+        "disabled: a lost lookup would block its worker forever. Set "
+        "retry.timeout_ticks > 0 (see parallel::RetryPolicy)");
   }
 }
 }  // namespace

@@ -45,6 +45,12 @@ struct DistConfig {
   /// unless a custom table was supplied, since the lookup protocol is the
   /// only point-to-point traffic these pipelines generate.
   rtm::RunOptions run_options;
+  /// Timeout/retry protocol for remote lookups (see parallel/protocol.hpp).
+  /// Disabled by default (lookups block forever, the paper's behaviour);
+  /// REQUIRED whenever run_options.chaos is lossy (drops or truncation) —
+  /// validate_config rejects a lossy plan without retries, which could only
+  /// deadlock.
+  RetryPolicy retry;
 
   rtm::Topology topology() const { return {ranks, ranks_per_node}; }
 };
@@ -59,6 +65,9 @@ struct RankReport {
   std::uint64_t substitutions = 0;   ///< "errors corrected" in the figures
   std::uint64_t tiles_untrusted = 0;
   std::uint64_t tiles_fixed = 0;
+  /// Tiles conservatively skipped because a backing lookup degraded (gave
+  /// up after timeout retries). Always 0 on fault-free runs.
+  std::uint64_t tiles_degraded = 0;
   std::uint64_t batches = 0;         ///< construction-phase chunks processed
 
   core::LookupStats lookups;         ///< correction-phase lookups issued

@@ -23,8 +23,9 @@ LookupService::LookupService(rtm::Comm& comm, const DistSpectrum& spectrum)
       universal_(spectrum.heuristics().universal) {}
 
 void LookupService::reply(int requester, LookupKind kind, std::uint64_t id,
-                          int reply_to) {
+                          int reply_to, std::uint64_t seq) {
   LookupReply r;
+  r.seq = seq;
   if (kind == LookupKind::kKmer) {
     const auto c = spectrum_->owned_kmer(id);
     r.count = c ? static_cast<std::int32_t>(*c) : -1;
@@ -40,7 +41,15 @@ void LookupService::reply(int requester, LookupKind kind, std::uint64_t id,
 }
 
 void LookupService::reply_batch(const rtm::Message& msg) {
-  const BatchLookupRequest req = decode_batch_request(msg.payload);
+  BatchLookupRequest req;
+  try {
+    req = decode_batch_request(msg.payload);
+  } catch (const std::runtime_error&) {
+    // Truncated/garbled by fault injection: drop unanswered, the
+    // requester's timeout retry recovers.
+    ++stats_.malformed_requests;
+    return;
+  }
   std::vector<std::int32_t> counts;
   counts.reserve(req.ids.size());
   for (std::uint64_t id : req.ids) {
@@ -49,25 +58,39 @@ void LookupService::reply_batch(const rtm::Message& msg) {
     counts.push_back(c ? static_cast<std::int32_t>(*c) : -1);
     if (!c) ++stats_.absent_replies;
   }
-  comm_->send<std::int32_t>(
+  std::vector<std::uint8_t> buf;
+  encode_batch_reply(req.seq, counts, buf);
+  comm_->send<std::uint8_t>(
       msg.source, req.reply_to,
-      std::span<const std::int32_t>(counts.data(), counts.size()));
+      std::span<const std::uint8_t>(buf.data(), buf.size()));
   ++stats_.batch_requests;
   stats_.batch_ids_served += req.ids.size();
   ++stats_.requests_served;
 }
 
 void LookupService::handle(const rtm::Message& msg) {
+  // Size-validate every request before trusting its bytes: the fault
+  // injector can truncate payloads, and a malformed request must be
+  // dropped unanswered (the requester's timeout retry recovers) rather
+  // than decoded into garbage.
   if (msg.tag == kTagBatchRequest) {
     reply_batch(msg);
   } else if (msg.tag == kTagUniversalRequest) {
+    if (msg.payload.size() != sizeof(UniversalLookupRequest)) {
+      ++stats_.malformed_requests;
+      return;
+    }
     const auto req = msg.as_value<UniversalLookupRequest>();
-    reply(msg.source, req.kind, req.id, req.reply_to);
+    reply(msg.source, req.kind, req.id, req.reply_to, req.seq);
   } else {
+    if (msg.payload.size() != sizeof(LookupRequest)) {
+      ++stats_.malformed_requests;
+      return;
+    }
     const auto req = msg.as_value<LookupRequest>();
     const LookupKind kind =
         msg.tag == kTagKmerRequest ? LookupKind::kKmer : LookupKind::kTile;
-    reply(msg.source, kind, req.id, req.reply_to);
+    reply(msg.source, kind, req.id, req.reply_to, req.seq);
   }
 }
 

@@ -31,6 +31,10 @@ struct ServiceStats {
   std::uint64_t absent_replies = 0;   ///< -1 answers, scalar or batched
   std::uint64_t batch_requests = 0;   ///< vectored requests answered
   std::uint64_t batch_ids_served = 0; ///< IDs looked up across all batches
+  /// Requests dropped unanswered because the payload was malformed (wrong
+  /// size / truncated by fault injection). The requester's timeout retry
+  /// recovers; answering garbage would be worse than staying silent.
+  std::uint64_t malformed_requests = 0;
 };
 
 class LookupService {
@@ -50,10 +54,13 @@ class LookupService {
   /// Services one request message; updates counters.
   void handle(const rtm::Message& msg);
 
-  void reply(int requester, LookupKind kind, std::uint64_t id, int reply_to);
+  /// `seq` is echoed into the reply so the requester can match it to the
+  /// (re)transmission it answers.
+  void reply(int requester, LookupKind kind, std::uint64_t id, int reply_to,
+             std::uint64_t seq);
 
-  /// Answers a vectored request with a packed i32 count vector, aligned
-  /// with the request's ID order (-1 = absent).
+  /// Answers a vectored request with a BatchReplyHeader-framed i32 count
+  /// vector, aligned with the request's ID order (-1 = absent).
   void reply_batch(const rtm::Message& msg);
 
   rtm::Comm* comm_;

@@ -11,8 +11,17 @@
 // Replies carry the count as int32, with -1 meaning the ID is not in the
 // owner's (pruned) spectrum — the paper's "response like (-1) implying that
 // the k-mer or tile does not exist ... at all in the entire spectrum".
+//
+// Sequence numbers (an extension beyond the paper, see DESIGN.md §4d):
+// every request carries a per-worker-view sequence number which the owner
+// echoes in the reply. Requesters use it to suppress duplicate/stale
+// replies and to retransmit idempotently after a timeout (RetryPolicy), so
+// the protocol survives the fault injector's drops, duplicates, truncations
+// and stalls (rtm/chaos.hpp). seq == 0 is reserved for legacy unsequenced
+// traffic (hand-rolled tests); the views allocate from 1.
 
 #include <cstdint>
+#include <stdexcept>
 
 namespace reptile::parallel {
 
@@ -36,6 +45,7 @@ enum class LookupKind : std::uint32_t { kKmer = 0, kTile = 1 };
 /// owner cannot steal each other's replies.
 struct LookupRequest {
   std::uint64_t id = 0;
+  std::uint64_t seq = 0;  ///< echoed in the reply; 0 = unsequenced
   std::int32_t reply_to = kTagKmerReply;
   std::uint32_t reserved = 0;  // explicit padding for a stable layout
 };
@@ -46,11 +56,16 @@ struct UniversalLookupRequest {
   LookupKind kind = LookupKind::kKmer;
   std::int32_t reply_to = kTagKmerReply;
   std::uint64_t id = 0;
+  std::uint64_t seq = 0;  ///< echoed in the reply; 0 = unsequenced
 };
 
 /// Reply payload: the global count, or -1 when absent from the spectrum.
+/// The request's sequence number leads the struct so auditors (and the
+/// requester) can match a reply without knowing anything else about it.
 struct LookupReply {
+  std::uint64_t seq = 0;  ///< echo of the request's seq
   std::int32_t count = -1;
+  std::uint32_t reserved = 0;  // explicit padding for a stable layout
 };
 
 /// Reply tag for request kind `kind` issued by worker `slot` (slot 0 uses
@@ -67,9 +82,19 @@ constexpr int reply_tag(LookupKind kind, int slot = 0) noexcept {
 /// per-kind probe would buy nothing.
 struct BatchLookupHeader {
   std::uint32_t kind = 0;       ///< LookupKind as uint32
-  std::int32_t reply_to = 0;    ///< tag the packed count vector must carry
+  std::int32_t reply_to = 0;    ///< tag the framed count vector must carry
   std::uint32_t count = 0;      ///< number of IDs following the header
   std::uint32_t reserved = 0;   ///< explicit padding for a stable layout
+  std::uint64_t seq = 0;        ///< echoed in the reply; 0 = unsequenced
+};
+
+/// Header of a batched reply: `count` packed int32 counts (index-aligned
+/// with the request's IDs, -1 = absent) follow on the wire. The echoed
+/// sequence number leads the struct, like LookupReply.
+struct BatchReplyHeader {
+  std::uint64_t seq = 0;       ///< echo of the batch request's seq
+  std::uint32_t count = 0;     ///< number of int32 counts following
+  std::uint32_t reserved = 0;  ///< explicit padding for a stable layout
 };
 
 /// Base of the batch-reply tag space. Scalar reply tags grow as 21 + 2*slot
@@ -82,5 +107,40 @@ constexpr int batch_reply_tag(LookupKind kind, int slot = 0) noexcept {
   return kTagBatchReplyBase + 2 * slot +
          (kind == LookupKind::kTile ? 1 : 0);
 }
+
+/// Length of one runtime tick for retry timeouts, in microseconds. Chosen
+/// to match the runtime's internal poll cadence (chaos delivery thread,
+/// service wait slices) so a one-tick timeout is already meaningful.
+inline constexpr int kRetryTickUs = 100;
+
+/// Requester-side timeout/retry policy for the lookup protocol. Disabled
+/// by default (timeout_ticks == 0): requesters block forever, exactly the
+/// paper's protocol. Enabling it arms, per lookup: a timeout of
+/// `timeout_ticks` runtime ticks, doubled on every retransmission
+/// (exponential backoff, capped at 64x), and at most `max_retries`
+/// idempotent retransmissions before the lookup degrades (the corrector
+/// then conservatively skips that position — it never miscorrects).
+struct RetryPolicy {
+  int timeout_ticks = 0;  ///< 0 = wait forever (retries off)
+  int max_retries = 3;    ///< retransmissions after the first attempt
+
+  bool enabled() const noexcept { return timeout_ticks > 0; }
+
+  /// Timeout of attempt `attempt` (0 = first send) in microseconds.
+  long long attempt_timeout_us(int attempt) const noexcept {
+    const int shift = attempt < 6 ? attempt : 6;
+    return static_cast<long long>(timeout_ticks) * kRetryTickUs * (1LL << shift);
+  }
+
+  /// Throws std::invalid_argument on out-of-range members.
+  void validate() const {
+    if (timeout_ticks < 0) {
+      throw std::invalid_argument("lookup_timeout_ticks must be >= 0");
+    }
+    if (max_retries < 0) {
+      throw std::invalid_argument("lookup_max_retries must be >= 0");
+    }
+  }
+};
 
 }  // namespace reptile::parallel

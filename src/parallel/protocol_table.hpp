@@ -32,7 +32,8 @@ inline bool check_reply_to(std::int32_t reply_to, int first, int last,
 }
 
 inline bool pair_scalar(std::span<const std::byte> payload, int* reply_tag,
-                        std::size_t* reply_bytes, std::string* err) {
+                        std::size_t* reply_bytes, std::uint64_t* seq,
+                        std::string* err) {
   LookupRequest req;
   std::memcpy(&req, payload.data(), sizeof(req));  // size bound pre-checked
   if (!check_reply_to(req.reply_to, kTagKmerReply, kTagBatchReplyBase, err)) {
@@ -40,11 +41,13 @@ inline bool pair_scalar(std::span<const std::byte> payload, int* reply_tag,
   }
   *reply_tag = req.reply_to;
   *reply_bytes = sizeof(LookupReply);
+  *seq = req.seq;
   return true;
 }
 
 inline bool pair_universal(std::span<const std::byte> payload, int* reply_tag,
-                           std::size_t* reply_bytes, std::string* err) {
+                           std::size_t* reply_bytes, std::uint64_t* seq,
+                           std::string* err) {
   UniversalLookupRequest req;
   std::memcpy(&req, payload.data(), sizeof(req));
   if (static_cast<std::uint32_t>(req.kind) >
@@ -58,11 +61,13 @@ inline bool pair_universal(std::span<const std::byte> payload, int* reply_tag,
   }
   *reply_tag = req.reply_to;
   *reply_bytes = sizeof(LookupReply);
+  *seq = req.seq;
   return true;
 }
 
 inline bool pair_batch(std::span<const std::byte> payload, int* reply_tag,
-                       std::size_t* reply_bytes, std::string* err) {
+                       std::size_t* reply_bytes, std::uint64_t* seq,
+                       std::string* err) {
   BatchLookupHeader h;
   std::memcpy(&h, payload.data(), sizeof(h));  // min_bytes covers the header
   if (h.kind > static_cast<std::uint32_t>(LookupKind::kTile)) {
@@ -81,7 +86,18 @@ inline bool pair_batch(std::span<const std::byte> payload, int* reply_tag,
     return false;
   }
   *reply_tag = h.reply_to;
-  *reply_bytes = static_cast<std::size_t>(h.count) * sizeof(std::int32_t);
+  *reply_bytes =
+      sizeof(BatchReplyHeader) +
+      static_cast<std::size_t>(h.count) * sizeof(std::int32_t);
+  *seq = h.seq;
+  return true;
+}
+
+/// Both reply layouts (LookupReply, BatchReplyHeader) lead with the echoed
+/// u64 sequence number, so one extractor serves every reply rule.
+inline bool reply_seq(std::span<const std::byte> payload, std::uint64_t* seq) {
+  if (payload.size() < sizeof(std::uint64_t)) return false;
+  std::memcpy(seq, payload.data(), sizeof(std::uint64_t));
   return true;
 }
 
@@ -98,21 +114,23 @@ inline rtm::check::TagTable lookup_tag_table() {
   return rtm::check::TagTable{
       TagRule{kTagKmerRequest, kTagKmerRequest, "kmer-request",
               TagDir::kRequest, sizeof(LookupRequest), sizeof(LookupRequest),
-              &table_detail::pair_scalar},
+              &table_detail::pair_scalar, nullptr},
       TagRule{kTagTileRequest, kTagTileRequest, "tile-request",
               TagDir::kRequest, sizeof(LookupRequest), sizeof(LookupRequest),
-              &table_detail::pair_scalar},
+              &table_detail::pair_scalar, nullptr},
       TagRule{kTagUniversalRequest, kTagUniversalRequest, "universal-request",
               TagDir::kRequest, sizeof(UniversalLookupRequest),
-              sizeof(UniversalLookupRequest), &table_detail::pair_universal},
+              sizeof(UniversalLookupRequest), &table_detail::pair_universal,
+              nullptr},
       TagRule{kTagBatchRequest, kTagBatchRequest, "batch-request",
               TagDir::kRequest, sizeof(BatchLookupHeader), kNoMax,
-              &table_detail::pair_batch},
+              &table_detail::pair_batch, nullptr},
       TagRule{kTagKmerReply, kTagBatchReplyBase - 1, "scalar-reply",
               TagDir::kReply, sizeof(LookupReply), sizeof(LookupReply),
-              nullptr},
+              nullptr, &table_detail::reply_seq},
       TagRule{kTagBatchReplyBase, std::numeric_limits<int>::max(),
-              "batch-reply", TagDir::kReply, 0, kNoMax, nullptr},
+              "batch-reply", TagDir::kReply, sizeof(BatchReplyHeader), kNoMax,
+              nullptr, &table_detail::reply_seq},
   };
 }
 

@@ -1,5 +1,8 @@
 #include "parallel/remote_spectrum.hpp"
 
+#include <chrono>
+#include <optional>
+
 #include "hash/hashing.hpp"
 #include "parallel/wire.hpp"
 
@@ -7,12 +10,16 @@ namespace reptile::parallel {
 
 RemoteSpectrumView::RemoteSpectrumView(rtm::Comm& comm, DistSpectrum& spectrum,
                                        int worker_slot,
-                                       bool cache_remote_locally)
+                                       bool cache_remote_locally,
+                                       RetryPolicy retry)
     : comm_(&comm),
       spectrum_(&spectrum),
       heur_(spectrum.heuristics()),
       worker_slot_(worker_slot),
-      cache_remote_locally_(cache_remote_locally) {}
+      cache_remote_locally_(cache_remote_locally),
+      retry_(retry) {
+  retry_.validate();
+}
 
 void RemoteSpectrumView::cache_local(std::uint64_t id, LookupKind kind,
                                      std::uint32_t count) {
@@ -87,46 +94,108 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
     int owner;
     LookupKind kind;
     const std::vector<std::uint64_t>* ids;
+    std::uint64_t seq;
   };
   std::vector<Pending> pending;
+  const auto send_batch = [&](const Pending& p) {
+    encode_scratch_.clear();
+    encode_batch_request(p.kind, batch_reply_tag(p.kind, worker_slot_),
+                         std::span<const std::uint64_t>(p.ids->data(),
+                                                        p.ids->size()),
+                         encode_scratch_, p.seq);
+    comm_->send<std::uint8_t>(
+        p.owner, kTagBatchRequest,
+        std::span<const std::uint8_t>(encode_scratch_.data(),
+                                      encode_scratch_.size()));
+  };
   auto send_buckets = [&](const std::vector<std::vector<std::uint64_t>>& bks,
                           LookupKind kind) {
     for (int owner = 0; owner < np; ++owner) {
       const auto& ids = bks[static_cast<std::size_t>(owner)];
       if (ids.empty()) continue;
-      encode_scratch_.clear();
-      encode_batch_request(kind, batch_reply_tag(kind, worker_slot_),
-                           std::span<const std::uint64_t>(ids.data(),
-                                                          ids.size()),
-                           encode_scratch_);
-      comm_->send<std::uint8_t>(
-          owner, kTagBatchRequest,
-          std::span<const std::uint8_t>(encode_scratch_.data(),
-                                        encode_scratch_.size()));
+      pending.push_back({owner, kind, &ids, next_seq_++});
+      send_batch(pending.back());
       ++remote_.batch_requests;
       remote_.batch_ids += ids.size();
-      pending.push_back({owner, kind, &ids});
     }
   };
   send_buckets(kmer_buckets, LookupKind::kKmer);
   send_buckets(tile_buckets, LookupKind::kTile);
 
+  rtm::check::RunChecker* check = comm_->world().checker();
   comm_wait_.start();
   for (const Pending& p : pending) {
-    const rtm::Message msg =
-        comm_->recv(p.owner, batch_reply_tag(p.kind, worker_slot_));
-    const auto counts = msg.as<std::int32_t>();
-    if (counts.size() != p.ids->size()) {
-      throw std::runtime_error(
-          "batched lookup reply length does not match the request");
+    const int tag = batch_reply_tag(p.kind, worker_slot_);
+    // Validates and consumes one candidate reply; false = not ours (stale
+    // retransmission leftovers, malformed bytes), keep waiting.
+    const auto consume = [&](const rtm::Message& msg) {
+      BatchLookupReply reply;
+      try {
+        reply = decode_batch_reply(msg.payload);
+      } catch (const std::runtime_error&) {
+        ++remote_.malformed_replies;
+        return false;
+      }
+      if (reply.seq != p.seq) {
+        ++remote_.stale_replies_suppressed;
+        return false;
+      }
+      if (reply.counts.size() != p.ids->size()) {
+        throw std::runtime_error(
+            "batched lookup reply length does not match the request");
+      }
+      for (std::size_t i = 0; i < reply.counts.size(); ++i) {
+        const std::uint32_t c = reply.counts[i] < 0
+                                    ? 0
+                                    : static_cast<std::uint32_t>(
+                                          reply.counts[i]);
+        if (p.kind == LookupKind::kKmer) {
+          prefetch_kmer_.increment((*p.ids)[i], c);
+        } else {
+          prefetch_tile_.increment((*p.ids)[i], c);
+        }
+      }
+      return true;
+    };
+
+    if (!retry_.enabled()) {
+      while (!consume(comm_->recv(p.owner, tag))) {
+      }
+      continue;
     }
-    for (std::size_t i = 0; i < counts.size(); ++i) {
-      const std::uint32_t c =
-          counts[i] < 0 ? 0 : static_cast<std::uint32_t>(counts[i]);
-      if (p.kind == LookupKind::kKmer) {
-        prefetch_kmer_.increment((*p.ids)[i], c);
-      } else {
-        prefetch_tile_.increment((*p.ids)[i], c);
+    bool got = false;
+    for (int attempt = 0; !got; ++attempt) {
+      if (attempt > 0) {
+        ++remote_.batch_retries;
+        send_batch(p);
+      }
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(retry_.attempt_timeout_us(attempt));
+      while (!got) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        const auto msg = comm_->recv_match_for(
+            [&](const rtm::Message& m) {
+              return m.source == p.owner && m.tag == tag;
+            },
+            deadline - now);
+        if (!msg) {
+          if (check != nullptr && check->aborted()) {
+            comm_wait_.stop();
+            check->throw_abort();
+          }
+          continue;  // either the deadline passed or a spurious wake
+        }
+        got = consume(*msg);
+      }
+      if (got) break;
+      ++remote_.lookup_timeouts;
+      if (attempt >= retry_.max_retries) {
+        // Abandon this batch: its IDs simply miss the prefetch cache and
+        // fall through to the (individually retried) scalar path.
+        ++remote_.batch_abandoned;
+        break;
       }
     }
   }
@@ -136,34 +205,102 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
 std::uint32_t RemoteSpectrumView::remote_lookup(int owner, std::uint64_t id,
                                                 LookupKind kind) {
   const int reply_to = reply_tag(kind, worker_slot_);
+  const std::uint64_t seq = next_seq_++;
+  const auto send_request = [&] {
+    if (heur_.universal) {
+      UniversalLookupRequest req;
+      req.kind = kind;
+      req.id = id;
+      req.reply_to = reply_to;
+      req.seq = seq;
+      comm_->send_value(owner, kTagUniversalRequest, req);
+    } else {
+      LookupRequest req;
+      req.id = id;
+      req.seq = seq;
+      req.reply_to = reply_to;
+      comm_->send_value(
+          owner,
+          kind == LookupKind::kKmer ? kTagKmerRequest : kTagTileRequest, req);
+    }
+  };
+  // Validates one candidate reply; nullopt = not ours (duplicate or stale
+  // retransmission leftovers, truncated bytes), keep waiting. Runs even
+  // with retries disabled: a chaos-duplicated reply must never be read as
+  // the answer to the NEXT lookup on this tag.
+  const auto consume =
+      [&](const rtm::Message& msg) -> std::optional<LookupReply> {
+    if (msg.payload.size() != sizeof(LookupReply)) {
+      ++remote_.malformed_replies;
+      return std::nullopt;
+    }
+    const auto r = msg.as_value<LookupReply>();
+    if (r.seq != seq) {
+      ++remote_.stale_replies_suppressed;
+      return std::nullopt;
+    }
+    return r;
+  };
+
   comm_wait_.start();
-  if (heur_.universal) {
-    UniversalLookupRequest req;
-    req.kind = kind;
-    req.id = id;
-    req.reply_to = reply_to;
-    comm_->send_value(owner, kTagUniversalRequest, req);
+  std::optional<LookupReply> reply;
+  if (!retry_.enabled()) {
+    send_request();
+    while (!reply) reply = consume(comm_->recv(owner, reply_to));
   } else {
-    LookupRequest req;
-    req.id = id;
-    req.reply_to = reply_to;
-    comm_->send_value(
-        owner, kind == LookupKind::kKmer ? kTagKmerRequest : kTagTileRequest,
-        req);
+    rtm::check::RunChecker* check = comm_->world().checker();
+    for (int attempt = 0; !reply; ++attempt) {
+      if (attempt > 0) ++remote_.lookup_retries;
+      send_request();  // idempotent: every attempt carries the same seq
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(retry_.attempt_timeout_us(attempt));
+      while (!reply) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        const auto msg = comm_->recv_match_for(
+            [&](const rtm::Message& m) {
+              return m.source == owner && m.tag == reply_to;
+            },
+            deadline - now);
+        if (!msg) {
+          if (check != nullptr && check->aborted()) {
+            comm_wait_.stop();
+            check->throw_abort();
+          }
+          continue;  // either the deadline passed or a spurious wake
+        }
+        reply = consume(*msg);
+      }
+      if (reply) break;
+      ++remote_.lookup_timeouts;
+      if (attempt >= retry_.max_retries) {
+        // Graceful degradation: give up on this ID and report a
+        // conservative 0 WITHOUT caching it anywhere. The bump of
+        // degraded_lookups() tells the corrector the evidence is
+        // incomplete, so it skips the position instead of acting on it.
+        comm_wait_.stop();
+        if (kind == LookupKind::kKmer) {
+          ++remote_.remote_kmer_lookups;
+        } else {
+          ++remote_.remote_tile_lookups;
+        }
+        ++remote_.degraded_lookups;
+        return 0;
+      }
+    }
   }
-  const rtm::Message msg = comm_->recv(owner, reply_to);
   comm_wait_.stop();
-  const auto reply = msg.as_value<LookupReply>();
 
   if (kind == LookupKind::kKmer) {
     ++remote_.remote_kmer_lookups;
-    if (reply.count < 0) ++remote_.remote_kmer_absent;
+    if (reply->count < 0) ++remote_.remote_kmer_absent;
   } else {
     ++remote_.remote_tile_lookups;
-    if (reply.count < 0) ++remote_.remote_tile_absent;
+    if (reply->count < 0) ++remote_.remote_tile_absent;
   }
   const std::uint32_t count =
-      reply.count < 0 ? 0 : static_cast<std::uint32_t>(reply.count);
+      reply->count < 0 ? 0 : static_cast<std::uint32_t>(reply->count);
   if (heur_.add_remote) {
     // Cache the reply — absences included — so a future lookup of the same
     // ID stays local ("this mode will be useful if the k-mers or tiles

@@ -55,6 +55,17 @@ struct RemoteLookupStats {
   std::uint64_t prefetch_hits = 0;    ///< lookups answered by the chunk cache
   std::uint64_t prefetch_misses = 0;  ///< fell through the cache to scalar
 
+  // Timeout/retry protocol counters (RetryPolicy; all 0 on fault-free runs
+  // with retries disabled).
+  std::uint64_t lookup_retries = 0;   ///< scalar requests retransmitted
+  std::uint64_t lookup_timeouts = 0;  ///< reply waits that expired
+  std::uint64_t degraded_lookups = 0; ///< scalar lookups given up after
+                                      ///< max_retries (corrector skips)
+  std::uint64_t stale_replies_suppressed = 0;  ///< seq-mismatched replies
+  std::uint64_t malformed_replies = 0;  ///< undecodable replies discarded
+  std::uint64_t batch_retries = 0;    ///< batch requests retransmitted
+  std::uint64_t batch_abandoned = 0;  ///< batches given up (IDs go scalar)
+
   std::uint64_t remote_lookups() const noexcept {
     return remote_kmer_lookups + remote_tile_lookups;
   }
@@ -95,6 +106,13 @@ struct RemoteLookupStats {
     batch_ids_raw += o.batch_ids_raw;
     prefetch_hits += o.prefetch_hits;
     prefetch_misses += o.prefetch_misses;
+    lookup_retries += o.lookup_retries;
+    lookup_timeouts += o.lookup_timeouts;
+    degraded_lookups += o.degraded_lookups;
+    stale_replies_suppressed += o.stale_replies_suppressed;
+    malformed_replies += o.malformed_replies;
+    batch_retries += o.batch_retries;
+    batch_abandoned += o.batch_abandoned;
     return *this;
   }
 };
@@ -107,9 +125,12 @@ class RemoteSpectrumView final : public core::SpectrumView {
   /// default. With `cache_remote_locally` the add_remote heuristic caches
   /// scalar replies into this worker's chunk-local prefetch cache instead
   /// of the shared reads tables — the thread-safe variant used when
-  /// several workers share one rank.
+  /// several workers share one rank. `retry` arms the timeout/retry
+  /// protocol (see protocol.hpp); the default (disabled) blocks forever,
+  /// exactly the paper's behaviour.
   RemoteSpectrumView(rtm::Comm& comm, DistSpectrum& spectrum,
-                     int worker_slot = 0, bool cache_remote_locally = false);
+                     int worker_slot = 0, bool cache_remote_locally = false,
+                     RetryPolicy retry = {});
 
   /// Batched-lookup prefetch (batch_lookups heuristic; no-op otherwise):
   /// scans `batch` once, extracts every k-mer and tile ID, filters out the
@@ -123,6 +144,13 @@ class RemoteSpectrumView final : public core::SpectrumView {
   std::uint32_t kmer_count(seq::kmer_id_t id) override;
   std::uint32_t tile_count(seq::tile_id_t id) override;
   const core::LookupStats& stats() const override { return stats_; }
+
+  /// Lookups that gave up after max_retries and returned a conservative 0.
+  /// The corrector snapshots this around each tile decision and refuses to
+  /// apply corrections whose evidence involved a degraded lookup.
+  std::uint64_t degraded_lookups() const override {
+    return remote_.degraded_lookups;
+  }
 
   const RemoteLookupStats& remote_stats() const noexcept { return remote_; }
 
@@ -146,6 +174,10 @@ class RemoteSpectrumView final : public core::SpectrumView {
   Heuristics heur_;
   int worker_slot_;
   bool cache_remote_locally_;
+  RetryPolicy retry_;
+  /// Per-view request sequence numbers; 0 is reserved for unsequenced
+  /// traffic, so allocation starts at 1. Worker-private (no locking).
+  std::uint64_t next_seq_ = 1;
   core::LookupStats stats_;
   RemoteLookupStats remote_;
   stats::Accumulator comm_wait_;

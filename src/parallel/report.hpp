@@ -54,7 +54,28 @@ inline stats::RunReport to_report(const DistResult& result,
         .add("check_unanswered",
              static_cast<double>(r.check.unanswered_requests))
         .add("check_max_pending_at_barrier",
-             static_cast<double>(r.check.max_pending_at_barrier));
+             static_cast<double>(r.check.max_pending_at_barrier))
+        // Fault-injection / retry-protocol columns (all 0 on fault-free
+        // runs with retries disabled).
+        .add("tiles_degraded", static_cast<double>(r.tiles_degraded))
+        .add("lookup_retries", static_cast<double>(r.remote.lookup_retries))
+        .add("lookup_timeouts",
+             static_cast<double>(r.remote.lookup_timeouts))
+        .add("degraded_lookups",
+             static_cast<double>(r.remote.degraded_lookups))
+        .add("stale_replies_suppressed",
+             static_cast<double>(r.remote.stale_replies_suppressed))
+        .add("batch_retries", static_cast<double>(r.remote.batch_retries))
+        .add("batch_abandoned",
+             static_cast<double>(r.remote.batch_abandoned))
+        .add("malformed_requests",
+             static_cast<double>(r.service.malformed_requests))
+        .add("chaos_dropped_msgs",
+             static_cast<double>(r.traffic.dropped_msgs))
+        .add("chaos_duplicated_msgs",
+             static_cast<double>(r.traffic.duplicated_msgs))
+        .add("check_retransmits", static_cast<double>(r.check.retransmits))
+        .add("check_stale_leaks", static_cast<double>(r.check.stale_leaks));
   }
   return report;
 }

@@ -12,8 +12,12 @@
 //
 //      BatchLookupHeader | count x u64 id
 //
-//    The reply is a plain packed i32 count vector (index-aligned with the
-//    request, -1 = absent), which needs no framing of its own.
+//    The reply frames its packed i32 count vector (index-aligned with the
+//    request, -1 = absent) behind a BatchReplyHeader carrying the echoed
+//    sequence number, so requesters can match replies to (re)transmissions
+//    under fault injection:
+//
+//      BatchReplyHeader | count x i32 count
 
 #include <cstddef>
 #include <cstdint>
@@ -78,17 +82,20 @@ inline void decode_reads(const std::vector<std::uint8_t>& buffer,
 struct BatchLookupRequest {
   LookupKind kind = LookupKind::kKmer;
   std::int32_t reply_to = 0;
+  std::uint64_t seq = 0;
   std::vector<std::uint64_t> ids;
 };
 
 /// Appends the wire encoding of one batched request to `out`.
 inline void encode_batch_request(LookupKind kind, int reply_to,
                                  std::span<const std::uint64_t> ids,
-                                 std::vector<std::uint8_t>& out) {
+                                 std::vector<std::uint8_t>& out,
+                                 std::uint64_t seq = 0) {
   BatchLookupHeader h;
   h.kind = static_cast<std::uint32_t>(kind);
   h.reply_to = static_cast<std::int32_t>(reply_to);
   h.count = static_cast<std::uint32_t>(ids.size());
+  h.seq = seq;
   const std::size_t start = out.size();
   out.resize(start + sizeof(h) + ids.size_bytes());
   std::uint8_t* p = out.data() + start;
@@ -116,6 +123,7 @@ inline BatchLookupRequest decode_batch_request(const std::uint8_t* data,
   BatchLookupRequest req;
   req.kind = static_cast<LookupKind>(h.kind);
   req.reply_to = h.reply_to;
+  req.seq = h.seq;
   req.ids.resize(h.count);
   if (h.count != 0) {
     std::memcpy(req.ids.data(), data + sizeof(h),
@@ -127,6 +135,56 @@ inline BatchLookupRequest decode_batch_request(const std::uint8_t* data,
 inline BatchLookupRequest decode_batch_request(
     const std::vector<std::byte>& payload) {
   return decode_batch_request(
+      reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size());
+}
+
+/// Decoded form of a framed batch reply.
+struct BatchLookupReply {
+  std::uint64_t seq = 0;
+  std::vector<std::int32_t> counts;
+};
+
+/// Appends the wire encoding of one batched reply to `out`.
+inline void encode_batch_reply(std::uint64_t seq,
+                               std::span<const std::int32_t> counts,
+                               std::vector<std::uint8_t>& out) {
+  BatchReplyHeader h;
+  h.seq = seq;
+  h.count = static_cast<std::uint32_t>(counts.size());
+  const std::size_t start = out.size();
+  out.resize(start + sizeof(h) + counts.size_bytes());
+  std::uint8_t* p = out.data() + start;
+  std::memcpy(p, &h, sizeof(h));
+  if (!counts.empty()) {
+    std::memcpy(p + sizeof(h), counts.data(), counts.size_bytes());
+  }
+}
+
+/// Decodes one batched reply. Throws on a truncated or over-long buffer —
+/// a requester must treat a malformed reply as lost, never as counts.
+inline BatchLookupReply decode_batch_reply(const std::uint8_t* data,
+                                           std::size_t size) {
+  BatchReplyHeader h;
+  if (size < sizeof(h)) {
+    throw std::runtime_error("decode_batch_reply: truncated header");
+  }
+  std::memcpy(&h, data, sizeof(h));
+  if (size - sizeof(h) != static_cast<std::size_t>(h.count) * 4) {
+    throw std::runtime_error("decode_batch_reply: body/count mismatch");
+  }
+  BatchLookupReply reply;
+  reply.seq = h.seq;
+  reply.counts.resize(h.count);
+  if (h.count != 0) {
+    std::memcpy(reply.counts.data(), data + sizeof(h),
+                static_cast<std::size_t>(h.count) * 4);
+  }
+  return reply;
+}
+
+inline BatchLookupReply decode_batch_reply(
+    const std::vector<std::byte>& payload) {
+  return decode_batch_reply(
       reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size());
 }
 

@@ -4,12 +4,14 @@
 
 namespace reptile::rtm {
 
-ChaosDelayer::ChaosDelayer(World& world, std::uint64_t seed, int max_delay_us)
+ChaosDelayer::ChaosDelayer(World& world, const FaultPlan& plan)
     : world_(&world),
-      max_delay_us_(max_delay_us),
-      rng_(seed),
+      plan_(plan),
+      rng_(plan.seed),
       queues_(static_cast<std::size_t>(world.size())),
-      last_release_(static_cast<std::size_t>(world.size()), clock::now()) {
+      last_release_(static_cast<std::size_t>(world.size()), clock::now()),
+      stall_until_(static_cast<std::size_t>(world.size()), clock::now()) {
+  plan_.validate();
   thread_ = std::thread([this] { run(); });
 }
 
@@ -20,25 +22,64 @@ ChaosDelayer::~ChaosDelayer() {
   }
   cv_.notify_all();
   thread_.join();
-  // Drain anything still queued so no message is ever lost.
+  // Drain anything still queued so no message is ever lost at shutdown —
+  // stall windows and pending delays are ignored here on purpose.
   std::lock_guard lock(mutex_);
   deliver_due_locked(/*drain=*/true);
+}
+
+void ChaosDelayer::enqueue_locked(int dst, Message m) {
+  const auto delay = std::chrono::microseconds(
+      plan_.max_delay_us > 0
+          ? rng_.below(static_cast<std::uint64_t>(plan_.max_delay_us) + 1)
+          : 0);
+  auto release = clock::now() + delay;
+  auto& floor = last_release_[static_cast<std::size_t>(dst)];
+  // Non-overtaking per destination: never release before a predecessor.
+  if (release < floor) release = floor;
+  floor = release;
+  queues_[static_cast<std::size_t>(dst)].push_back({release, std::move(m)});
 }
 
 void ChaosDelayer::submit(int dst, Message m) {
   {
     std::lock_guard lock(mutex_);
-    const auto delay = std::chrono::microseconds(
-        max_delay_us_ > 0
-            ? rng_.below(static_cast<std::uint64_t>(max_delay_us_) + 1)
-            : 0);
-    auto release = clock::now() + delay;
-    auto& floor = last_release_[static_cast<std::size_t>(dst)];
-    // Non-overtaking per destination: never release before a predecessor.
-    if (release < floor) release = floor;
-    floor = release;
-    queues_[static_cast<std::size_t>(dst)].push_back(
-        {release, std::move(m)});
+    auto* check = world_->checker();
+    if (plan_.drop_rate > 0.0 && rng_.chance(plan_.drop_rate)) {
+      ++stats_.dropped;
+      world_->traffic().record_drop(m.source);
+      if (check != nullptr) check->on_chaos_drop(dst, m);
+      return;  // the message vanishes
+    }
+    if (plan_.truncate_rate > 0.0 && !m.payload.empty() &&
+        rng_.chance(plan_.truncate_rate)) {
+      // Cut to a strict prefix (possibly empty). A duplicated message is
+      // duplicated in its truncated form, like a corrupted retransmit.
+      m.payload.resize(rng_.below(m.payload.size()));
+      ++stats_.truncated;
+      if (check != nullptr) check->on_chaos_truncate(dst, m);
+    }
+    const bool dup =
+        plan_.duplicate_rate > 0.0 && rng_.chance(plan_.duplicate_rate);
+    if (plan_.stall_us > 0 && plan_.stall_rate > 0.0 &&
+        rng_.chance(plan_.stall_rate)) {
+      // A stall freezes ALL delivery to dst for stall_us — the peer looks
+      // dead for a while, then everything arrives in order.
+      const auto until =
+          clock::now() + std::chrono::microseconds(plan_.stall_us);
+      auto& stall = stall_until_[static_cast<std::size_t>(dst)];
+      if (until > stall) stall = until;
+      ++stats_.stalls_opened;
+    }
+    Message copy;
+    if (dup) copy = m;
+    enqueue_locked(dst, std::move(m));
+    if (dup) {
+      ++stats_.duplicated;
+      world_->traffic().record_duplicate(copy.source);
+      if (check != nullptr) check->on_chaos_duplicate(dst, copy);
+      enqueue_locked(dst, std::move(copy));
+    }
   }
   cv_.notify_all();
 }
@@ -48,11 +89,16 @@ bool ChaosDelayer::deliver_due_locked(bool drain) {
   bool pending = false;
   for (std::size_t dst = 0; dst < queues_.size(); ++dst) {
     auto& q = queues_[dst];
+    if (!drain && stall_until_[dst] > now) {
+      // Destination is stalled: hold everything addressed to it.
+      pending = pending || !q.empty();
+      continue;
+    }
     while (!q.empty() && (drain || q.front().release <= now)) {
       world_->mailbox(static_cast<int>(dst))
           .push(std::move(q.front().message));
       q.pop_front();
-      ++delivered_;
+      ++stats_.delivered;
     }
     pending = pending || !q.empty();
   }

@@ -1,22 +1,35 @@
 #pragma once
-// Chaos delivery: randomized message delays for protocol robustness tests.
+// Chaos delivery: seeded fault injection for protocol robustness tests.
 //
 // The in-process runtime delivers messages instantly, which hides timing
 // races a real interconnect would expose (a reply arriving long after the
 // requester started waiting, requests landing while a server is busy,
 // termination racing late deliveries). ChaosDelayer interposes on
-// point-to-point delivery and holds each message for a random delay before
-// pushing it to the destination mailbox.
+// point-to-point delivery and, per message, can
 //
-// MPI's non-overtaking guarantee is preserved: messages to the SAME
-// destination are released in submission order (a message's release time is
-// clamped to be no earlier than its queue predecessor's); messages to
-// different destinations may interleave arbitrarily, as on a real network.
+//   * delay it by a random amount (uniform in [0, max_delay_us]),
+//   * drop it entirely,
+//   * duplicate it (the copy queued right behind the original),
+//   * truncate its payload to a random prefix, or
+//   * open a per-destination stall window during which nothing at all is
+//     delivered to that rank (a "stalled peer").
+//
+// All decisions come from one seeded RNG, so a failing run replays exactly.
+// MPI's non-overtaking guarantee is preserved for the messages that survive:
+// messages to the SAME destination are released in submission order (a
+// message's release time is clamped to be no earlier than its queue
+// predecessor's); messages to different destinations may interleave
+// arbitrarily, as on a real network.
+//
+// Lossy faults (drop/truncate) require the lookup protocol's timeout/retry
+// machinery (parallel::RetryPolicy) on the requester side; delay-only plans
+// are safe with the plain blocking protocol.
 
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -27,28 +40,84 @@ namespace reptile::rtm {
 
 class World;
 
+/// Everything the fault injector may do to traffic, in one value type so it
+/// can ride through RunOptions and the run config file. seed == 0 disables
+/// chaos entirely (instant, lossless delivery).
+struct FaultPlan {
+  std::uint64_t seed = 0;    ///< 0 = chaos off
+  int max_delay_us = 300;    ///< per-message delay, uniform in [0, this]
+  double drop_rate = 0.0;      ///< P(message silently discarded)
+  double duplicate_rate = 0.0; ///< P(message delivered twice)
+  double truncate_rate = 0.0;  ///< P(payload cut to a random prefix)
+  double stall_rate = 0.0;     ///< P(a send opens a stall window on its dst)
+  int stall_us = 0;            ///< stall window length; 0 disables stalls
+
+  /// Chaos is armed at all (any seed set)?
+  bool active() const noexcept { return seed != 0; }
+
+  /// Can this plan lose information (message or payload bytes)? Lossy plans
+  /// need requester-side timeouts or the run can hang forever.
+  bool lossy() const noexcept { return drop_rate > 0.0 || truncate_rate > 0.0; }
+
+  /// Throws std::invalid_argument on out-of-range rates.
+  void validate() const {
+    auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+    if (!rate_ok(drop_rate) || !rate_ok(duplicate_rate) ||
+        !rate_ok(truncate_rate) || !rate_ok(stall_rate)) {
+      throw std::invalid_argument("chaos fault rates must be in [0, 1]");
+    }
+    if (max_delay_us < 0) {
+      throw std::invalid_argument("chaos_max_delay_us must be >= 0");
+    }
+    if (stall_us < 0) {
+      throw std::invalid_argument("chaos_stall_us must be >= 0");
+    }
+  }
+};
+
+/// What the injector actually did (all-destination totals).
+struct ChaosStats {
+  std::uint64_t delivered = 0;      ///< messages pushed to a mailbox
+  std::uint64_t dropped = 0;        ///< messages discarded
+  std::uint64_t duplicated = 0;     ///< extra copies queued
+  std::uint64_t truncated = 0;      ///< payloads shortened
+  std::uint64_t stalls_opened = 0;  ///< stall windows opened
+};
+
 class ChaosDelayer {
  public:
-  /// Delays are uniform in [0, max_delay_us]. The delayer starts its
-  /// delivery thread immediately; the destructor drains every queued
-  /// message (delivering instantly) before joining.
-  ChaosDelayer(World& world, std::uint64_t seed, int max_delay_us);
+  /// The delayer starts its delivery thread immediately; the destructor
+  /// drains every still-queued message (delivering instantly, ignoring
+  /// stall windows) before joining, so shutdown never loses a message the
+  /// plan didn't explicitly drop.
+  ChaosDelayer(World& world, const FaultPlan& plan);
   ~ChaosDelayer();
 
   ChaosDelayer(const ChaosDelayer&) = delete;
   ChaosDelayer& operator=(const ChaosDelayer&) = delete;
 
-  /// Takes ownership of `m` and delivers it to `dst` after a random delay.
+  /// Takes ownership of `m`, applies the fault plan, and (unless dropped)
+  /// delivers it to `dst` after its computed release time.
   void submit(int dst, Message m);
 
-  /// Messages delayed so far (diagnostics).
+  /// Messages delivered (pushed to a mailbox) so far. Duplicates count
+  /// twice; drops not at all.
   std::uint64_t delivered() const {
     std::lock_guard lock(mutex_);
-    return delivered_;
+    return stats_.delivered;
   }
 
+  /// Snapshot of everything the injector did so far.
+  ChaosStats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
   /// True when no submitted message is still waiting for delivery. The
-  /// rtm-check watchdog treats a non-idle delayer as progress in flight.
+  /// rtm-check watchdog treats a non-idle delayer as progress in flight
+  /// (this includes messages held behind a stall window).
   bool idle() const {
     std::lock_guard lock(mutex_);
     for (const auto& queue : queues_) {
@@ -65,18 +134,24 @@ class ChaosDelayer {
   };
 
   void run();
+  /// Appends to dst's queue with a randomized release time, clamped to the
+  /// per-destination floor so FIFO order survives. Caller holds the lock.
+  void enqueue_locked(int dst, Message m);
   /// Pushes every due (or, when draining, every queued) message; returns
-  /// whether any queue is still non-empty. Caller holds the lock.
+  /// whether any queue is still non-empty. Draining ignores both release
+  /// times and stall windows — the shutdown guarantee. Caller holds the
+  /// lock.
   bool deliver_due_locked(bool drain);
 
   World* world_;
-  const int max_delay_us_;
+  const FaultPlan plan_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   seq::Rng rng_;
   std::vector<std::deque<Item>> queues_;  ///< per destination, FIFO
   std::vector<clock::time_point> last_release_;
-  std::uint64_t delivered_ = 0;
+  std::vector<clock::time_point> stall_until_;  ///< per destination
+  ChaosStats stats_;
   bool stop_ = false;
   std::thread thread_;
 };

@@ -341,30 +341,103 @@ void RunChecker::on_send(int src, int dst, int tag,
     if (rule->pair != nullptr) {
       int reply_tag = 0;
       std::size_t reply_bytes = 0;
+      std::uint64_t seq = 0;
       std::string err;
-      if (!rule->pair(payload, &reply_tag, &reply_bytes, &err)) {
+      if (!rule->pair(payload, &reply_tag, &reply_bytes, &seq, &err)) {
         fail(std::string(rule->name) + ": " + err);
       }
       std::lock_guard lock(lint_mutex_);
-      outstanding_[std::make_tuple(dst, src, reply_tag)].push_back(
-          reply_bytes);
+      PairLedger& ledger = outstanding_[std::make_tuple(dst, src, reply_tag)];
+      if (seq == 0) {
+        // Unsequenced traffic: original FIFO-of-sizes pairing.
+        ledger.legacy.push_back(reply_bytes);
+        return;
+      }
+      const auto pending = std::find_if(
+          ledger.pending.begin(), ledger.pending.end(),
+          [seq](const PairLedger::Pending& p) { return p.seq == seq; });
+      if (pending != ledger.pending.end()) {
+        // Idempotent retransmission of a still-outstanding request: audit,
+        // don't double-book the expected reply.
+        counters_[static_cast<std::size_t>(src)].retransmits.fetch_add(
+            1, std::memory_order_relaxed);
+        return;
+      }
+      if (ledger.answered.contains(seq)) {
+        // Retransmission racing the (lost or stale) reply: the responder
+        // will answer again, so the seq becomes outstanding once more.
+        counters_[static_cast<std::size_t>(src)].retransmits.fetch_add(
+            1, std::memory_order_relaxed);
+      } else if (ledger.dropped.erase(seq) != 0) {
+        // Retransmission of a request whose previous copy was dropped.
+        counters_[static_cast<std::size_t>(src)].retransmits.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      ledger.pending.push_back({seq, reply_bytes});
+      return;
     }
     return;
   }
 
-  // Reply: must answer the oldest outstanding request for (src -> dst, tag)
+  // Reply: must answer an outstanding request for (src -> dst, tag) — the
+  // oldest one for unsequenced traffic, the seq-matching one otherwise —
   // and carry exactly the payload size the request implies.
+  std::uint64_t seq = 0;
+  if (rule->seq_of != nullptr) (void)rule->seq_of(payload, &seq);
   std::size_t expected = 0;
+  bool stale = false;
   {
     std::lock_guard lock(lint_mutex_);
     auto it = outstanding_.find(std::make_tuple(src, dst, tag));
-    if (it == outstanding_.end() || it->second.empty()) {
-      fail(std::string(rule->name) + ": no outstanding request awaits this "
-                                     "reply (orphaned reply)");
+    PairLedger* ledger = it != outstanding_.end() ? &it->second : nullptr;
+    if (seq == 0) {
+      if (ledger == nullptr || ledger->legacy.empty()) {
+        fail(std::string(rule->name) + ": no outstanding request awaits this "
+                                       "reply (orphaned reply)");
+      }
+      expected = ledger->legacy.front();
+      ledger->legacy.erase(ledger->legacy.begin());
+    } else {
+      const auto pending =
+          ledger == nullptr
+              ? std::vector<PairLedger::Pending>::iterator{}
+              : std::find_if(ledger->pending.begin(), ledger->pending.end(),
+                             [seq](const PairLedger::Pending& p) {
+                               return p.seq == seq;
+                             });
+      if (ledger != nullptr && pending != ledger->pending.end()) {
+        expected = pending->bytes;
+        ledger->pending.erase(pending);
+        ledger->answered.emplace(seq, expected);
+        ledger->answered_order.push_back(seq);
+        if (ledger->answered_order.size() > kAnsweredCap) {
+          ledger->answered.erase(ledger->answered_order.front());
+          ledger->answered_order.pop_front();
+        }
+      } else if (ledger != nullptr && ledger->answered.contains(seq)) {
+        // Duplicate answer to an already-served seq (the responder saw a
+        // retransmission): audited, still size-checked below.
+        expected = ledger->answered.at(seq);
+        stale = true;
+      } else if (ledger != nullptr && ledger->dropped.contains(seq)) {
+        // An earlier copy of a since-dropped request got through after all.
+        expected = ledger->dropped.at(seq);
+        ledger->dropped.erase(seq);
+        ledger->answered.emplace(seq, expected);
+        ledger->answered_order.push_back(seq);
+        if (ledger->answered_order.size() > kAnsweredCap) {
+          ledger->answered.erase(ledger->answered_order.front());
+          ledger->answered_order.pop_front();
+        }
+      } else {
+        fail(std::string(rule->name) + ": no outstanding request awaits this "
+                                       "reply (orphaned reply)");
+      }
     }
-    expected = it->second.front();
-    it->second.erase(it->second.begin());
-    if (it->second.empty()) outstanding_.erase(it);
+  }
+  if (stale) {
+    counters_[static_cast<std::size_t>(src)].stale_reply_sends.fetch_add(
+        1, std::memory_order_relaxed);
   }
   if (payload.size() != expected) {
     std::ostringstream what;
@@ -372,6 +445,60 @@ void RunChecker::on_send(int src, int dst, int tag,
          << " bytes, the paired request implies " << expected;
     fail(what.str());
   }
+}
+
+// --- chaos hooks ----------------------------------------------------------
+
+void RunChecker::on_chaos_drop(int dst, const Message& m) {
+  counters_[static_cast<std::size_t>(m.source)].chaos_dropped.fetch_add(
+      1, std::memory_order_relaxed);
+  if (!opts_.lint || opts_.tags.empty()) return;
+  const TagRule* rule = rule_for(m.tag);
+  if (rule == nullptr || rule->dir != TagDir::kRequest ||
+      rule->pair == nullptr) {
+    return;
+  }
+  // A dropped request will never be answered; retire its ledger entry so
+  // finalize doesn't misreport it as unanswered. (The requester's timeout
+  // retransmission re-registers the seq.)
+  int reply_tag = 0;
+  std::size_t reply_bytes = 0;
+  std::uint64_t seq = 0;
+  std::string err;
+  if (m.payload.size() < rule->min_bytes ||
+      !rule->pair(m.payload, &reply_tag, &reply_bytes, &seq, &err)) {
+    return;  // truncated-then-dropped; nothing was booked for this form
+  }
+  std::lock_guard lock(lint_mutex_);
+  const auto it = outstanding_.find(std::make_tuple(dst, m.source, reply_tag));
+  if (it == outstanding_.end()) return;
+  PairLedger& ledger = it->second;
+  if (seq == 0) {
+    // Unsequenced: retire the newest matching expectation (best effort).
+    const auto legacy = std::find(ledger.legacy.rbegin(),
+                                  ledger.legacy.rend(), reply_bytes);
+    if (legacy != ledger.legacy.rend()) {
+      ledger.legacy.erase(std::next(legacy).base());
+    }
+    return;
+  }
+  const auto pending = std::find_if(
+      ledger.pending.begin(), ledger.pending.end(),
+      [seq](const PairLedger::Pending& p) { return p.seq == seq; });
+  if (pending != ledger.pending.end()) {
+    ledger.dropped.emplace(seq, pending->bytes);
+    ledger.pending.erase(pending);
+  }
+}
+
+void RunChecker::on_chaos_duplicate(int /*dst*/, const Message& m) {
+  counters_[static_cast<std::size_t>(m.source)].chaos_duplicated.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void RunChecker::on_chaos_truncate(int /*dst*/, const Message& m) {
+  counters_[static_cast<std::size_t>(m.source)].chaos_truncated.fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void RunChecker::on_phase_boundary(int rank, std::size_t pending) {
@@ -705,6 +832,40 @@ void RunChecker::evaluate() {
 
 // --- end of run -----------------------------------------------------------
 
+bool RunChecker::leak_is_stale(int rank, const Message& m) {
+  if (opts_.tags.empty()) return false;
+  const TagRule* rule = rule_for(m.tag);
+  if (rule == nullptr) return false;
+  std::lock_guard lock(lint_mutex_);
+  if (rule->dir == TagDir::kReply) {
+    // A reply leaked in the requester's mailbox: stale iff its seq was
+    // already served (the requester had moved on — retransmission race).
+    if (rule->seq_of == nullptr) return false;
+    std::uint64_t seq = 0;
+    if (!rule->seq_of(m.payload, &seq) || seq == 0) return false;
+    const auto it = outstanding_.find(std::make_tuple(m.source, rank, m.tag));
+    if (it == outstanding_.end()) return false;
+    return it->second.answered.contains(seq) ||
+           it->second.dropped.contains(seq);
+  }
+  // A request leaked in the responder's mailbox: stale iff it is a
+  // duplicate/retransmission of a request that was already answered.
+  if (rule->pair == nullptr || m.payload.size() < rule->min_bytes) {
+    return false;
+  }
+  int reply_tag = 0;
+  std::size_t reply_bytes = 0;
+  std::uint64_t seq = 0;
+  std::string err;
+  if (!rule->pair(m.payload, &reply_tag, &reply_bytes, &seq, &err) ||
+      seq == 0) {
+    return false;
+  }
+  const auto it = outstanding_.find(std::make_tuple(rank, m.source, reply_tag));
+  if (it == outstanding_.end()) return false;
+  return it->second.answered.contains(seq) || it->second.dropped.contains(seq);
+}
+
 void RunChecker::finalize() {
   stop_watchdog();
   if (finalized_) return;
@@ -716,24 +877,34 @@ void RunChecker::finalize() {
       const Mailbox* mb = mailboxes_[static_cast<std::size_t>(r)];
       if (mb == nullptr) continue;
       CheckSnapshot& extra = final_[static_cast<std::size_t>(r)];
-      for (const MessageInfo& info : mb->pending_info()) {
+      mb->for_each_pending([&](const Message& m) {
+        // A leaked message whose protocol sequence number was already
+        // answered (or whose request copy was dropped) is explained by the
+        // retry/duplication machinery: audit it as stale, not as a leak.
+        if (leak_is_stale(r, m)) {
+          ++extra.stale_leaks;
+          out << "rank " << r << ": stale leftover ("
+              << envelope(m.source, m.tag) << ", " << m.payload.size()
+              << " bytes) — explained by retries/duplication\n";
+          return;
+        }
         ++extra.leaked_messages;
-        const bool orphan = is_reply_tag(info.tag);
+        const bool orphan = is_reply_tag(m.tag);
         if (orphan) ++extra.orphaned_replies;
         out << "rank " << r << ": leaked message ("
-            << envelope(info.source, info.tag) << ", " << info.bytes
+            << envelope(m.source, m.tag) << ", " << m.payload.size()
             << " bytes)" << (orphan ? " — orphaned reply" : "") << '\n';
-      }
+      });
     }
   }
   {
     std::lock_guard lock(lint_mutex_);
-    for (const auto& [key, sizes] : outstanding_) {
+    for (const auto& [key, ledger] : outstanding_) {
       const auto& [responder, requester, reply_tag] = key;
-      if (sizes.empty()) continue;
-      final_[static_cast<std::size_t>(requester)].unanswered_requests +=
-          sizes.size();
-      out << "rank " << requester << ": " << sizes.size()
+      const std::size_t open = ledger.pending.size() + ledger.legacy.size();
+      if (open == 0) continue;
+      final_[static_cast<std::size_t>(requester)].unanswered_requests += open;
+      out << "rank " << requester << ": " << open
           << " request(s) to rank " << responder
           << " never answered (expected reply tag " << reply_tag << ")\n";
     }
@@ -755,6 +926,11 @@ CheckSnapshot RunChecker::snapshot(int rank) const {
   s.waits_registered = c.waits.load(std::memory_order_relaxed);
   s.max_pending_at_barrier =
       c.max_pending_barrier.load(std::memory_order_relaxed);
+  s.retransmits = c.retransmits.load(std::memory_order_relaxed);
+  s.stale_reply_sends = c.stale_reply_sends.load(std::memory_order_relaxed);
+  s.chaos_dropped = c.chaos_dropped.load(std::memory_order_relaxed);
+  s.chaos_duplicated = c.chaos_duplicated.load(std::memory_order_relaxed);
+  s.chaos_truncated = c.chaos_truncated.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -26,6 +26,14 @@
 //     protocol lives in parallel/protocol_table.hpp, derived from
 //     parallel/protocol.hpp and parallel/wire.hpp.
 //
+//     Sequenced traffic (requests carrying a non-zero protocol sequence
+//     number, see parallel::RetryPolicy) is audited rather than merely
+//     FIFO-paired: retransmissions of an outstanding request are counted,
+//     duplicate replies to an already-answered request are recognised as
+//     stale (not flagged as orphans), and the fault injector reports its
+//     own drops/duplicates/truncations through the on_chaos_* hooks so a
+//     dropped request is not misreported as unanswered at finalize.
+//
 // Enabled per run through rtm::RunOptions::check — on by default so every
 // test runs checked; benchmarks switch it off. Hook state is either guarded
 // by the owning mailbox's mutex, atomic, or behind the checker's own mutex,
@@ -36,6 +44,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -82,11 +91,18 @@ struct TagRule {
   TagDir dir = TagDir::kRequest;
   std::size_t min_bytes = 0;
   std::size_t max_bytes = std::numeric_limits<std::size_t>::max();
-  /// Request rules only: extracts the reply tag and the exact reply payload
-  /// size from a request payload (request/reply pairing). Returns false
-  /// with *err describing the malformation.
+  /// Request rules only: extracts the reply tag, the exact reply payload
+  /// size, and the protocol sequence number (0 = unsequenced) from a
+  /// request payload (request/reply pairing). Returns false with *err
+  /// describing the malformation.
   bool (*pair)(std::span<const std::byte> payload, int* reply_tag,
-               std::size_t* reply_bytes, std::string* err) = nullptr;
+               std::size_t* reply_bytes, std::uint64_t* seq,
+               std::string* err) = nullptr;
+  /// Reply rules only: extracts the echoed sequence number from a reply
+  /// payload (0 = unsequenced). Returns false when the payload is too short
+  /// to carry one.
+  bool (*seq_of)(std::span<const std::byte> payload,
+                 std::uint64_t* seq) = nullptr;
 };
 
 using TagTable = std::vector<TagRule>;
@@ -120,10 +136,18 @@ struct CheckSnapshot {
   std::uint64_t lint_checked = 0;     ///< sends by this rank the linter saw
   std::uint64_t waits_registered = 0;  ///< blocking waits entered
   std::uint64_t max_pending_at_barrier = 0;  ///< queue depth at phase bounds
+  // Sequenced-protocol audit (0 everywhere for fault-free runs):
+  std::uint64_t retransmits = 0;  ///< requests re-sent with a known seq
+  std::uint64_t stale_reply_sends = 0;  ///< replies to already-answered seqs
+  // Fault-injector activity, attributed to the SENDING rank:
+  std::uint64_t chaos_dropped = 0;
+  std::uint64_t chaos_duplicated = 0;
+  std::uint64_t chaos_truncated = 0;
   // Filled in by finalize(), after every rank thread has joined:
   std::uint64_t leaked_messages = 0;  ///< unconsumed at run end
   std::uint64_t orphaned_replies = 0;  ///< leaks carrying a reply-range tag
   std::uint64_t unanswered_requests = 0;  ///< requests sent, never replied
+  std::uint64_t stale_leaks = 0;  ///< leaks explained by retries/duplication
 };
 
 class RunChecker;
@@ -208,6 +232,18 @@ class RunChecker {
   void on_send(int src, int dst, int tag,
                std::span<const std::byte> payload);
 
+  // --- chaos hooks (called by the fault injector, see rtm/chaos.hpp) -----
+
+  /// A send from m.source to `dst` was discarded. Removes the matching
+  /// outstanding-request ledger entry (if the message was a sequenced
+  /// request) so the drop is not misreported as unanswered at finalize.
+  void on_chaos_drop(int dst, const Message& m);
+  /// A send from m.source to `dst` was queued twice.
+  void on_chaos_duplicate(int dst, const Message& m);
+  /// A send from m.source to `dst` had its payload truncated (m carries the
+  /// already-truncated payload).
+  void on_chaos_truncate(int dst, const Message& m);
+
   /// Called at every barrier entry with the rank's queued-message count.
   void on_phase_boundary(int rank, std::size_t pending);
 
@@ -266,6 +302,11 @@ class RunChecker {
     std::atomic<std::uint64_t> lint_checked{0};
     std::atomic<std::uint64_t> waits{0};
     std::atomic<std::uint64_t> max_pending_barrier{0};
+    std::atomic<std::uint64_t> retransmits{0};
+    std::atomic<std::uint64_t> stale_reply_sends{0};
+    std::atomic<std::uint64_t> chaos_dropped{0};
+    std::atomic<std::uint64_t> chaos_duplicated{0};
+    std::atomic<std::uint64_t> chaos_truncated{0};
   };
 
   static std::uint64_t stream_key(int source, int tag) noexcept {
@@ -276,6 +317,10 @@ class RunChecker {
 
   const TagRule* rule_for(int tag) const noexcept;
   bool is_reply_tag(int tag) const noexcept;
+  /// Finalize helper: is this leaked message explained by the sequenced
+  /// retry/duplication protocol (its seq already answered or its request
+  /// copy dropped)? Takes lint_mutex_.
+  bool leak_is_stale(int rank, const Message& m);
   ThreadInfo& thread_entry_locked(int rank);
   void note_locked(std::string text);
   void stop_watchdog();
@@ -315,10 +360,30 @@ class RunChecker {
   bool barrier_untracked_ = false;  ///< an arrival carried no rank id
   std::vector<std::string> notes_;  ///< FIFO-violation details (capped)
 
-  // Request/reply pairing: (responder, requester, reply tag) -> expected
-  // reply payload sizes, FIFO.
+  // Request/reply pairing, one ledger per (responder, requester, reply tag)
+  // stream. Unsequenced traffic (seq == 0) keeps the original FIFO-of-sizes
+  // semantics in `legacy`; sequenced traffic matches by sequence number and
+  // additionally remembers answered seqs (bounded) so retransmissions and
+  // duplicate replies can be classified instead of flagged.
+  struct PairLedger {
+    struct Pending {
+      std::uint64_t seq = 0;
+      std::size_t bytes = 0;
+    };
+    std::vector<Pending> pending;     ///< sequenced outstanding requests
+    std::vector<std::size_t> legacy;  ///< seq==0: FIFO of expected sizes
+    std::unordered_map<std::uint64_t, std::size_t> answered;  ///< seq->bytes
+    std::deque<std::uint64_t> answered_order;  ///< eviction FIFO
+    /// Seqs whose (last) request copy the chaos layer dropped: no longer
+    /// expected to be answered, but an EARLIER copy of the same seq may
+    /// still be in flight, so a reply remains legal (not an orphan).
+    std::unordered_map<std::uint64_t, std::size_t> dropped;  ///< seq->bytes
+  };
+  /// How many answered seqs each ledger remembers for stale classification.
+  static constexpr std::size_t kAnsweredCap = 8192;
+
   std::mutex lint_mutex_;
-  std::map<std::tuple<int, int, int>, std::vector<std::size_t>> outstanding_;
+  std::map<std::tuple<int, int, int>, PairLedger> outstanding_;
 
   std::atomic<bool> aborted_{false};
   std::string abort_report_;  ///< written before aborted_ (release store)

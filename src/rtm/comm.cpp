@@ -40,9 +40,7 @@ std::unique_ptr<World> run_world(Topology topo,
                                  const RunOptions& options) {
   auto world = std::make_unique<World>(topo);
   if (options.check.enabled) world->enable_check(options.check);
-  if (options.chaos_seed != 0) {
-    world->enable_chaos(options.chaos_seed, options.chaos_max_delay_us);
-  }
+  if (options.chaos.active()) world->enable_chaos(options.chaos);
   run_ranks(*world, rank_main);
   if (check::RunChecker* check = world->checker()) check->finalize();
   return world;

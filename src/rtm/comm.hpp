@@ -221,9 +221,11 @@ void run_ranks(World& world, const std::function<void(Comm&)>& rank_main);
 
 /// Options for run_world.
 struct RunOptions {
-  /// Non-zero enables chaos delivery with this seed (see rtm/chaos.hpp).
-  std::uint64_t chaos_seed = 0;
-  int chaos_max_delay_us = 300;
+  /// Fault-injection plan (see rtm/chaos.hpp). chaos.seed != 0 arms the
+  /// injector; the default plan then delays only. Lossy plans (drops or
+  /// truncation) additionally need requester-side timeouts
+  /// (parallel::RetryPolicy) or the run can hang.
+  FaultPlan chaos;
   /// rtm-check configuration (see rtm/check/check.hpp). Checking defaults
   /// to ON so tests run audited; benchmarks set check.enabled = false.
   check::Options check;

@@ -132,6 +132,16 @@ class Mailbox {
     return out;
   }
 
+  /// Visits every queued message under the lock, in queue order. Used by
+  /// the rtm-check finalize pass, which must parse leaked payloads (to read
+  /// protocol sequence numbers) — pending_info() only exposes envelopes.
+  /// `fn` must not touch the mailbox.
+  template <class Fn>
+  void for_each_pending(Fn&& fn) const {
+    std::lock_guard lock(mutex_);
+    for (const Message& m : queue_) fn(m);
+  }
+
   bool empty() const {
     std::lock_guard lock(mutex_);
     return queue_.empty();

@@ -28,6 +28,10 @@ struct RankTraffic {
   /// Largest single point-to-point payload sent (vectored lookups make this
   /// grow with batch size; the scalar protocol keeps it at sizeof(request)).
   std::atomic<std::uint64_t> largest_msg_bytes{0};
+  /// Fault injection (rtm/chaos.hpp), attributed to the SENDING rank: how
+  /// many of this rank's sends the chaos layer discarded or duplicated.
+  std::atomic<std::uint64_t> dropped_msgs{0};
+  std::atomic<std::uint64_t> duplicated_msgs{0};
 
   std::uint64_t sent_msgs() const noexcept {
     return sent_msgs_intra.load(std::memory_order_relaxed) +
@@ -49,6 +53,8 @@ struct TrafficSnapshot {
   std::uint64_t collective_bytes_in = 0;
   std::uint64_t collective_calls = 0;
   std::uint64_t largest_msg_bytes = 0;
+  std::uint64_t dropped_msgs = 0;
+  std::uint64_t duplicated_msgs = 0;
 
   std::uint64_t sent_msgs() const noexcept {
     return sent_msgs_intra + sent_msgs_inter;
@@ -80,6 +86,16 @@ class TrafficRecorder {
     }
   }
 
+  /// Chaos-layer accounting: a send from `src` was discarded / duplicated.
+  void record_drop(int src) {
+    rows_[static_cast<std::size_t>(src)].dropped_msgs.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void record_duplicate(int src) {
+    rows_[static_cast<std::size_t>(src)].duplicated_msgs.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
   void record_collective(int rank, std::size_t bytes_out,
                          std::size_t bytes_in) {
     auto& row = rows_[static_cast<std::size_t>(rank)];
@@ -101,6 +117,8 @@ class TrafficRecorder {
         r.collective_bytes_in.load(std::memory_order_relaxed);
     s.collective_calls = r.collective_calls.load(std::memory_order_relaxed);
     s.largest_msg_bytes = r.largest_msg_bytes.load(std::memory_order_relaxed);
+    s.dropped_msgs = r.dropped_msgs.load(std::memory_order_relaxed);
+    s.duplicated_msgs = r.duplicated_msgs.load(std::memory_order_relaxed);
     return s;
   }
 

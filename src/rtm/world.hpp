@@ -104,10 +104,11 @@ class World {
   TrafficRecorder& traffic() noexcept { return traffic_; }
 
   /// Enables chaos delivery (see rtm/chaos.hpp): every subsequent
-  /// point-to-point send is delayed by a random amount while preserving
-  /// per-destination order. Call before spawning rank threads.
-  void enable_chaos(std::uint64_t seed, int max_delay_us = 300) {
-    chaos_ = std::make_unique<ChaosDelayer>(*this, seed, max_delay_us);
+  /// point-to-point send goes through the fault injector (randomized delay
+  /// plus any drop/duplicate/truncate/stall faults the plan arms), with
+  /// per-destination order preserved. Call before spawning rank threads.
+  void enable_chaos(const FaultPlan& plan) {
+    chaos_ = std::make_unique<ChaosDelayer>(*this, plan);
   }
 
   /// Active chaos delayer, or nullptr for instant delivery.

@@ -154,10 +154,11 @@ TEST(BatchProtocol, ServiceAnswersVectoredRequest) {
       comm.send<std::uint8_t>(
           0, kTagBatchRequest,
           std::span<const std::uint8_t>(buf.data(), buf.size()));
-      const auto counts = comm.recv(0, reply_to).as<std::int32_t>();
-      ASSERT_EQ(counts.size(), 2u);
-      EXPECT_EQ(counts[0], static_cast<std::int32_t>(probe_count));
-      EXPECT_EQ(counts[1], -1);  // absent IDs reply -1, index-aligned
+      const auto reply = decode_batch_reply(comm.recv(0, reply_to).payload);
+      EXPECT_EQ(reply.seq, 0u);  // unsequenced request echoes seq 0
+      ASSERT_EQ(reply.counts.size(), 2u);
+      EXPECT_EQ(reply.counts[0], static_cast<std::int32_t>(probe_count));
+      EXPECT_EQ(reply.counts[1], -1);  // absent IDs reply -1, index-aligned
       comm.signal_done();
     }
     comm.barrier();
@@ -230,7 +231,7 @@ TEST(BatchedLookups, ChaosDeliveryStaysIdentical) {
   config.params = test_params();
   config.ranks = 4;
   config.heuristics.batch_lookups = true;
-  config.run_options.chaos_seed = 7;
+  config.run_options.chaos.seed = 7;
   const auto result = run_distributed(dataset().reads, config);
   expect_identical_to_sequential(result);
 }

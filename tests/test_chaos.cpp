@@ -22,8 +22,8 @@ namespace {
 
 TEST(Chaos, PerDestinationFifoSurvivesDelays) {
   rtm::RunOptions chaos;
-  chaos.chaos_seed = 42;
-  chaos.chaos_max_delay_us = 400;
+  chaos.chaos.seed = 42;
+  chaos.chaos.max_delay_us = 400;
   rtm::run_world(
       {4, 2},
       [](rtm::Comm& comm) {
@@ -48,8 +48,8 @@ TEST(Chaos, PerDestinationFifoSurvivesDelays) {
 
 TEST(Chaos, NoMessageIsEverLost) {
   rtm::RunOptions chaos;
-  chaos.chaos_seed = 7;
-  chaos.chaos_max_delay_us = 800;
+  chaos.chaos.seed = 7;
+  chaos.chaos.max_delay_us = 800;
   auto world = rtm::run_world(
       {3, 1},
       [](rtm::Comm& comm) {
@@ -79,8 +79,8 @@ TEST(Chaos, LookupProtocolUnderDelays) {
   params.tile_threshold = 1;
 
   rtm::RunOptions chaos;
-  chaos.chaos_seed = 13;
-  chaos.chaos_max_delay_us = 300;
+  chaos.chaos.seed = 13;
+  chaos.chaos.max_delay_us = 300;
   rtm::run_world(
       {3, 1},
       [&](rtm::Comm& comm) {
@@ -136,8 +136,8 @@ TEST(Chaos, FullPipelineIdenticalUnderDelays) {
     config.ranks = 4;
     config.worker_threads = 2;
     config.heuristics.universal = seed % 2 == 0;
-    config.run_options.chaos_seed = seed;
-    config.run_options.chaos_max_delay_us = 200;
+    config.run_options.chaos.seed = seed;
+    config.run_options.chaos.max_delay_us = 200;
     const auto result = parallel::run_distributed(ds.reads, config);
     ASSERT_EQ(result.corrected.size(), ref.corrected.size()) << seed;
     for (std::size_t i = 0; i < ref.corrected.size(); ++i) {
@@ -155,7 +155,7 @@ TEST(Chaos, RebalanceDeterministicUnderDelays) {
     std::vector<std::vector<seq::Read>> per_rank(kRanks);
     std::mutex m;
     rtm::RunOptions chaos;
-    chaos.chaos_seed = seed;
+    chaos.chaos.seed = seed;
     rtm::run_world(
         {kRanks, 1},
         [&](rtm::Comm& comm) {

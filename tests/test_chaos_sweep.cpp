@@ -1,0 +1,159 @@
+// Chaos sweep: the distributed pipeline across seeds x fault plans x lookup
+// modes (scalar request/reply vs batched prefetch), checked against the
+// sequential baseline.
+//
+// Identity contract per plan class (DESIGN.md §4d):
+//  * delay-only plans lose nothing — output must be bit-identical;
+//  * lossy plans (drops/truncation) may degrade lookups — the output must be
+//    CONSERVATIVELY identical: every base either matches the sequential
+//    correction or is the original (a skipped substitution). A substitution
+//    the baseline never applied is a miscorrection and fails the sweep.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "parallel/dist_pipeline.hpp"
+#include "seq/dataset.hpp"
+
+namespace reptile {
+namespace {
+
+core::CorrectorParams sweep_params() {
+  core::CorrectorParams p;
+  p.k = 10;
+  p.tile_overlap = 4;
+  p.chunk_size = 64;
+  return p;
+}
+
+const seq::SyntheticDataset& sweep_dataset() {
+  static const seq::SyntheticDataset ds = [] {
+    seq::DatasetSpec spec{"sweep", 400, 60, 900};
+    seq::ErrorModelParams errors;
+    errors.error_rate_start = 0.005;
+    errors.error_rate_end = 0.012;
+    return seq::SyntheticDataset::generate(spec, errors, 77);
+  }();
+  return ds;
+}
+
+const core::SequentialResult& sweep_reference() {
+  static const core::SequentialResult ref =
+      core::run_sequential(sweep_dataset().reads, sweep_params());
+  return ref;
+}
+
+struct SweepCase {
+  const char* name;
+  rtm::FaultPlan plan;     ///< seed overwritten per sweep iteration
+  bool lossy;              ///< expected contract (plan.lossy() cross-check)
+  bool batched;            ///< batch_lookups mode
+};
+
+rtm::FaultPlan delay_only() {
+  rtm::FaultPlan p;
+  p.max_delay_us = 250;
+  return p;
+}
+
+rtm::FaultPlan delays_and_drops() {
+  rtm::FaultPlan p = delay_only();
+  p.drop_rate = 0.06;
+  return p;
+}
+
+rtm::FaultPlan full_chaos() {
+  rtm::FaultPlan p = delay_only();
+  p.drop_rate = 0.05;
+  p.duplicate_rate = 0.05;
+  p.truncate_rate = 0.02;
+  p.stall_rate = 0.002;
+  p.stall_us = 1500;
+  return p;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ChaosSweep, HoldsIdentityContract) {
+  const SweepCase& cs = GetParam();
+  const auto& ds = sweep_dataset();
+  const auto& ref = sweep_reference();
+
+  for (const std::uint64_t seed : {101ull, 202ull}) {
+    parallel::DistConfig config;
+    config.params = sweep_params();
+    config.ranks = 4;
+    config.heuristics.batch_lookups = cs.batched;
+    config.run_options.chaos = cs.plan;
+    config.run_options.chaos.seed = seed;
+    ASSERT_EQ(config.run_options.chaos.lossy(), cs.lossy) << cs.name;
+    if (cs.lossy) {
+      config.retry.timeout_ticks = 5;
+      config.retry.max_retries = 12;
+    }
+
+    const auto result = parallel::run_distributed(ds.reads, config);
+    ASSERT_EQ(result.corrected.size(), ref.corrected.size());
+
+    std::uint64_t degraded = 0;
+    for (const auto& r : result.ranks) {
+      degraded += r.tiles_degraded;
+      EXPECT_EQ(r.check.fifo_violations, 0u)
+          << cs.name << " seed " << seed << " rank " << r.rank;
+      EXPECT_EQ(r.check.leaked_messages, 0u)
+          << cs.name << " seed " << seed << " rank " << r.rank;
+      EXPECT_EQ(r.check.orphaned_replies, 0u)
+          << cs.name << " seed " << seed << " rank " << r.rank;
+    }
+    if (!cs.lossy) {
+      EXPECT_EQ(degraded, 0u) << cs.name;
+    }
+
+    std::size_t divergent = 0;
+    for (std::size_t i = 0; i < ref.corrected.size(); ++i) {
+      ASSERT_EQ(result.corrected[i].number, ref.corrected[i].number);
+      const std::string& dist = result.corrected[i].bases;
+      const std::string& fixed = ref.corrected[i].bases;
+      if (dist == fixed) continue;
+      ++divergent;
+      ASSERT_TRUE(cs.lossy)
+          << cs.name << " seed " << seed << ": delay-only plan changed read "
+          << ref.corrected[i].number;
+      const std::string& original = ds.reads[i].bases;
+      ASSERT_EQ(dist.size(), fixed.size());
+      for (std::size_t b = 0; b < dist.size(); ++b) {
+        if (dist[b] != fixed[b]) {
+          ASSERT_EQ(dist[b], original[b])
+              << cs.name << " seed " << seed << " read "
+              << ref.corrected[i].number << " base " << b
+              << ": miscorrection (neither original nor baseline)";
+        }
+      }
+    }
+    // Degradation is the only licence to diverge.
+    if (degraded == 0) {
+      EXPECT_EQ(divergent, 0u) << cs.name << " seed " << seed;
+      EXPECT_EQ(result.total_substitutions(), ref.substitutions)
+          << cs.name << " seed " << seed;
+    }
+    EXPECT_LE(result.total_substitutions(), ref.substitutions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, ChaosSweep,
+    ::testing::Values(
+        SweepCase{"delay_scalar", delay_only(), false, false},
+        SweepCase{"delay_batched", delay_only(), false, true},
+        SweepCase{"drops_scalar", delays_and_drops(), true, false},
+        SweepCase{"drops_batched", delays_and_drops(), true, true},
+        SweepCase{"full_scalar", full_chaos(), true, false},
+        SweepCase{"full_batched", full_chaos(), true, true}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace reptile

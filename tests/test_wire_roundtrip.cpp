@@ -1,0 +1,201 @@
+// Property-based round-trip tests for every wire struct the lookup protocol
+// and the load balancer put on the wire (parallel/protocol.hpp +
+// parallel/wire.hpp): encode -> decode identity over seeded random inputs,
+// layout/size pins, and rejection of every truncated form. The fault
+// injector truncates payloads to arbitrary prefixes, so "every strict prefix
+// is rejected" is a load-bearing property, not an edge case.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "parallel/protocol.hpp"
+#include "parallel/wire.hpp"
+#include "seq/read.hpp"
+#include "seq/rng.hpp"
+
+namespace reptile::parallel {
+namespace {
+
+// Layout pins: these structs ARE the wire format (memcpy'd), so their sizes
+// and field offsets are protocol constants. A drifting size silently breaks
+// the size-validation the service and the views rely on under truncation.
+static_assert(sizeof(LookupRequest) == 24);
+static_assert(sizeof(UniversalLookupRequest) == 24);
+static_assert(sizeof(LookupReply) == 16);
+static_assert(sizeof(BatchLookupHeader) == 24);
+static_assert(sizeof(BatchReplyHeader) == 16);
+static_assert(offsetof(LookupReply, seq) == 0,
+              "reply_seq() reads the leading 8 bytes");
+static_assert(offsetof(BatchReplyHeader, seq) == 0,
+              "reply_seq() reads the leading 8 bytes");
+
+template <class T>
+T byte_roundtrip(const T& value) {
+  std::vector<std::uint8_t> buf(sizeof(T));
+  std::memcpy(buf.data(), &value, sizeof(T));
+  T out{};
+  std::memcpy(&out, buf.data(), sizeof(T));
+  return out;
+}
+
+TEST(WireRoundTrip, ScalarRequestStructs) {
+  seq::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    LookupRequest req;
+    req.id = rng.next();
+    req.seq = rng.next();
+    req.reply_to = static_cast<std::int32_t>(rng.below(1 << 16));
+    const LookupRequest back = byte_roundtrip(req);
+    EXPECT_EQ(back.id, req.id);
+    EXPECT_EQ(back.seq, req.seq);
+    EXPECT_EQ(back.reply_to, req.reply_to);
+
+    UniversalLookupRequest uni;
+    uni.kind = rng.chance(0.5) ? LookupKind::kKmer : LookupKind::kTile;
+    uni.reply_to = static_cast<std::int32_t>(rng.below(1 << 16));
+    uni.id = rng.next();
+    uni.seq = rng.next();
+    const UniversalLookupRequest uback = byte_roundtrip(uni);
+    EXPECT_EQ(uback.kind, uni.kind);
+    EXPECT_EQ(uback.reply_to, uni.reply_to);
+    EXPECT_EQ(uback.id, uni.id);
+    EXPECT_EQ(uback.seq, uni.seq);
+
+    LookupReply rep;
+    rep.seq = rng.next();
+    rep.count = static_cast<std::int32_t>(rng.below(1u << 31)) - 1;
+    const LookupReply rback = byte_roundtrip(rep);
+    EXPECT_EQ(rback.seq, rep.seq);
+    EXPECT_EQ(rback.count, rep.count);
+  }
+}
+
+TEST(WireRoundTrip, AggregateInitKeepsLegacyFieldOrder) {
+  // Call sites (and the microbenchmarks) build requests as
+  // `LookupRequest{id}`: the id must stay the first member and every later
+  // member must default to the unsequenced/base-tag values.
+  const LookupRequest req{0xabcdeful};
+  EXPECT_EQ(req.id, 0xabcdeful);
+  EXPECT_EQ(req.seq, 0u);
+  EXPECT_EQ(req.reply_to, kTagKmerReply);
+}
+
+TEST(WireRoundTrip, BatchRequestIdentity) {
+  seq::Rng rng(2);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = rng.below(300);
+    std::vector<std::uint64_t> ids(n);
+    for (auto& id : ids) id = rng.next();
+    const auto kind = rng.chance(0.5) ? LookupKind::kKmer : LookupKind::kTile;
+    const int reply_to =
+        batch_reply_tag(kind, static_cast<int>(rng.below(8)));
+    const std::uint64_t seq = rng.next();
+
+    std::vector<std::uint8_t> buf;
+    encode_batch_request(
+        kind, reply_to,
+        std::span<const std::uint64_t>(ids.data(), ids.size()), buf, seq);
+    // Size bound: header + 8 bytes per ID, nothing else.
+    ASSERT_EQ(buf.size(), sizeof(BatchLookupHeader) + 8 * n);
+
+    const BatchLookupRequest req = decode_batch_request(buf.data(), buf.size());
+    EXPECT_EQ(req.kind, kind);
+    EXPECT_EQ(req.reply_to, reply_to);
+    EXPECT_EQ(req.seq, seq);
+    EXPECT_EQ(req.ids, ids);
+  }
+}
+
+TEST(WireRoundTrip, BatchReplyIdentity) {
+  seq::Rng rng(3);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = rng.below(300);
+    std::vector<std::int32_t> counts(n);
+    for (auto& c : counts) {
+      c = rng.chance(0.2) ? -1 : static_cast<std::int32_t>(rng.below(1000));
+    }
+    const std::uint64_t seq = rng.next();
+
+    std::vector<std::uint8_t> buf;
+    encode_batch_reply(
+        seq, std::span<const std::int32_t>(counts.data(), counts.size()), buf);
+    ASSERT_EQ(buf.size(), sizeof(BatchReplyHeader) + 4 * n);
+
+    const BatchLookupReply reply = decode_batch_reply(buf.data(), buf.size());
+    EXPECT_EQ(reply.seq, seq);
+    EXPECT_EQ(reply.counts, counts);
+  }
+}
+
+TEST(WireRoundTrip, BatchRequestRejectsEveryTruncation) {
+  seq::Rng rng(4);
+  std::vector<std::uint64_t> ids(17);
+  for (auto& id : ids) id = rng.next();
+  std::vector<std::uint8_t> buf;
+  encode_batch_request(LookupKind::kTile, kTagBatchReplyBase + 1,
+                       std::span<const std::uint64_t>(ids.data(), ids.size()),
+                       buf, 42);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    EXPECT_THROW(decode_batch_request(buf.data(), len), std::runtime_error)
+        << "prefix of " << len << " bytes decoded";
+  }
+  // Over-long buffers are rejected too (count must match exactly).
+  buf.push_back(0);
+  EXPECT_THROW(decode_batch_request(buf.data(), buf.size()),
+               std::runtime_error);
+}
+
+TEST(WireRoundTrip, BatchReplyRejectsEveryTruncation) {
+  std::vector<std::int32_t> counts(23, -1);
+  std::vector<std::uint8_t> buf;
+  encode_batch_reply(
+      7, std::span<const std::int32_t>(counts.data(), counts.size()), buf);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    EXPECT_THROW(decode_batch_reply(buf.data(), len), std::runtime_error)
+        << "prefix of " << len << " bytes decoded";
+  }
+  buf.push_back(0);
+  EXPECT_THROW(decode_batch_reply(buf.data(), buf.size()),
+               std::runtime_error);
+}
+
+TEST(WireRoundTrip, ReadRecordsIdentity) {
+  seq::Rng rng(5);
+  const char bases[] = {'A', 'C', 'G', 'T'};
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<seq::Read> reads(1 + rng.below(8));
+    for (auto& r : reads) {
+      r.number = rng.next();
+      const std::size_t len = rng.below(200);
+      r.bases.resize(len);
+      r.quals.resize(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        r.bases[i] = bases[rng.below(4)];
+        r.quals[i] = static_cast<seq::qual_t>(rng.below(42));
+      }
+    }
+    std::vector<std::uint8_t> buf;
+    for (const auto& r : reads) encode_read(r, buf);
+    std::vector<seq::Read> back;
+    decode_reads(buf, back);
+    EXPECT_EQ(back, reads);
+  }
+}
+
+TEST(WireRoundTrip, ReadRecordsRejectTruncation) {
+  seq::Read r;
+  r.number = 9;
+  r.bases = "ACGTACGT";
+  r.quals.assign(8, 30);
+  std::vector<std::uint8_t> buf;
+  encode_read(r, buf);
+  for (std::size_t len = 1; len < buf.size(); ++len) {
+    std::vector<seq::Read> out;
+    EXPECT_THROW(decode_reads(buf.data(), len, out), std::runtime_error)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+}  // namespace
+}  // namespace reptile::parallel
