@@ -12,22 +12,18 @@
 #include "core/params.hpp"
 #include "core/spectrum.hpp"
 #include "seq/read.hpp"
+#include "stats/phase_timeline.hpp"
 
 namespace reptile::core {
 
-/// Outcome of a sequential run.
-struct SequentialResult {
+/// Outcome of a sequential run: the shared PhaseTimeline core (counters,
+/// lookup stats, per-stage wall times) plus the corrected reads and the
+/// pruned-spectrum sizes.
+struct SequentialResult : stats::PhaseTimeline {
   std::vector<seq::Read> corrected;  ///< reads in input order, bases fixed
-  std::uint64_t reads_changed = 0;
-  std::uint64_t substitutions = 0;
-  std::uint64_t tiles_untrusted = 0;
-  std::uint64_t tiles_fixed = 0;
   std::size_t kmer_entries = 0;   ///< spectrum size after pruning
   std::size_t tile_entries = 0;
   std::size_t spectrum_bytes = 0; ///< spectrum memory after pruning
-  LookupStats lookups;            ///< correction-phase lookups
-  double construct_seconds = 0;   ///< k-mer construction time
-  double correct_seconds = 0;     ///< error correction time
 };
 
 /// Runs spectrum construction, pruning and correction over `reads`,

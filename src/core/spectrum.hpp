@@ -17,25 +17,13 @@
 #include "seq/kmer.hpp"
 #include "seq/read.hpp"
 #include "seq/tile.hpp"
+#include "stats/phase_timeline.hpp"
 
 namespace reptile::core {
 
-/// Lookup-side instrumentation. The paper's evaluation hinges on these
-/// counters (remote tile lookups per rank, misses on non-existent tiles).
-struct LookupStats {
-  std::uint64_t kmer_lookups = 0;
-  std::uint64_t kmer_misses = 0;  ///< lookups that found no entry
-  std::uint64_t tile_lookups = 0;
-  std::uint64_t tile_misses = 0;
-
-  LookupStats& operator+=(const LookupStats& o) noexcept {
-    kmer_lookups += o.kmer_lookups;
-    kmer_misses += o.kmer_misses;
-    tile_lookups += o.tile_lookups;
-    tile_misses += o.tile_misses;
-    return *this;
-  }
-};
+/// Lookup-side instrumentation; the definition lives in the unified report
+/// core (stats/phase_timeline.hpp), re-exported under its historical name.
+using LookupStats = stats::LookupStats;
 
 /// Count-lookup interface over the two spectra. A count of 0 means the ID
 /// is not in the (pruned) spectrum.

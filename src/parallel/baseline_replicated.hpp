@@ -25,6 +25,7 @@
 
 #include "core/params.hpp"
 #include "seq/read.hpp"
+#include "stats/phase_timeline.hpp"
 
 namespace reptile::parallel {
 
@@ -36,14 +37,12 @@ struct BaselineConfig {
   std::size_t work_chunk = 200;
 };
 
-struct BaselineRankReport {
+/// One rank's measurements: the shared stats::PhaseTimeline core plus the
+/// work-queue fields specific to the dynamic-allocation scheme.
+struct BaselineRankReport : stats::PhaseTimeline {
   int rank = 0;
-  std::uint64_t reads_processed = 0;
   std::uint64_t chunks_granted = 0;   ///< non-empty grants received
-  std::uint64_t substitutions = 0;
   std::size_t spectrum_bytes = 0;     ///< full replicated spectrum
-  double construct_seconds = 0;
-  double correct_seconds = 0;
 };
 
 struct BaselineResult {
@@ -51,14 +50,10 @@ struct BaselineResult {
   std::vector<BaselineRankReport> ranks;
 
   std::uint64_t total_substitutions() const {
-    std::uint64_t n = 0;
-    for (const auto& r : ranks) n += r.substitutions;
-    return n;
+    return stats::field_total(ranks, &stats::PhaseTimeline::substitutions);
   }
   std::uint64_t total_chunks() const {
-    std::uint64_t n = 0;
-    for (const auto& r : ranks) n += r.chunks_granted;
-    return n;
+    return stats::field_total(ranks, &BaselineRankReport::chunks_granted);
   }
 };
 

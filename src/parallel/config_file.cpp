@@ -1,8 +1,11 @@
 #include "parallel/config_file.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <vector>
 
 namespace reptile::parallel {
 
@@ -40,6 +43,194 @@ double parse_double(const std::string& v, int line) {
   }
 }
 
+/// One recognized key: its name and how its value lands in the config.
+/// The table is the single source of truth for the key set — the parser,
+/// the unknown-key suggestion, and (by construction) to_config_text all
+/// cover exactly these keys.
+struct KeySpec {
+  std::string_view key;
+  void (*apply)(RunConfigFile&, const std::string& value, int line);
+};
+
+constexpr KeySpec kKeys[] = {
+    {"fasta_file",
+     [](RunConfigFile& c, const std::string& v, int) { c.fasta_file = v; }},
+    {"qual_file",
+     [](RunConfigFile& c, const std::string& v, int) { c.qual_file = v; }},
+    {"output_file",
+     [](RunConfigFile& c, const std::string& v, int) { c.output_file = v; }},
+    {"kmer_length",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.k = static_cast<int>(parse_int(v, l));
+     }},
+    {"tile_overlap",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.tile_overlap = static_cast<int>(parse_int(v, l));
+     }},
+    {"kmer_threshold",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.kmer_threshold = static_cast<unsigned>(parse_int(v, l));
+     }},
+    {"tile_threshold",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.tile_threshold = static_cast<unsigned>(parse_int(v, l));
+     }},
+    {"canonical",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.canonical = parse_bool(v, l);
+     }},
+    {"qual_threshold",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.qual_threshold = static_cast<int>(parse_int(v, l));
+     }},
+    {"restrict_to_low_quality",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.restrict_to_low_quality = parse_bool(v, l);
+     }},
+    {"max_positions_per_tile",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.max_positions_per_tile = static_cast<int>(parse_int(v, l));
+     }},
+    {"max_hamming",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.max_hamming = static_cast<int>(parse_int(v, l));
+     }},
+    {"dominance_ratio",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.dominance_ratio = parse_double(v, l);
+     }},
+    {"max_corrections_per_read",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.max_corrections_per_read = static_cast<int>(parse_int(v, l));
+     }},
+    {"chunk_size",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.chunk_size = static_cast<std::size_t>(parse_int(v, l));
+     }},
+    {"prefetch_capacity",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.prefetch_capacity = static_cast<std::size_t>(parse_int(v, l));
+     }},
+    {"remote_cache_capacity",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.params.remote_cache_capacity =
+           static_cast<std::size_t>(parse_int(v, l));
+     }},
+    {"universal",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.universal = parse_bool(v, l);
+     }},
+    {"read_kmers",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.read_kmers = parse_bool(v, l);
+     }},
+    {"allgather_kmers",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.allgather_kmers = parse_bool(v, l);
+     }},
+    {"allgather_tiles",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.allgather_tiles = parse_bool(v, l);
+     }},
+    {"add_remote",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.add_remote = parse_bool(v, l);
+     }},
+    {"batch_reads",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.batch_reads = parse_bool(v, l);
+     }},
+    {"batch_lookups",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.batch_lookups = parse_bool(v, l);
+     }},
+    {"load_balance",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.load_balance = parse_bool(v, l);
+     }},
+    {"partial_replication_group",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.partial_replication_group =
+           static_cast<int>(parse_int(v, l));
+     }},
+    {"bloom_construction",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.bloom_construction = parse_bool(v, l);
+     }},
+    {"rtm_check",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.rtm_check = parse_bool(v, l);
+     }},
+    {"chaos_seed",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.chaos.seed = static_cast<std::uint64_t>(parse_int(v, l));
+     }},
+    {"chaos_max_delay_us",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.chaos.max_delay_us = static_cast<int>(parse_int(v, l));
+     }},
+    {"chaos_drop_rate",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.chaos.drop_rate = parse_double(v, l);
+     }},
+    {"chaos_duplicate_rate",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.chaos.duplicate_rate = parse_double(v, l);
+     }},
+    {"chaos_truncate_rate",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.chaos.truncate_rate = parse_double(v, l);
+     }},
+    {"chaos_stall_rate",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.chaos.stall_rate = parse_double(v, l);
+     }},
+    {"chaos_stall_us",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.chaos.stall_us = static_cast<int>(parse_int(v, l));
+     }},
+    {"lookup_timeout_ticks",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.retry.timeout_ticks = static_cast<int>(parse_int(v, l));
+     }},
+    {"lookup_max_retries",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.retry.max_retries = static_cast<int>(parse_int(v, l));
+     }},
+};
+
+/// Levenshtein distance, for the unknown-key suggestion. The key set is
+/// tiny, so the quadratic DP is fine.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+/// The valid key closest to `key` in edit distance (ties: table order).
+std::string_view nearest_key(std::string_view key) {
+  std::string_view best = kKeys[0].key;
+  std::size_t best_distance = edit_distance(key, best);
+  for (const KeySpec& spec : kKeys) {
+    const std::size_t d = edit_distance(key, spec.key);
+    if (d < best_distance) {
+      best_distance = d;
+      best = spec.key;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
 RunConfigFile parse_config_text(const std::string& text) {
@@ -58,92 +249,14 @@ RunConfigFile parse_config_text(const std::string& text) {
     std::string extra;
     if (ls >> extra) fail(lineno, "unexpected trailing token '" + extra + "'");
 
-    if (key == "fasta_file") {
-      config.fasta_file = value;
-    } else if (key == "qual_file") {
-      config.qual_file = value;
-    } else if (key == "output_file") {
-      config.output_file = value;
-    } else if (key == "kmer_length") {
-      config.params.k = static_cast<int>(parse_int(value, lineno));
-    } else if (key == "tile_overlap") {
-      config.params.tile_overlap = static_cast<int>(parse_int(value, lineno));
-    } else if (key == "kmer_threshold") {
-      config.params.kmer_threshold =
-          static_cast<unsigned>(parse_int(value, lineno));
-    } else if (key == "tile_threshold") {
-      config.params.tile_threshold =
-          static_cast<unsigned>(parse_int(value, lineno));
-    } else if (key == "canonical") {
-      config.params.canonical = parse_bool(value, lineno);
-    } else if (key == "qual_threshold") {
-      config.params.qual_threshold =
-          static_cast<int>(parse_int(value, lineno));
-    } else if (key == "restrict_to_low_quality") {
-      config.params.restrict_to_low_quality = parse_bool(value, lineno);
-    } else if (key == "max_positions_per_tile") {
-      config.params.max_positions_per_tile =
-          static_cast<int>(parse_int(value, lineno));
-    } else if (key == "max_hamming") {
-      config.params.max_hamming = static_cast<int>(parse_int(value, lineno));
-    } else if (key == "dominance_ratio") {
-      config.params.dominance_ratio = parse_double(value, lineno);
-    } else if (key == "max_corrections_per_read") {
-      config.params.max_corrections_per_read =
-          static_cast<int>(parse_int(value, lineno));
-    } else if (key == "chunk_size") {
-      config.params.chunk_size =
-          static_cast<std::size_t>(parse_int(value, lineno));
-    } else if (key == "prefetch_capacity") {
-      config.params.prefetch_capacity =
-          static_cast<std::size_t>(parse_int(value, lineno));
-    } else if (key == "remote_cache_capacity") {
-      config.params.remote_cache_capacity =
-          static_cast<std::size_t>(parse_int(value, lineno));
-    } else if (key == "universal") {
-      config.heuristics.universal = parse_bool(value, lineno);
-    } else if (key == "read_kmers") {
-      config.heuristics.read_kmers = parse_bool(value, lineno);
-    } else if (key == "allgather_kmers") {
-      config.heuristics.allgather_kmers = parse_bool(value, lineno);
-    } else if (key == "allgather_tiles") {
-      config.heuristics.allgather_tiles = parse_bool(value, lineno);
-    } else if (key == "add_remote") {
-      config.heuristics.add_remote = parse_bool(value, lineno);
-    } else if (key == "batch_reads") {
-      config.heuristics.batch_reads = parse_bool(value, lineno);
-    } else if (key == "batch_lookups") {
-      config.heuristics.batch_lookups = parse_bool(value, lineno);
-    } else if (key == "load_balance") {
-      config.heuristics.load_balance = parse_bool(value, lineno);
-    } else if (key == "partial_replication_group") {
-      config.heuristics.partial_replication_group =
-          static_cast<int>(parse_int(value, lineno));
-    } else if (key == "bloom_construction") {
-      config.heuristics.bloom_construction = parse_bool(value, lineno);
-    } else if (key == "rtm_check") {
-      config.rtm_check = parse_bool(value, lineno);
-    } else if (key == "chaos_seed") {
-      config.chaos.seed = static_cast<std::uint64_t>(parse_int(value, lineno));
-    } else if (key == "chaos_max_delay_us") {
-      config.chaos.max_delay_us = static_cast<int>(parse_int(value, lineno));
-    } else if (key == "chaos_drop_rate") {
-      config.chaos.drop_rate = parse_double(value, lineno);
-    } else if (key == "chaos_duplicate_rate") {
-      config.chaos.duplicate_rate = parse_double(value, lineno);
-    } else if (key == "chaos_truncate_rate") {
-      config.chaos.truncate_rate = parse_double(value, lineno);
-    } else if (key == "chaos_stall_rate") {
-      config.chaos.stall_rate = parse_double(value, lineno);
-    } else if (key == "chaos_stall_us") {
-      config.chaos.stall_us = static_cast<int>(parse_int(value, lineno));
-    } else if (key == "lookup_timeout_ticks") {
-      config.retry.timeout_ticks = static_cast<int>(parse_int(value, lineno));
-    } else if (key == "lookup_max_retries") {
-      config.retry.max_retries = static_cast<int>(parse_int(value, lineno));
-    } else {
-      fail(lineno, "unknown key '" + key + "'");
+    const auto spec =
+        std::find_if(std::begin(kKeys), std::end(kKeys),
+                     [&key](const KeySpec& s) { return s.key == key; });
+    if (spec == std::end(kKeys)) {
+      fail(lineno, "unknown key '" + key + "' (nearest valid key: '" +
+                       std::string(nearest_key(key)) + "')");
     }
+    spec->apply(config, value, lineno);
   }
   config.params.validate();
   config.heuristics.validate();

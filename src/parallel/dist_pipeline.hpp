@@ -57,33 +57,11 @@ struct DistConfig {
 
 /// Everything one rank measured; the unit of the paper's per-rank figures
 /// (errors corrected per rank, fastest/slowest rank times, remote tile
-/// lookups per rank, MB per rank, ...).
-struct RankReport {
+/// lookups per rank, MB per rank, ...). The measurement fields are the
+/// shared stats::PhaseTimeline core; this adds the rank id and the
+/// runtime-side traffic/check snapshots.
+struct RankReport : stats::PhaseTimeline {
   int rank = 0;
-  std::uint64_t reads_processed = 0;
-  std::uint64_t reads_changed = 0;
-  std::uint64_t substitutions = 0;   ///< "errors corrected" in the figures
-  std::uint64_t tiles_untrusted = 0;
-  std::uint64_t tiles_fixed = 0;
-  /// Tiles conservatively skipped because a backing lookup degraded (gave
-  /// up after timeout retries). Always 0 on fault-free runs.
-  std::uint64_t tiles_degraded = 0;
-  std::uint64_t batches = 0;         ///< construction-phase chunks processed
-
-  core::LookupStats lookups;         ///< correction-phase lookups issued
-  RemoteLookupStats remote;          ///< of which remote
-  ServiceStats service;              ///< requests served for other ranks
-
-  SpectrumFootprint footprint_after_construction;
-  SpectrumFootprint footprint_after_correction;
-  /// Peak construction-phase footprint (sampled after each chunk; the
-  /// batch-reads heuristic exists to cap exactly this).
-  std::size_t construction_peak_bytes = 0;
-
-  double construct_seconds = 0;  ///< k-mer construction wall time
-  double correct_seconds = 0;    ///< error-correction wall time
-  double comm_seconds = 0;       ///< of which blocked on remote replies
-
   rtm::TrafficSnapshot traffic;
   /// rtm-check counters (all-zero when checking was off for the run).
   rtm::check::CheckSnapshot check;
@@ -96,10 +74,18 @@ struct DistResult {
   std::vector<seq::Read> corrected;
   std::vector<RankReport> ranks;
 
-  std::uint64_t total_substitutions() const;
-  std::uint64_t total_reads_changed() const;
-  double max_construct_seconds() const;
-  double max_correct_seconds() const;
+  std::uint64_t total_substitutions() const {
+    return stats::field_total(ranks, &stats::PhaseTimeline::substitutions);
+  }
+  std::uint64_t total_reads_changed() const {
+    return stats::field_total(ranks, &stats::PhaseTimeline::reads_changed);
+  }
+  double max_construct_seconds() const {
+    return stats::field_max(ranks, &stats::PhaseTimeline::construct_seconds);
+  }
+  double max_correct_seconds() const {
+    return stats::field_max(ranks, &stats::PhaseTimeline::correct_seconds);
+  }
 };
 
 /// Runs the full distributed pipeline over an in-memory dataset. Step I is

@@ -29,6 +29,7 @@
 #include "rtm/comm.hpp"
 #include "seq/kmer.hpp"
 #include "seq/tile.hpp"
+#include "stats/phase_timeline.hpp"
 
 namespace reptile::parallel {
 
@@ -39,16 +40,9 @@ struct IdCount {
 };
 static_assert(std::is_trivially_copyable_v<IdCount>);
 
-/// Sizes/memory snapshot of the four tables (plus replicas).
-struct SpectrumFootprint {
-  std::size_t hash_kmer_entries = 0;
-  std::size_t hash_tile_entries = 0;
-  std::size_t reads_kmer_entries = 0;
-  std::size_t reads_tile_entries = 0;
-  std::size_t replica_kmer_entries = 0;
-  std::size_t replica_tile_entries = 0;
-  std::size_t bytes = 0;  ///< total table memory
-};
+/// Sizes/memory snapshot of the four tables (plus replicas); the definition
+/// lives in the unified report core (stats/phase_timeline.hpp).
+using SpectrumFootprint = stats::SpectrumFootprint;
 
 class DistSpectrum {
  public:

@@ -19,23 +19,13 @@
 #include "parallel/dist_spectrum.hpp"
 #include "parallel/protocol.hpp"
 #include "rtm/comm.hpp"
+#include "stats/phase_timeline.hpp"
 
 namespace reptile::parallel {
 
-/// Per-service counters, read after the thread is joined.
-struct ServiceStats {
-  std::uint64_t requests_served = 0;  ///< messages answered (scalar + batch)
-  std::uint64_t kmer_requests = 0;    ///< scalar k-mer requests
-  std::uint64_t tile_requests = 0;    ///< scalar tile requests
-  std::uint64_t probe_calls = 0;  ///< tag probes (non-universal mode only)
-  std::uint64_t absent_replies = 0;   ///< -1 answers, scalar or batched
-  std::uint64_t batch_requests = 0;   ///< vectored requests answered
-  std::uint64_t batch_ids_served = 0; ///< IDs looked up across all batches
-  /// Requests dropped unanswered because the payload was malformed (wrong
-  /// size / truncated by fault injection). The requester's timeout retry
-  /// recovers; answering garbage would be worse than staying silent.
-  std::uint64_t malformed_requests = 0;
-};
+/// Per-service counters, read after the thread is joined; the definition
+/// lives in the unified report core (stats/phase_timeline.hpp).
+using ServiceStats = stats::ServiceStats;
 
 class LookupService {
  public:

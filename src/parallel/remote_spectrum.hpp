@@ -35,87 +35,14 @@
 #include "parallel/protocol.hpp"
 #include "rtm/comm.hpp"
 #include "seq/read.hpp"
+#include "stats/phase_timeline.hpp"
 #include "stats/stopwatch.hpp"
 
 namespace reptile::parallel {
 
-/// Remote-side counters for one rank's correction phase.
-struct RemoteLookupStats {
-  std::uint64_t remote_kmer_lookups = 0;
-  std::uint64_t remote_tile_lookups = 0;
-  std::uint64_t remote_kmer_absent = 0;  ///< replies that said "not in spectrum"
-  std::uint64_t remote_tile_absent = 0;
-  std::uint64_t reads_table_hits = 0;    ///< resolved by the reads tables
-  std::uint64_t group_lookups = 0;       ///< resolved by partial replication
-
-  // batch_lookups extension counters.
-  std::uint64_t batch_requests = 0;   ///< vectored prefetch messages sent
-  std::uint64_t batch_ids = 0;        ///< deduped IDs those messages carried
-  std::uint64_t batch_ids_raw = 0;    ///< remote-needing IDs before dedup
-  std::uint64_t prefetch_hits = 0;    ///< lookups answered by the chunk cache
-  std::uint64_t prefetch_misses = 0;  ///< fell through the cache to scalar
-
-  // Timeout/retry protocol counters (RetryPolicy; all 0 on fault-free runs
-  // with retries disabled).
-  std::uint64_t lookup_retries = 0;   ///< scalar requests retransmitted
-  std::uint64_t lookup_timeouts = 0;  ///< reply waits that expired
-  std::uint64_t degraded_lookups = 0; ///< scalar lookups given up after
-                                      ///< max_retries (corrector skips)
-  std::uint64_t stale_replies_suppressed = 0;  ///< seq-mismatched replies
-  std::uint64_t malformed_replies = 0;  ///< undecodable replies discarded
-  std::uint64_t batch_retries = 0;    ///< batch requests retransmitted
-  std::uint64_t batch_abandoned = 0;  ///< batches given up (IDs go scalar)
-
-  std::uint64_t remote_lookups() const noexcept {
-    return remote_kmer_lookups + remote_tile_lookups;
-  }
-
-  /// Average IDs per vectored request (0 when none were sent).
-  double avg_batch_size() const noexcept {
-    return batch_requests == 0
-               ? 0.0
-               : static_cast<double>(batch_ids) /
-                     static_cast<double>(batch_requests);
-  }
-
-  /// Fraction of remote-needing IDs removed by per-chunk deduplication.
-  double dedup_ratio() const noexcept {
-    return batch_ids_raw == 0
-               ? 0.0
-               : 1.0 - static_cast<double>(batch_ids) /
-                           static_cast<double>(batch_ids_raw);
-  }
-
-  /// Fraction of would-be remote lookups answered by the prefetch cache.
-  double prefetch_hit_rate() const noexcept {
-    const std::uint64_t total = prefetch_hits + prefetch_misses;
-    return total == 0 ? 0.0
-                      : static_cast<double>(prefetch_hits) /
-                            static_cast<double>(total);
-  }
-
-  RemoteLookupStats& operator+=(const RemoteLookupStats& o) noexcept {
-    remote_kmer_lookups += o.remote_kmer_lookups;
-    remote_tile_lookups += o.remote_tile_lookups;
-    remote_kmer_absent += o.remote_kmer_absent;
-    remote_tile_absent += o.remote_tile_absent;
-    reads_table_hits += o.reads_table_hits;
-    group_lookups += o.group_lookups;
-    batch_requests += o.batch_requests;
-    batch_ids += o.batch_ids;
-    batch_ids_raw += o.batch_ids_raw;
-    prefetch_hits += o.prefetch_hits;
-    prefetch_misses += o.prefetch_misses;
-    lookup_retries += o.lookup_retries;
-    lookup_timeouts += o.lookup_timeouts;
-    degraded_lookups += o.degraded_lookups;
-    stale_replies_suppressed += o.stale_replies_suppressed;
-    malformed_replies += o.malformed_replies;
-    batch_retries += o.batch_retries;
-    batch_abandoned += o.batch_abandoned;
-    return *this;
-  }
-};
+/// Remote-side counters for one rank's correction phase; the definition
+/// lives in the unified report core (stats/phase_timeline.hpp).
+using RemoteLookupStats = stats::RemoteLookupStats;
 
 class RemoteSpectrumView final : public core::SpectrumView {
  public:

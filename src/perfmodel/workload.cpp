@@ -383,4 +383,24 @@ std::vector<RankWorkload> synthesize_workload(
   return ranks;
 }
 
+RankWorkload workload_from_report(const stats::PhaseTimeline& report) {
+  RankWorkload w;
+  w.reads = report.reads_processed;
+  w.kmer_lookups = static_cast<double>(report.lookups.kmer_lookups);
+  w.tile_lookups = static_cast<double>(report.lookups.tile_lookups);
+  w.remote_kmer_lookups =
+      static_cast<double>(report.remote.remote_kmer_lookups);
+  w.remote_tile_lookups =
+      static_cast<double>(report.remote.remote_tile_lookups);
+  w.requests_served = static_cast<double>(report.service.requests_served);
+  w.substitutions = static_cast<double>(report.substitutions);
+  const auto& fp = report.footprint_after_construction;
+  w.owned_entries =
+      static_cast<double>(fp.hash_kmer_entries + fp.hash_tile_entries);
+  w.spectrum_bytes = static_cast<double>(fp.bytes);
+  w.construction_peak_bytes =
+      static_cast<double>(report.construction_peak_bytes);
+  return w;
+}
+
 }  // namespace reptile::perfmodel

@@ -23,6 +23,7 @@
 #include "core/params.hpp"
 #include "parallel/heuristics.hpp"
 #include "seq/dataset.hpp"
+#include "stats/phase_timeline.hpp"
 
 namespace reptile::perfmodel {
 
@@ -101,6 +102,13 @@ struct RankWorkload {
 std::vector<RankWorkload> synthesize_workload(
     const DatasetTraits& traits, const seq::DatasetSpec& full, int np,
     int ranks_per_node, const parallel::Heuristics& heur);
+
+/// Projects one rank's MEASURED report (the stage graph's PhaseTimeline
+/// core, shared by every driver) onto the RankWorkload shape that
+/// synthesize_workload produces analytically — the other side of the same
+/// seam, so a scaled functional run and the analytic projection are
+/// directly comparable counter by counter.
+RankWorkload workload_from_report(const stats::PhaseTimeline& report);
 
 /// Number of reads of [begin, end) that fall inside burst regions, given
 /// the periodic burst layout (burst_regions regions covering burst_fraction

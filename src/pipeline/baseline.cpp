@@ -1,0 +1,63 @@
+// parallel::run_replicated_baseline as a stage-graph configuration: the
+// prior-art instance (BuildSpectrum over the replicated model, then the
+// dynamic master-worker WorkQueueCorrectStage over the shared read array).
+
+#include "parallel/baseline_replicated.hpp"
+
+#include <utility>
+
+#include "pipeline/context.hpp"
+#include "pipeline/replicated_model.hpp"
+#include "pipeline/stages.hpp"
+#include "rtm/comm.hpp"
+
+namespace reptile::parallel {
+
+BaselineResult run_replicated_baseline(const std::vector<seq::Read>& reads,
+                                       const BaselineConfig& config) {
+  config.params.validate();
+
+  std::vector<std::vector<seq::Read>> corrected_per_rank(
+      static_cast<std::size_t>(config.ranks));
+  std::vector<BaselineRankReport> reports(
+      static_cast<std::size_t>(config.ranks));
+
+  rtm::run_world(
+      {config.ranks, config.ranks_per_node}, [&](rtm::Comm& comm) {
+        const int rank = comm.rank();
+        const int np = comm.size();
+
+        pipeline::ReplicatedSpectrumModel model(config.params, comm);
+        const std::size_t begin = reads.size() *
+                                  static_cast<std::size_t>(rank) /
+                                  static_cast<std::size_t>(np);
+        const std::size_t end = reads.size() *
+                                static_cast<std::size_t>(rank + 1) /
+                                static_cast<std::size_t>(np);
+        seq::SliceReadSource source(reads, begin, end);
+
+        pipeline::RankContext ctx;
+        ctx.params = &config.params;
+        ctx.comm = &comm;
+        ctx.source = &source;
+        ctx.model = &model;
+        pipeline::baseline_graph(reads, config.work_chunk).run(ctx);
+
+        BaselineRankReport report;
+        report.timeline() = std::move(ctx.report);
+        report.rank = rank;
+        report.chunks_granted = report.work_grants;
+        report.spectrum_bytes = report.footprint_after_construction.bytes;
+
+        corrected_per_rank[static_cast<std::size_t>(rank)] =
+            std::move(ctx.corrected);
+        reports[static_cast<std::size_t>(rank)] = std::move(report);
+      });
+
+  BaselineResult result;
+  result.ranks = std::move(reports);
+  result.corrected = pipeline::MergeStage::run(std::move(corrected_per_rank));
+  return result;
+}
+
+}  // namespace reptile::parallel

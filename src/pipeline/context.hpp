@@ -1,0 +1,61 @@
+#pragma once
+// RankContext: everything one rank's pass through the stage graph reads and
+// writes.
+//
+// Ownership rules (see DESIGN.md "Pipeline architecture"):
+//   - params / comm / source / model are BORROWED from the driver; they must
+//     outlive the graph run. `comm == nullptr` selects the sequential
+//     instance (one rank, no messaging, no service thread).
+//   - `source` may be re-pointed by LoadBalanceStage at `balanced`, the only
+//     state the context itself owns besides its outputs.
+//   - `corrected` and `report` are the outputs: stages only ever append or
+//     accumulate, so a driver can inspect them between stages.
+
+#include <memory>
+#include <vector>
+
+#include "core/params.hpp"
+#include "parallel/heuristics.hpp"
+#include "parallel/protocol.hpp"
+#include "rtm/comm.hpp"
+#include "seq/read.hpp"
+#include "stats/phase_timeline.hpp"
+
+namespace reptile::pipeline {
+
+class SpectrumModel;
+
+struct RankContext {
+  // --- configuration, borrowed from the driver --------------------------
+  const core::CorrectorParams* params = nullptr;
+  parallel::Heuristics heuristics;
+  /// Correction worker threads (Step IV); the communication thread is extra.
+  int worker_threads = 1;
+  /// Timeout/retry protocol for remote lookups (disabled = block forever,
+  /// the paper's behaviour). Only the distributed model reads it.
+  parallel::RetryPolicy retry;
+  /// The rank's communicator; nullptr for the sequential instance. Traffic
+  /// and rtm-check handles are reached through comm->world().
+  rtm::Comm* comm = nullptr;
+  /// The rank's Step I partition; LoadBalanceStage may re-point this.
+  seq::ReadSource* source = nullptr;
+  /// Where the spectrum lives (local / distributed / replicated).
+  SpectrumModel* model = nullptr;
+
+  // --- state produced by stages -----------------------------------------
+  /// Owns the re-homed reads when the load_balance heuristic ran.
+  std::unique_ptr<seq::OwningReadSource> balanced;
+  /// Corrected reads in worker-slot order (MergeStage restores file order
+  /// across ranks).
+  std::vector<seq::Read> corrected;
+  /// The accumulating measurements; drivers slice this into their report
+  /// types (RankReport / SequentialResult / BaselineRankReport).
+  stats::PhaseTimeline report;
+
+  int rank() const noexcept { return comm == nullptr ? 0 : comm->rank(); }
+  int world_size() const noexcept {
+    return comm == nullptr ? 1 : comm->size();
+  }
+};
+
+}  // namespace reptile::pipeline

@@ -1,0 +1,72 @@
+#include "pipeline/dist_model.hpp"
+
+#include <algorithm>
+
+#include "parallel/remote_spectrum.hpp"
+#include "pipeline/context.hpp"
+
+namespace reptile::pipeline {
+
+void DistSpectrumModel::finalize_construction() {
+  spectrum_.prune();
+  if (spectrum_.heuristics().read_kmers) {
+    spectrum_.fetch_global_reads_tables();
+  } else {
+    spectrum_.drop_reads_tables();
+  }
+  if (spectrum_.heuristics().allgather_kmers) spectrum_.replicate_kmers();
+  if (spectrum_.heuristics().allgather_tiles) spectrum_.replicate_tiles();
+  spectrum_.replicate_group();  // no-op unless partial replication is on
+  comm_->barrier();
+}
+
+void DistSpectrumModel::record_construction_footprint(
+    stats::PhaseTimeline& report) {
+  report.footprint_after_construction = spectrum_.footprint();
+  report.construction_peak_bytes =
+      std::max(report.construction_peak_bytes,
+               report.footprint_after_construction.bytes);
+}
+
+void DistSpectrumModel::prepare_correction(RankContext& ctx) {
+  (void)ctx;
+  comm_->reset_done();
+  service_.emplace(*comm_, spectrum_);
+}
+
+/// One worker's lookup surface: a RemoteSpectrumView with the worker's own
+/// reply tags (slot) and, with several workers sharing add_remote, the
+/// thread-safe chunk-local caching variant.
+class DistSpectrumModel::Handle final : public WorkerHandle {
+ public:
+  Handle(rtm::Comm& comm, parallel::DistSpectrum& spectrum, int slot,
+         bool cache_remote_locally, parallel::RetryPolicy retry)
+      : view_(comm, spectrum, slot, cache_remote_locally, retry) {}
+
+  core::SpectrumView& view() override { return view_; }
+
+  void prefetch_chunk(const seq::ReadBatch& batch) override {
+    view_.prefetch_chunk(batch);
+  }
+
+  void harvest(stats::PhaseTimeline& acc) override {
+    acc.lookups += view_.stats();
+    acc.remote += view_.remote_stats();
+    acc.comm_seconds = view_.comm_seconds();
+  }
+
+ private:
+  parallel::RemoteSpectrumView view_;
+};
+
+std::unique_ptr<WorkerHandle> DistSpectrumModel::make_worker(
+    const RankContext& ctx, int slot) {
+  // With concurrent workers, add_remote must not write the shared reads
+  // tables; each view then caches replies into its own chunk-local cache.
+  const bool cache_remote_locally =
+      ctx.worker_threads > 1 && ctx.heuristics.add_remote;
+  return std::make_unique<Handle>(*comm_, spectrum_, slot,
+                                  cache_remote_locally, ctx.retry);
+}
+
+}  // namespace reptile::pipeline

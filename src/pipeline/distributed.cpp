@@ -1,0 +1,152 @@
+// parallel::run_distributed / run_distributed_files as stage-graph
+// configurations: the full paper instance (LoadBalance -> BuildSpectrum ->
+// Correct over the partitioned spectrum model), one graph run per rank
+// inside the in-process runtime, then the cross-rank merge.
+
+#include "parallel/dist_pipeline.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "parallel/protocol_table.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/dist_model.hpp"
+#include "pipeline/stages.hpp"
+#include "rtm/check/check.hpp"
+#include "rtm/comm.hpp"
+#include "seq/fasta_io.hpp"
+
+namespace reptile::parallel {
+
+namespace {
+
+/// One rank's run over its Step I partition `raw_source`; writes its slice
+/// of the shared output arrays.
+void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
+               const DistConfig& config,
+               std::vector<std::vector<seq::Read>>& corrected_per_rank,
+               std::vector<RankReport>& reports) {
+  const int rank = comm.rank();
+
+  pipeline::DistSpectrumModel model(config.params, config.heuristics, comm);
+  pipeline::RankContext ctx;
+  ctx.params = &config.params;
+  ctx.heuristics = config.heuristics;
+  ctx.worker_threads = config.worker_threads;
+  ctx.retry = config.retry;
+  ctx.comm = &comm;
+  ctx.source = &raw_source;
+  ctx.model = &model;
+  pipeline::paper_graph().run(ctx);
+
+  RankReport report;
+  report.timeline() = std::move(ctx.report);
+  report.rank = rank;
+  report.traffic = comm.world().traffic().snapshot(rank);
+
+  corrected_per_rank[static_cast<std::size_t>(rank)] =
+      std::move(ctx.corrected);
+  reports[static_cast<std::size_t>(rank)] = std::move(report);
+}
+
+DistResult merge_results(std::vector<std::vector<seq::Read>> corrected_per_rank,
+                         std::vector<RankReport> reports) {
+  DistResult result;
+  result.ranks = std::move(reports);
+  result.corrected = pipeline::MergeStage::run(std::move(corrected_per_rank));
+  return result;
+}
+
+/// The run options actually handed to the runtime: when checking is on and
+/// the caller supplied no custom tag table, arm the linter with the lookup
+/// protocol table and strict tags — the lookup protocol is the only
+/// point-to-point traffic the pipelines send, so any stray tag is a bug.
+rtm::RunOptions run_options_for(const DistConfig& config) {
+  rtm::RunOptions options = config.run_options;
+  if (options.check.enabled && options.check.lint &&
+      options.check.tags.empty()) {
+    options.check.tags = lookup_tag_table();
+    options.check.strict_tags = true;
+  }
+  return options;
+}
+
+/// Copies the finalized per-rank audit counters into the reports.
+void apply_check_snapshots(rtm::World& world,
+                           std::vector<RankReport>& reports) {
+  rtm::check::RunChecker* check = world.checker();
+  if (check == nullptr) return;
+  for (RankReport& report : reports) {
+    report.check = check->snapshot(report.rank);
+  }
+}
+
+void validate_config(const DistConfig& config) {
+  config.params.validate();
+  config.heuristics.validate();
+  if (config.worker_threads < 1) {
+    throw std::invalid_argument("worker_threads must be >= 1");
+  }
+  if (config.worker_threads > 1 && config.heuristics.add_remote &&
+      !config.heuristics.batch_lookups) {
+    throw std::invalid_argument(
+        "add_remote caches into the shared reads tables, which is not "
+        "thread-safe with worker_threads > 1: enable "
+        "heuristics.batch_lookups (replies then land in each worker's "
+        "chunk-local prefetch cache) or use worker_threads == 1");
+  }
+  config.run_options.chaos.validate();
+  config.retry.validate();
+  if (config.run_options.chaos.lossy() && !config.retry.enabled()) {
+    throw std::invalid_argument(
+        "chaos plan drops or truncates messages but the retry protocol is "
+        "disabled: a lost lookup would block its worker forever. Set "
+        "retry.timeout_ticks > 0 (see parallel::RetryPolicy)");
+  }
+}
+
+}  // namespace
+
+DistResult run_distributed(const std::vector<seq::Read>& reads,
+                           const DistConfig& config) {
+  validate_config(config);
+
+  std::vector<std::vector<seq::Read>> corrected_per_rank(
+      static_cast<std::size_t>(config.ranks));
+  std::vector<RankReport> reports(static_cast<std::size_t>(config.ranks));
+
+  const auto world = rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
+    const std::size_t begin = reads.size() *
+                              static_cast<std::size_t>(comm.rank()) /
+                              static_cast<std::size_t>(comm.size());
+    const std::size_t end = reads.size() *
+                            static_cast<std::size_t>(comm.rank() + 1) /
+                            static_cast<std::size_t>(comm.size());
+    seq::SliceReadSource source(reads, begin, end);
+    rank_main(comm, source, config, corrected_per_rank, reports);
+  }, run_options_for(config));
+  apply_check_snapshots(*world, reports);
+
+  return merge_results(std::move(corrected_per_rank), std::move(reports));
+}
+
+DistResult run_distributed_files(const std::filesystem::path& fasta,
+                                 const std::filesystem::path& qual,
+                                 const DistConfig& config) {
+  validate_config(config);
+
+  std::vector<std::vector<seq::Read>> corrected_per_rank(
+      static_cast<std::size_t>(config.ranks));
+  std::vector<RankReport> reports(static_cast<std::size_t>(config.ranks));
+
+  const auto world = rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
+    // Step I proper: every rank opens both files and takes its byte range.
+    seq::PartitionedReadSource source(fasta, qual, comm.rank(), comm.size());
+    rank_main(comm, source, config, corrected_per_rank, reports);
+  }, run_options_for(config));
+  apply_check_snapshots(*world, reports);
+
+  return merge_results(std::move(corrected_per_rank), std::move(reports));
+}
+
+}  // namespace reptile::parallel

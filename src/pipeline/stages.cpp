@@ -1,0 +1,284 @@
+#include "pipeline/stages.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "core/corrector.hpp"
+#include "parallel/rebalance.hpp"
+#include "rtm/check/check.hpp"
+#include "rtm/comm.hpp"
+#include "rtm/thread_group.hpp"
+#include "seq/chunk_stream.hpp"
+#include "stats/stopwatch.hpp"
+
+namespace reptile::pipeline {
+
+void StageGraph::run(RankContext& ctx) {
+  for (const auto& stage : stages_) {
+    stats::Stopwatch clock;
+    stage->run(ctx);
+    ctx.report.stages.push_back(
+        {std::string(stage->name()), clock.seconds(),
+         ctx.model == nullptr ? 0 : ctx.model->footprint_bytes()});
+  }
+}
+
+void LoadBalanceStage::run(RankContext& ctx) {
+  // With balancing on, the rank's working set becomes the reads it owns;
+  // without it, the raw Step I partition is streamed directly (never
+  // materialized — the paper re-reads the file to keep the footprint low).
+  if (ctx.comm != nullptr && ctx.heuristics.load_balance) {
+    std::vector<seq::Read> mine;
+    mine.reserve(ctx.source->size());
+    seq::for_each_chunk(*ctx.source, ctx.params->chunk_size,
+                        [&mine](seq::ReadBatch& batch) {
+                          mine.insert(mine.end(), batch.begin(), batch.end());
+                        });
+    ctx.balanced = std::make_unique<seq::OwningReadSource>(
+        parallel::rebalance_reads(*ctx.comm, mine));
+    ctx.source = ctx.balanced.get();
+  }
+  ctx.report.reads_processed = ctx.source->size();
+}
+
+void BuildSpectrumStage::run(RankContext& ctx) {
+  stats::Stopwatch clock;
+  SpectrumModel& model = *ctx.model;
+  seq::ChunkStream stream(*ctx.source, ctx.params->chunk_size);
+  seq::ReadBatch batch;
+  auto sample_peak = [&ctx, &model] {
+    ctx.report.construction_peak_bytes = std::max(
+        ctx.report.construction_peak_bytes, model.footprint_bytes());
+  };
+  if (model.chunked_exchange()) {
+    // All ranks must join every collective exchange, so run to the global
+    // maximum batch count (the paper's MPI_Reduce over batch counts).
+    const std::uint64_t max_batches = ctx.comm->allreduce_max(
+        static_cast<std::uint64_t>(stream.chunk_count()));
+    for (std::uint64_t b = 0; b < max_batches; ++b) {
+      stream.next(batch);  // possibly empty near the end
+      for (const seq::Read& r : batch) model.add_read(r.bases);
+      model.exchange_chunk();
+      ++ctx.report.batches;
+      sample_peak();
+    }
+  } else {
+    while (stream.next(batch)) {
+      for (const seq::Read& r : batch) model.add_read(r.bases);
+      ++ctx.report.batches;
+      sample_peak();
+    }
+    model.exchange_chunk();
+    sample_peak();
+  }
+  model.finalize_construction();
+  ctx.report.construct_seconds = clock.seconds();
+  model.record_construction_footprint(ctx.report);
+}
+
+void CorrectStage::run(RankContext& ctx) {
+  SpectrumModel& model = *ctx.model;
+  model.prepare_correction(ctx);
+
+  // The completion announcement (distributed: Comm::signal_done) must run
+  // exactly once before the communication thread is joined — the service
+  // loops until every rank is done — including when a worker throws below
+  // (a check::ProtocolError at a send site, a check::DeadlockError out of a
+  // blocked receive). Under a deadlock abort the service exits on the
+  // checker's abort flag, so the join completes.
+  rtm::ScopedThreadGroup service_group([&model] { model.announce_done(); });
+  if (model.needs_service()) {
+    service_group.spawn([&model] { model.serve(); });
+  }
+
+  stats::Stopwatch clock;
+  const int workers = std::max(1, ctx.worker_threads);
+  seq::ChunkStream stream(*ctx.source, ctx.params->chunk_size);
+  std::mutex stream_mutex;
+  std::vector<std::vector<seq::Read>> per_worker(
+      static_cast<std::size_t>(workers));
+  std::vector<stats::PhaseTimeline> worker_acc(
+      static_cast<std::size_t>(workers));
+
+  auto worker = [&](int slot) {
+    // Register the thread's role with the checker; the communication
+    // thread is deliberately unscoped (it is the peer the roles talk to).
+    std::optional<rtm::check::ThreadScope> scope;
+    if (ctx.comm != nullptr) {
+      if (rtm::check::RunChecker* check = ctx.comm->world().checker()) {
+        scope.emplace(*check, ctx.rank(), rtm::check::ThreadRole::kWorker);
+      }
+    }
+    const auto handle = model.make_worker(ctx, slot);
+    core::TileCorrector corrector(*ctx.params);
+    stats::PhaseTimeline& acc = worker_acc[static_cast<std::size_t>(slot)];
+    auto& corrected = per_worker[static_cast<std::size_t>(slot)];
+    seq::ReadBatch local_batch;
+    while (true) {
+      {
+        std::lock_guard lock(stream_mutex);
+        if (!stream.next(local_batch)) break;
+      }
+      handle->prefetch_chunk(local_batch);
+      for (seq::Read& r : local_batch) {
+        const core::ReadCorrection rc = corrector.correct(r, handle->view());
+        if (rc.changed()) ++acc.reads_changed;
+        acc.substitutions += static_cast<std::uint64_t>(rc.substitutions);
+        acc.tiles_untrusted += static_cast<std::uint64_t>(rc.tiles_untrusted);
+        acc.tiles_fixed += static_cast<std::uint64_t>(rc.tiles_fixed);
+        acc.tiles_degraded += static_cast<std::uint64_t>(rc.tiles_degraded);
+        corrected.push_back(std::move(r));
+      }
+    }
+    handle->harvest(acc);
+  };
+
+  {
+    // Workers run with errors captured, not thrown: an escaping exception
+    // on a std::thread would terminate the process, and the sibling threads
+    // must be joined before the stage rethrows.
+    rtm::ScopedThreadGroup worker_group;
+    for (int slot = 1; slot < workers; ++slot) {
+      worker_group.spawn([&worker, slot] { worker(slot); });
+    }
+    worker_group.run_inline([&worker] { worker(0); });
+    worker_group.join_and_rethrow();
+  }
+  service_group.join_and_rethrow();
+  ctx.report.correct_seconds = clock.seconds();
+
+  ctx.corrected.reserve(ctx.corrected.size() + ctx.source->size());
+  for (auto& part : per_worker) {
+    for (auto& r : part) ctx.corrected.push_back(std::move(r));
+  }
+  for (const stats::PhaseTimeline& acc : worker_acc) {
+    ctx.report.reads_changed += acc.reads_changed;
+    ctx.report.substitutions += acc.substitutions;
+    ctx.report.tiles_untrusted += acc.tiles_untrusted;
+    ctx.report.tiles_fixed += acc.tiles_fixed;
+    ctx.report.tiles_degraded += acc.tiles_degraded;
+    ctx.report.lookups += acc.lookups;
+    ctx.report.remote += acc.remote;
+    // The per-rank communication time is the wall time any worker spent
+    // blocked; with concurrent workers we report the maximum.
+    ctx.report.comm_seconds =
+        std::max(ctx.report.comm_seconds, acc.comm_seconds);
+  }
+  model.harvest_service(ctx.report);
+  model.record_correction_footprint(ctx.report);
+  if (ctx.comm != nullptr) ctx.comm->barrier();
+}
+
+namespace {
+
+// Work-queue protocol tags (disjoint from the lookup protocol's).
+constexpr int kTagWorkRequest = 31;
+constexpr int kTagWorkGrant = 32;
+
+/// One grant from the master: the half-open read-index range [begin, end).
+/// begin == end means the queue is exhausted.
+struct WorkGrant {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+static_assert(std::is_trivially_copyable_v<WorkGrant>);
+
+/// The global master (a thread on rank 0): answers work requests with the
+/// next chunk of read indices until the queue is empty, then hands every
+/// rank one empty grant.
+void run_master(rtm::Comm& comm, std::uint64_t total_reads,
+                std::uint64_t chunk) {
+  std::uint64_t next = 0;
+  int retired = 0;
+  while (retired < comm.size()) {
+    const rtm::Message request = comm.recv(rtm::kAnySource, kTagWorkRequest);
+    WorkGrant grant;
+    if (next < total_reads) {
+      grant.begin = next;
+      grant.end = std::min(total_reads, next + chunk);
+      next = grant.end;
+    } else {
+      ++retired;  // empty grant retires the requesting worker
+    }
+    comm.send_value(request.source, kTagWorkGrant, grant);
+  }
+}
+
+}  // namespace
+
+void WorkQueueCorrectStage::run(RankContext& ctx) {
+  rtm::Comm& comm = *ctx.comm;
+  rtm::ScopedThreadGroup master_group;
+  if (comm.rank() == 0) {
+    const std::uint64_t total = all_reads_->size();
+    const std::uint64_t chunk = work_chunk_;
+    master_group.spawn(
+        [&comm, total, chunk] { run_master(comm, total, chunk); });
+  }
+
+  stats::Stopwatch clock;
+  const auto handle = ctx.model->make_worker(ctx, 0);
+  core::TileCorrector corrector(*ctx.params);
+  while (true) {
+    comm.send_value(0, kTagWorkRequest, std::uint32_t{0});
+    const WorkGrant grant =
+        comm.recv(0, kTagWorkGrant).as_value<WorkGrant>();
+    if (grant.begin == grant.end) break;
+    ++ctx.report.work_grants;
+    for (std::uint64_t i = grant.begin; i < grant.end; ++i) {
+      seq::Read read = (*all_reads_)[i];
+      const core::ReadCorrection rc = corrector.correct(read, handle->view());
+      if (rc.changed()) ++ctx.report.reads_changed;
+      ctx.report.substitutions += static_cast<std::uint64_t>(rc.substitutions);
+      ctx.report.tiles_untrusted +=
+          static_cast<std::uint64_t>(rc.tiles_untrusted);
+      ctx.report.tiles_fixed += static_cast<std::uint64_t>(rc.tiles_fixed);
+      ++ctx.report.reads_processed;
+      ctx.corrected.push_back(std::move(read));
+    }
+  }
+  master_group.join_and_rethrow();
+  ctx.report.correct_seconds = clock.seconds();
+  handle->harvest(ctx.report);
+  ctx.model->record_correction_footprint(ctx.report);
+  comm.barrier();
+}
+
+std::vector<seq::Read> MergeStage::run(
+    std::vector<std::vector<seq::Read>> per_rank) {
+  std::vector<seq::Read> merged;
+  std::size_t total = 0;
+  for (const auto& part : per_rank) total += part.size();
+  merged.reserve(total);
+  for (auto& part : per_rank) {
+    for (auto& r : part) merged.push_back(std::move(r));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const seq::Read& a, const seq::Read& b) {
+              return a.number < b.number;
+            });
+  return merged;
+}
+
+StageGraph paper_graph() {
+  StageGraph graph;
+  graph.add(std::make_unique<LoadBalanceStage>())
+      .add(std::make_unique<BuildSpectrumStage>())
+      .add(std::make_unique<CorrectStage>());
+  return graph;
+}
+
+StageGraph baseline_graph(const std::vector<seq::Read>& all_reads,
+                          std::size_t work_chunk) {
+  StageGraph graph;
+  graph.add(std::make_unique<BuildSpectrumStage>())
+      .add(std::make_unique<WorkQueueCorrectStage>(all_reads, work_chunk));
+  return graph;
+}
+
+}  // namespace reptile::pipeline

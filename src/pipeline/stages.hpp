@@ -1,0 +1,131 @@
+#pragma once
+// The stage graph: the paper's pipeline as named, individually runnable
+// stages over a RankContext.
+//
+//   LoadBalanceStage      — Step 0 (Section III-A): re-home reads by
+//                           sequence hash before both phases.
+//   BuildSpectrumStage    — Steps I-III: chunked read streaming, spectrum
+//                           extraction, owner exchange (per chunk with
+//                           batch_reads), prune, replication heuristics.
+//   CorrectStage          — Step IV: worker pool + communication thread,
+//                           lifecycles held by rtm::ScopedThreadGroup.
+//   WorkQueueCorrectStage — the prior-art Step IV: dynamic master-worker
+//                           grants over a replicated spectrum.
+//   MergeStage            — cross-rank reduction back to file order.
+//
+// All three drivers are configurations of this graph: run_sequential is the
+// 1-rank/no-comm instance, run_distributed the full paper instance,
+// run_replicated_baseline the replicated-spectrum + work-queue instance.
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "pipeline/context.hpp"
+#include "pipeline/spectrum_model.hpp"
+
+namespace reptile::pipeline {
+
+/// One named step of a rank's pass. Stages communicate only through the
+/// RankContext, so each is runnable (and unit-testable) in isolation.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual std::string_view name() const = 0;
+  virtual void run(RankContext& ctx) = 0;
+};
+
+/// An ordered list of stages; running it times every stage into
+/// report.stages (wall seconds + spectrum footprint at stage exit).
+class StageGraph {
+ public:
+  StageGraph& add(std::unique_ptr<Stage> stage) {
+    stages_.push_back(std::move(stage));
+    return *this;
+  }
+
+  void run(RankContext& ctx);
+
+  std::size_t size() const noexcept { return stages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+/// Step 0 (Section III-A): with the load_balance heuristic and a
+/// communicator, redistributes reads to their hash-owning ranks and
+/// re-points ctx.source at the owned set. Always records
+/// report.reads_processed = |source| (the rank's working set for the run).
+class LoadBalanceStage final : public Stage {
+ public:
+  std::string_view name() const override { return "load_balance"; }
+  void run(RankContext& ctx) override;
+};
+
+/// Steps I-III: streams ctx.source in chunks of params.chunk_size into the
+/// model, with the chunk-synchronous exchange loop of batch_reads (run to
+/// the global maximum batch count) or one final exchange otherwise; then
+/// the model's prune/replication finalization. Records construct_seconds,
+/// batches, the per-chunk construction peak, and the post-construction
+/// footprint.
+class BuildSpectrumStage final : public Stage {
+ public:
+  std::string_view name() const override { return "build_spectrum"; }
+  void run(RankContext& ctx) override;
+};
+
+/// Step IV: corrects the rank's reads over the model. Worker slot 0 runs on
+/// the rank's main thread; slots 1..worker_threads-1 and the communication
+/// thread (when the model needs one) run in rtm::ScopedThreadGroups, so all
+/// threads are joined — and the completion announcement fires exactly once —
+/// even when a worker throws. Records correct_seconds, comm_seconds (max
+/// over workers), the merged lookup/remote stats, service stats, and the
+/// post-correction footprint.
+class CorrectStage final : public Stage {
+ public:
+  std::string_view name() const override { return "correct"; }
+  void run(RankContext& ctx) override;
+};
+
+/// The prior-art Step IV (Shah 2012 / Jammula 2015): a global master on
+/// rank 0 grants fixed-size chunks of the SHARED read array on demand;
+/// every rank corrects its grants against its full spectrum replica with no
+/// spectrum communication. Records reads_processed per granted read and
+/// chunks_granted into report.batches (the driver copies it to its
+/// chunks_granted column).
+class WorkQueueCorrectStage final : public Stage {
+ public:
+  WorkQueueCorrectStage(const std::vector<seq::Read>& all_reads,
+                        std::size_t work_chunk)
+      : all_reads_(&all_reads), work_chunk_(work_chunk) {}
+
+  std::string_view name() const override { return "work_queue_correct"; }
+  void run(RankContext& ctx) override;
+
+ private:
+  const std::vector<seq::Read>* all_reads_;
+  std::size_t work_chunk_;
+};
+
+/// Cross-rank reduction, run by the driver thread after the world joined:
+/// concatenates the per-rank corrected vectors and restores original file
+/// order (sort by sequence number — load balancing and dynamic grants both
+/// permute reads across ranks).
+class MergeStage {
+ public:
+  static std::vector<seq::Read> run(
+      std::vector<std::vector<seq::Read>> per_rank);
+};
+
+/// The paper pipeline: LoadBalance -> BuildSpectrum -> Correct. The
+/// sequential driver runs the same graph with comm == nullptr (LoadBalance
+/// degenerates to bookkeeping, Correct to one worker with no service).
+StageGraph paper_graph();
+
+/// The prior-art pipeline: BuildSpectrum (replicated model) -> WorkQueue
+/// correction over the shared read array.
+StageGraph baseline_graph(const std::vector<seq::Read>& all_reads,
+                          std::size_t work_chunk);
+
+}  // namespace reptile::pipeline

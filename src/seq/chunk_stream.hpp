@@ -1,0 +1,56 @@
+#pragma once
+// Chunked streaming over a ReadSource: the one loop every pipeline phase
+// runs (paper: "this subset of reads is read in chunks by each rank; the
+// chunk size is also defined in the configuration file").
+//
+// Before this header the reset-then-next_chunk loop was hand-copied into
+// every construction and correction pass; ChunkStream is the single
+// implementation, usable pull-style (workers drawing chunks under a lock)
+// or via for_each_chunk for a whole pass.
+
+#include <cstddef>
+
+#include "seq/read.hpp"
+
+namespace reptile::seq {
+
+/// Pull-style chunk iterator over a ReadSource. Construction rewinds the
+/// source, so one pass always starts from the first read.
+class ChunkStream {
+ public:
+  ChunkStream(ReadSource& source, std::size_t chunk_size)
+      : source_(&source), chunk_size_(chunk_size) {
+    source_->reset();
+  }
+
+  /// Fills `out` (cleared first) with the next chunk; false when the
+  /// source is exhausted and `out` is empty.
+  bool next(ReadBatch& out) { return source_->next_chunk(chunk_size_, out); }
+
+  /// Chunks one full pass delivers (0 for an empty source) — the per-rank
+  /// batch count the batch_reads heuristic reduces over.
+  std::size_t chunk_count() const {
+    return (source_->size() + chunk_size_ - 1) / chunk_size_;
+  }
+
+  std::size_t chunk_size() const noexcept { return chunk_size_; }
+
+  /// Restarts the stream from the first read (the pipelines stream the
+  /// input twice: construction, then correction).
+  void rewind() { source_->reset(); }
+
+ private:
+  ReadSource* source_;
+  std::size_t chunk_size_;
+};
+
+/// Streams the whole source once, invoking fn(batch) for every non-empty
+/// chunk. `fn` may mutate the batch (correction moves reads out of it).
+template <class Fn>
+void for_each_chunk(ReadSource& source, std::size_t chunk_size, Fn&& fn) {
+  ChunkStream stream(source, chunk_size);
+  ReadBatch batch;
+  while (stream.next(batch)) fn(batch);
+}
+
+}  // namespace reptile::seq

@@ -76,6 +76,31 @@ class VectorReadSource final : public ReadSource {
   std::size_t pos_ = 0;
 };
 
+/// ReadSource over a contiguous slice [begin, end) of an in-memory vector
+/// (not owning): a rank's Step I partition of an in-memory dataset, the
+/// byte-range file partitioning applied to data already in RAM.
+class SliceReadSource final : public ReadSource {
+ public:
+  SliceReadSource(const std::vector<Read>& reads, std::size_t begin,
+                  std::size_t end)
+      : reads_(&reads), begin_(begin), end_(end), pos_(begin) {}
+
+  bool next_chunk(std::size_t max_reads, ReadBatch& out) override {
+    out.clear();
+    while (pos_ < end_ && out.size() < max_reads) {
+      out.push_back((*reads_)[pos_++]);
+    }
+    return !out.empty();
+  }
+
+  void reset() override { pos_ = begin_; }
+  std::size_t size() const override { return end_ - begin_; }
+
+ private:
+  const std::vector<Read>* reads_;
+  std::size_t begin_, end_, pos_;
+};
+
 /// ReadSource that owns its reads (used after load-balancing redistribution).
 class OwningReadSource final : public ReadSource {
  public:

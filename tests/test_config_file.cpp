@@ -54,6 +54,33 @@ TEST(ConfigFile, RejectsUnknownKey) {
   EXPECT_THROW(parse_config_text("frobnicate 1\n"), std::runtime_error);
 }
 
+TEST(ConfigFile, UnknownKeySuggestsNearestValidKey) {
+  try {
+    parse_config_text("chunk_sz 128\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown key 'chunk_sz'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'chunk_size'"), std::string::npos) << what;
+  }
+  try {
+    parse_config_text("chaos_drop_rte 0.1\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'chaos_drop_rate'"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_config_text("lookup_max_retry 2\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'lookup_max_retries'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ConfigFile, RejectsMissingValue) {
   EXPECT_THROW(parse_config_text("kmer_length\n"), std::runtime_error);
 }
@@ -103,6 +130,96 @@ TEST(ConfigFile, RoundTripsThroughText) {
   EXPECT_EQ(back.params.chunk_size, config.params.chunk_size);
   EXPECT_EQ(back.heuristics.universal, config.heuristics.universal);
   EXPECT_EQ(back.heuristics.batch_reads, config.heuristics.batch_reads);
+}
+
+// Every key the parser accepts must survive serialize -> parse unchanged,
+// including the chaos_* fault-plan and lookup_* retry keys.
+TEST(ConfigFile, RoundTripsFullKeySet) {
+  RunConfigFile config;
+  config.fasta_file = "full.fa";
+  config.qual_file = "full.qual";
+  config.output_file = "full.out";
+  config.params.k = 15;
+  config.params.tile_overlap = 7;
+  config.params.kmer_threshold = 5;
+  config.params.tile_threshold = 6;
+  config.params.canonical = false;
+  config.params.qual_threshold = 20;
+  config.params.restrict_to_low_quality = true;
+  config.params.max_positions_per_tile = 3;
+  config.params.max_hamming = 2;
+  config.params.dominance_ratio = 2.5;
+  config.params.max_corrections_per_read = 9;
+  config.params.chunk_size = 333;
+  config.params.prefetch_capacity = 44;
+  config.params.remote_cache_capacity = 555;
+  config.heuristics.universal = true;
+  config.heuristics.read_kmers = true;
+  config.heuristics.allgather_kmers = true;
+  config.heuristics.allgather_tiles = false;
+  config.heuristics.add_remote = true;
+  config.heuristics.batch_reads = true;
+  config.heuristics.batch_lookups = true;
+  config.heuristics.load_balance = false;
+  config.heuristics.partial_replication_group = 4;
+  config.heuristics.bloom_construction = true;
+  config.rtm_check = false;
+  config.chaos.seed = 12345;
+  config.chaos.max_delay_us = 150;
+  config.chaos.drop_rate = 0.25;
+  config.chaos.duplicate_rate = 0.125;
+  config.chaos.truncate_rate = 0.0625;
+  config.chaos.stall_rate = 0.5;
+  config.chaos.stall_us = 200;
+  config.retry.timeout_ticks = 8;
+  config.retry.max_retries = 5;
+
+  const auto back = parse_config_text(to_config_text(config));
+  EXPECT_EQ(back.fasta_file, config.fasta_file);
+  EXPECT_EQ(back.qual_file, config.qual_file);
+  EXPECT_EQ(back.output_file, config.output_file);
+  EXPECT_EQ(back.params.k, config.params.k);
+  EXPECT_EQ(back.params.tile_overlap, config.params.tile_overlap);
+  EXPECT_EQ(back.params.kmer_threshold, config.params.kmer_threshold);
+  EXPECT_EQ(back.params.tile_threshold, config.params.tile_threshold);
+  EXPECT_EQ(back.params.canonical, config.params.canonical);
+  EXPECT_EQ(back.params.qual_threshold, config.params.qual_threshold);
+  EXPECT_EQ(back.params.restrict_to_low_quality,
+            config.params.restrict_to_low_quality);
+  EXPECT_EQ(back.params.max_positions_per_tile,
+            config.params.max_positions_per_tile);
+  EXPECT_EQ(back.params.max_hamming, config.params.max_hamming);
+  EXPECT_DOUBLE_EQ(back.params.dominance_ratio, config.params.dominance_ratio);
+  EXPECT_EQ(back.params.max_corrections_per_read,
+            config.params.max_corrections_per_read);
+  EXPECT_EQ(back.params.chunk_size, config.params.chunk_size);
+  EXPECT_EQ(back.params.prefetch_capacity, config.params.prefetch_capacity);
+  EXPECT_EQ(back.params.remote_cache_capacity,
+            config.params.remote_cache_capacity);
+  EXPECT_EQ(back.heuristics.universal, config.heuristics.universal);
+  EXPECT_EQ(back.heuristics.read_kmers, config.heuristics.read_kmers);
+  EXPECT_EQ(back.heuristics.allgather_kmers,
+            config.heuristics.allgather_kmers);
+  EXPECT_EQ(back.heuristics.allgather_tiles,
+            config.heuristics.allgather_tiles);
+  EXPECT_EQ(back.heuristics.add_remote, config.heuristics.add_remote);
+  EXPECT_EQ(back.heuristics.batch_reads, config.heuristics.batch_reads);
+  EXPECT_EQ(back.heuristics.batch_lookups, config.heuristics.batch_lookups);
+  EXPECT_EQ(back.heuristics.load_balance, config.heuristics.load_balance);
+  EXPECT_EQ(back.heuristics.partial_replication_group,
+            config.heuristics.partial_replication_group);
+  EXPECT_EQ(back.heuristics.bloom_construction,
+            config.heuristics.bloom_construction);
+  EXPECT_EQ(back.rtm_check, config.rtm_check);
+  EXPECT_EQ(back.chaos.seed, config.chaos.seed);
+  EXPECT_EQ(back.chaos.max_delay_us, config.chaos.max_delay_us);
+  EXPECT_DOUBLE_EQ(back.chaos.drop_rate, config.chaos.drop_rate);
+  EXPECT_DOUBLE_EQ(back.chaos.duplicate_rate, config.chaos.duplicate_rate);
+  EXPECT_DOUBLE_EQ(back.chaos.truncate_rate, config.chaos.truncate_rate);
+  EXPECT_DOUBLE_EQ(back.chaos.stall_rate, config.chaos.stall_rate);
+  EXPECT_EQ(back.chaos.stall_us, config.chaos.stall_us);
+  EXPECT_EQ(back.retry.timeout_ticks, config.retry.timeout_ticks);
+  EXPECT_EQ(back.retry.max_retries, config.retry.max_retries);
 }
 
 TEST(ConfigFile, ReadsFromDisk) {

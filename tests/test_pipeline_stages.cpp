@@ -1,0 +1,192 @@
+// Unit tests: the pipeline stage graph, stage by stage, over a RankContext.
+// Each stage is exercised in isolation against the local spectrum model
+// (stages communicate only through the context, so this is the sequential
+// instance of the same code paths the distributed drivers run), then the
+// whole sequential graph is pinned against the golden checksums from
+// test_golden — the refactor-proof that the stage decomposition is
+// behaviour-preserving.
+#include "pipeline/stages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "hash/hashing.hpp"
+#include "pipeline/context.hpp"
+#include "pipeline/spectrum_model.hpp"
+#include "seq/dataset.hpp"
+
+namespace reptile::pipeline {
+namespace {
+
+/// Order-sensitive FNV over all read bases (same pin as test_golden).
+std::uint64_t checksum_reads(const std::vector<seq::Read>& reads) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const auto& r : reads) {
+    h ^= hash::fnv1a(r.bases);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+core::CorrectorParams golden_params() {
+  core::CorrectorParams p;
+  p.k = 12;
+  p.tile_overlap = 4;
+  p.kmer_threshold = 3;
+  p.tile_threshold = 3;
+  p.chunk_size = 128;
+  return p;
+}
+
+const seq::SyntheticDataset& golden_dataset() {
+  static const seq::SyntheticDataset ds = [] {
+    seq::DatasetSpec spec{"golden", 2000, 80, 3000};
+    seq::ErrorModelParams errors;
+    errors.error_rate_start = 0.004;
+    errors.error_rate_end = 0.012;
+    errors.burst_fraction = 0.1;
+    errors.burst_regions = 2;
+    errors.burst_multiplier = 5.0;
+    return seq::SyntheticDataset::generate(spec, errors, 0xC0FFEE);
+  }();
+  return ds;
+}
+
+TEST(LoadBalanceStage, SequentialInstanceOnlyRecordsTheWorkingSet) {
+  const auto& ds = golden_dataset();
+  const auto params = golden_params();
+  seq::VectorReadSource source(ds.reads);
+
+  RankContext ctx;
+  ctx.params = &params;
+  ctx.source = &source;
+  LoadBalanceStage{}.run(ctx);
+
+  // No communicator: nothing moves, nothing is materialized.
+  EXPECT_EQ(ctx.source, &source);
+  EXPECT_EQ(ctx.balanced, nullptr);
+  EXPECT_EQ(ctx.report.reads_processed, ds.reads.size());
+}
+
+TEST(BuildSpectrumStage, BuildsPrunesAndRecordsFootprint) {
+  const auto& ds = golden_dataset();
+  const auto params = golden_params();
+  seq::VectorReadSource source(ds.reads);
+  LocalSpectrumModel model(params);
+
+  RankContext ctx;
+  ctx.params = &params;
+  ctx.source = &source;
+  ctx.model = &model;
+  BuildSpectrumStage{}.run(ctx);
+
+  const auto& fp = ctx.report.footprint_after_construction;
+  EXPECT_GT(fp.hash_kmer_entries, 0u);
+  EXPECT_GT(fp.hash_tile_entries, 0u);
+  EXPECT_GT(fp.bytes, 0u);
+  // The per-chunk peak is sampled before the prune, so it bounds the
+  // post-construction footprint from above.
+  EXPECT_GE(ctx.report.construction_peak_bytes, fp.bytes);
+  // 2000 reads in chunks of 128 -> 16 non-empty chunks.
+  EXPECT_EQ(ctx.report.batches, 16u);
+  EXPECT_GE(ctx.report.construct_seconds, 0.0);
+}
+
+TEST(CorrectStage, CorrectsEveryReadOverTheBuiltSpectrum) {
+  const auto& ds = golden_dataset();
+  const auto params = golden_params();
+  seq::VectorReadSource source(ds.reads);
+  LocalSpectrumModel model(params);
+
+  RankContext ctx;
+  ctx.params = &params;
+  ctx.source = &source;
+  ctx.model = &model;
+  BuildSpectrumStage{}.run(ctx);
+  CorrectStage{}.run(ctx);
+
+  ASSERT_EQ(ctx.corrected.size(), ds.reads.size());
+  EXPECT_GT(ctx.report.substitutions, 0u);
+  EXPECT_GT(ctx.report.reads_changed, 0u);
+  EXPECT_GE(ctx.report.correct_seconds, 0.0);
+  // One worker, local model: every lookup is a hash-table hit or miss, and
+  // correction-phase lookups are what the handle harvests.
+  EXPECT_GT(ctx.report.lookups.kmer_lookups, 0u);
+  EXPECT_GT(ctx.report.lookups.tile_lookups, 0u);
+  EXPECT_GT(ctx.report.footprint_after_correction.bytes, 0u);
+}
+
+TEST(StageGraph, RecordsOneTimedSamplePerStage) {
+  const auto& ds = golden_dataset();
+  const auto params = golden_params();
+  seq::VectorReadSource source(ds.reads);
+  LocalSpectrumModel model(params);
+
+  RankContext ctx;
+  ctx.params = &params;
+  ctx.source = &source;
+  ctx.model = &model;
+  auto graph = paper_graph();
+  EXPECT_EQ(graph.size(), 3u);
+  graph.run(ctx);
+
+  ASSERT_EQ(ctx.report.stages.size(), 3u);
+  EXPECT_EQ(ctx.report.stages[0].stage, "load_balance");
+  EXPECT_EQ(ctx.report.stages[1].stage, "build_spectrum");
+  EXPECT_EQ(ctx.report.stages[2].stage, "correct");
+  for (const auto& sample : ctx.report.stages) {
+    EXPECT_GE(sample.seconds, 0.0);
+  }
+  // Footprint at stage exit: zero before construction, live afterwards.
+  EXPECT_GT(ctx.report.stages[1].spectrum_bytes, 0u);
+  EXPECT_GT(ctx.report.stages[2].spectrum_bytes, 0u);
+}
+
+TEST(MergeStage, RestoresFileOrderAcrossRanks) {
+  auto read = [](seq::seq_num_t n) {
+    seq::Read r;
+    r.number = n;
+    r.bases = "ACGT";
+    return r;
+  };
+  // Two "ranks" whose working sets interleave (what load balancing and
+  // dynamic grants both produce).
+  std::vector<std::vector<seq::Read>> per_rank;
+  per_rank.push_back({read(5), read(1), read(3)});
+  per_rank.push_back({read(4), read(2)});
+
+  const auto merged = MergeStage::run(std::move(per_rank));
+  ASSERT_EQ(merged.size(), 5u);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].number, static_cast<seq::seq_num_t>(i + 1));
+  }
+}
+
+// The refactor pin: the sequential stage graph, driven stage by stage from
+// a test-owned RankContext, reproduces the exact pre-refactor golden output
+// (same checksum and substitution count test_golden pins for
+// core::run_sequential).
+TEST(StageGraph, SequentialRunMatchesPinnedGoldenChecksum) {
+  const auto& ds = golden_dataset();
+  const auto params = golden_params();
+  seq::VectorReadSource source(ds.reads);
+  LocalSpectrumModel model(params);
+
+  RankContext ctx;
+  ctx.params = &params;
+  ctx.source = &source;
+  ctx.model = &model;
+  paper_graph().run(ctx);
+
+  EXPECT_EQ(checksum_reads(ctx.corrected), 0x8c14c08e3007d618ull)
+      << "actual: 0x" << std::hex << checksum_reads(ctx.corrected);
+  EXPECT_EQ(ctx.report.substitutions, 1226u);
+
+  // And the driver wrapper returns the same thing the graph produced.
+  const auto result = core::run_sequential(ds.reads, params);
+  EXPECT_EQ(checksum_reads(result.corrected), checksum_reads(ctx.corrected));
+  EXPECT_EQ(result.substitutions, ctx.report.substitutions);
+}
+
+}  // namespace
+}  // namespace reptile::pipeline

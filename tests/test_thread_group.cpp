@@ -1,0 +1,127 @@
+// Unit tests: rtm::ScopedThreadGroup — the RAII thread lifecycle the stage
+// graph relies on for Step IV's worker/communication threads. The contract
+// under test: no escaping exception ever reaches std::thread's terminate
+// path, the first error wins, before_join runs exactly once (normal path,
+// unwind, and the zero-thread case alike), and every scope exit joins.
+#include "rtm/thread_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace reptile::rtm {
+namespace {
+
+TEST(ScopedThreadGroup, BeforeJoinRunsExactlyOnceWithZeroThreads) {
+  int calls = 0;
+  {
+    ScopedThreadGroup group([&calls] { ++calls; });
+    group.join();
+    group.join();  // idempotent
+    EXPECT_EQ(calls, 1);
+  }  // destructor joins again
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ScopedThreadGroup, BeforeJoinRunsBeforeThreadsAreJoined) {
+  // The drivers hang on this ordering: before_join delivers the "done"
+  // signal the spawned service loop waits for.
+  std::atomic<bool> done{false};
+  std::atomic<bool> saw_done{false};
+  {
+    ScopedThreadGroup group([&done] { done.store(true); });
+    group.spawn([&done, &saw_done] {
+      while (!done.load()) std::this_thread::yield();
+      saw_done.store(true);
+    });
+  }
+  EXPECT_TRUE(saw_done.load());
+}
+
+TEST(ScopedThreadGroup, SpawnedExceptionIsCapturedAndRethrown) {
+  ScopedThreadGroup group;
+  group.spawn([] { throw std::runtime_error("worker failed"); });
+  try {
+    group.join_and_rethrow();
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker failed");
+  }
+  // The error was consumed: further joins are quiet.
+  group.join_and_rethrow();
+  EXPECT_EQ(group.first_error(), nullptr);
+}
+
+TEST(ScopedThreadGroup, RunInlineCapturesLikeSpawn) {
+  ScopedThreadGroup group;
+  group.run_inline([] { throw std::logic_error("inline failed"); });
+  EXPECT_NE(group.first_error(), nullptr);
+  EXPECT_THROW(group.join_and_rethrow(), std::logic_error);
+}
+
+TEST(ScopedThreadGroup, FirstErrorWins) {
+  ScopedThreadGroup group;
+  group.run_inline([] { throw std::runtime_error("first"); });
+  group.run_inline([] { throw std::runtime_error("second"); });
+  try {
+    group.join_and_rethrow();
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ScopedThreadGroup, AllSiblingsJoinedWhenOneThrows) {
+  // A throwing worker must not strand its siblings: join_and_rethrow joins
+  // everything first, so by the time the error surfaces all side effects of
+  // the healthy threads are visible.
+  constexpr int kHealthy = 4;
+  std::atomic<int> finished{0};
+  ScopedThreadGroup group;
+  group.spawn([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < kHealthy; ++i) {
+    group.spawn([&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      finished.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.join_and_rethrow(), std::runtime_error);
+  EXPECT_EQ(finished.load(), kHealthy);
+}
+
+TEST(ScopedThreadGroup, UnwindJoinsAndFiresBeforeJoinOnce) {
+  // The CorrectStage pattern: a stage body throws while the group holds a
+  // live thread. Unwind must join the thread and fire before_join exactly
+  // once — and the destructor swallowing the captured thread error (if any)
+  // must not terminate.
+  int announced = 0;
+  std::atomic<bool> joined{false};
+  try {
+    ScopedThreadGroup group([&announced] { ++announced; });
+    group.spawn([&joined] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      joined.store(true);
+    });
+    throw std::runtime_error("stage body failed");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "stage body failed");
+  }
+  EXPECT_TRUE(joined.load());
+  EXPECT_EQ(announced, 1);
+}
+
+TEST(ScopedThreadGroup, DestructorSwallowsCapturedError) {
+  // A captured-but-never-rethrown error must die with the group, quietly.
+  {
+    ScopedThreadGroup group;
+    group.spawn([] { throw std::runtime_error("ignored"); });
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace reptile::rtm

@@ -241,5 +241,31 @@ TEST(Synthesize, SpectrumScalesWithFullDataset) {
   EXPECT_GT(large[0].spectrum_bytes, small[0].spectrum_bytes);
 }
 
+TEST(WorkloadFromReport, ProjectsTheMeasuredTimelineOntoRankWorkload) {
+  stats::PhaseTimeline report;
+  report.reads_processed = 1000;
+  report.substitutions = 42;
+  report.lookups.kmer_lookups = 5000;
+  report.lookups.tile_lookups = 3000;
+  report.remote.remote_kmer_lookups = 700;
+  report.remote.remote_tile_lookups = 300;
+  report.service.requests_served = 900;
+  report.footprint_after_construction.hash_kmer_entries = 10'000;
+  report.footprint_after_construction.hash_tile_entries = 8'000;
+  report.footprint_after_construction.bytes = 1 << 20;
+  report.construction_peak_bytes = 2 << 20;
+
+  const RankWorkload w = workload_from_report(report);
+  EXPECT_EQ(w.reads, 1000u);
+  EXPECT_DOUBLE_EQ(w.substitutions, 42.0);
+  EXPECT_DOUBLE_EQ(w.kmer_lookups, 5000.0);
+  EXPECT_DOUBLE_EQ(w.tile_lookups, 3000.0);
+  EXPECT_DOUBLE_EQ(w.remote_lookups(), 1000.0);
+  EXPECT_DOUBLE_EQ(w.requests_served, 900.0);
+  EXPECT_DOUBLE_EQ(w.owned_entries, 18'000.0);
+  EXPECT_DOUBLE_EQ(w.spectrum_bytes, static_cast<double>(1 << 20));
+  EXPECT_DOUBLE_EQ(w.construction_peak_bytes, static_cast<double>(2 << 20));
+}
+
 }  // namespace
 }  // namespace reptile::perfmodel
