@@ -18,8 +18,9 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reptile;
+  const auto trace = bench::parse_trace_args(argc, argv);
   bench::print_header(
       "Ablation — partial replication (paper Section V) and Bloom "
       "construction",
@@ -64,6 +65,7 @@ int main() {
   const auto ds = bench::scaled_replica(full, 2000, 7);
   parallel::DistConfig config;
   config.params = bench::bench_params();
+  config.trace = trace;
   config.run_options.check.enabled = false;  // benchmark: no rtm-check hooks
   config.params.chunk_size = 256;
   config.ranks = 8;

@@ -24,8 +24,9 @@
 #include "bench/common.hpp"
 #include "parallel/baseline_replicated.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reptile;
+  const auto trace = bench::parse_trace_args(argc, argv);
   bench::print_header(
       "Ablation — distributed spectrum vs prior-art replication",
       "replication per process/node hits the memory wall; distribution "
@@ -46,6 +47,7 @@ int main() {
 
   parallel::DistConfig dist_config;
   dist_config.params = params;
+  dist_config.trace = trace;
   dist_config.run_options.check.enabled = false;  // benchmark: no rtm-check hooks
   dist_config.ranks = 8;
   dist_config.ranks_per_node = 4;

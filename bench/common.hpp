@@ -8,14 +8,45 @@
 // in-process runtime.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/params.hpp"
+#include "obs/trace.hpp"
 #include "parallel/dist_pipeline.hpp"
 #include "perfmodel/phase_model.hpp"
 #include "seq/dataset.hpp"
 #include "stats/table.hpp"
 
 namespace reptile::bench {
+
+/// Shared bench CLI. Every driver accepts:
+///
+///   --trace PREFIX   enable span tracing + the metrics registry for the
+///                    functional (real-runtime) sections; each distributed
+///                    run writes one Chrome-trace shard per rank to
+///                    PREFIX.rankN.json (a later run in the same driver
+///                    overwrites shards for the ranks it uses — the last
+///                    functional section wins). Merge/validate the shards
+///                    with tools/trace_merge. No effect on the modeled
+///                    (perfmodel) sections, which spawn no runtime.
+///
+/// Unknown arguments exit with usage, so a typo never silently runs the
+/// untraced configuration.
+inline obs::TraceConfig parse_trace_args(int argc, char** argv) {
+  obs::TraceConfig trace;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace.enabled = true;
+      trace.metrics = true;
+      trace.path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace PREFIX]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return trace;
+}
 
 /// Corrector parameters used across the reproduction benches. k=12 tiles of
 /// 20 bp, threshold 3, and a wide per-tile search (the paper's workload is

@@ -20,8 +20,12 @@
 #include "seq/rng.hpp"
 #include "stats/summary.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reptile;
+  if (bench::parse_trace_args(argc, argv).enabled) {
+    std::printf("note: --trace accepted for CLI uniformity, but this driver "
+                "only runs the performance model (no runtime to trace)\n");
+  }
   bench::print_header(
       "Figure 3 — k-mer and tile count per rank, 128 ranks (E.Coli)",
       "k-mer spread < 1%, tile spread < 2% across ranks");

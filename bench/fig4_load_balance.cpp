@@ -19,8 +19,9 @@
 #include "bench/common.hpp"
 #include "stats/summary.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reptile;
+  const auto trace = bench::parse_trace_args(argc, argv);
   bench::print_header(
       "Figure 4 — load balance on/off, 128 ranks on 4 nodes (E.Coli)",
       "balancing: ~2x total speedup; rank times 4948..16000+ -> ~8886 flat");
@@ -68,6 +69,7 @@ int main() {
   const auto ds = bench::scaled_replica(full, 3000, 11);
   parallel::DistConfig config;
   config.params = bench::bench_params();
+  config.trace = trace;
   config.run_options.check.enabled = false;  // benchmark: no rtm-check hooks
   config.params.chunk_size = 256;
   config.ranks = 8;

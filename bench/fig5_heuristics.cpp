@@ -20,8 +20,9 @@
 #include "bench/common.hpp"
 #include "parallel/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reptile;
+  const auto trace = bench::parse_trace_args(argc, argv);
   bench::print_header(
       "Figure 5 — heuristics: execution time and memory footprint (E.Coli)",
       "universal -8.8%; allgather tiles 975s vs 1178s; full replication 58s");
@@ -91,6 +92,7 @@ int main() {
   const auto ds = bench::scaled_replica(full, 3000, 5);
   parallel::DistConfig config;
   config.params = bench::bench_params();
+  config.trace = trace;
   config.run_options.check.enabled = false;  // benchmark: no rtm-check hooks
   config.params.chunk_size = 256;
   config.ranks = 8;

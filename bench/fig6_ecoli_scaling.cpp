@@ -13,8 +13,9 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reptile;
+  const auto trace = bench::parse_trace_args(argc, argv);
   bench::print_header(
       "Figure 6 — E.Coli scaling, 32-256 nodes (32 ranks/node)",
       "efficiency 0.81 at 8192 ranks; <200 s total at 256 nodes; balancing "
@@ -67,6 +68,7 @@ int main() {
   const auto ds = bench::scaled_replica(full, 2000, 21);
   parallel::DistConfig config;
   config.params = bench::bench_params();
+  config.trace = trace;
   config.run_options.check.enabled = false;  // benchmark: no rtm-check hooks
   config.params.chunk_size = 256;
   config.ranks_per_node = 4;

@@ -14,8 +14,12 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reptile;
+  if (bench::parse_trace_args(argc, argv).enabled) {
+    std::printf("note: --trace accepted for CLI uniformity, but this driver "
+                "only runs the performance model (no runtime to trace)\n");
+  }
   bench::print_header(
       "Figure 7 — Drosophila scaling, 32-512 nodes (32 ranks/node)",
       "efficiency 0.64 at 8192 ranks; balancing >7x at 8192 ranks; "

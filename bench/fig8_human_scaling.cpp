@@ -15,8 +15,12 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace reptile;
+  if (bench::parse_trace_args(argc, argv).enabled) {
+    std::printf("note: --trace accepted for CLI uniformity, but this driver "
+                "only runs the performance model (no runtime to trace)\n");
+  }
   bench::print_header(
       "Figure 8 — Human dataset scaling, 128-1024 nodes (32 ranks/node)",
       "~2.2 h on 1024 nodes; <512 MB per process throughout; batch reads");

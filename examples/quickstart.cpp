@@ -8,10 +8,12 @@
 //   core::run_sequential   — the single-process Reptile baseline
 //   parallel::run_distributed — the paper's distributed pipeline
 //   stats::score_correction   — accuracy against ground truth
+//   obs::Registry          — the run's metrics, as a Prometheus text dump
 
 #include <cstdio>
 
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/dist_pipeline.hpp"
 #include "seq/dataset.hpp"
 #include "stats/accuracy.hpp"
@@ -57,6 +59,7 @@ int main() {
   config.heuristics.universal = true;
   config.heuristics.batch_reads = true;
   config.heuristics.load_balance = true;
+  config.trace.metrics = true;  // collect the metrics registry for step 6
   const auto dist_result = parallel::run_distributed(dataset.reads, config);
   const auto dist_acc = stats::score_correction(
       dataset.reads, dist_result.corrected, dataset.truth);
@@ -79,5 +82,11 @@ int main() {
   }
   std::printf("remote spectrum lookups across ranks: %llu\n",
               static_cast<unsigned long long>(remote));
+
+  // 6. Everything the run measured, as a Prometheus-style text dump: the
+  //    per-rank pipeline counters plus the latency histograms (lookup RTT,
+  //    batch prefetch, service handling, mailbox waits).
+  std::printf("\n--- metrics (Prometheus text exposition) ---\n%s",
+              obs::Registry::global().prometheus_text().c_str());
   return identical ? 0 : 1;
 }

@@ -2,17 +2,23 @@
 // Reptile invocation — a configuration file in, a corrected FASTA out.
 //
 //   $ ./examples/reptile_correct run.cfg [--ranks N] [--ranks-per-node M]
+//                                        [--trace PREFIX]
 //
 // The configuration file format is documented in
 // src/parallel/config_file.hpp (fasta_file / qual_file / output_file paths,
-// algorithm parameters, heuristic flags). With no arguments, generates a
-// demo dataset + config under /tmp and runs on that.
+// algorithm parameters, heuristic flags). --trace PREFIX enables span
+// tracing + metrics for the run (equivalent to trace_enabled/metrics_enabled
+// config keys) and writes one Chrome-trace shard per rank to
+// PREFIX.rankN.json; merge them with tools/trace_merge. With no arguments,
+// generates a demo dataset + config under /tmp and runs on that.
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "parallel/config_file.hpp"
 #include "parallel/dist_pipeline.hpp"
 #include "seq/dataset.hpp"
@@ -53,8 +59,10 @@ int main(int argc, char** argv) {
   std::filesystem::path config_path;
   int ranks = 8;
   int ranks_per_node = 4;
+  std::string trace_prefix;
   if (argc < 2) {
-    std::printf("usage: %s run.cfg [--ranks N] [--ranks-per-node M]\n"
+    std::printf("usage: %s run.cfg [--ranks N] [--ranks-per-node M] "
+                "[--trace PREFIX]\n"
                 "no config given; running the built-in demo...\n\n",
                 argv[0]);
     config_path = write_demo_config();
@@ -66,6 +74,8 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--ranks-per-node") == 0 &&
                  i + 1 < argc) {
         ranks_per_node = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        trace_prefix = argv[++i];
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
         return 2;
@@ -83,6 +93,12 @@ int main(int argc, char** argv) {
     run.run_options.check.enabled = file_config.rtm_check;
     run.run_options.chaos = file_config.chaos;
     run.retry = file_config.retry;
+    run.trace = file_config.trace;
+    if (!trace_prefix.empty()) {
+      run.trace.enabled = true;
+      run.trace.metrics = true;
+      run.trace.path = trace_prefix;
+    }
 
     std::printf("config:  %s\n", config_path.c_str());
     std::printf("input:   %s + %s\n", file_config.fasta_file.c_str(),
@@ -114,6 +130,20 @@ int main(int argc, char** argv) {
     std::printf("rank times: %.3f .. %.3f s (imbalance %.2f)\n", ts.min,
                 ts.max, ts.imbalance());
     std::printf("remote lookups per rank: %.0f .. %.0f\n", rs.min, rs.max);
+    if (run.trace.enabled && !run.trace.path.empty()) {
+      std::printf("trace:   %s.rank0.json .. %s.rank%d.json\n",
+                  run.trace.path.c_str(), run.trace.path.c_str(),
+                  run.ranks - 1);
+    }
+    for (const auto& h : obs::Registry::global().histogram_summaries()) {
+      std::printf("latency %s rank %d: n=%llu p50=%lluus p99=%lluus "
+                  "max=%lluus\n",
+                  h.name.c_str(), h.rank,
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.p50),
+                  static_cast<unsigned long long>(h.p99),
+                  static_cast<unsigned long long>(h.max));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,86 @@
+#pragma once
+// Minimal JSON DOM: parse + serialize, just enough for trace shards.
+//
+// The tracer emits Chrome trace-event JSON; tools/trace_merge and the trace
+// tests need to read it back (validate shards, merge event arrays, pin
+// required keys). The repo deliberately has no third-party deps, so this is
+// a small, strict, recursive-descent parser over the full JSON grammar —
+// objects, arrays, strings (with \uXXXX), numbers, booleans, null. Numbers
+// are kept as doubles, which is lossless for every value the tracer writes
+// (timestamps in microseconds with fixed 3-decimal fractions, small ints).
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace reptile::obs {
+
+/// Thrown on malformed input, with a byte offset for context.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at byte " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double d);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::Null; }
+  bool is_object() const noexcept { return kind_ == Kind::Object; }
+  bool is_array() const noexcept { return kind_ == Kind::Array; }
+  bool is_string() const noexcept { return kind_ == Kind::String; }
+  bool is_number() const noexcept { return kind_ == Kind::Number; }
+
+  /// Typed accessors; throw std::logic_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  std::vector<JsonValue>& as_array();
+  /// Insertion-ordered (vector of pairs): trace tooling wants stable output.
+  const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+  std::vector<std::pair<std::string, JsonValue>>& as_object();
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+
+  void push_back(JsonValue v);
+  void set(std::string key, JsonValue v);
+
+  /// Compact serialization (no whitespace). Round-trips parse().
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+JsonValue json_parse(std::string_view text);
+
+}  // namespace reptile::obs

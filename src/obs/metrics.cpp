@@ -1,0 +1,285 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/phase_timeline.hpp"
+
+namespace reptile::obs {
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(n) + 0.5);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += bucket_count(b);
+    if (cumulative >= target) {
+      // The true sample is somewhere in [2^b, 2^(b+1)); report the upper
+      // bound, clamped to the largest sample actually seen.
+      return std::min(bucket_upper(b), max());
+    }
+  }
+  return max();
+}
+
+Registry& Registry::global() {
+  static auto* registry = new Registry;  // leaky, mirrors Tracer::instance
+  return *registry;
+}
+
+void Registry::configure(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+template <typename T>
+T* Registry::find_or_add(std::vector<Entry<T>>& entries, std::string_view name,
+                         int rank) {
+  for (auto& entry : entries) {
+    if (entry.rank == rank && entry.name == name) {
+      return entry.value.get();
+    }
+  }
+  entries.push_back(Entry<T>{std::string(name), rank, std::make_unique<T>()});
+  return entries.back().value.get();
+}
+
+Counter* Registry::counter(std::string_view name, int rank) {
+  if (!enabled()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_add(counters_, name, rank);
+}
+
+Gauge* Registry::gauge(std::string_view name, int rank) {
+  if (!enabled()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_add(gauges_, name, rank);
+}
+
+Histogram* Registry::histogram(std::string_view name, int rank) {
+  if (!enabled()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_add(histograms_, name, rank);
+}
+
+void Registry::publish_timeline(const stats::PhaseTimeline& t, int rank) {
+  if (!enabled()) {
+    return;
+  }
+  const auto set_counter = [&](const char* name, std::uint64_t value) {
+    if (value != 0) {
+      counter(name, rank)->add(value);
+    }
+  };
+  const auto set_gauge = [&](const char* name, double value) {
+    gauge(name, rank)->set(value);
+  };
+
+  set_counter("reptile_reads_processed", t.reads_processed);
+  set_counter("reptile_reads_changed", t.reads_changed);
+  set_counter("reptile_substitutions", t.substitutions);
+  set_counter("reptile_tiles_untrusted", t.tiles_untrusted);
+  set_counter("reptile_tiles_fixed", t.tiles_fixed);
+  set_counter("reptile_tiles_degraded", t.tiles_degraded);
+  set_counter("reptile_chunks_built", t.batches);
+
+  set_counter("reptile_lookup_kmer_total", t.lookups.kmer_lookups);
+  set_counter("reptile_lookup_kmer_miss", t.lookups.kmer_misses);
+  set_counter("reptile_lookup_tile_total", t.lookups.tile_lookups);
+  set_counter("reptile_lookup_tile_miss", t.lookups.tile_misses);
+
+  set_counter("reptile_remote_kmer_lookups", t.remote.remote_kmer_lookups);
+  set_counter("reptile_remote_tile_lookups", t.remote.remote_tile_lookups);
+  set_counter("reptile_remote_kmer_absent", t.remote.remote_kmer_absent);
+  set_counter("reptile_remote_tile_absent", t.remote.remote_tile_absent);
+  set_counter("reptile_reads_table_hits", t.remote.reads_table_hits);
+  set_counter("reptile_group_lookups", t.remote.group_lookups);
+  set_counter("reptile_batch_requests", t.remote.batch_requests);
+  set_counter("reptile_batch_ids", t.remote.batch_ids);
+  set_counter("reptile_prefetch_hits", t.remote.prefetch_hits);
+  set_counter("reptile_prefetch_misses", t.remote.prefetch_misses);
+  set_counter("reptile_lookup_retries", t.remote.lookup_retries);
+  set_counter("reptile_lookup_timeouts", t.remote.lookup_timeouts);
+  set_counter("reptile_degraded_lookups", t.remote.degraded_lookups);
+  set_counter("reptile_stale_replies_suppressed",
+              t.remote.stale_replies_suppressed);
+  set_counter("reptile_batch_retries", t.remote.batch_retries);
+  set_counter("reptile_batch_abandoned", t.remote.batch_abandoned);
+
+  set_counter("reptile_service_requests", t.service.requests_served);
+  set_counter("reptile_service_kmer_requests", t.service.kmer_requests);
+  set_counter("reptile_service_tile_requests", t.service.tile_requests);
+  set_counter("reptile_service_absent_replies", t.service.absent_replies);
+  set_counter("reptile_service_batch_requests", t.service.batch_requests);
+  set_counter("reptile_service_batch_ids", t.service.batch_ids_served);
+  set_counter("reptile_service_malformed_requests",
+              t.service.malformed_requests);
+
+  set_gauge("reptile_construct_seconds", t.construct_seconds);
+  set_gauge("reptile_correct_seconds", t.correct_seconds);
+  set_gauge("reptile_comm_seconds", t.comm_seconds);
+  set_gauge("reptile_spectrum_bytes",
+            static_cast<double>(t.footprint_after_construction.bytes));
+  set_gauge("reptile_construction_peak_bytes",
+            static_cast<double>(t.construction_peak_bytes));
+}
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += buf;
+}
+
+void append_label(std::string& out, int rank) {
+  if (rank >= 0) {
+    out += "{rank=\"" + std::to_string(rank) + "\"}";
+  }
+}
+
+void append_bucket_label(std::string& out, int rank, const std::string& le) {
+  out += "{";
+  if (rank >= 0) {
+    out += "rank=\"" + std::to_string(rank) + "\",";
+  }
+  out += "le=\"" + le + "\"}";
+}
+
+}  // namespace
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+
+  // Group by name so each `# TYPE` header appears once; entries are stored
+  // in registration order, so sort a view by (name, rank).
+  const auto sorted_view = [](const auto& entries) {
+    std::vector<const typename std::decay_t<decltype(entries)>::value_type*>
+        view;
+    view.reserve(entries.size());
+    for (const auto& entry : entries) {
+      view.push_back(&entry);
+    }
+    std::sort(view.begin(), view.end(), [](const auto* a, const auto* b) {
+      return a->name != b->name ? a->name < b->name : a->rank < b->rank;
+    });
+    return view;
+  };
+
+  const char* previous = nullptr;
+  for (const auto* entry : sorted_view(counters_)) {
+    if (previous == nullptr || entry->name != previous) {
+      out += "# TYPE " + entry->name + " counter\n";
+      previous = entry->name.c_str();
+    }
+    out += entry->name;
+    append_label(out, entry->rank);
+    out += ' ';
+    out += std::to_string(entry->value->value());
+    out += '\n';
+  }
+  previous = nullptr;
+  for (const auto* entry : sorted_view(gauges_)) {
+    if (previous == nullptr || entry->name != previous) {
+      out += "# TYPE " + entry->name + " gauge\n";
+      previous = entry->name.c_str();
+    }
+    out += entry->name;
+    append_label(out, entry->rank);
+    out += ' ';
+    append_double(out, entry->value->value());
+    out += '\n';
+  }
+  previous = nullptr;
+  for (const auto* entry : sorted_view(histograms_)) {
+    if (previous == nullptr || entry->name != previous) {
+      out += "# TYPE " + entry->name + " histogram\n";
+      previous = entry->name.c_str();
+    }
+    const Histogram& h = *entry->value;
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t in_bucket = h.bucket_count(b);
+      if (in_bucket == 0) {
+        continue;  // log2 buckets are sparse; elide empties
+      }
+      cumulative += in_bucket;
+      out += entry->name + "_bucket";
+      append_bucket_label(out, entry->rank,
+                          std::to_string(Histogram::bucket_upper(b)));
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += entry->name + "_bucket";
+    append_bucket_label(out, entry->rank, "+Inf");
+    out += ' ';
+    out += std::to_string(h.count());
+    out += '\n';
+    out += entry->name + "_sum";
+    append_label(out, entry->rank);
+    out += ' ';
+    out += std::to_string(h.sum());
+    out += '\n';
+    out += entry->name + "_count";
+    append_label(out, entry->rank);
+    out += ' ';
+    out += std::to_string(h.count());
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<HistogramSummary> Registry::histogram_summaries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSummary> out;
+  out.reserve(histograms_.size());
+  for (const auto& entry : histograms_) {
+    const Histogram& h = *entry.value;
+    out.push_back({entry.name, entry.rank, h.count(), h.sum(), h.max(),
+                   h.quantile(0.5), h.quantile(0.99)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSummary& a, const HistogramSummary& b) {
+              return a.name != b.name ? a.name < b.name : a.rank < b.rank;
+            });
+  return out;
+}
+
+HistogramSummary Registry::histogram_summary(std::string_view name,
+                                             int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : histograms_) {
+    if (entry.rank == rank && entry.name == name) {
+      const Histogram& h = *entry.value;
+      return {entry.name, entry.rank, h.count(), h.sum(),
+              h.max(),    h.quantile(0.5), h.quantile(0.99)};
+    }
+  }
+  HistogramSummary none;
+  none.name = std::string(name);
+  none.rank = rank;
+  return none;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace reptile::obs

@@ -197,6 +197,20 @@ constexpr KeySpec kKeys[] = {
      [](RunConfigFile& c, const std::string& v, int l) {
        c.retry.max_retries = static_cast<int>(parse_int(v, l));
      }},
+    {"trace_enabled",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.trace.enabled = parse_bool(v, l);
+     }},
+    {"trace_path",
+     [](RunConfigFile& c, const std::string& v, int) { c.trace.path = v; }},
+    {"trace_ring_capacity",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.trace.ring_capacity = static_cast<std::size_t>(parse_int(v, l));
+     }},
+    {"metrics_enabled",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.trace.metrics = parse_bool(v, l);
+     }},
 };
 
 /// Levenshtein distance, for the unknown-key suggestion. The key set is
@@ -325,6 +339,11 @@ std::string to_config_text(const RunConfigFile& config) {
       << "chaos_stall_us " << c.stall_us << '\n';
   out << "lookup_timeout_ticks " << config.retry.timeout_ticks << '\n'
       << "lookup_max_retries " << config.retry.max_retries << '\n';
+  const auto& t = config.trace;
+  out << "trace_enabled " << (t.enabled ? 1 : 0) << '\n';
+  if (!t.path.empty()) out << "trace_path " << t.path << '\n';
+  out << "trace_ring_capacity " << t.ring_capacity << '\n'
+      << "metrics_enabled " << (t.metrics ? 1 : 0) << '\n';
   return out.str();
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "core/params.hpp"
+#include "obs/trace.hpp"
 #include "parallel/heuristics.hpp"
 #include "parallel/protocol.hpp"
 #include "rtm/chaos.hpp"
@@ -46,6 +47,10 @@ struct RunConfigFile {
   /// Timeout/retry protocol for remote lookups (lookup_timeout_ticks /
   /// lookup_max_retries keys; disabled by default).
   RetryPolicy retry;
+  /// Observability (trace_* / metrics_* keys; see obs/trace.hpp): full
+  /// tracing to per-rank JSON shards, metrics registry, ring capacity.
+  /// The flight recorder is always on regardless.
+  obs::TraceConfig trace;
 };
 
 /// Parses a configuration file. Throws std::runtime_error with the line

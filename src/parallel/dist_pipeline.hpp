@@ -12,6 +12,7 @@
 
 #include "core/corrector.hpp"
 #include "core/params.hpp"
+#include "obs/trace.hpp"
 #include "parallel/dist_spectrum.hpp"
 #include "parallel/heuristics.hpp"
 #include "parallel/lookup_service.hpp"
@@ -51,6 +52,13 @@ struct DistConfig {
   /// validate_config rejects a lossy plan without retries, which could only
   /// deadlock.
   RetryPolicy retry;
+  /// Observability for this run (see obs/trace.hpp): full span tracing
+  /// (per-rank JSON shards written to `trace.path` at run end) and the
+  /// metrics registry. Applied by run_distributed before ranks start —
+  /// including the default-disabled state, so a traced run never leaks
+  /// tracing into the next run in the same process. The flight recorder
+  /// stays on either way.
+  obs::TraceConfig trace;
 
   rtm::Topology topology() const { return {ranks, ranks_per_node}; }
 };

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "parallel/wire.hpp"
 
 namespace reptile::parallel {
@@ -24,6 +25,10 @@ LookupService::LookupService(rtm::Comm& comm, const DistSpectrum& spectrum)
 
 void LookupService::reply(int requester, LookupKind kind, std::uint64_t id,
                           int reply_to, std::uint64_t seq) {
+  // Closes the requester's flow arrow: same (rank, tag, seq)-derived id as
+  // the 's' event emitted at the send site on `requester`.
+  obs::Tracer::instance().flow_end("flow", "lookup",
+                                   obs::flow_id(requester, reply_to, seq));
   LookupReply r;
   r.seq = seq;
   if (kind == LookupKind::kKmer) {
@@ -50,6 +55,8 @@ void LookupService::reply_batch(const rtm::Message& msg) {
     ++stats_.malformed_requests;
     return;
   }
+  obs::Tracer::instance().flow_end(
+      "flow", "batch", obs::flow_id(msg.source, req.reply_to, req.seq));
   std::vector<std::int32_t> counts;
   counts.reserve(req.ids.size());
   for (std::uint64_t id : req.ids) {
@@ -69,6 +76,23 @@ void LookupService::reply_batch(const rtm::Message& msg) {
 }
 
 void LookupService::handle(const rtm::Message& msg) {
+  const char* span_name = msg.tag == kTagBatchRequest       ? "serve:batch"
+                          : msg.tag == kTagUniversalRequest ? "serve:universal"
+                          : msg.tag == kTagKmerRequest      ? "serve:kmer"
+                                                            : "serve:tile";
+  obs::SpanScope span("service", span_name);
+  span.arg("source", static_cast<std::uint64_t>(msg.source));
+  const std::int64_t handle_start = obs::Tracer::instance().now_ns();
+  struct RecordLatency {
+    obs::Histogram* hist;
+    std::int64_t start;
+    ~RecordLatency() {
+      if (hist != nullptr) {
+        const std::int64_t ns = obs::Tracer::instance().now_ns() - start;
+        hist->record(static_cast<std::uint64_t>(ns < 0 ? 0 : ns) / 1000);
+      }
+    }
+  } record_latency{handle_hist_, handle_start};
   // Size-validate every request before trusting its bytes: the fault
   // injector can truncate payloads, and a malformed request must be
   // dropped unanswered (the requester's timeout retry recovers) rather
@@ -103,6 +127,9 @@ void LookupService::serve() {
   if (check != nullptr) {
     scope.emplace(*check, comm_->rank(), rtm::check::ThreadRole::kService);
   }
+  obs::Tracer::instance().set_thread(comm_->rank(), "comm");
+  handle_hist_ = obs::Registry::global().histogram("reptile_service_handle_us",
+                                                   comm_->rank());
   // Non-universal mode mirrors the paper's probe-then-receive protocol: the
   // thread probes for each request tag to learn the request kind before
   // receiving. Universal mode accepts any request message directly.

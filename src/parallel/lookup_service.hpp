@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "parallel/dist_spectrum.hpp"
 #include "parallel/protocol.hpp"
 #include "rtm/comm.hpp"
@@ -57,6 +58,9 @@ class LookupService {
   const DistSpectrum* spectrum_;
   bool universal_;
   ServiceStats stats_;
+  /// Handle-latency histogram, resolved once in serve() (nullptr when
+  /// metrics are off; registry lookups lock a mutex, so never per message).
+  obs::Histogram* handle_hist_ = nullptr;
 };
 
 }  // namespace reptile::parallel

@@ -1,9 +1,11 @@
 #include "parallel/remote_spectrum.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 
 #include "hash/hashing.hpp"
+#include "obs/trace.hpp"
 #include "parallel/wire.hpp"
 
 namespace reptile::parallel {
@@ -30,6 +32,16 @@ void RemoteSpectrumView::cache_local(std::uint64_t id, LookupKind kind,
   } else {
     prefetch_tile_.increment(id, count);
   }
+}
+
+obs::Histogram* RemoteSpectrumView::latency_histogram(const char* name,
+                                                      obs::Histogram*& slot,
+                                                      bool& resolved) {
+  if (!resolved) {
+    resolved = true;
+    slot = obs::Registry::global().histogram(name, comm_->rank());
+  }
+  return slot;
 }
 
 bool RemoteSpectrumView::needs_remote(std::uint64_t id, LookupKind kind,
@@ -97,6 +109,8 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
     std::uint64_t seq;
   };
   std::vector<Pending> pending;
+  obs::SpanScope span("lookup", "batch_prefetch");
+  const std::int64_t prefetch_start = obs::Tracer::instance().now_ns();
   const auto send_batch = [&](const Pending& p) {
     encode_scratch_.clear();
     encode_batch_request(p.kind, batch_reply_tag(p.kind, worker_slot_),
@@ -107,6 +121,12 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
         p.owner, kTagBatchRequest,
         std::span<const std::uint8_t>(encode_scratch_.data(),
                                       encode_scratch_.size()));
+    // Links this request to its handling on p.owner's comm thread; the
+    // service derives the same id from the wire fields alone.
+    obs::Tracer::instance().flow_start(
+        "flow", "batch",
+        obs::flow_id(comm_->rank(), batch_reply_tag(p.kind, worker_slot_),
+                     p.seq));
   };
   auto send_buckets = [&](const std::vector<std::vector<std::uint64_t>>& bks,
                           LookupKind kind) {
@@ -121,6 +141,8 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
   };
   send_buckets(kmer_buckets, LookupKind::kKmer);
   send_buckets(tile_buckets, LookupKind::kTile);
+  span.arg("requests", pending.size());
+  span.arg("ids", total);
 
   rtm::check::RunChecker* check = comm_->world().checker();
   comm_wait_.start();
@@ -200,13 +222,28 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
     }
   }
   comm_wait_.stop();
+  if (obs::Histogram* h = latency_histogram("reptile_batch_prefetch_us",
+                                            batch_hist_,
+                                            batch_hist_resolved_)) {
+    h->record(static_cast<std::uint64_t>(
+        std::max<std::int64_t>(
+            obs::Tracer::instance().now_ns() - prefetch_start, 0) /
+        1000));
+  }
 }
 
 std::uint32_t RemoteSpectrumView::remote_lookup(int owner, std::uint64_t id,
                                                 LookupKind kind) {
   const int reply_to = reply_tag(kind, worker_slot_);
   const std::uint64_t seq = next_seq_++;
+  // One scalar round trip = one span; retransmissions stay inside it.
+  obs::SpanScope span("lookup", "lookup_rtt");
+  span.arg("owner", static_cast<std::uint64_t>(owner));
+  const std::int64_t rtt_start = obs::Tracer::instance().now_ns();
   const auto send_request = [&] {
+    obs::Tracer::instance().flow_start("flow", "lookup",
+                                       obs::flow_id(comm_->rank(), reply_to,
+                                                    seq));
     if (heur_.universal) {
       UniversalLookupRequest req;
       req.kind = kind;
@@ -291,6 +328,13 @@ std::uint32_t RemoteSpectrumView::remote_lookup(int owner, std::uint64_t id,
     }
   }
   comm_wait_.stop();
+  if (obs::Histogram* h = latency_histogram("reptile_lookup_rtt_us",
+                                            rtt_hist_, rtt_hist_resolved_)) {
+    h->record(static_cast<std::uint64_t>(
+        std::max<std::int64_t>(
+            obs::Tracer::instance().now_ns() - rtt_start, 0) /
+        1000));
+  }
 
   if (kind == LookupKind::kKmer) {
     ++remote_.remote_kmer_lookups;

@@ -31,6 +31,7 @@
 
 #include "core/spectrum.hpp"
 #include "hash/count_table.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/dist_spectrum.hpp"
 #include "parallel/protocol.hpp"
 #include "rtm/comm.hpp"
@@ -96,6 +97,13 @@ class RemoteSpectrumView final : public core::SpectrumView {
   /// Inserts into the chunk-local cache, respecting prefetch_capacity.
   void cache_local(std::uint64_t id, LookupKind kind, std::uint32_t count);
 
+  /// Lazily resolved latency histogram (nullptr when metrics are off).
+  /// Cached per view: registry lookups lock a mutex, which a per-lookup
+  /// fetch would put on the hot path. Valid for the whole run — the
+  /// registry only invalidates instruments between runs.
+  obs::Histogram* latency_histogram(const char* name, obs::Histogram*& slot,
+                                    bool& resolved);
+
   rtm::Comm* comm_;
   DistSpectrum* spectrum_;
   Heuristics heur_;
@@ -108,6 +116,11 @@ class RemoteSpectrumView final : public core::SpectrumView {
   core::LookupStats stats_;
   RemoteLookupStats remote_;
   stats::Accumulator comm_wait_;
+
+  obs::Histogram* rtt_hist_ = nullptr;
+  bool rtt_hist_resolved_ = false;
+  obs::Histogram* batch_hist_ = nullptr;
+  bool batch_hist_resolved_ = false;
 
   /// Chunk-local prefetch cache: verbatim remote counts (0 = definitive
   /// absence), cleared by every prefetch_chunk. Worker-private, so no

@@ -1,14 +1,28 @@
 #pragma once
 // Flattening a distributed run into a machine-readable report.
 
+#include "obs/metrics.hpp"
 #include "parallel/dist_pipeline.hpp"
 #include "stats/report.hpp"
 
 namespace reptile::parallel {
 
 /// One record per rank with the quantities the paper's figures track.
+/// When the metrics registry is enabled for the run, each record also
+/// carries the latency-histogram summaries (lookup RTT, batch prefetch,
+/// service handle, mailbox wait) — gated on the registry rather than
+/// per-histogram presence so every rank's record has the same columns
+/// (RunReport::add enforces one schema per report).
 inline stats::RunReport to_report(const DistResult& result,
                                   const std::string& title) {
+  const bool metrics = obs::Registry::global().enabled();
+  const auto add_latency = [](stats::RunReport& rec, const std::string& column,
+                              const obs::HistogramSummary& h) {
+    rec.add(column + "_count", static_cast<double>(h.count))
+        .add(column + "_p50_us", static_cast<double>(h.p50))
+        .add(column + "_p99_us", static_cast<double>(h.p99))
+        .add(column + "_max_us", static_cast<double>(h.max));
+  };
   stats::RunReport report(title);
   for (const RankReport& r : result.ranks) {
     report.record()
@@ -76,6 +90,17 @@ inline stats::RunReport to_report(const DistResult& result,
              static_cast<double>(r.traffic.duplicated_msgs))
         .add("check_retransmits", static_cast<double>(r.check.retransmits))
         .add("check_stale_leaks", static_cast<double>(r.check.stale_leaks));
+    if (metrics) {
+      const auto& reg = obs::Registry::global();
+      add_latency(report, "lookup_rtt",
+                  reg.histogram_summary("reptile_lookup_rtt_us", r.rank));
+      add_latency(report, "batch_prefetch",
+                  reg.histogram_summary("reptile_batch_prefetch_us", r.rank));
+      add_latency(report, "service_handle",
+                  reg.histogram_summary("reptile_service_handle_us", r.rank));
+      add_latency(report, "mailbox_wait",
+                  reg.histogram_summary("reptile_mailbox_wait_us", r.rank));
+    }
   }
   return report;
 }

@@ -5,9 +5,12 @@
 
 #include "parallel/dist_pipeline.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/protocol_table.hpp"
 #include "pipeline/context.hpp"
 #include "pipeline/dist_model.hpp"
@@ -81,6 +84,33 @@ void apply_check_snapshots(rtm::World& world,
   }
 }
 
+/// Applies the run's observability configuration. Called unconditionally at
+/// the start of every run — including the default-disabled state — so a
+/// traced run never leaks tracing or metrics into the next run in the same
+/// process (the identity tests depend on a disabled run being bit-identical
+/// to the seed).
+void begin_observability(const DistConfig& config) {
+  obs::Tracer::instance().configure(config.trace);
+  obs::Registry::global().configure(config.trace.metrics);
+}
+
+/// End-of-run observability: mirrors each rank's timeline counters into the
+/// metrics registry, then — once the runtime threads have all joined, which
+/// is what makes the ring buffers safe to read — writes one trace shard per
+/// rank. Destroying the World is the join point, so the caller must pass
+/// ownership in and lets this function release it first.
+void finish_observability(std::unique_ptr<rtm::World> world,
+                          const DistConfig& config,
+                          const std::vector<RankReport>& reports) {
+  for (const RankReport& report : reports) {
+    obs::Registry::global().publish_timeline(report, report.rank);
+  }
+  world.reset();  // joins chaos/watchdog threads; ring buffers now quiescent
+  if (config.trace.enabled && !config.trace.path.empty()) {
+    obs::Tracer::instance().write_shards(config.trace.path, config.ranks);
+  }
+}
+
 void validate_config(const DistConfig& config) {
   config.params.validate();
   config.heuristics.validate();
@@ -110,12 +140,13 @@ void validate_config(const DistConfig& config) {
 DistResult run_distributed(const std::vector<seq::Read>& reads,
                            const DistConfig& config) {
   validate_config(config);
+  begin_observability(config);
 
   std::vector<std::vector<seq::Read>> corrected_per_rank(
       static_cast<std::size_t>(config.ranks));
   std::vector<RankReport> reports(static_cast<std::size_t>(config.ranks));
 
-  const auto world = rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
+  auto world = rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
     const std::size_t begin = reads.size() *
                               static_cast<std::size_t>(comm.rank()) /
                               static_cast<std::size_t>(comm.size());
@@ -126,6 +157,7 @@ DistResult run_distributed(const std::vector<seq::Read>& reads,
     rank_main(comm, source, config, corrected_per_rank, reports);
   }, run_options_for(config));
   apply_check_snapshots(*world, reports);
+  finish_observability(std::move(world), config, reports);
 
   return merge_results(std::move(corrected_per_rank), std::move(reports));
 }
@@ -134,17 +166,19 @@ DistResult run_distributed_files(const std::filesystem::path& fasta,
                                  const std::filesystem::path& qual,
                                  const DistConfig& config) {
   validate_config(config);
+  begin_observability(config);
 
   std::vector<std::vector<seq::Read>> corrected_per_rank(
       static_cast<std::size_t>(config.ranks));
   std::vector<RankReport> reports(static_cast<std::size_t>(config.ranks));
 
-  const auto world = rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
+  auto world = rtm::run_world(config.topology(), [&](rtm::Comm& comm) {
     // Step I proper: every rank opens both files and takes its byte range.
     seq::PartitionedReadSource source(fasta, qual, comm.rank(), comm.size());
     rank_main(comm, source, config, corrected_per_rank, reports);
   }, run_options_for(config));
   apply_check_snapshots(*world, reports);
+  finish_observability(std::move(world), config, reports);
 
   return merge_results(std::move(corrected_per_rank), std::move(reports));
 }

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "core/corrector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/rebalance.hpp"
 #include "rtm/check/check.hpp"
 #include "rtm/comm.hpp"
@@ -20,11 +22,20 @@ namespace reptile::pipeline {
 
 void StageGraph::run(RankContext& ctx) {
   for (const auto& stage : stages_) {
+    const std::string stage_name(stage->name());
     stats::Stopwatch clock;
-    stage->run(ctx);
+    {
+      obs::SpanScope span("stage", obs::intern("stage:" + stage_name));
+      stage->run(ctx);
+    }
+    const double seconds = clock.seconds();
     ctx.report.stages.push_back(
-        {std::string(stage->name()), clock.seconds(),
+        {stage_name, seconds,
          ctx.model == nullptr ? 0 : ctx.model->footprint_bytes()});
+    if (obs::Histogram* h = obs::Registry::global().histogram(
+            "reptile_stage_us_" + stage_name, ctx.rank())) {
+      h->record(static_cast<std::uint64_t>(seconds * 1e6));
+    }
   }
 }
 
@@ -61,7 +72,10 @@ void BuildSpectrumStage::run(RankContext& ctx) {
     const std::uint64_t max_batches = ctx.comm->allreduce_max(
         static_cast<std::uint64_t>(stream.chunk_count()));
     for (std::uint64_t b = 0; b < max_batches; ++b) {
+      obs::SpanScope span("chunk", "chunk:build");
+      span.arg("chunk", b);
       stream.next(batch);  // possibly empty near the end
+      span.arg("reads", batch.size());
       for (const seq::Read& r : batch) model.add_read(r.bases);
       model.exchange_chunk();
       ++ctx.report.batches;
@@ -69,6 +83,9 @@ void BuildSpectrumStage::run(RankContext& ctx) {
     }
   } else {
     while (stream.next(batch)) {
+      obs::SpanScope span("chunk", "chunk:build");
+      span.arg("chunk", ctx.report.batches);
+      span.arg("reads", batch.size());
       for (const seq::Read& r : batch) model.add_read(r.bases);
       ++ctx.report.batches;
       sample_peak();
@@ -114,6 +131,12 @@ void CorrectStage::run(RankContext& ctx) {
         scope.emplace(*check, ctx.rank(), rtm::check::ThreadRole::kWorker);
       }
     }
+    if (slot != 0) {
+      // Slot 0 runs inline on the rank thread, which already carries the
+      // rank label; spawned workers register their own.
+      obs::Tracer::instance().set_thread(
+          ctx.rank(), ("worker" + std::to_string(slot)).c_str());
+    }
     const auto handle = model.make_worker(ctx, slot);
     core::TileCorrector corrector(*ctx.params);
     stats::PhaseTimeline& acc = worker_acc[static_cast<std::size_t>(slot)];
@@ -124,6 +147,8 @@ void CorrectStage::run(RankContext& ctx) {
         std::lock_guard lock(stream_mutex);
         if (!stream.next(local_batch)) break;
       }
+      obs::SpanScope span("chunk", "chunk:correct");
+      span.arg("reads", local_batch.size());
       handle->prefetch_chunk(local_batch);
       for (seq::Read& r : local_batch) {
         const core::ReadCorrection rc = corrector.correct(r, handle->view());
@@ -230,6 +255,8 @@ void WorkQueueCorrectStage::run(RankContext& ctx) {
         comm.recv(0, kTagWorkGrant).as_value<WorkGrant>();
     if (grant.begin == grant.end) break;
     ++ctx.report.work_grants;
+    obs::SpanScope span("chunk", "chunk:correct");
+    span.arg("reads", grant.end - grant.begin);
     for (std::uint64_t i = grant.begin; i < grant.end; ++i) {
       seq::Read read = (*all_reads_)[i];
       const core::ReadCorrection rc = corrector.correct(read, handle->view());

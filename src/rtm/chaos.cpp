@@ -1,8 +1,21 @@
 #include "rtm/chaos.hpp"
 
+#include "obs/trace.hpp"
 #include "rtm/world.hpp"
 
 namespace reptile::rtm {
+
+namespace {
+
+/// Fault decisions happen on the sender's thread (inside submit), so the
+/// instant is attributed to the sending rank — the rank whose traffic the
+/// fault hit — with the destination as an arg.
+void chaos_instant(const char* fault, const Message& m, int dst) {
+  obs::Tracer::instance().instant("chaos", fault, m.source, "dst",
+                                  static_cast<std::uint64_t>(dst));
+}
+
+}  // namespace
 
 ChaosDelayer::ChaosDelayer(World& world, const FaultPlan& plan)
     : world_(&world),
@@ -49,6 +62,7 @@ void ChaosDelayer::submit(int dst, Message m) {
       ++stats_.dropped;
       world_->traffic().record_drop(m.source);
       if (check != nullptr) check->on_chaos_drop(dst, m);
+      chaos_instant("chaos:drop", m, dst);
       return;  // the message vanishes
     }
     if (plan_.truncate_rate > 0.0 && !m.payload.empty() &&
@@ -58,6 +72,7 @@ void ChaosDelayer::submit(int dst, Message m) {
       m.payload.resize(rng_.below(m.payload.size()));
       ++stats_.truncated;
       if (check != nullptr) check->on_chaos_truncate(dst, m);
+      chaos_instant("chaos:truncate", m, dst);
     }
     const bool dup =
         plan_.duplicate_rate > 0.0 && rng_.chance(plan_.duplicate_rate);
@@ -70,6 +85,7 @@ void ChaosDelayer::submit(int dst, Message m) {
       auto& stall = stall_until_[static_cast<std::size_t>(dst)];
       if (until > stall) stall = until;
       ++stats_.stalls_opened;
+      chaos_instant("chaos:stall", m, dst);
     }
     Message copy;
     if (dup) copy = m;
@@ -78,6 +94,7 @@ void ChaosDelayer::submit(int dst, Message m) {
       ++stats_.duplicated;
       world_->traffic().record_duplicate(copy.source);
       if (check != nullptr) check->on_chaos_duplicate(dst, copy);
+      chaos_instant("chaos:duplicate", copy, dst);
       enqueue_locked(dst, std::move(copy));
     }
   }

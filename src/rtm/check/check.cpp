@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "rtm/chaos.hpp"
 #include "rtm/mailbox.hpp"
 #include "rtm/world.hpp"
@@ -12,6 +13,10 @@ namespace reptile::rtm::check {
 namespace {
 
 constexpr std::size_t kMaxNotes = 64;
+
+/// Flight-recorder events dumped per thread when a check fails: enough to
+/// see what a thread was doing before it froze, small enough to read.
+constexpr std::size_t kFlightTailEvents = 32;
 
 const char* role_name(ThreadRole role) {
   switch (role) {
@@ -824,6 +829,24 @@ void RunChecker::evaluate() {
     out << '\n';
   }
 
+  // Flight-recorder tails for the frozen ranks only: their threads are
+  // provably blocked (stable, re-verified waits), so their rings are
+  // quiescent and the happens-before edge runs through the checker mutex
+  // each wait registration took. Threads of non-frozen ranks may still be
+  // recording; their rings are deliberately not read here.
+  {
+    std::vector<int> frozen_ranks;
+    for (int r = 0; r < nranks_; ++r) {
+      if (frozen[static_cast<std::size_t>(r)] != 0) frozen_ranks.push_back(r);
+    }
+    const std::string tail = obs::Tracer::instance().tail_text(
+        kFlightTailEvents, frozen_ranks);
+    if (!tail.empty()) {
+      out << "flight recorder (most recent events of frozen ranks):\n"
+          << tail;
+    }
+  }
+
   abort_report_ = out.str();
   aborted_.store(true, std::memory_order_release);
   // Wake every blocked thread promptly: they poll `aborted()` on their
@@ -872,6 +895,7 @@ void RunChecker::finalize() {
   finalized_ = true;
 
   std::ostringstream out;
+  bool audit_failed = false;
   if (opts_.audit) {
     for (int r = 0; r < nranks_; ++r) {
       const Mailbox* mb = mailboxes_[static_cast<std::size_t>(r)];
@@ -889,6 +913,7 @@ void RunChecker::finalize() {
           return;
         }
         ++extra.leaked_messages;
+        audit_failed = true;
         const bool orphan = is_reply_tag(m.tag);
         if (orphan) ++extra.orphaned_replies;
         out << "rank " << r << ": leaked message ("
@@ -904,6 +929,7 @@ void RunChecker::finalize() {
       const std::size_t open = ledger.pending.size() + ledger.legacy.size();
       if (open == 0) continue;
       final_[static_cast<std::size_t>(requester)].unanswered_requests += open;
+      audit_failed = true;
       out << "rank " << requester << ": " << open
           << " request(s) to rank " << responder
           << " never answered (expected reply tag " << reply_tag << ")\n";
@@ -912,6 +938,15 @@ void RunChecker::finalize() {
   {
     std::lock_guard lock(mutex_);
     for (const std::string& note : notes_) out << note << '\n';
+  }
+  if (audit_failed) {
+    // Post-join, so every thread's ring is safe to read: the timelines
+    // leading up to the leak/unanswered request come with the report.
+    const std::string tail =
+        obs::Tracer::instance().tail_text(kFlightTailEvents);
+    if (!tail.empty()) {
+      out << "flight recorder (most recent events per thread):\n" << tail;
+    }
   }
   final_report_ = out.str();
 }

@@ -6,6 +6,8 @@
 #include <optional>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace reptile::rtm {
 
 void run_ranks(World& world, const std::function<void(Comm&)>& rank_main) {
@@ -23,6 +25,7 @@ void run_ranks(World& world, const std::function<void(Comm&)>& rank_main) {
         if (check::RunChecker* check = world.checker()) {
           scope.emplace(*check, r, check::ThreadRole::kMain);
         }
+        obs::Tracer::instance().set_thread(r, "main");
         Comm comm(world, r);
         rank_main(comm);
       } catch (...) {

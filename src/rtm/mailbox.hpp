@@ -11,11 +11,14 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rtm/check/check.hpp"
 #include "rtm/message.hpp"
 
@@ -63,6 +66,11 @@ class Mailbox {
   Message pop(int source, int tag) {
     std::unique_lock lock(mutex_);
     if (auto m = pop_locked(source, tag)) return std::move(*m);
+    // Only receives that actually block are recorded: the fast path above
+    // stays untouched, and the trace shows genuine waits, not every pop.
+    // Destroyed on every exit path below, including the deadlock-abort
+    // throw — an aborted wait still leaves its span in the flight recorder.
+    const BlockedWait wait{owner_};
     if (check_ == nullptr) {
       while (true) {
         cv_.wait(lock);
@@ -153,6 +161,28 @@ class Mailbox {
   }
 
  private:
+  /// RAII instrumentation for one blocked receive: a mailbox:wait span in
+  /// the trace plus a sample in the owner rank's wait histogram. Runs with
+  /// the mailbox mutex held; the tracer/registry are leaf locks.
+  struct BlockedWait {
+    explicit BlockedWait(int rank)
+        : rank_(rank), start_(obs::Tracer::instance().now_ns()) {}
+    BlockedWait(const BlockedWait&) = delete;
+    BlockedWait& operator=(const BlockedWait&) = delete;
+    ~BlockedWait() {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      const std::int64_t waited_ns = tracer.now_ns() - start_;
+      tracer.complete("mailbox", "mailbox:wait", start_);
+      if (obs::Histogram* h = obs::Registry::global().histogram(
+              "reptile_mailbox_wait_us", rank_)) {
+        h->record(static_cast<std::uint64_t>(waited_ns < 0 ? 0 : waited_ns) /
+                  1000);
+      }
+    }
+    int rank_;
+    std::int64_t start_;
+  };
+
   static bool matches(const Message& m, int source, int tag) noexcept {
     return (source == kAnySource || m.source == source) &&
            (tag == kAnyTag || m.tag == tag);

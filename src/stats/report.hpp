@@ -9,6 +9,7 @@
 
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -35,12 +36,33 @@ class RunReport {
   }
 
   /// Adds a field to the current record. The first record defines the
-  /// schema order; later records must add fields in the same order.
+  /// schema order; later records must add fields in the same order (they
+  /// may omit trailing fields, which render as 0). An unknown field name,
+  /// an out-of-order field, or more fields than the schema holds throws
+  /// std::logic_error naming the offending field — a schema drift that
+  /// silently misaligned CSV columns before.
   RunReport& add(const std::string& name, double value) {
+    if (records_.empty()) {
+      throw std::logic_error(
+          "RunReport::add: no current record; call record() first");
+    }
+    auto& rec = records_.back();
     if (records_.size() == 1) {
       schema_.push_back(name);
+    } else if (rec.size() >= schema_.size()) {
+      throw std::logic_error("RunReport::add: field \"" + name +
+                             "\" exceeds the schema defined by the first "
+                             "record (" +
+                             std::to_string(schema_.size()) + " fields)");
+    } else if (schema_[rec.size()] != name) {
+      throw std::logic_error("RunReport::add: field \"" + name +
+                             "\" at position " + std::to_string(rec.size()) +
+                             " does not match the schema (expected \"" +
+                             schema_[rec.size()] +
+                             "\"); records must add fields in the order the "
+                             "first record defined");
     }
-    records_.back().push_back({name, value});
+    rec.push_back({name, value});
     return *this;
   }
 

@@ -6,7 +6,10 @@
 
 namespace reptile::stats {
 
-/// Simple wall-clock stopwatch.
+/// Simple wall-clock stopwatch. Pinned to a monotonic clock: the durations
+/// feed the per-rank timing report and the obs stage histograms, which both
+/// assume elapsed time never goes backwards (a system_clock NTP step would
+/// produce negative stage seconds).
 class Stopwatch {
  public:
   Stopwatch() : start_(clock::now()) {}
@@ -19,6 +22,9 @@ class Stopwatch {
 
  private:
   using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady,
+                "Stopwatch must use a monotonic clock: durations feed "
+                "reports/histograms that reject negative time");
   clock::time_point start_;
 };
 
@@ -35,6 +41,8 @@ class Accumulator {
 
  private:
   using clock = std::chrono::steady_clock;
+  static_assert(clock::is_steady,
+                "Accumulator must use a monotonic clock (see Stopwatch)");
   clock::time_point start_{};
   double total_ = 0;
 };

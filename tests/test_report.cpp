@@ -1,11 +1,15 @@
-// Unit tests: machine-readable run reports (CSV/JSON) and the DistResult
-// flattening.
+// Unit tests: machine-readable run reports (CSV/JSON), the schema
+// validation in RunReport::add, the Stopwatch monotonic-clock pin, and the
+// DistResult flattening.
 #include "stats/report.hpp"
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "parallel/report.hpp"
 #include "seq/dataset.hpp"
+#include "stats/stopwatch.hpp"
 
 namespace reptile::stats {
 namespace {
@@ -51,6 +55,69 @@ TEST(RunReport, SchemaComesFromFirstRecord) {
   r.record().add("one", 1).add("two", 2);
   r.record().add("one", 3).add("two", 4);
   EXPECT_EQ(r.schema(), (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(RunReport, LaterRecordsMayOmitTrailingFields) {
+  RunReport r("s");
+  r.record().add("one", 1).add("two", 2);
+  r.record().add("one", 3);  // legal: omitted trailing field renders as 0
+  EXPECT_EQ(r.to_csv(), "one,two\n1,2\n3,\n");
+}
+
+TEST(RunReport, RejectsUnknownFieldOnLaterRecords) {
+  RunReport r("s");
+  r.record().add("one", 1).add("two", 2);
+  r.record().add("one", 3);
+  try {
+    r.add("tow", 4);  // typo'd name would silently misalign the CSV
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("\"tow\""), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("\"two\""), std::string::npos);
+  }
+}
+
+TEST(RunReport, RejectsOutOfOrderFields) {
+  RunReport r("s");
+  r.record().add("one", 1).add("two", 2);
+  r.record();
+  EXPECT_THROW(r.add("two", 2), std::logic_error);
+}
+
+TEST(RunReport, RejectsMoreFieldsThanSchema) {
+  RunReport r("s");
+  r.record().add("one", 1);
+  r.record().add("one", 2);
+  EXPECT_THROW(r.add("extra", 3), std::logic_error);
+}
+
+TEST(RunReport, RejectsAddBeforeFirstRecord) {
+  RunReport r("s");
+  EXPECT_THROW(r.add("one", 1), std::logic_error);
+}
+
+TEST(Stopwatch, UsesMonotonicClockAndNeverGoesNegative) {
+  // The static_asserts in stopwatch.hpp pin the clock choice at compile
+  // time; this pins the observable consequence — a duration taken across
+  // arbitrary scheduling can round to zero but can never be negative (a
+  // wall-clock stopwatch would regress under an NTP step).
+  Stopwatch watch;
+  double last = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double s = watch.seconds();
+    EXPECT_GE(s, 0.0);
+    EXPECT_GE(s, last) << "monotonic clock went backwards";
+    last = s;
+  }
+  watch.restart();
+  EXPECT_GE(watch.seconds(), 0.0);
+
+  Accumulator acc;
+  for (int i = 0; i < 100; ++i) {
+    acc.start();
+    acc.stop();
+  }
+  EXPECT_GE(acc.seconds(), 0.0);
 }
 
 TEST(DistReport, FlattensEveryRank) {

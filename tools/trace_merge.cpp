@@ -1,0 +1,183 @@
+// trace_merge: validate and merge per-rank Chrome trace shards.
+//
+//   $ trace_merge --check shard.rank0.json shard.rank1.json ...
+//   $ trace_merge -o merged.json shard.rank0.json shard.rank1.json ...
+//
+// Each distributed run writes one trace shard per rank
+// (<prefix>.rankN.json, see obs/trace.hpp). A shard is a complete Chrome
+// trace-event document on its own; this tool combines them into one file
+// loadable in Perfetto / chrome://tracing with all ranks side by side, and
+// (--check) validates the format contract the tests pin:
+//
+//   * every shard parses as strict JSON with a traceEvents array,
+//   * every event carries name/cat/ph/pid/tid (plus ts for non-metadata
+//     phases and dur for complete spans),
+//   * flow events pair up: across ALL shards, each flow id seen on a start
+//     ('s') event is also seen on a finish ('f') event — a requester's
+//     lookup flow starts on its worker thread and finishes on the owning
+//     rank's comm thread, i.e. in a different shard.
+//
+// Exit status: 0 ok, 1 validation/merge failure, 2 usage error.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using reptile::obs::JsonValue;
+
+struct FlowIds {
+  std::set<std::string> starts;
+  std::set<std::string> finishes;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(path + ": cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool has_string(const JsonValue& event, const char* key) {
+  const JsonValue* v = event.find(key);
+  return v != nullptr && v->is_string();
+}
+
+bool has_number(const JsonValue& event, const char* key) {
+  const JsonValue* v = event.find(key);
+  return v != nullptr && v->is_number();
+}
+
+/// Validates one event against the contract; throws with a description.
+void check_event(const JsonValue& event, std::size_t index, FlowIds& flows) {
+  const auto fail = [index](const std::string& what) {
+    throw std::runtime_error("traceEvents[" + std::to_string(index) +
+                             "]: " + what);
+  };
+  if (!event.is_object()) fail("not an object");
+  if (!has_string(event, "name")) fail("missing string \"name\"");
+  if (!has_string(event, "ph")) fail("missing string \"ph\"");
+  if (!has_number(event, "pid")) fail("missing number \"pid\"");
+  if (!has_number(event, "tid")) fail("missing number \"tid\"");
+  const std::string& ph = event.find("ph")->as_string();
+  if (ph == "M") return;  // metadata: name/pid/tid/args only
+  if (!has_string(event, "cat")) fail("missing string \"cat\"");
+  if (!has_number(event, "ts")) fail("missing number \"ts\"");
+  if (ph == "X") {
+    if (!has_number(event, "dur")) fail("complete span missing \"dur\"");
+    if (event.find("dur")->as_number() < 0) fail("negative \"dur\"");
+  } else if (ph == "i") {
+    if (!has_string(event, "s")) fail("instant missing scope \"s\"");
+  } else if (ph == "s" || ph == "f") {
+    if (!has_string(event, "id")) fail("flow event missing string \"id\"");
+    const std::string& id = event.find("id")->as_string();
+    if (ph == "s") {
+      flows.starts.insert(id);
+    } else {
+      flows.finishes.insert(id);
+      if (!has_string(event, "bp") ||
+          event.find("bp")->as_string() != "e") {
+        fail("flow finish missing \"bp\":\"e\" (binds to enclosing slice)");
+      }
+    }
+  } else {
+    fail("unknown phase \"" + ph + "\"");
+  }
+}
+
+int run(bool check_only, const std::string& out_path,
+        const std::vector<std::string>& shards) {
+  JsonValue merged_events = JsonValue::array();
+  FlowIds flows;
+  std::string display_unit = "ms";
+  for (const std::string& path : shards) {
+    try {
+      const JsonValue doc = reptile::obs::json_parse(read_file(path));
+      if (!doc.is_object()) throw std::runtime_error("root is not an object");
+      const JsonValue* events = doc.find("traceEvents");
+      if (events == nullptr || !events->is_array()) {
+        throw std::runtime_error("missing \"traceEvents\" array");
+      }
+      if (const JsonValue* unit = doc.find("displayTimeUnit");
+          unit != nullptr && unit->is_string()) {
+        display_unit = unit->as_string();
+      }
+      std::size_t index = 0;
+      for (const JsonValue& event : events->as_array()) {
+        check_event(event, index++, flows);
+        if (!check_only) merged_events.push_back(event);
+      }
+      std::fprintf(stderr, "%s: ok, %zu events\n", path.c_str(), index);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+  }
+  // Flow pairing is a cross-shard property: a lookup's 's' lives in the
+  // requester rank's shard, its 'f' in the owner rank's shard. Unmatched
+  // starts are legal mid-protocol states (a retransmitted request emits a
+  // fresh 's' per attempt; only one reply arrives), but a finish without
+  // any start means the id derivation diverged between requester and
+  // service — exactly the bug this check exists to catch.
+  for (const std::string& id : flows.finishes) {
+    if (!flows.starts.count(id)) {
+      std::fprintf(stderr,
+                   "flow finish %s has no matching start in any shard\n",
+                   id.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "flows: %zu starts, %zu finishes, all finishes bound\n",
+               flows.starts.size(), flows.finishes.size());
+  if (check_only) return 0;
+
+  JsonValue merged = JsonValue::object();
+  merged.set("displayTimeUnit", JsonValue::string(display_unit));
+  merged.set("traceEvents", std::move(merged_events));
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << merged.dump() << '\n';
+  if (!out.flush()) {
+    std::fprintf(stderr, "%s: write failed\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s: merged %zu shard(s)\n", out_path.c_str(),
+               shards.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check_only = false;
+  std::string out_path;
+  std::vector<std::string> shards;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else {
+      shards.push_back(arg);
+    }
+  }
+  const bool one_mode = check_only ? out_path.empty() : !out_path.empty();
+  if (shards.empty() || !one_mode) {
+    std::fprintf(stderr,
+                 "usage: %s --check SHARD...        validate shards\n"
+                 "       %s -o MERGED.json SHARD... validate and merge\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  return run(check_only, out_path, shards);
+}
