@@ -10,7 +10,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,7 +22,9 @@
 #include "hash/bloom_filter.hpp"
 #include "hash/count_table.hpp"
 #include "hash/sorted_spectrum.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/lookup_service.hpp"
+#include "parallel/remote_spectrum.hpp"
 #include "parallel/wire.hpp"
 #include "rtm/mailbox.hpp"
 #include "seq/dataset.hpp"
@@ -319,13 +324,243 @@ void report_remote_lookups() {
   std::printf("%s\n", report.to_json().c_str());
 }
 
+// --- BENCH_rtm.json: the rtm runtime's recorded perf baseline ---------------
+//
+// Written by `microbench --rtm-json=PATH` and diffed against the checked-in
+// bench/baselines/BENCH_rtm.json by tools/bench_gate.py in CI. The gate only
+// compares machine-independent fields — the fast/locked REDUCTION ratios and
+// the exact message/byte counts of the seeded workloads; absolute
+// nanoseconds are recorded for the trajectory but never gated.
+
+/// Single-thread push/try_pop round trips through one mailbox; the purest
+/// view of the per-message mailbox cost on each path.
+double mailbox_loop_ns(bool fast, std::size_t iters) {
+  rtm::Mailbox mb;
+  mb.set_fast_path(fast);
+  stats::Stopwatch clock;
+  for (std::size_t i = 0; i < iters; ++i) {
+    mb.push(rtm::Message::of_value(0, 1, static_cast<std::uint64_t>(i)));
+    benchmark::DoNotOptimize(mb.try_pop(0, 1));
+  }
+  return clock.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+struct PingPongResult {
+  double ns_per_msg = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  rtm::MailboxStats mailbox;  ///< rank 1's (the echo side's) path counters
+};
+
+/// Two-rank blocking ping-pong through the full send/recv stack (arena
+/// payloads, traffic counters, blocked receives) — the realistic
+/// per-message cost including the wakeup machinery.
+PingPongResult pingpong(bool fast, int rounds) {
+  rtm::RunOptions options;
+  options.check.enabled = false;
+  options.mailbox_fast_path = fast;
+  PingPongResult res;
+  double seconds = 0;
+  auto world = rtm::run_world(
+      {2, 1},
+      [&](rtm::Comm& comm) {
+        comm.barrier();  // exclude thread spawn from the timed window
+        stats::Stopwatch clock;
+        if (comm.rank() == 0) {
+          for (int i = 0; i < rounds; ++i) {
+            comm.send_value(1, 3, static_cast<std::uint64_t>(i));
+            benchmark::DoNotOptimize(comm.recv(1, 4));
+          }
+          seconds = clock.seconds();
+        } else {
+          for (int i = 0; i < rounds; ++i) {
+            const rtm::Message m = comm.recv(0, 3);
+            comm.send_value(0, 4, m.as_value<std::uint64_t>());
+          }
+        }
+        comm.barrier();
+      },
+      options);
+  res.ns_per_msg = seconds * 1e9 / (2.0 * rounds);
+  const auto t0 = world->traffic().snapshot(0);
+  const auto t1 = world->traffic().snapshot(1);
+  res.msgs = t0.sent_msgs() + t1.sent_msgs();
+  res.bytes = t0.sent_bytes() + t1.sent_bytes();
+  res.mailbox = world->mailbox(1).stats();
+  return res;
+}
+
+struct RttResult {
+  std::uint64_t lookups = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  obs::HistogramSummary rtt;      ///< reptile_lookup_rtt_us, requester rank
+  obs::HistogramSummary wait;     ///< reptile_mailbox_wait_us, requester rank
+};
+
+/// Scalar remote lookups against a live LookupService with the obs registry
+/// armed: populates the lookup-RTT and mailbox-wait histograms the baseline
+/// records its latency quantiles from.
+RttResult measure_lookup_rtt(std::size_t lookups) {
+  using namespace reptile::parallel;
+  seq::DatasetSpec spec{"rtm_rtt", 2000, 70, 4000};
+  const auto ds = seq::SyntheticDataset::generate(spec, {}, 97);
+  core::CorrectorParams params;
+  params.k = 12;
+  params.tile_overlap = 4;
+
+  obs::Registry::global().configure(true);
+  RttResult res;
+  res.lookups = lookups;
+  auto world = rtm::run_world(
+      {2, 1},
+      [&](rtm::Comm& comm) {
+        DistSpectrum spectrum(params, Heuristics{}, comm);
+        if (comm.rank() == 1) {
+          for (const auto& r : ds.reads) spectrum.add_read(r.bases);
+        }
+        spectrum.exchange_to_owners();
+        if (comm.rank() == 1) {
+          std::vector<std::uint64_t> owned;
+          spectrum.hash_kmers().for_each(
+              [&](std::uint64_t id, std::uint32_t) { owned.push_back(id); });
+          comm.send<std::uint64_t>(
+              0, 97, std::span<const std::uint64_t>(owned.data(), owned.size()));
+          comm.reset_done();
+          LookupService service(comm, spectrum);
+          std::thread server([&service] { service.serve(); });
+          comm.signal_done();
+          server.join();
+        } else {
+          const auto ids = comm.recv(1, 97).as<std::uint64_t>();
+          comm.reset_done();
+          RemoteSpectrumView view(comm, spectrum);
+          for (std::size_t i = 0; i < lookups; ++i) {
+            benchmark::DoNotOptimize(view.kmer_count(ids[i % ids.size()]));
+          }
+          comm.signal_done();
+        }
+        comm.barrier();
+      },
+      [] {
+        rtm::RunOptions options;
+        options.check.enabled = false;
+        return options;
+      }());
+  const auto t0 = world->traffic().snapshot(0);
+  const auto t1 = world->traffic().snapshot(1);
+  res.msgs = t0.sent_msgs() + t1.sent_msgs();
+  res.bytes = t0.sent_bytes() + t1.sent_bytes();
+  res.rtt = obs::Registry::global().histogram_summary("reptile_lookup_rtt_us", 0);
+  res.wait =
+      obs::Registry::global().histogram_summary("reptile_mailbox_wait_us", 0);
+  obs::Registry::global().configure(false);
+  return res;
+}
+
+void write_histogram_json(std::ofstream& out, const char* key,
+                          const obs::HistogramSummary& h, const char* indent) {
+  out << indent << "\"" << key << "\": {\"count\": " << h.count
+      << ", \"p50_us\": " << h.p50 << ", \"p99_us\": " << h.p99
+      << ", \"max_us\": " << h.max << "}";
+}
+
+int emit_rtm_json(const std::string& path) {
+  constexpr std::size_t kLoopIters = 200000;
+  constexpr int kPingPongRounds = 20000;
+  constexpr std::size_t kRttLookups = 5000;
+  const auto best_of = [](int reps, const auto& fn) {
+    double best = 1e300;
+    for (int i = 0; i < reps; ++i) best = std::min(best, fn());
+    return best;
+  };
+
+  std::printf("\n--- rtm runtime baseline (BENCH_rtm.json) ---\n");
+  (void)mailbox_loop_ns(true, kLoopIters / 4);  // warm up allocators
+  const double locked_loop_ns =
+      best_of(3, [&] { return mailbox_loop_ns(false, kLoopIters); });
+  const double fast_loop_ns =
+      best_of(3, [&] { return mailbox_loop_ns(true, kLoopIters); });
+  const double loop_reduction =
+      100.0 * (locked_loop_ns - fast_loop_ns) / locked_loop_ns;
+
+  PingPongResult locked_pp;
+  PingPongResult fast_pp;
+  locked_pp.ns_per_msg = 1e300;
+  fast_pp.ns_per_msg = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    PingPongResult r = pingpong(false, kPingPongRounds);
+    if (r.ns_per_msg < locked_pp.ns_per_msg) locked_pp = r;
+    r = pingpong(true, kPingPongRounds);
+    if (r.ns_per_msg < fast_pp.ns_per_msg) fast_pp = r;
+  }
+  const double pp_reduction = 100.0 *
+                              (locked_pp.ns_per_msg - fast_pp.ns_per_msg) /
+                              locked_pp.ns_per_msg;
+  const RttResult rtt = measure_lookup_rtt(kRttLookups);
+
+  std::printf("mailbox loop : locked %.1f ns/msg, fast %.1f ns/msg "
+              "(%.1f%% reduction)\n",
+              locked_loop_ns, fast_loop_ns, loop_reduction);
+  std::printf("ping-pong    : locked %.1f ns/msg, fast %.1f ns/msg "
+              "(%.1f%% reduction), %llu msgs, %llu bytes\n",
+              locked_pp.ns_per_msg, fast_pp.ns_per_msg, pp_reduction,
+              static_cast<unsigned long long>(fast_pp.msgs),
+              static_cast<unsigned long long>(fast_pp.bytes));
+  std::printf("lookup rtt   : p50 <= %llu us, p99 <= %llu us over %llu lookups\n",
+              static_cast<unsigned long long>(rtt.rtt.p50),
+              static_cast<unsigned long long>(rtt.rtt.p99),
+              static_cast<unsigned long long>(rtt.lookups));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"schema\": 1,\n";
+  out << "  \"mailbox_loop\": {\"iters\": " << kLoopIters
+      << ", \"locked_ns_per_msg\": " << locked_loop_ns
+      << ", \"fast_ns_per_msg\": " << fast_loop_ns
+      << ", \"reduction_pct\": " << loop_reduction << "},\n";
+  out << "  \"pingpong\": {\"rounds\": " << kPingPongRounds
+      << ", \"msgs\": " << fast_pp.msgs << ", \"bytes\": " << fast_pp.bytes
+      << ", \"locked_ns_per_msg\": " << locked_pp.ns_per_msg
+      << ", \"fast_ns_per_msg\": " << fast_pp.ns_per_msg
+      << ", \"reduction_pct\": " << pp_reduction
+      << ", \"fast_pushes\": " << fast_pp.mailbox.fast_pushes
+      << ", \"locked_run_fast_pushes\": " << locked_pp.mailbox.fast_pushes
+      << "},\n";
+  out << "  \"lookup\": {\"lookups\": " << rtt.lookups
+      << ", \"msgs\": " << rtt.msgs << ", \"bytes\": " << rtt.bytes << "},\n";
+  write_histogram_json(out, "lookup_rtt_us", rtt.rtt, "  ");
+  out << ",\n";
+  write_histogram_json(out, "mailbox_wait_us", rtt.wait, "  ");
+  out << "\n}\n";
+  return out ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --rtm-json=PATH is ours, not google-benchmark's: strip it before
+  // Initialize so ReportUnrecognizedArguments stays clean.
+  std::string rtm_json;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--rtm-json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      rtm_json = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!rtm_json.empty()) return emit_rtm_json(rtm_json);
   report_remote_lookups();
   return 0;
 }

@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
     run.ranks = ranks;
     run.ranks_per_node = ranks_per_node;
     run.run_options.check.enabled = file_config.rtm_check;
+    run.run_options.mailbox_fast_path = file_config.mailbox_fast_path;
     run.run_options.chaos = file_config.chaos;
     run.retry = file_config.retry;
     run.trace = file_config.trace;

@@ -161,6 +161,10 @@ constexpr KeySpec kKeys[] = {
      [](RunConfigFile& c, const std::string& v, int l) {
        c.rtm_check = parse_bool(v, l);
      }},
+    {"mailbox_fast_path",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.mailbox_fast_path = parse_bool(v, l);
+     }},
     {"chaos_seed",
      [](RunConfigFile& c, const std::string& v, int l) {
        c.chaos.seed = static_cast<std::uint64_t>(parse_int(v, l));
@@ -329,6 +333,7 @@ std::string to_config_text(const RunConfigFile& config) {
       << "partial_replication_group " << h.partial_replication_group << '\n'
       << "bloom_construction " << (h.bloom_construction ? 1 : 0) << '\n';
   out << "rtm_check " << (config.rtm_check ? 1 : 0) << '\n';
+  out << "mailbox_fast_path " << (config.mailbox_fast_path ? 1 : 0) << '\n';
   const auto& c = config.chaos;
   out << "chaos_seed " << c.seed << '\n'
       << "chaos_max_delay_us " << c.max_delay_us << '\n'

@@ -40,6 +40,9 @@ struct RunConfigFile {
   /// linter — see rtm/check/check.hpp). On by default; benchmark configs
   /// turn it off to keep hooks off the hot path.
   bool rtm_check = true;
+  /// Lock-free mailbox fast path (rtm/mailbox.hpp). Only effective while
+  /// rtm_check is off; disable to A/B against the legacy locked mailbox.
+  bool mailbox_fast_path = true;
   /// Fault-injection plan (chaos_* keys; inactive unless chaos_seed != 0).
   /// A lossy plan (drops/truncation) additionally requires the retry
   /// protocol below — validate_config enforces this at run time.

@@ -1,6 +1,7 @@
 #include "parallel/lookup_service.hpp"
 
 #include <chrono>
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -57,19 +58,22 @@ void LookupService::reply_batch(const rtm::Message& msg) {
   }
   obs::Tracer::instance().flow_end(
       "flow", "batch", obs::flow_id(msg.source, req.reply_to, req.seq));
-  std::vector<std::int32_t> counts;
-  counts.reserve(req.ids.size());
-  for (std::uint64_t id : req.ids) {
+  // Zero-copy reply: frame the header in an arena payload and write each
+  // i32 count straight into the wire buffer as the lookups happen — no
+  // intermediate count vector, no encode copy, no send copy.
+  rtm::Payload payload = comm_->make_payload(batch_reply_bytes(req.ids.size()));
+  encode_batch_reply_header_into(payload.data(), req.seq,
+                                 static_cast<std::uint32_t>(req.ids.size()));
+  std::byte* counts = batch_reply_counts_at(payload.data());
+  for (std::size_t i = 0; i < req.ids.size(); ++i) {
+    const std::uint64_t id = req.ids[i];
     const auto c = req.kind == LookupKind::kKmer ? spectrum_->owned_kmer(id)
                                                  : spectrum_->owned_tile(id);
-    counts.push_back(c ? static_cast<std::int32_t>(*c) : -1);
+    const std::int32_t count = c ? static_cast<std::int32_t>(*c) : -1;
+    std::memcpy(counts + i * sizeof(count), &count, sizeof(count));
     if (!c) ++stats_.absent_replies;
   }
-  std::vector<std::uint8_t> buf;
-  encode_batch_reply(req.seq, counts, buf);
-  comm_->send<std::uint8_t>(
-      msg.source, req.reply_to,
-      std::span<const std::uint8_t>(buf.data(), buf.size()));
+  comm_->send_payload(msg.source, req.reply_to, std::move(payload));
   ++stats_.batch_requests;
   stats_.batch_ids_served += req.ids.size();
   ++stats_.requests_served;

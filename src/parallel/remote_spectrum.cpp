@@ -112,15 +112,17 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
   obs::SpanScope span("lookup", "batch_prefetch");
   const std::int64_t prefetch_start = obs::Tracer::instance().now_ns();
   const auto send_batch = [&](const Pending& p) {
-    encode_scratch_.clear();
-    encode_batch_request(p.kind, batch_reply_tag(p.kind, worker_slot_),
-                         std::span<const std::uint64_t>(p.ids->data(),
-                                                        p.ids->size()),
-                         encode_scratch_, p.seq);
-    comm_->send<std::uint8_t>(
-        p.owner, kTagBatchRequest,
-        std::span<const std::uint8_t>(encode_scratch_.data(),
-                                      encode_scratch_.size()));
+    // Zero-copy request: encode the header + ID vector straight into an
+    // arena payload and transfer ownership — no scratch vector, no send
+    // copy.
+    rtm::Payload payload =
+        comm_->make_payload(batch_request_bytes(p.ids->size()));
+    encode_batch_request_into(payload.data(), p.kind,
+                              batch_reply_tag(p.kind, worker_slot_),
+                              std::span<const std::uint64_t>(p.ids->data(),
+                                                             p.ids->size()),
+                              p.seq);
+    comm_->send_payload(p.owner, kTagBatchRequest, std::move(payload));
     // Links this request to its handling on p.owner's comm thread; the
     // service derives the same id from the wire fields alone.
     obs::Tracer::instance().flow_start(

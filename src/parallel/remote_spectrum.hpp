@@ -128,10 +128,10 @@ class RemoteSpectrumView final : public core::SpectrumView {
   hash::CountTable<> prefetch_kmer_;
   hash::CountTable<> prefetch_tile_;
 
-  // Scratch reused across prefetch_chunk calls.
+  // Scratch reused across prefetch_chunk calls. (Request encoding needs no
+  // scratch anymore: batches are built in place in arena payloads.)
   std::vector<seq::kmer_id_t> kmer_scratch_;
   std::vector<seq::tile_id_t> tile_scratch_;
-  std::vector<std::uint8_t> encode_scratch_;
 };
 
 }  // namespace reptile::parallel

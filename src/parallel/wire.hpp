@@ -86,23 +86,38 @@ struct BatchLookupRequest {
   std::vector<std::uint64_t> ids;
 };
 
-/// Appends the wire encoding of one batched request to `out`.
-inline void encode_batch_request(LookupKind kind, int reply_to,
-                                 std::span<const std::uint64_t> ids,
-                                 std::vector<std::uint8_t>& out,
-                                 std::uint64_t seq = 0) {
+/// Wire size of a batched request carrying `count` IDs.
+inline std::size_t batch_request_bytes(std::size_t count) {
+  return sizeof(BatchLookupHeader) + count * 8;
+}
+
+/// Writes one batched request into a caller-sized buffer of exactly
+/// batch_request_bytes(ids.size()) — the zero-copy path: requesters encode
+/// straight into an arena payload (rtm::Comm::make_payload).
+inline void encode_batch_request_into(std::byte* out, LookupKind kind,
+                                      int reply_to,
+                                      std::span<const std::uint64_t> ids,
+                                      std::uint64_t seq = 0) {
   BatchLookupHeader h;
   h.kind = static_cast<std::uint32_t>(kind);
   h.reply_to = static_cast<std::int32_t>(reply_to);
   h.count = static_cast<std::uint32_t>(ids.size());
   h.seq = seq;
-  const std::size_t start = out.size();
-  out.resize(start + sizeof(h) + ids.size_bytes());
-  std::uint8_t* p = out.data() + start;
-  std::memcpy(p, &h, sizeof(h));
+  std::memcpy(out, &h, sizeof(h));
   if (!ids.empty()) {
-    std::memcpy(p + sizeof(h), ids.data(), ids.size_bytes());
+    std::memcpy(out + sizeof(h), ids.data(), ids.size_bytes());
   }
+}
+
+/// Appends the wire encoding of one batched request to `out`.
+inline void encode_batch_request(LookupKind kind, int reply_to,
+                                 std::span<const std::uint64_t> ids,
+                                 std::vector<std::uint8_t>& out,
+                                 std::uint64_t seq = 0) {
+  const std::size_t start = out.size();
+  out.resize(start + batch_request_bytes(ids.size()));
+  encode_batch_request_into(reinterpret_cast<std::byte*>(out.data() + start),
+                            kind, reply_to, ids, seq);
 }
 
 /// Decodes one batched request. Throws on a truncated or over-long buffer
@@ -133,7 +148,7 @@ inline BatchLookupRequest decode_batch_request(const std::uint8_t* data,
 }
 
 inline BatchLookupRequest decode_batch_request(
-    const std::vector<std::byte>& payload) {
+    std::span<const std::byte> payload) {
   return decode_batch_request(
       reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size());
 }
@@ -144,19 +159,40 @@ struct BatchLookupReply {
   std::vector<std::int32_t> counts;
 };
 
+/// Wire size of a batched reply carrying `count` counts.
+inline std::size_t batch_reply_bytes(std::size_t count) {
+  return sizeof(BatchReplyHeader) + count * 4;
+}
+
+/// Writes the reply header into a caller-sized buffer of exactly
+/// batch_reply_bytes(count); the i32 count vector follows at
+/// batch_reply_counts_at(out) and may be filled in place by the service
+/// as it performs the lookups — no intermediate vector at all.
+inline void encode_batch_reply_header_into(std::byte* out, std::uint64_t seq,
+                                           std::uint32_t count) {
+  BatchReplyHeader h;
+  h.seq = seq;
+  h.count = count;
+  std::memcpy(out, &h, sizeof(h));
+}
+
+/// Start of the count vector inside an encode_batch_reply_header_into
+/// buffer.
+inline std::byte* batch_reply_counts_at(std::byte* out) {
+  return out + sizeof(BatchReplyHeader);
+}
+
 /// Appends the wire encoding of one batched reply to `out`.
 inline void encode_batch_reply(std::uint64_t seq,
                                std::span<const std::int32_t> counts,
                                std::vector<std::uint8_t>& out) {
-  BatchReplyHeader h;
-  h.seq = seq;
-  h.count = static_cast<std::uint32_t>(counts.size());
   const std::size_t start = out.size();
-  out.resize(start + sizeof(h) + counts.size_bytes());
-  std::uint8_t* p = out.data() + start;
-  std::memcpy(p, &h, sizeof(h));
+  out.resize(start + batch_reply_bytes(counts.size()));
+  auto* p = reinterpret_cast<std::byte*>(out.data() + start);
+  encode_batch_reply_header_into(p, seq,
+                                 static_cast<std::uint32_t>(counts.size()));
   if (!counts.empty()) {
-    std::memcpy(p + sizeof(h), counts.data(), counts.size_bytes());
+    std::memcpy(batch_reply_counts_at(p), counts.data(), counts.size_bytes());
   }
 }
 
@@ -182,8 +218,7 @@ inline BatchLookupReply decode_batch_reply(const std::uint8_t* data,
   return reply;
 }
 
-inline BatchLookupReply decode_batch_reply(
-    const std::vector<std::byte>& payload) {
+inline BatchLookupReply decode_batch_reply(std::span<const std::byte> payload) {
   return decode_batch_reply(
       reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size());
 }

@@ -6,9 +6,48 @@
 #include <optional>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace reptile::rtm {
+
+namespace {
+
+/// Mirrors per-rank mailbox path counters and arena gauges into the obs
+/// registry once the run is over (no-op while observability is off).
+void publish_runtime_metrics(World& world) {
+  obs::Registry& reg = obs::Registry::global();
+  for (int r = 0; r < world.size(); ++r) {
+    const MailboxStats ms = world.mailbox(r).stats();
+    if (auto* c = reg.counter("reptile_mailbox_fast_pushes", r)) {
+      c->add(ms.fast_pushes);
+    }
+    if (auto* c = reg.counter("reptile_mailbox_slow_pushes", r)) {
+      c->add(ms.slow_pushes);
+    }
+    if (auto* c = reg.counter("reptile_mailbox_fast_pops", r)) {
+      c->add(ms.fast_pops);
+    }
+    if (auto* c = reg.counter("reptile_mailbox_futile_wakeups", r)) {
+      c->add(ms.futile_wakeups);
+    }
+    if (auto* c = reg.counter("reptile_mailbox_notifies_skipped", r)) {
+      c->add(ms.notifies_skipped);
+    }
+    const PayloadArena::Stats as = world.arena(r).stats();
+    if (auto* g = reg.gauge("reptile_arena_slab_bytes", r)) {
+      g->set(static_cast<double>(world.arena(r).memory_bytes()));
+    }
+    if (auto* g = reg.gauge("reptile_arena_slabs_reused", r)) {
+      g->set(static_cast<double>(as.slabs_reused));
+    }
+    if (auto* g = reg.gauge("reptile_arena_oversize_allocs", r)) {
+      g->set(static_cast<double>(as.oversize_allocs));
+    }
+  }
+}
+
+}  // namespace
 
 void run_ranks(World& world, const std::function<void(Comm&)>& rank_main) {
   std::vector<std::thread> threads;
@@ -42,10 +81,12 @@ std::unique_ptr<World> run_world(Topology topo,
                                  const std::function<void(Comm&)>& rank_main,
                                  const RunOptions& options) {
   auto world = std::make_unique<World>(topo);
+  world->set_mailbox_fast_path(options.mailbox_fast_path);
   if (options.check.enabled) world->enable_check(options.check);
   if (options.chaos.active()) world->enable_chaos(options.chaos);
   run_ranks(*world, rank_main);
   if (check::RunChecker* check = world->checker()) check->finalize();
+  publish_runtime_metrics(*world);
   return world;
 }
 

@@ -32,27 +32,43 @@ class Comm {
   // --- point to point -----------------------------------------------------
 
   /// Sends `items` to `dst` with `tag`. Buffered and non-blocking, like an
-  /// MPI_Send that always completes locally. When rtm-check is active the
-  /// message is linted against the protocol tag table first and a
-  /// violation throws check::ProtocolError at this call site.
+  /// MPI_Send that always completes locally. The payload is staged in this
+  /// rank's arena (one copy from the caller's buffer into a recycled slab,
+  /// then ownership transfer all the way to the receiver). When rtm-check
+  /// is active the message is linted against the protocol tag table first
+  /// and a violation throws check::ProtocolError at this call site.
   template <class T>
   void send(int dst, int tag, std::span<const T> items) {
-    Message m = Message::of<T>(rank_, tag, items);
-    if (check::RunChecker* check = world_->checker()) {
-      check->on_send(rank_, dst, tag, std::span<const std::byte>(m.payload));
+    Message m;
+    m.source = rank_;
+    m.tag = tag;
+    m.payload = world_->arena(rank_).allocate(items.size_bytes());
+    if (!items.empty()) {
+      std::memcpy(m.payload.data(), items.data(), items.size_bytes());
     }
-    world_->traffic().record_send(rank_, dst, m.payload.size());
-    if (ChaosDelayer* chaos = world_->chaos()) {
-      chaos->submit(dst, std::move(m));
-    } else {
-      world_->mailbox(dst).push(std::move(m));
-    }
+    finish_send(dst, std::move(m));
   }
 
   /// Sends a single value.
   template <class T>
   void send_value(int dst, int tag, const T& value) {
     send<T>(dst, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Allocates an owned payload in this rank's arena for in-place
+  /// construction (zero-copy send: encode the wire format directly into
+  /// the returned buffer, then hand it to send_payload).
+  Payload make_payload(std::size_t bytes) {
+    return world_->arena(rank_).allocate(bytes);
+  }
+
+  /// Sends an already-built payload by ownership transfer — no copy.
+  void send_payload(int dst, int tag, Payload&& payload) {
+    Message m;
+    m.source = rank_;
+    m.tag = tag;
+    m.payload = std::move(payload);
+    finish_send(dst, std::move(m));
   }
 
   /// Blocking matched receive (source/tag may be wildcards).
@@ -208,6 +224,19 @@ class Comm {
   }
 
  private:
+  /// Common send tail: lint, count, route through chaos or the mailbox.
+  void finish_send(int dst, Message m) {
+    if (check::RunChecker* check = world_->checker()) {
+      check->on_send(rank_, dst, m.tag, m.payload);
+    }
+    world_->traffic().record_send(rank_, dst, m.payload.size());
+    if (ChaosDelayer* chaos = world_->chaos()) {
+      chaos->submit(dst, std::move(m));
+    } else {
+      world_->mailbox(dst).push(std::move(m));
+    }
+  }
+
   World* world_;
   int rank_;
 };
@@ -229,6 +258,11 @@ struct RunOptions {
   /// rtm-check configuration (see rtm/check/check.hpp). Checking defaults
   /// to ON so tests run audited; benchmarks set check.enabled = false.
   check::Options check;
+  /// Lock-free mailbox fast path (see rtm/mailbox.hpp). Only effective
+  /// while checking is off — an attached checker forces the mutex path so
+  /// its hooks observe every push/pop. Disable to A/B against the legacy
+  /// locked mailbox.
+  bool mailbox_fast_path = true;
 };
 
 /// Convenience: builds a World for `topo`, runs `rank_main` on every rank,

@@ -8,54 +8,166 @@
 // the same (source, tag) pair are delivered in FIFO order, the MPI
 // non-overtaking guarantee the protocols rely on (and that the rtm-check
 // mailbox audit verifies at runtime, see rtm/check/check.hpp).
+//
+// Two delivery paths (DESIGN.md §7):
+//
+// - FAST: a bounded lock-free MPMC ring (rtm/ring.hpp). Pushes and
+//   exact-(source, tag) pops of the ring head complete without touching
+//   the mutex. Only enabled while no run checker is attached — rtm-check
+//   hooks must observe pushes/pops under the mutex to stamp and audit
+//   per-stream sequence numbers.
+// - SLOW: the classic mutex/condvar deque. Wildcard matching, predicate
+//   receives (pop_match_for), probes, pending-state dumps, blocked waits,
+//   and ring overflow all take this path. Locked consumers first set the
+//   ring's consumer-lock bit and drain the ring into the deque, so the
+//   deque is always the OLDER half of the queue: every deque entry
+//   precedes every ring entry in arrival order. A fast pop's claim CAS
+//   only succeeds while the consumer-lock bit is clear, which implies the
+//   deque is empty — so the claimed ring head is the globally oldest
+//   message of its stream and per-stream FIFO holds across both paths.
+//
+// Wakeups are targeted: blocked receivers register their (source, tag)
+// filter (wildcards for predicate receives) and push only notifies when
+// some registered filter matches the pushed envelope. A seq_cst fence
+// handshake between lock-free publication and waiter registration closes
+// the lost-wakeup window (argument in DESIGN.md §7).
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rtm/check/check.hpp"
 #include "rtm/message.hpp"
+#include "rtm/ring.hpp"
 
 namespace reptile::rtm {
 
+namespace detail {
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+}  // namespace detail
+
+/// Plain-value snapshot of one mailbox's path counters (bench/diagnostics;
+/// mirrored into the obs registry after a run, see rtm/comm.cpp).
+struct MailboxStats {
+  std::uint64_t fast_pushes = 0;   ///< pushes completed on the lock-free ring
+  std::uint64_t slow_pushes = 0;   ///< pushes that took the mutex path
+  std::uint64_t fast_pops = 0;     ///< exact-match pops served by the ring head
+  std::uint64_t futile_wakeups = 0;    ///< notified waiter found nothing
+  std::uint64_t notifies_skipped = 0;  ///< pushes that had no matching waiter
+};
+
 class Mailbox {
  public:
+  /// Fast-path ring capacity in messages; overflow spills to the deque.
+  static constexpr std::size_t kRingCapacity = 256;
+  /// Exact-match blocking pops spin on the ring this many times before
+  /// parking on the condvar (an empty ring can fill any moment; a mismatch
+  /// or locked ring cannot resolve without the mutex, so those bail out
+  /// immediately). The first kPopPauses iterations busy-wait with a CPU
+  /// pause — they catch messages published by a producer running
+  /// SIMULTANEOUSLY on another core. The remaining iterations yield the
+  /// thread instead: when ranks share cores (including the 1-CPU CI box),
+  /// the producer can only publish after the scheduler runs it, so ceding
+  /// the core IS the fastest way to make the message arrive — a yielding
+  /// request/reply pair round-trips entirely on the ring, with the futex
+  /// sleep/wake and the notify mutex never touched (push sees no
+  /// registered waiter and skips the notify). Pure pause-spinning here
+  /// would be actively harmful: it burns the whole timeslice the producer
+  /// needs, degenerating every receive into a full spin window PLUS the
+  /// park it was meant to avoid.
+  static constexpr int kPopSpins = 32;
+  static constexpr int kPopPauses = 4;
+
+  /// Identifies the owning rank for obs instruments (wait histograms).
+  /// Called by World's constructor before rank threads start.
+  void set_owner(int rank) { owner_ = rank; }
+
   /// Installs (or, with nullptr, removes) the run checker's hooks. Called
   /// by World::enable_check before rank threads start; the checker detaches
-  /// itself again on destruction.
+  /// itself again on destruction. Atomic because the chaos delivery thread
+  /// can still push while ~RunChecker detaches during World teardown.
   void set_check(check::RunChecker* check, int owner_rank) {
     std::lock_guard lock(mutex_);
-    check_ = check;
+    check_.store(check, std::memory_order_release);
     owner_ = owner_rank;
   }
 
-  /// Enqueues a message (called by sender threads).
-  void push(Message m) {
-    {
-      std::lock_guard lock(mutex_);
-      if (check_ != nullptr) check_->on_push(owner_, m);
-      queue_.push_back(std::move(m));
+  /// Disables (or re-enables) the lock-free ring, forcing every operation
+  /// onto the mutex path — the A/B baseline for benchmarks and the chaos
+  /// path-identity tests. Call while no other thread uses the mailbox.
+  void set_fast_path(bool enabled) {
+    std::lock_guard lock(mutex_);
+    if (!enabled) {
+      // Flush fast-path messages into the deque so they stay visible.
+      const SlowSection slow(*this);
     }
-    // Deliberately outside the critical section: notifying under the mutex
-    // would wake receivers straight into a lock they cannot take (one
-    // futile context switch per push). Safe because a Mailbox always
-    // outlives its senders — World joins every rank thread before the
-    // mailboxes die. Contrast Barrier::arrive_and_wait, whose notify must
-    // stay inside (see world.hpp).
-    cv_.notify_all();
+    fast_path_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Enqueues a message (called by sender threads). Lock-free unless a
+  /// checker is attached, the fast path is disabled, or the ring is full.
+  void push(Message m) {
+    const int source = m.source;
+    const int tag = m.tag;
+    if (check_.load(std::memory_order_acquire) == nullptr &&
+        fast_path_.load(std::memory_order_relaxed) && ring_.try_push(m)) {
+      fast_pushes_.fetch_add(1, std::memory_order_relaxed);
+      // Dekker handshake with WaiterScope: order the ring publish before
+      // the waiter-count read; registration orders its count increment
+      // before its rescan. One side always observes the other, so a
+      // receiver can never park after missing a message that skipped its
+      // notify (memory-ordering argument in DESIGN.md §7).
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (waiter_count_.load(std::memory_order_relaxed) != 0) {
+        notify_matching(source, tag);
+      } else {
+        notifies_skipped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    push_slow(std::move(m), source, tag);
   }
 
   /// Removes and returns the first message matching (source, tag), or
   /// std::nullopt when none is queued. Wildcards kAnySource / kAnyTag match
-  /// anything.
+  /// anything (and always take the slow path).
   std::optional<Message> try_pop(int source, int tag) {
+    if (source != kAnySource && tag != kAnyTag &&
+        check_.load(std::memory_order_acquire) == nullptr &&
+        fast_path_.load(std::memory_order_relaxed)) {
+      Message out;
+      switch (ring_.try_pop_exact(pack_envelope(source, tag), out)) {
+        case MpmcMessageRing::PopResult::kOk:
+          fast_pops_.fetch_add(1, std::memory_order_relaxed);
+          return out;
+        case MpmcMessageRing::PopResult::kEmpty:
+          // Consumer-lock bit was clear, which implies the deque is empty
+          // too — there is nothing to receive anywhere.
+          return std::nullopt;
+        case MpmcMessageRing::PopResult::kMismatch:
+        case MpmcMessageRing::PopResult::kLocked:
+          break;  // an older/other message may match under the mutex
+      }
+    }
     std::lock_guard lock(mutex_);
+    const SlowSection slow(*this);
     return pop_locked(source, tag);
   }
 
@@ -64,59 +176,77 @@ class Mailbox {
   /// diagnosed deadlock throws check::DeadlockError here instead of
   /// hanging forever.
   Message pop(int source, int tag) {
-    std::unique_lock lock(mutex_);
-    if (auto m = pop_locked(source, tag)) return std::move(*m);
-    // Only receives that actually block are recorded: the fast path above
-    // stays untouched, and the trace shows genuine waits, not every pop.
-    // Destroyed on every exit path below, including the deadlock-abort
-    // throw — an aborted wait still leaves its span in the flight recorder.
-    const BlockedWait wait{owner_};
-    if (check_ == nullptr) {
-      while (true) {
-        cv_.wait(lock);
-        if (auto m = pop_locked(source, tag)) return std::move(*m);
+    if (source != kAnySource && tag != kAnyTag &&
+        check_.load(std::memory_order_acquire) == nullptr &&
+        fast_path_.load(std::memory_order_relaxed)) {
+      const std::uint64_t env = pack_envelope(source, tag);
+      Message out;
+      for (int spin = 0; spin < kPopSpins; ++spin) {
+        const auto r = ring_.try_pop_exact(env, out);
+        if (r == MpmcMessageRing::PopResult::kOk) {
+          fast_pops_.fetch_add(1, std::memory_order_relaxed);
+          return out;
+        }
+        if (r != MpmcMessageRing::PopResult::kEmpty) break;
+        if (spin < kPopPauses) {
+          detail::cpu_pause();
+        } else {
+          std::this_thread::yield();
+        }
       }
     }
-    check::RunChecker* check = check_;
-    if (check->aborted()) check->throw_abort();
-    const std::uint64_t ticket =
-        check->begin_recv_wait(owner_, source, tag, this);
-    while (true) {
-      cv_.wait_for(lock, check->poll_interval());
-      if (auto m = pop_locked(source, tag)) {
-        check->end_recv_wait(ticket);
-        return std::move(*m);
-      }
-      if (check->aborted()) {
-        check->end_recv_wait(ticket);
-        check->throw_abort();
-      }
-    }
+    return pop_slow_blocking(source, tag);
   }
 
   /// Removes and returns the first message satisfying `pred`, waiting up to
   /// `timeout` for one to arrive. Used by communication threads, which must
   /// match several request tags at once while never stealing reply messages
   /// destined for the worker thread. Returns early (empty) once rtm-check
-  /// aborts the run.
+  /// aborts the run. The predicate must be stateless: across wakeups only
+  /// newly arrived messages are re-examined (a message that failed the
+  /// predicate once can never match later), so scans resume where the last
+  /// one stopped instead of rescanning the whole deque.
   template <class Pred, class Rep, class Period>
   std::optional<Message> pop_match_for(
       Pred&& pred, std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
+    SlowSection slow(*this);
+    // The predicate is opaque, so the registered filter is a wildcard.
+    Waiter waiter{kAnySource, kAnyTag};
+    const WaiterScope scope(*this, &waiter);
+    std::uint64_t scan_from = 0;  // stamps below this are already examined
+    bool notified = false;
     while (true) {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (pred(*it)) return take_locked(it);
+      auto it = queue_.begin();
+      if (scan_from != 0) {
+        // Deque stamps are ascending (assigned on deque entry), so the
+        // resume point is a binary search away.
+        it = std::lower_bound(
+            queue_.begin(), queue_.end(), scan_from,
+            [](const Queued& q, std::uint64_t s) { return q.stamp < s; });
+      }
+      for (; it != queue_.end(); ++it) {
+        if (pred(it->msg)) return take_locked(it);
+      }
+      scan_from = next_stamp_;
+      if (notified) {
+        futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
+        notified = false;
       }
       const auto now = std::chrono::steady_clock::now();
       if (now >= deadline) return std::nullopt;
-      if (check_ != nullptr && check_->aborted()) return std::nullopt;
+      check::RunChecker* check = check_.load(std::memory_order_relaxed);
+      if (check != nullptr && check->aborted()) return std::nullopt;
       auto wake = deadline;
-      if (check_ != nullptr) {
-        const auto slice = now + check_->poll_interval();
+      if (check != nullptr) {
+        const auto slice = now + check->poll_interval();
         if (slice < wake) wake = slice;
       }
-      cv_.wait_until(lock, wake);
+      slow.pause();
+      const auto status = cv_.wait_until(lock, wake);
+      slow.resume();
+      notified = status == std::cv_status::no_timeout;
     }
   }
 
@@ -124,8 +254,9 @@ class Mailbox {
   /// removing it (MPI_Iprobe).
   std::optional<MessageInfo> probe(int source, int tag) const {
     std::lock_guard lock(mutex_);
-    for (const Message& m : queue_) {
-      if (matches(m, source, tag)) return m.info();
+    const SlowSection slow(*this);
+    for (const Queued& q : queue_) {
+      if (matches(q.msg, source, tag)) return q.msg.info();
     }
     return std::nullopt;
   }
@@ -134,9 +265,10 @@ class Mailbox {
   /// leak audit and deadlock state dumps).
   std::vector<MessageInfo> pending_info() const {
     std::lock_guard lock(mutex_);
+    const SlowSection slow(*this);
     std::vector<MessageInfo> out;
     out.reserve(queue_.size());
-    for (const Message& m : queue_) out.push_back(m.info());
+    for (const Queued& q : queue_) out.push_back(q.msg.info());
     return out;
   }
 
@@ -147,20 +279,42 @@ class Mailbox {
   template <class Fn>
   void for_each_pending(Fn&& fn) const {
     std::lock_guard lock(mutex_);
-    for (const Message& m : queue_) fn(m);
+    const SlowSection slow(*this);
+    for (const Queued& q : queue_) fn(q.msg);
   }
 
-  bool empty() const {
-    std::lock_guard lock(mutex_);
-    return queue_.empty();
-  }
+  bool empty() const { return size() == 0; }
 
   std::size_t size() const {
     std::lock_guard lock(mutex_);
-    return queue_.size();
+    return queue_.size() + ring_.approx_size();
+  }
+
+  MailboxStats stats() const {
+    MailboxStats s;
+    s.fast_pushes = fast_pushes_.load(std::memory_order_relaxed);
+    s.slow_pushes = slow_pushes_.load(std::memory_order_relaxed);
+    s.fast_pops = fast_pops_.load(std::memory_order_relaxed);
+    s.futile_wakeups = futile_wakeups_.load(std::memory_order_relaxed);
+    s.notifies_skipped = notifies_skipped_.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
+  /// A deque entry: the message plus its arrival stamp. Stamps increase
+  /// monotonically in deque order; pop_match_for uses them to resume scans.
+  struct Queued {
+    Message msg;
+    std::uint64_t stamp = 0;
+  };
+
+  /// A blocked receiver's filter, registered while it waits so push can
+  /// decide whether anyone cares about a new envelope.
+  struct Waiter {
+    int source;
+    int tag;
+  };
+
   /// RAII instrumentation for one blocked receive: a mailbox:wait span in
   /// the trace plus a sample in the owner rank's wait histogram. Runs with
   /// the mailbox mutex held; the tracer/registry are leaf locks.
@@ -183,30 +337,232 @@ class Mailbox {
     std::int64_t start_;
   };
 
+  /// RAII for a locked consumer section: sets the ring's consumer-lock bit
+  /// and drains the ring into the deque, so the deque shows every delivered
+  /// message and fast pops cannot race the scan. On exit the bit is cleared
+  /// iff the deque is empty (the bit's steady-state meaning: "an older
+  /// message is parked outside the ring"). pause()/resume() bracket condvar
+  /// waits so fast pops keep flowing while this thread sleeps.
+  class SlowSection {
+   public:
+    explicit SlowSection(const Mailbox& mb) : mb_(mb) { mb_.slow_begin_locked(); }
+    SlowSection(const SlowSection&) = delete;
+    SlowSection& operator=(const SlowSection&) = delete;
+    ~SlowSection() { mb_.slow_end_locked(); }
+    void pause() { mb_.slow_end_locked(); }
+    void resume() { mb_.slow_begin_locked(); }
+
+   private:
+    const Mailbox& mb_;
+  };
+
+  /// RAII registration of a blocked receiver's filter. Construction issues
+  /// the fence that pairs with the one in push(): after it, either the
+  /// rescan sees every lock-free publication, or the publisher sees the
+  /// incremented waiter count and notifies.
+  class WaiterScope {
+   public:
+    WaiterScope(Mailbox& mb, Waiter* w) : mb_(mb), w_(w) {
+      mb_.waiters_.push_back(w_);
+      mb_.waiter_count_.fetch_add(1, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+    }
+    WaiterScope(const WaiterScope&) = delete;
+    WaiterScope& operator=(const WaiterScope&) = delete;
+    ~WaiterScope() {
+      mb_.waiters_.erase(
+          std::find(mb_.waiters_.begin(), mb_.waiters_.end(), w_));
+      mb_.waiter_count_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+
+   private:
+    Mailbox& mb_;
+    Waiter* w_;
+  };
+
   static bool matches(const Message& m, int source, int tag) noexcept {
     return (source == kAnySource || m.source == source) &&
            (tag == kAnyTag || m.tag == tag);
   }
 
-  Message take_locked(std::deque<Message>::iterator it) {
-    Message m = std::move(*it);
+  void push_slow(Message m, int source, int tag) {
+    bool matched = false;
+    {
+      std::lock_guard lock(mutex_);
+      check::RunChecker* check = check_.load(std::memory_order_relaxed);
+      if (check != nullptr) check->on_push(owner_, m);
+      slow_pushes_.fetch_add(1, std::memory_order_relaxed);
+      // Keep the ring the primary channel whenever it has room: a new
+      // message is the globally newest, so ring entries stay newer than
+      // every deque entry (the fast-path FIFO invariant) regardless of
+      // the deque's state.
+      if (!(fast_path_.load(std::memory_order_relaxed) && ring_.try_push(m))) {
+        // Ring full or fast path off: spill the ring into the deque first
+        // so arrival order is preserved. A drain stops early at a cell
+        // whose producer has claimed a slot but not yet published; if `m`
+        // were appended to the deque then, the published ring entries
+        // behind that gap — all OLDER than `m` — would deliver after it.
+        // So either re-enter the ring (where `m` is the newest entry by
+        // claim order) or wait the publisher out and drain the ring dry:
+        // the publisher is lock-free, never blocks on this mutex, and a
+        // yield gives it a core even on single-CPU hosts.
+        ring_.set_consumer_lock(true);
+        for (;;) {
+          drain_ring_locked();
+          if (fast_path_.load(std::memory_order_relaxed) && ring_.try_push(m)) {
+            break;  // drained slots made room; rides the ring, behind the deque
+          }
+          if (ring_.approx_size() == 0) {
+            queue_.push_back(Queued{std::move(m), next_stamp_++});
+            break;
+          }
+          std::this_thread::yield();  // head is mid-publish
+        }
+        // While the deque is non-empty the consumer-lock bit stays set;
+        // the next locked consumer clears it once the deque drains.
+        if (queue_.empty()) ring_.set_consumer_lock(false);
+      }
+      matched = waiter_count_.load(std::memory_order_relaxed) != 0 &&
+                any_waiter_matches_locked(source, tag);
+    }
+    // Deliberately outside the critical section: notifying under the mutex
+    // would wake receivers straight into a lock they cannot take (one
+    // futile context switch per push). Safe because a Mailbox always
+    // outlives its senders — World joins every rank thread before the
+    // mailboxes die. Contrast Barrier::arrive_and_wait, whose notify must
+    // stay inside (see world.hpp).
+    if (matched) {
+      cv_.notify_all();
+    } else {
+      notifies_skipped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Message pop_slow_blocking(int source, int tag) {
+    std::unique_lock lock(mutex_);
+    SlowSection slow(*this);
+    if (auto m = pop_locked(source, tag)) return std::move(*m);
+    // Only receives that actually block are recorded: the scan above
+    // stays untouched, and the trace shows genuine waits, not every pop.
+    // Destroyed on every exit path below, including the deadlock-abort
+    // throw — an aborted wait still leaves its span in the flight recorder.
+    const BlockedWait wait{owner_};
+    Waiter waiter{source, tag};
+    const WaiterScope scope(*this, &waiter);
+    // Rescan after publishing the registration: this is the receiving half
+    // of the Dekker handshake with push() and closes the window where a
+    // lock-free publication saw no waiters.
+    drain_ring_locked();
+    if (auto m = pop_locked(source, tag)) return std::move(*m);
+    check::RunChecker* check = check_.load(std::memory_order_relaxed);
+    if (check == nullptr) {
+      while (true) {
+        slow.pause();
+        cv_.wait(lock);
+        slow.resume();
+        if (auto m = pop_locked(source, tag)) return std::move(*m);
+        futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (check->aborted()) check->throw_abort();
+    const std::uint64_t ticket =
+        check->begin_recv_wait(owner_, source, tag, this);
+    while (true) {
+      slow.pause();
+      const auto status = cv_.wait_for(lock, check->poll_interval());
+      slow.resume();
+      if (auto m = pop_locked(source, tag)) {
+        check->end_recv_wait(ticket);
+        return std::move(*m);
+      }
+      if (status == std::cv_status::no_timeout) {
+        futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (check->aborted()) {
+        check->end_recv_wait(ticket);
+        check->throw_abort();
+      }
+    }
+  }
+
+  /// Caller holds mutex_. Sets the consumer-lock bit and moves every
+  /// published ring entry to the back of the deque, stamping arrivals.
+  void slow_begin_locked() const {
+    ring_.set_consumer_lock(true);
+    drain_ring_locked();
+  }
+
+  /// Caller holds mutex_. Clears the consumer-lock bit iff no message is
+  /// parked in the deque (the fast-path FIFO precondition).
+  void slow_end_locked() const {
+    if (queue_.empty()) ring_.set_consumer_lock(false);
+  }
+
+  /// Caller holds mutex_ with the consumer-lock bit set.
+  void drain_ring_locked() const {
+    Message m;
+    while (ring_.pop_head_locked(m)) {
+      queue_.push_back(Queued{std::move(m), next_stamp_++});
+    }
+  }
+
+  bool any_waiter_matches_locked(int source, int tag) const {
+    for (const Waiter* w : waiters_) {
+      if ((w->source == kAnySource || w->source == source) &&
+          (w->tag == kAnyTag || w->tag == tag)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Envelope-targeted wakeup from a lock-free push: takes the mutex only
+  /// to read the waiter registry (push itself stayed lock-free; a waiter
+  /// existing means some receiver is about to sleep anyway).
+  void notify_matching(int source, int tag) {
+    bool matched = false;
+    {
+      std::lock_guard lock(mutex_);
+      matched = any_waiter_matches_locked(source, tag);
+    }
+    if (matched) {
+      cv_.notify_all();
+    } else {
+      notifies_skipped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Message take_locked(std::deque<Queued>::iterator it) {
+    Message m = std::move(it->msg);
     queue_.erase(it);
-    if (check_ != nullptr) check_->on_pop(owner_, m);
+    check::RunChecker* check = check_.load(std::memory_order_relaxed);
+    if (check != nullptr) check->on_pop(owner_, m);
     return m;
   }
 
   std::optional<Message> pop_locked(int source, int tag) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (matches(*it, source, tag)) return take_locked(it);
+      if (matches(it->msg, source, tag)) return take_locked(it);
     }
     return std::nullopt;
   }
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
-  check::RunChecker* check_ = nullptr;
+  mutable std::deque<Queued> queue_;          // guarded by mutex_
+  mutable std::uint64_t next_stamp_ = 1;      // guarded by mutex_
+  mutable MpmcMessageRing ring_{kRingCapacity};
+  std::vector<Waiter*> waiters_;              // guarded by mutex_
+  std::atomic<int> waiter_count_{0};
+  std::atomic<bool> fast_path_{true};
+  std::atomic<check::RunChecker*> check_{nullptr};
   int owner_ = -1;
+
+  std::atomic<std::uint64_t> fast_pushes_{0};
+  std::atomic<std::uint64_t> slow_pushes_{0};
+  std::atomic<std::uint64_t> fast_pops_{0};
+  std::atomic<std::uint64_t> futile_wakeups_{0};
+  std::atomic<std::uint64_t> notifies_skipped_{0};
 };
 
 }  // namespace reptile::rtm

@@ -5,11 +5,26 @@
 // threads inside one process, and a message is an owned byte buffer tagged
 // with its source rank and a user tag, matching MPI's (source, tag)
 // selection model including ANY_SOURCE / ANY_TAG wildcards.
+//
+// Payload ownership (DESIGN.md §7): a payload is either heap-backed (a
+// plain vector, the legacy path) or a chunk of a per-rank PayloadArena
+// slab. Arena payloads are built in place at the send site — the batched
+// lookup wire format is encoded directly into the slab — and the Payload
+// handle passes OWNERSHIP through the mailbox instead of copying bytes.
+// Slabs are recycled: the last Payload released from a retired slab
+// returns it to the arena's free list, so steady-state traffic allocates
+// no new memory at all. Lifetime contract: an arena payload borrows slab
+// memory owned by the sending rank's arena, so a Message must never
+// outlive the World that carried it (runtime messages are consumed during
+// the run, which the rtm-check leak audit enforces).
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -19,6 +34,245 @@ namespace reptile::rtm {
 inline constexpr int kAnySource = -1;
 /// Wildcard tag for receive/probe matching (MPI_ANY_TAG).
 inline constexpr int kAnyTag = -1;
+
+class PayloadArena;
+
+namespace detail {
+
+/// One arena slab: a fixed block of payload bytes plus the bookkeeping
+/// that decides when the block can be recycled. `used` is guarded by the
+/// owning arena's mutex; `live` counts outstanding Payload handles and is
+/// decremented lock-free on release (receivers free payloads from their
+/// own threads).
+struct ArenaSlab {
+  PayloadArena* arena = nullptr;
+  std::atomic<std::uint32_t> live{0};
+  /// Set (under the arena mutex) when the slab stops being the bump
+  /// target; the release that drops `live` to zero then recycles it.
+  std::atomic<bool> retired{false};
+  std::size_t used = 0;
+  std::unique_ptr<std::byte[]> bytes;
+};
+
+void release_slab(ArenaSlab* slab) noexcept;
+
+}  // namespace detail
+
+/// Owned message payload: heap-backed or a borrowed arena slab chunk.
+/// Move transfers ownership; copy (rare — chaos duplication) deep-copies
+/// to the heap so the duplicate is self-contained.
+class Payload {
+ public:
+  Payload() = default;
+  ~Payload() { release(); }
+
+  Payload(Payload&& other) noexcept
+      : heap_(std::move(other.heap_)),
+        slab_(other.slab_),
+        data_(other.data_),
+        size_(other.size_) {
+    other.heap_.clear();
+    other.slab_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      release();
+      heap_ = std::move(other.heap_);
+      slab_ = other.slab_;
+      data_ = other.data_;
+      size_ = other.size_;
+      other.heap_.clear();
+      other.slab_ = nullptr;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  Payload(const Payload& other) { heap_.assign(other.data(), other.data() + other.size()); }
+
+  Payload& operator=(const Payload& other) {
+    if (this != &other) {
+      release();
+      heap_.assign(other.data(), other.data() + other.size());
+    }
+    return *this;
+  }
+
+  std::byte* data() noexcept { return slab_ != nullptr ? data_ : heap_.data(); }
+  const std::byte* data() const noexcept {
+    return slab_ != nullptr ? data_ : heap_.data();
+  }
+  std::size_t size() const noexcept {
+    return slab_ != nullptr ? size_ : heap_.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
+  /// True when the bytes live in an arena slab (tests / accounting).
+  bool arena_backed() const noexcept { return slab_ != nullptr; }
+
+  const std::byte* begin() const noexcept { return data(); }
+  const std::byte* end() const noexcept { return data() + size(); }
+
+  /// Shrinking trims in place on either backing (chaos truncation).
+  /// Growing an arena payload migrates it to the heap, preserving content.
+  void resize(std::size_t n) {
+    if (slab_ == nullptr) {
+      heap_.resize(n);
+      return;
+    }
+    if (n <= size_) {
+      size_ = n;
+      return;
+    }
+    heap_.assign(data_, data_ + size_);
+    heap_.resize(n);
+    release();
+  }
+
+  operator std::span<const std::byte>() const noexcept {  // NOLINT(google-explicit-constructor)
+    return {data(), size()};
+  }
+
+ private:
+  friend class PayloadArena;
+
+  void release() noexcept {
+    if (slab_ != nullptr) {
+      detail::release_slab(slab_);
+      slab_ = nullptr;
+    }
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  std::vector<std::byte> heap_;
+  detail::ArenaSlab* slab_ = nullptr;  ///< non-null: arena chunk [data_, size_)
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Per-rank slab allocator for wire payloads. allocate() bump-allocates
+/// from the current slab under a short mutex; releases are lock-free
+/// except the final release of a retired slab, which pushes it back to
+/// the free list. Oversize requests (> kSlabBytes) fall back to the heap
+/// and are counted. memory_bytes() is exact, CountTable-style: reserved
+/// slab bytes plus nothing hidden (heap payloads account to the Message).
+class PayloadArena {
+ public:
+  static constexpr std::size_t kSlabBytes = std::size_t{1} << 18;  // 256 KiB
+
+  PayloadArena() = default;
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+
+  /// Counters for obs gauges and tests.
+  struct Stats {
+    std::uint64_t slabs_allocated = 0;  ///< slabs ever created
+    std::uint64_t slabs_reused = 0;     ///< recycles off the free list
+    std::uint64_t oversize_allocs = 0;  ///< requests that fell back to heap
+  };
+
+  Payload allocate(std::size_t bytes) {
+    Payload p;
+    if (bytes == 0) return p;
+    if (bytes > kSlabBytes) {
+      oversize_allocs_.fetch_add(1, std::memory_order_relaxed);
+      p.heap_.resize(bytes);
+      return p;
+    }
+    // Bump offsets stay 16-aligned so payload starts are memcpy-friendly.
+    const std::size_t need = (bytes + 15) & ~std::size_t{15};
+    std::lock_guard lock(mutex_);
+    if (current_ == nullptr || current_->used + need > kSlabBytes) {
+      retire_current_locked();
+      if (!free_.empty()) {
+        current_ = free_.back();
+        free_.pop_back();
+        current_->used = 0;
+        slabs_reused_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        all_.push_back(std::make_unique<detail::ArenaSlab>());
+        current_ = all_.back().get();
+        current_->arena = this;
+        current_->bytes = std::make_unique<std::byte[]>(kSlabBytes);
+        slabs_allocated_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    p.slab_ = current_;
+    p.data_ = current_->bytes.get() + current_->used;
+    p.size_ = bytes;
+    current_->used += need;
+    current_->live.fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+
+  /// Exact reserved footprint: every slab ever created, at full size.
+  std::size_t memory_bytes() const {
+    std::lock_guard lock(mutex_);
+    return all_.size() * kSlabBytes;
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.slabs_allocated = slabs_allocated_.load(std::memory_order_relaxed);
+    s.slabs_reused = slabs_reused_.load(std::memory_order_relaxed);
+    s.oversize_allocs = oversize_allocs_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Slabs currently waiting on the free list (tests: proves reuse).
+  std::size_t free_slabs() const {
+    std::lock_guard lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  friend void detail::release_slab(detail::ArenaSlab* slab) noexcept;
+
+  /// Caller holds mutex_. Marks the bump target retired; if no payload is
+  /// outstanding the slab goes straight back to the free list (otherwise
+  /// the final release_slab recycles it).
+  void retire_current_locked() {
+    if (current_ == nullptr) return;
+    current_->retired.store(true, std::memory_order_seq_cst);
+    if (current_->live.load(std::memory_order_seq_cst) == 0) {
+      current_->retired.store(false, std::memory_order_relaxed);
+      current_->used = 0;
+      free_.push_back(current_);
+    }
+    current_ = nullptr;
+  }
+
+  /// Lock-free decrement; the mutex is taken only by the release that
+  /// drops a retired slab's count to zero. All recycling decisions happen
+  /// under the mutex, so retire_current_locked and a racing final release
+  /// can never both push the slab.
+  void release(detail::ArenaSlab* slab) noexcept {
+    if (slab->live.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    std::lock_guard lock(mutex_);
+    if (slab->retired.load(std::memory_order_relaxed) &&
+        slab->live.load(std::memory_order_relaxed) == 0) {
+      slab->retired.store(false, std::memory_order_relaxed);
+      slab->used = 0;
+      free_.push_back(slab);
+    }
+  }
+
+  mutable std::mutex mutex_;
+  detail::ArenaSlab* current_ = nullptr;
+  std::vector<std::unique_ptr<detail::ArenaSlab>> all_;
+  std::vector<detail::ArenaSlab*> free_;
+  std::atomic<std::uint64_t> slabs_allocated_{0};
+  std::atomic<std::uint64_t> slabs_reused_{0};
+  std::atomic<std::uint64_t> oversize_allocs_{0};
+};
+
+namespace detail {
+inline void release_slab(ArenaSlab* slab) noexcept { slab->arena->release(slab); }
+}  // namespace detail
 
 /// Envelope information returned by probe operations (MPI_Status analog).
 struct MessageInfo {
@@ -34,11 +288,13 @@ struct Message {
   /// Per-(source, tag) delivery sequence number, stamped by the rtm-check
   /// mailbox audit on push (see rtm/check/check.hpp); 0 when unchecked.
   std::uint64_t seq = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
 
   MessageInfo info() const noexcept { return {source, tag, payload.size()}; }
 
-  /// Builds a message from an array of trivially copyable elements.
+  /// Builds a heap-backed message from an array of trivially copyable
+  /// elements. Send sites on the hot path build arena payloads instead
+  /// (Comm::make_payload / Comm::send_payload).
   template <class T>
   static Message of(int source, int tag, std::span<const T> items) {
     static_assert(std::is_trivially_copyable_v<T>);

@@ -1,0 +1,197 @@
+#pragma once
+// Bounded lock-free MPMC ring: the mailbox fast path.
+//
+// Layout follows the classic sequence-stamped-cell bounded queue: each cell
+// carries an atomic sequence number that encodes whose turn the cell is.
+// For enqueue position `pos`, `seq == pos` means the cell is free for the
+// producer claiming `pos`; after publication `seq == pos + 1` signals the
+// consumer claiming `pos`; the consumer finally stores `seq = pos +
+// capacity` handing the cell to the producer one lap later. Claims go
+// through compare-exchange on two monotonically increasing 64-bit
+// positions, so there is no ABA window (positions never repeat).
+//
+// Two rtm-specific extensions (memory-ordering argument in DESIGN.md §7):
+//
+// 1. Envelope word. Each cell also carries an atomic (source, tag) word,
+//    written by the producer BEFORE the sequence release-store. A consumer
+//    that observed `seq == pos + 1` with an acquire load may therefore read
+//    the envelope (and, after winning the claim CAS, the message) without
+//    a data race. This is what lets `try_pop_exact` peek at the head's
+//    envelope and refuse non-matching heads without consuming them —
+//    selective receive on a lock-free queue.
+//
+// 2. Consumer-lock bit. The top bit of `dequeue_pos_` is reserved as a
+//    flag owned by the mailbox mutex: it is set while a locked consumer
+//    drains or scans, and stays set as long as the mailbox's overflow
+//    deque is non-empty. The fast pop's claim CAS uses an expected value
+//    with the bit CLEAR, so a successful claim atomically proves both
+//    "no locked consumer is mid-drain" and "no older message is parked in
+//    the deque" — the claimed head is the globally oldest message for its
+//    stream, preserving the per-(source, tag) FIFO guarantee. Producers
+//    never touch `dequeue_pos_`, so the bit costs them nothing.
+//
+// The ring stores whole Message values. Non-atomic message reads/writes are
+// ordered by the seq acquire/release pairs above; every claim is finalized
+// by a successful CAS on the position counter, so exactly one thread ever
+// touches a cell's message between two sequence transitions.
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "rtm/message.hpp"
+
+namespace reptile::rtm {
+
+/// Packs a message envelope into one atomic word so consumers can inspect
+/// a cell's (source, tag) without touching the non-atomic Message. Works
+/// for wildcard values too (-1 maps to 0xFFFFFFFF in its half).
+constexpr std::uint64_t pack_envelope(int source, int tag) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(source)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
+}
+
+class MpmcMessageRing {
+ public:
+  enum class PopResult {
+    kOk,        ///< head matched and was claimed
+    kEmpty,     ///< ring empty (or head not yet published)
+    kMismatch,  ///< head published but its envelope differs
+    kLocked,    ///< consumer-lock bit set: take the mailbox mutex instead
+  };
+
+  /// Capacity must be a power of two, at least 2.
+  explicit MpmcMessageRing(std::size_t capacity)
+      : capacity_(capacity),
+        mask_(capacity - 1),
+        cells_(std::make_unique<Cell[]>(capacity)) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcMessageRing(const MpmcMessageRing&) = delete;
+  MpmcMessageRing& operator=(const MpmcMessageRing&) = delete;
+
+  /// Lock-free push. Moves from `m` only on success; returns false when the
+  /// ring is full (caller falls back to the mailbox's locked overflow path).
+  bool try_push(Message& m) {
+    Cell* cell = nullptr;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // one full lap behind: ring is full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->envelope.store(pack_envelope(m.source, m.tag),
+                         std::memory_order_relaxed);
+    cell->msg = std::move(m);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Lock-free pop of the ring HEAD, but only when the head's envelope
+  /// equals `envelope` exactly (no wildcards — those take the slow path).
+  /// kMismatch never consumes; the caller decides whether to fall back to
+  /// the locked path. A stale envelope read (cell recycled between the seq
+  /// load and the envelope load) can only produce a spurious kMismatch,
+  /// never a wrong claim: the claim CAS on `dequeue_pos_` re-validates the
+  /// generation.
+  PopResult try_pop_exact(std::uint64_t envelope, Message& out) {
+    std::uint64_t pos = dequeue_pos_.load(std::memory_order_acquire);
+    for (;;) {
+      if ((pos & kConsumerLock) != 0) return PopResult::kLocked;
+      Cell* cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+      if (dif < 0) return PopResult::kEmpty;  // head not (yet) published
+      if (dif > 0) {  // lost a race with another consumer; re-read the head
+        pos = dequeue_pos_.load(std::memory_order_acquire);
+        continue;
+      }
+      if (cell->envelope.load(std::memory_order_relaxed) != envelope) {
+        return PopResult::kMismatch;
+      }
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_acq_rel)) {
+        out = std::move(cell->msg);
+        cell->msg = Message();  // free payload promptly (arena slab reuse)
+        cell->seq.store(pos + capacity_, std::memory_order_release);
+        return PopResult::kOk;
+      }
+      // CAS failure reloaded `pos` (possibly with the lock bit); loop.
+    }
+  }
+
+  /// Sets / clears the consumer-lock bit. Must only be called while holding
+  /// the owning mailbox's mutex; atomic RMW because fast pops race with it.
+  void set_consumer_lock(bool on) {
+    if (on) {
+      dequeue_pos_.fetch_or(kConsumerLock, std::memory_order_acq_rel);
+    } else {
+      dequeue_pos_.fetch_and(~kConsumerLock, std::memory_order_acq_rel);
+    }
+  }
+
+  /// Pops the head regardless of envelope. Caller must hold the mailbox
+  /// mutex AND have the consumer-lock bit set (which defeats every fast-pop
+  /// CAS, making this thread the only consumer). Returns false when the
+  /// ring is empty / the head is not yet published.
+  bool pop_head_locked(Message& out) {
+    const std::uint64_t pos =
+        dequeue_pos_.load(std::memory_order_relaxed) & ~kConsumerLock;
+    Cell* cell = &cells_[pos & mask_];
+    const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) !=
+        0) {
+      return false;
+    }
+    out = std::move(cell->msg);
+    cell->msg = Message();
+    cell->seq.store(pos + capacity_, std::memory_order_release);
+    dequeue_pos_.store((pos + 1) | kConsumerLock, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (exact when quiescent); never counts the lock bit.
+  std::size_t approx_size() const {
+    const std::uint64_t tail = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::uint64_t head =
+        dequeue_pos_.load(std::memory_order_relaxed) & ~kConsumerLock;
+    return tail > head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  static constexpr std::uint64_t kConsumerLock = std::uint64_t{1} << 63;
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> envelope{0};
+    Message msg;
+  };
+
+  const std::size_t capacity_;
+  const std::uint64_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+}  // namespace reptile::rtm

@@ -76,10 +76,16 @@ class World {
  public:
   explicit World(Topology topo)
       : topo_(topo),
+        arenas_(static_cast<std::size_t>(topo.nranks)),
         mailboxes_(static_cast<std::size_t>(topo.nranks)),
         barrier_(topo.nranks),
         staging_(static_cast<std::size_t>(topo.nranks), nullptr),
-        traffic_(topo) {}
+        traffic_(topo) {
+    for (int r = 0; r < topo.nranks; ++r) {
+      mailboxes_[static_cast<std::size_t>(r)].set_owner(r);
+      arenas_[static_cast<std::size_t>(r)] = std::make_unique<PayloadArena>();
+    }
+  }
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -89,6 +95,19 @@ class World {
 
   Mailbox& mailbox(int rank) {
     return mailboxes_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Rank-local slab allocator for outgoing wire payloads (zero-copy
+  /// sends build messages in place here; see rtm/message.hpp).
+  PayloadArena& arena(int rank) {
+    return *arenas_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Enables/disables the lock-free mailbox fast path on every rank
+  /// (benchmark A/B and chaos path-identity tests). Call before spawning
+  /// rank threads.
+  void set_mailbox_fast_path(bool enabled) {
+    for (Mailbox& mb : mailboxes_) mb.set_fast_path(enabled);
   }
 
   Barrier& barrier() noexcept { return barrier_; }
@@ -131,6 +150,10 @@ class World {
 
  private:
   Topology topo_;
+  // Declared before mailboxes_ so the arenas are destroyed AFTER them:
+  // undelivered messages dying with their mailbox may still release
+  // arena-backed payload slabs.
+  std::vector<std::unique_ptr<PayloadArena>> arenas_;
   std::vector<Mailbox> mailboxes_;
   Barrier barrier_;
   std::vector<const void*> staging_;

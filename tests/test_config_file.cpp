@@ -164,6 +164,7 @@ TEST(ConfigFile, RoundTripsFullKeySet) {
   config.heuristics.partial_replication_group = 4;
   config.heuristics.bloom_construction = true;
   config.rtm_check = false;
+  config.mailbox_fast_path = false;
   config.chaos.seed = 12345;
   config.chaos.max_delay_us = 150;
   config.chaos.drop_rate = 0.25;
@@ -211,6 +212,7 @@ TEST(ConfigFile, RoundTripsFullKeySet) {
   EXPECT_EQ(back.heuristics.bloom_construction,
             config.heuristics.bloom_construction);
   EXPECT_EQ(back.rtm_check, config.rtm_check);
+  EXPECT_EQ(back.mailbox_fast_path, config.mailbox_fast_path);
   EXPECT_EQ(back.chaos.seed, config.chaos.seed);
   EXPECT_EQ(back.chaos.max_delay_us, config.chaos.max_delay_us);
   EXPECT_DOUBLE_EQ(back.chaos.drop_rate, config.chaos.drop_rate);

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the rtm runtime baseline (BENCH_rtm.json).
+
+Compares a freshly measured BENCH_rtm.json against the checked-in baseline
+in bench/baselines/ and fails CI when the lock-free mailbox fast path stops
+paying for itself. Three classes of checks:
+
+  hard floors    Invariants of the optimization itself, independent of host
+                 speed: the ping-pong reduction must stay >= 25% (the PR's
+                 acceptance bar), every ping-pong push must take the ring,
+                 and the kill switch must still force the locked path.
+
+  exact matches  Workload shape is deterministic (message and byte counts
+                 from the traffic matrix, lookup counts). Any drift means an
+                 accounting or protocol regression, not noise.
+
+  tolerance      Reduction percentages are compared against the baseline
+                 with a band wide enough for shared-runner noise. Absolute
+                 ns/msg numbers are host-dependent and only warn.
+
+Stdlib only; exit code 0 = pass, 1 = regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Acceptance bar from the PR that introduced the fast path: per-message
+# ping-pong cost must be at least this much cheaper than the locked path.
+HARD_MIN_PINGPONG_REDUCTION_PCT = 25.0
+
+# How far a reduction ratio may fall below the checked-in baseline before
+# the gate fails. The two-thread ping-pong is structurally robust (wide
+# locked-vs-fast gap); the single-thread loop is noisier on shared runners.
+PINGPONG_REDUCTION_BAND_PCT = 15.0
+LOOP_REDUCTION_BAND_PCT = 25.0
+
+EXACT_KEYS = [
+    ("pingpong", "rounds"),
+    ("pingpong", "msgs"),
+    ("pingpong", "bytes"),
+    ("lookup", "lookups"),
+    ("lookup", "msgs"),
+    ("lookup", "bytes"),
+]
+
+WARN_KEYS = [
+    ("mailbox_loop", "locked_ns_per_msg"),
+    ("mailbox_loop", "fast_ns_per_msg"),
+    ("pingpong", "locked_ns_per_msg"),
+    ("pingpong", "fast_ns_per_msg"),
+    ("lookup_rtt_us", "p50_us"),
+    ("lookup_rtt_us", "p99_us"),
+]
+
+
+def get(doc: dict, section: str, key: str):
+    try:
+        return doc[section][key]
+    except KeyError:
+        return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True,
+                        help="BENCH_rtm.json produced by this run")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in bench/baselines/BENCH_rtm.json")
+    args = parser.parse_args()
+
+    with open(args.current, encoding="utf-8") as f:
+        cur = json.load(f)
+    with open(args.baseline, encoding="utf-8") as f:
+        base = json.load(f)
+
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    if cur.get("schema") != base.get("schema"):
+        failures.append(
+            f"schema mismatch: current {cur.get('schema')} vs "
+            f"baseline {base.get('schema')}")
+
+    # -- hard floors ------------------------------------------------------
+    pp_red = get(cur, "pingpong", "reduction_pct")
+    if pp_red is None or pp_red < HARD_MIN_PINGPONG_REDUCTION_PCT:
+        failures.append(
+            f"pingpong.reduction_pct = {pp_red} is below the hard floor "
+            f"{HARD_MIN_PINGPONG_REDUCTION_PCT}")
+
+    rounds = get(cur, "pingpong", "rounds")
+    fast_pushes = get(cur, "pingpong", "fast_pushes")
+    if fast_pushes != rounds:
+        failures.append(
+            f"pingpong.fast_pushes = {fast_pushes}, expected every push "
+            f"({rounds}) to take the ring fast path")
+    locked_fast = get(cur, "pingpong", "locked_run_fast_pushes")
+    if locked_fast != 0:
+        failures.append(
+            f"pingpong.locked_run_fast_pushes = {locked_fast}, the "
+            f"mailbox_fast_path=false kill switch leaked ring pushes")
+
+    # -- exact workload shape --------------------------------------------
+    for section, key in EXACT_KEYS:
+        c, b = get(cur, section, key), get(base, section, key)
+        if c != b:
+            failures.append(
+                f"{section}.{key} = {c} differs from baseline {b} "
+                f"(workload is deterministic; this is an accounting or "
+                f"protocol change, not noise)")
+
+    # -- tolerance bands vs baseline -------------------------------------
+    for section, band in (("pingpong", PINGPONG_REDUCTION_BAND_PCT),
+                          ("mailbox_loop", LOOP_REDUCTION_BAND_PCT)):
+        c = get(cur, section, "reduction_pct")
+        b = get(base, section, "reduction_pct")
+        if c is None or b is None:
+            failures.append(f"{section}.reduction_pct missing")
+        elif c < b - band:
+            failures.append(
+                f"{section}.reduction_pct = {c:.1f} fell more than "
+                f"{band:.0f} points below baseline {b:.1f}")
+
+    # -- informational drift ---------------------------------------------
+    for section, key in WARN_KEYS:
+        c, b = get(cur, section, key), get(base, section, key)
+        if c is None or b is None or b == 0:
+            continue
+        ratio = c / b
+        if ratio > 2.0 or ratio < 0.5:
+            warnings.append(
+                f"{section}.{key} = {c} vs baseline {b} "
+                f"({ratio:.2f}x; host-dependent, not gated)")
+
+    print(f"bench_gate: current={args.current} baseline={args.baseline}")
+    print(f"  pingpong reduction : {pp_red:.1f}% "
+          f"(baseline {get(base, 'pingpong', 'reduction_pct'):.1f}%, "
+          f"hard floor {HARD_MIN_PINGPONG_REDUCTION_PCT:.0f}%)")
+    loop_red = get(cur, "mailbox_loop", "reduction_pct")
+    if loop_red is not None:
+        print(f"  loop reduction     : {loop_red:.1f}% "
+              f"(baseline {get(base, 'mailbox_loop', 'reduction_pct'):.1f}%)")
+    for w in warnings:
+        print(f"  WARN: {w}")
+    if failures:
+        for f_ in failures:
+            print(f"  FAIL: {f_}")
+        print(f"bench_gate: {len(failures)} regression(s)")
+        return 1
+    print("bench_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
