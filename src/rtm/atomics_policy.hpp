@@ -1,0 +1,64 @@
+#pragma once
+// Atomics policy seam for the rtm concurrency kernel.
+//
+// The lock-free structures (rtm/ring.hpp, rtm/mailbox_core.hpp, the slab
+// refcount gate in rtm/message.hpp) are templated on a Policy that names
+// their atomic cells, their plain (non-atomic but cross-thread) cells, and
+// their fence/yield primitives. Production code instantiates them with
+// StdAtomics below — a pure type alias onto std::atomic with zero runtime
+// cost — while the model checker (rtm/model/) instantiates the SAME
+// templates with instrumented types that track per-location modification
+// orders and per-thread vector clocks, letting small configurations be
+// verified over every interleaving and over simulated weak-memory effects
+// (DESIGN.md §8).
+//
+// Policy requirements:
+//   template <class T> Atomic  — std::atomic-compatible: load/store/
+//                                compare_exchange_*/fetch_* taking
+//                                std::memory_order arguments
+//   template <class T> Plain   — a non-atomic cell; accessed only through
+//                                the take()/put() helpers below so the
+//                                model can interpose happens-before race
+//                                detection on plain fields
+//   static void fence(std::memory_order)
+//   static void yield()        — spin-loop backoff point; the model turns
+//                                this into "block until another thread
+//                                performs a store", which keeps bounded
+//                                exploration finite
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace reptile::rtm {
+
+/// Moves the value out of a plain cell and resets the cell to a
+/// default-constructed value. The model overload (rtm/model/atomic.hpp)
+/// records a write access for happens-before race checking.
+template <class T>
+[[nodiscard]] T take(T& cell) {
+  T out = std::move(cell);
+  cell = T();
+  return out;
+}
+
+/// Moves a value into a plain cell (model overload records a write).
+template <class T>
+void put(T& cell, T value) {
+  cell = std::move(value);
+}
+
+/// The production policy: plain std::atomic, plain T, real fences.
+struct StdAtomics {
+  template <class T>
+  using Atomic = std::atomic<T>;
+
+  template <class T>
+  using Plain = T;
+
+  static void fence(std::memory_order order) { std::atomic_thread_fence(order); }
+
+  static void yield() { std::this_thread::yield(); }
+};
+
+}  // namespace reptile::rtm

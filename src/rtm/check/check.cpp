@@ -5,6 +5,7 @@
 
 #include "obs/trace.hpp"
 #include "rtm/chaos.hpp"
+#include "rtm/stat_counter.hpp"
 #include "rtm/mailbox.hpp"
 #include "rtm/world.hpp"
 
@@ -181,9 +182,8 @@ void RunChecker::on_push(int rank, Message& m) {
         streams_[static_cast<std::size_t>(rank)][stream_key(m.source, m.tag)];
     m.seq = st.pushed++;
   }
-  counters_[static_cast<std::size_t>(rank)].delivered.fetch_add(
-      1, std::memory_order_relaxed);
-  deliveries_.fetch_add(1, std::memory_order_relaxed);
+  stat_add(counters_[static_cast<std::size_t>(rank)].delivered, 1);
+  stat_add(deliveries_, 1);
 }
 
 void RunChecker::on_pop(int rank, const Message& m) {
@@ -191,8 +191,7 @@ void RunChecker::on_pop(int rank, const Message& m) {
     Stream& st =
         streams_[static_cast<std::size_t>(rank)][stream_key(m.source, m.tag)];
     if (m.seq != st.popped) {
-      counters_[static_cast<std::size_t>(rank)].fifo_violations.fetch_add(
-          1, std::memory_order_relaxed);
+      stat_add(counters_[static_cast<std::size_t>(rank)].fifo_violations, 1);
       std::ostringstream note;
       note << "rank " << rank << ": FIFO overtaking on stream ("
            << envelope(m.source, m.tag) << "): popped seq " << m.seq
@@ -202,9 +201,8 @@ void RunChecker::on_pop(int rank, const Message& m) {
     }
     ++st.popped;
   }
-  counters_[static_cast<std::size_t>(rank)].consumed.fetch_add(
-      1, std::memory_order_relaxed);
-  consumes_.fetch_add(1, std::memory_order_relaxed);
+  stat_add(counters_[static_cast<std::size_t>(rank)].consumed, 1);
+  stat_add(consumes_, 1);
 }
 
 void RunChecker::note_locked(std::string text) {
@@ -231,8 +229,7 @@ std::uint64_t RunChecker::begin_recv_wait(int rank, int source, int tag,
   t.state = ThreadState::kRecvWait;
   t.since = w.since;
   t.ticket = ticket;
-  counters_[static_cast<std::size_t>(rank)].waits.fetch_add(
-      1, std::memory_order_relaxed);
+  stat_add(counters_[static_cast<std::size_t>(rank)].waits, 1);
   return ticket;
 }
 
@@ -249,7 +246,7 @@ void RunChecker::end_recv_wait(std::uint64_t ticket) {
 void RunChecker::on_barrier_arrive(int rank, std::uint64_t gen,
                                    bool released) {
   std::lock_guard lock(mutex_);
-  arrivals_.fetch_add(1, std::memory_order_relaxed);
+  stat_add(arrivals_, 1);
   if (gen != barrier_gen_) {
     barrier_gen_ = gen;
     barrier_untracked_ = false;
@@ -280,8 +277,7 @@ std::uint64_t RunChecker::begin_barrier_wait(int rank, std::uint64_t gen) {
     t.state = ThreadState::kBarrierWait;
     t.since = w.since;
     t.ticket = ticket;
-    counters_[static_cast<std::size_t>(rank)].waits.fetch_add(
-        1, std::memory_order_relaxed);
+    stat_add(counters_[static_cast<std::size_t>(rank)].waits, 1);
   }
   return ticket;
 }
@@ -313,8 +309,7 @@ bool RunChecker::is_reply_tag(int tag) const noexcept {
 void RunChecker::on_send(int src, int dst, int tag,
                          std::span<const std::byte> payload) {
   if (!opts_.lint || opts_.tags.empty()) return;
-  counters_[static_cast<std::size_t>(src)].lint_checked.fetch_add(
-      1, std::memory_order_relaxed);
+  stat_add(counters_[static_cast<std::size_t>(src)].lint_checked, 1);
 
   const auto fail = [&](const std::string& what) {
     std::ostringstream out;
@@ -364,19 +359,16 @@ void RunChecker::on_send(int src, int dst, int tag,
       if (pending != ledger.pending.end()) {
         // Idempotent retransmission of a still-outstanding request: audit,
         // don't double-book the expected reply.
-        counters_[static_cast<std::size_t>(src)].retransmits.fetch_add(
-            1, std::memory_order_relaxed);
+        stat_add(counters_[static_cast<std::size_t>(src)].retransmits, 1);
         return;
       }
       if (ledger.answered.contains(seq)) {
         // Retransmission racing the (lost or stale) reply: the responder
         // will answer again, so the seq becomes outstanding once more.
-        counters_[static_cast<std::size_t>(src)].retransmits.fetch_add(
-            1, std::memory_order_relaxed);
+        stat_add(counters_[static_cast<std::size_t>(src)].retransmits, 1);
       } else if (ledger.dropped.erase(seq) != 0) {
         // Retransmission of a request whose previous copy was dropped.
-        counters_[static_cast<std::size_t>(src)].retransmits.fetch_add(
-            1, std::memory_order_relaxed);
+        stat_add(counters_[static_cast<std::size_t>(src)].retransmits, 1);
       }
       ledger.pending.push_back({seq, reply_bytes});
       return;
@@ -441,8 +433,7 @@ void RunChecker::on_send(int src, int dst, int tag,
     }
   }
   if (stale) {
-    counters_[static_cast<std::size_t>(src)].stale_reply_sends.fetch_add(
-        1, std::memory_order_relaxed);
+    stat_add(counters_[static_cast<std::size_t>(src)].stale_reply_sends, 1);
   }
   if (payload.size() != expected) {
     std::ostringstream what;
@@ -455,8 +446,7 @@ void RunChecker::on_send(int src, int dst, int tag,
 // --- chaos hooks ----------------------------------------------------------
 
 void RunChecker::on_chaos_drop(int dst, const Message& m) {
-  counters_[static_cast<std::size_t>(m.source)].chaos_dropped.fetch_add(
-      1, std::memory_order_relaxed);
+  stat_add(counters_[static_cast<std::size_t>(m.source)].chaos_dropped, 1);
   if (!opts_.lint || opts_.tags.empty()) return;
   const TagRule* rule = rule_for(m.tag);
   if (rule == nullptr || rule->dir != TagDir::kRequest ||
@@ -497,19 +487,19 @@ void RunChecker::on_chaos_drop(int dst, const Message& m) {
 }
 
 void RunChecker::on_chaos_duplicate(int /*dst*/, const Message& m) {
-  counters_[static_cast<std::size_t>(m.source)].chaos_duplicated.fetch_add(
-      1, std::memory_order_relaxed);
+  stat_add(counters_[static_cast<std::size_t>(m.source)].chaos_duplicated, 1);
 }
 
 void RunChecker::on_chaos_truncate(int /*dst*/, const Message& m) {
-  counters_[static_cast<std::size_t>(m.source)].chaos_truncated.fetch_add(
-      1, std::memory_order_relaxed);
+  stat_add(counters_[static_cast<std::size_t>(m.source)].chaos_truncated, 1);
 }
 
 void RunChecker::on_phase_boundary(int rank, std::size_t pending) {
   auto& counter =
       counters_[static_cast<std::size_t>(rank)].max_pending_barrier;
-  std::uint64_t seen = counter.load(std::memory_order_relaxed);
+  std::uint64_t seen = stat_read(counter);
+  // mo: relaxed max-CAS — still a statistic (see stat_counter.hpp); the
+  // loop needs atomicity only, not ordering.
   while (seen < pending && !counter.compare_exchange_weak(
                                seen, pending, std::memory_order_relaxed)) {
   }
@@ -521,6 +511,8 @@ void RunChecker::watchdog_main() {
   std::unique_lock lock(stop_mutex_);
   while (!stop_) {
     stop_cv_.wait_for(lock, poll_interval());
+    // mo: acquire pairs with the release store in abort(); observing
+    // `true` makes the abort_report_ write visible to this thread.
     if (stop_ || aborted_.load(std::memory_order_acquire)) return;
     lock.unlock();
     evaluate();
@@ -532,9 +524,9 @@ void RunChecker::evaluate() {
   using clock = std::chrono::steady_clock;
   const auto now = clock::now();
   const std::uint64_t before[3] = {
-      deliveries_.load(std::memory_order_relaxed),
-      consumes_.load(std::memory_order_relaxed),
-      arrivals_.load(std::memory_order_relaxed)};
+      stat_read(deliveries_),
+      stat_read(consumes_),
+      stat_read(arrivals_)};
 
   struct WaitCopy {
     WaitInfo w;
@@ -714,9 +706,9 @@ void RunChecker::evaluate() {
   std::sort(fingerprint.begin(), fingerprint.end());
 
   const std::uint64_t after[3] = {
-      deliveries_.load(std::memory_order_relaxed),
-      consumes_.load(std::memory_order_relaxed),
-      arrivals_.load(std::memory_order_relaxed)};
+      stat_read(deliveries_),
+      stat_read(consumes_),
+      stat_read(arrivals_)};
   if (after[0] != before[0] || after[1] != before[1] ||
       after[2] != before[2]) {
     // Progress raced our probes; this tick proves nothing.
@@ -848,6 +840,8 @@ void RunChecker::evaluate() {
   }
 
   abort_report_ = out.str();
+  // mo: release publishes abort_report_ to every acquire load of the flag
+  // (watchdog loop, RunChecker::aborted()).
   aborted_.store(true, std::memory_order_release);
   // Wake every blocked thread promptly: they poll `aborted()` on their
   // wait slices and unwind with DeadlockError carrying this report.
@@ -954,18 +948,18 @@ void RunChecker::finalize() {
 CheckSnapshot RunChecker::snapshot(int rank) const {
   const RankCounters& c = counters_[static_cast<std::size_t>(rank)];
   CheckSnapshot s = final_[static_cast<std::size_t>(rank)];
-  s.msgs_delivered = c.delivered.load(std::memory_order_relaxed);
-  s.msgs_consumed = c.consumed.load(std::memory_order_relaxed);
-  s.fifo_violations = c.fifo_violations.load(std::memory_order_relaxed);
-  s.lint_checked = c.lint_checked.load(std::memory_order_relaxed);
-  s.waits_registered = c.waits.load(std::memory_order_relaxed);
+  s.msgs_delivered = stat_read(c.delivered);
+  s.msgs_consumed = stat_read(c.consumed);
+  s.fifo_violations = stat_read(c.fifo_violations);
+  s.lint_checked = stat_read(c.lint_checked);
+  s.waits_registered = stat_read(c.waits);
   s.max_pending_at_barrier =
-      c.max_pending_barrier.load(std::memory_order_relaxed);
-  s.retransmits = c.retransmits.load(std::memory_order_relaxed);
-  s.stale_reply_sends = c.stale_reply_sends.load(std::memory_order_relaxed);
-  s.chaos_dropped = c.chaos_dropped.load(std::memory_order_relaxed);
-  s.chaos_duplicated = c.chaos_duplicated.load(std::memory_order_relaxed);
-  s.chaos_truncated = c.chaos_truncated.load(std::memory_order_relaxed);
+      stat_read(c.max_pending_barrier);
+  s.retransmits = stat_read(c.retransmits);
+  s.stale_reply_sends = stat_read(c.stale_reply_sends);
+  s.chaos_dropped = stat_read(c.chaos_dropped);
+  s.chaos_duplicated = stat_read(c.chaos_duplicated);
+  s.chaos_truncated = stat_read(c.chaos_truncated);
   return s;
 }
 

@@ -191,6 +191,8 @@ class RunChecker {
   /// True once the watchdog has diagnosed a deadlock; blocking waits poll
   /// this and unwind through throw_abort().
   bool aborted() const noexcept {
+    // mo: acquire pairs with the release store that publishes the abort
+    // report; a `true` here guarantees throw_abort() sees the full text.
     return aborted_.load(std::memory_order_acquire);
   }
 

@@ -208,17 +208,26 @@ class Comm {
   /// Collectively resets the completion counter (call before the phase).
   void reset_done() {
     barrier();
+    // mo: release so ranks that acquire the counter in all_done() also see
+    // any pre-phase state written before the reset; the surrounding
+    // barriers already order the reset itself against both phases.
     if (rank_ == 0) world_->done_count().store(0, std::memory_order_release);
     barrier();
   }
 
   /// Announces this rank's phase completion.
   void signal_done() {
+    // mo: acq_rel — release publishes this rank's final sends before its
+    // announcement; acquire chains earlier announcements so the last
+    // incrementer's view covers every rank's published work.
     world_->done_count().fetch_add(1, std::memory_order_acq_rel);
   }
 
   /// True when every rank has announced completion.
   bool all_done() const {
+    // mo: acquire pairs with signal_done's release: seeing the full count
+    // makes every rank's pre-announcement sends visible to the server
+    // loop that is about to stop draining.
     return world_->done_count().load(std::memory_order_acquire) ==
            world_->size();
   }

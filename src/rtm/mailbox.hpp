@@ -18,19 +18,19 @@
 //   per-stream sequence numbers.
 // - SLOW: the classic mutex/condvar deque. Wildcard matching, predicate
 //   receives (pop_match_for), probes, pending-state dumps, blocked waits,
-//   and ring overflow all take this path. Locked consumers first set the
-//   ring's consumer-lock bit and drain the ring into the deque, so the
-//   deque is always the OLDER half of the queue: every deque entry
-//   precedes every ring entry in arrival order. A fast pop's claim CAS
-//   only succeeds while the consumer-lock bit is clear, which implies the
-//   deque is empty — so the claimed ring head is the globally oldest
-//   message of its stream and per-stream FIFO holds across both paths.
+//   and ring overflow all take this path.
+//
+// The path mechanics — ring, overflow deque, consumer-lock discipline,
+// the waiter-count Dekker handshake against lost wakeups — live in
+// rtm/mailbox_core.hpp (BasicMailboxCore / WaiterGate), templated on an
+// atomics policy so the model checker (rtm/model/, DESIGN.md §8) can
+// explore their interleavings. This class binds them to the production
+// policy and adds the mutex, condvar, waiter registry, rtm-check hooks,
+// obs instrumentation and stats.
 //
 // Wakeups are targeted: blocked receivers register their (source, tag)
 // filter (wildcards for predicate receives) and push only notifies when
-// some registered filter matches the pushed envelope. A seq_cst fence
-// handshake between lock-free publication and waiter registration closes
-// the lost-wakeup window (argument in DESIGN.md §7).
+// some registered filter matches the pushed envelope.
 
 #include <algorithm>
 #include <atomic>
@@ -46,8 +46,10 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rtm/check/check.hpp"
+#include "rtm/mailbox_core.hpp"
 #include "rtm/message.hpp"
 #include "rtm/ring.hpp"
+#include "rtm/stat_counter.hpp"
 
 namespace reptile::rtm {
 
@@ -95,6 +97,9 @@ class Mailbox {
   static constexpr int kPopSpins = 32;
   static constexpr int kPopPauses = 4;
 
+  using Core = BasicMailboxCore<StdAtomics>;
+  using PopResult = Core::PopResult;
+
   /// Identifies the owning rank for obs instruments (wait histograms).
   /// Called by World's constructor before rank threads start.
   void set_owner(int rank) { owner_ = rank; }
@@ -105,6 +110,8 @@ class Mailbox {
   /// can still push while ~RunChecker detaches during World teardown.
   void set_check(check::RunChecker* check, int owner_rank) {
     std::lock_guard lock(mutex_);
+    // mo: release pairs with the acquire in push/try_pop/pop — a sender
+    // that sees the checker also sees it fully constructed.
     check_.store(check, std::memory_order_release);
     owner_ = owner_rank;
   }
@@ -118,6 +125,7 @@ class Mailbox {
       // Flush fast-path messages into the deque so they stay visible.
       const SlowSection slow(*this);
     }
+    // mo: relaxed — only toggled while the mailbox is otherwise idle.
     fast_path_.store(enabled, std::memory_order_relaxed);
   }
 
@@ -126,18 +134,20 @@ class Mailbox {
   void push(Message m) {
     const int source = m.source;
     const int tag = m.tag;
+    // mo: acquire on check_ (see set_check); relaxed on fast_path_ (quiesced
+    // toggle).
     if (check_.load(std::memory_order_acquire) == nullptr &&
-        fast_path_.load(std::memory_order_relaxed) && ring_.try_push(m)) {
+        fast_path_.load(std::memory_order_relaxed) && core_.try_push_fast(m)) {
+      // mo: relaxed stat counter.
       fast_pushes_.fetch_add(1, std::memory_order_relaxed);
-      // Dekker handshake with WaiterScope: order the ring publish before
-      // the waiter-count read; registration orders its count increment
-      // before its rescan. One side always observes the other, so a
+      // Dekker handshake with WaiterScope (see WaiterGate in
+      // rtm/mailbox_core.hpp): one side always observes the other, so a
       // receiver can never park after missing a message that skipped its
       // notify (memory-ordering argument in DESIGN.md §7).
-      std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (waiter_count_.load(std::memory_order_relaxed) != 0) {
+      if (waiter_gate_.publisher_sees_waiter()) {
         notify_matching(source, tag);
       } else {
+        // mo: relaxed stat counter.
         notifies_skipped_.fetch_add(1, std::memory_order_relaxed);
       }
       return;
@@ -149,20 +159,22 @@ class Mailbox {
   /// std::nullopt when none is queued. Wildcards kAnySource / kAnyTag match
   /// anything (and always take the slow path).
   std::optional<Message> try_pop(int source, int tag) {
+    // mo: acquire on check_ (see set_check); relaxed on fast_path_.
     if (source != kAnySource && tag != kAnyTag &&
         check_.load(std::memory_order_acquire) == nullptr &&
         fast_path_.load(std::memory_order_relaxed)) {
       Message out;
-      switch (ring_.try_pop_exact(pack_envelope(source, tag), out)) {
-        case MpmcMessageRing::PopResult::kOk:
+      switch (core_.try_pop_fast(pack_envelope(source, tag), out)) {
+        case PopResult::kOk:
+          // mo: relaxed stat counter.
           fast_pops_.fetch_add(1, std::memory_order_relaxed);
           return out;
-        case MpmcMessageRing::PopResult::kEmpty:
+        case PopResult::kEmpty:
           // Consumer-lock bit was clear, which implies the deque is empty
           // too — there is nothing to receive anywhere.
           return std::nullopt;
-        case MpmcMessageRing::PopResult::kMismatch:
-        case MpmcMessageRing::PopResult::kLocked:
+        case PopResult::kMismatch:
+        case PopResult::kLocked:
           break;  // an older/other message may match under the mutex
       }
     }
@@ -176,18 +188,20 @@ class Mailbox {
   /// diagnosed deadlock throws check::DeadlockError here instead of
   /// hanging forever.
   Message pop(int source, int tag) {
+    // mo: acquire on check_ (see set_check); relaxed on fast_path_.
     if (source != kAnySource && tag != kAnyTag &&
         check_.load(std::memory_order_acquire) == nullptr &&
         fast_path_.load(std::memory_order_relaxed)) {
       const std::uint64_t env = pack_envelope(source, tag);
       Message out;
       for (int spin = 0; spin < kPopSpins; ++spin) {
-        const auto r = ring_.try_pop_exact(env, out);
-        if (r == MpmcMessageRing::PopResult::kOk) {
+        const auto r = core_.try_pop_fast(env, out);
+        if (r == PopResult::kOk) {
+          // mo: relaxed stat counter.
           fast_pops_.fetch_add(1, std::memory_order_relaxed);
           return out;
         }
-        if (r != MpmcMessageRing::PopResult::kEmpty) break;
+        if (r != PopResult::kEmpty) break;
         if (spin < kPopPauses) {
           detail::cpu_pause();
         } else {
@@ -218,24 +232,27 @@ class Mailbox {
     std::uint64_t scan_from = 0;  // stamps below this are already examined
     bool notified = false;
     while (true) {
-      auto it = queue_.begin();
+      auto& queue = core_.queue();
+      auto it = queue.begin();
       if (scan_from != 0) {
         // Deque stamps are ascending (assigned on deque entry), so the
         // resume point is a binary search away.
         it = std::lower_bound(
-            queue_.begin(), queue_.end(), scan_from,
-            [](const Queued& q, std::uint64_t s) { return q.stamp < s; });
+            queue.begin(), queue.end(), scan_from,
+            [](const Core::Entry& q, std::uint64_t s) { return q.stamp < s; });
       }
-      for (; it != queue_.end(); ++it) {
+      for (; it != queue.end(); ++it) {
         if (pred(it->msg)) return take_locked(it);
       }
-      scan_from = next_stamp_;
+      scan_from = core_.next_stamp();
       if (notified) {
+        // mo: relaxed stat counter.
         futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
         notified = false;
       }
       const auto now = std::chrono::steady_clock::now();
       if (now >= deadline) return std::nullopt;
+      // mo: relaxed re-read; the acquire at entry ordered construction.
       check::RunChecker* check = check_.load(std::memory_order_relaxed);
       if (check != nullptr && check->aborted()) return std::nullopt;
       auto wake = deadline;
@@ -255,7 +272,7 @@ class Mailbox {
   std::optional<MessageInfo> probe(int source, int tag) const {
     std::lock_guard lock(mutex_);
     const SlowSection slow(*this);
-    for (const Queued& q : queue_) {
+    for (const Core::Entry& q : core_.queue()) {
       if (matches(q.msg, source, tag)) return q.msg.info();
     }
     return std::nullopt;
@@ -267,8 +284,8 @@ class Mailbox {
     std::lock_guard lock(mutex_);
     const SlowSection slow(*this);
     std::vector<MessageInfo> out;
-    out.reserve(queue_.size());
-    for (const Queued& q : queue_) out.push_back(q.msg.info());
+    out.reserve(core_.queue().size());
+    for (const Core::Entry& q : core_.queue()) out.push_back(q.msg.info());
     return out;
   }
 
@@ -280,34 +297,27 @@ class Mailbox {
   void for_each_pending(Fn&& fn) const {
     std::lock_guard lock(mutex_);
     const SlowSection slow(*this);
-    for (const Queued& q : queue_) fn(q.msg);
+    for (const Core::Entry& q : core_.queue()) fn(q.msg);
   }
 
   bool empty() const { return size() == 0; }
 
   std::size_t size() const {
     std::lock_guard lock(mutex_);
-    return queue_.size() + ring_.approx_size();
+    return core_.queue().size() + core_.ring_size();
   }
 
   MailboxStats stats() const {
     MailboxStats s;
-    s.fast_pushes = fast_pushes_.load(std::memory_order_relaxed);
-    s.slow_pushes = slow_pushes_.load(std::memory_order_relaxed);
-    s.fast_pops = fast_pops_.load(std::memory_order_relaxed);
-    s.futile_wakeups = futile_wakeups_.load(std::memory_order_relaxed);
-    s.notifies_skipped = notifies_skipped_.load(std::memory_order_relaxed);
+    s.fast_pushes = stat_read(fast_pushes_);
+    s.slow_pushes = stat_read(slow_pushes_);
+    s.fast_pops = stat_read(fast_pops_);
+    s.futile_wakeups = stat_read(futile_wakeups_);
+    s.notifies_skipped = stat_read(notifies_skipped_);
     return s;
   }
 
  private:
-  /// A deque entry: the message plus its arrival stamp. Stamps increase
-  /// monotonically in deque order; pop_match_for uses them to resume scans.
-  struct Queued {
-    Message msg;
-    std::uint64_t stamp = 0;
-  };
-
   /// A blocked receiver's filter, registered while it waits so push can
   /// decide whether anyone cares about a new envelope.
   struct Waiter {
@@ -345,34 +355,36 @@ class Mailbox {
   /// waits so fast pops keep flowing while this thread sleeps.
   class SlowSection {
    public:
-    explicit SlowSection(const Mailbox& mb) : mb_(mb) { mb_.slow_begin_locked(); }
+    explicit SlowSection(const Mailbox& mb) : mb_(mb) {
+      mb_.core_.slow_begin_locked();
+    }
     SlowSection(const SlowSection&) = delete;
     SlowSection& operator=(const SlowSection&) = delete;
-    ~SlowSection() { mb_.slow_end_locked(); }
-    void pause() { mb_.slow_end_locked(); }
-    void resume() { mb_.slow_begin_locked(); }
+    ~SlowSection() { mb_.core_.slow_end_locked(); }
+    void pause() { mb_.core_.slow_end_locked(); }
+    void resume() { mb_.core_.slow_begin_locked(); }
 
    private:
     const Mailbox& mb_;
   };
 
   /// RAII registration of a blocked receiver's filter. Construction issues
-  /// the fence that pairs with the one in push(): after it, either the
-  /// rescan sees every lock-free publication, or the publisher sees the
-  /// incremented waiter count and notifies.
+  /// the fence (WaiterGate::enter) that pairs with the publisher's
+  /// handshake in push(): after it, either the rescan sees every lock-free
+  /// publication, or the publisher sees the incremented waiter count and
+  /// notifies.
   class WaiterScope {
    public:
     WaiterScope(Mailbox& mb, Waiter* w) : mb_(mb), w_(w) {
       mb_.waiters_.push_back(w_);
-      mb_.waiter_count_.fetch_add(1, std::memory_order_seq_cst);
-      std::atomic_thread_fence(std::memory_order_seq_cst);
+      mb_.waiter_gate_.enter();
     }
     WaiterScope(const WaiterScope&) = delete;
     WaiterScope& operator=(const WaiterScope&) = delete;
     ~WaiterScope() {
       mb_.waiters_.erase(
           std::find(mb_.waiters_.begin(), mb_.waiters_.end(), w_));
-      mb_.waiter_count_.fetch_sub(1, std::memory_order_seq_cst);
+      mb_.waiter_gate_.exit();
     }
 
    private:
@@ -389,40 +401,15 @@ class Mailbox {
     bool matched = false;
     {
       std::lock_guard lock(mutex_);
+      // mo: relaxed re-read; the caller's acquire ordered construction.
       check::RunChecker* check = check_.load(std::memory_order_relaxed);
       if (check != nullptr) check->on_push(owner_, m);
+      // mo: relaxed stat counter.
       slow_pushes_.fetch_add(1, std::memory_order_relaxed);
-      // Keep the ring the primary channel whenever it has room: a new
-      // message is the globally newest, so ring entries stay newer than
-      // every deque entry (the fast-path FIFO invariant) regardless of
-      // the deque's state.
-      if (!(fast_path_.load(std::memory_order_relaxed) && ring_.try_push(m))) {
-        // Ring full or fast path off: spill the ring into the deque first
-        // so arrival order is preserved. A drain stops early at a cell
-        // whose producer has claimed a slot but not yet published; if `m`
-        // were appended to the deque then, the published ring entries
-        // behind that gap — all OLDER than `m` — would deliver after it.
-        // So either re-enter the ring (where `m` is the newest entry by
-        // claim order) or wait the publisher out and drain the ring dry:
-        // the publisher is lock-free, never blocks on this mutex, and a
-        // yield gives it a core even on single-CPU hosts.
-        ring_.set_consumer_lock(true);
-        for (;;) {
-          drain_ring_locked();
-          if (fast_path_.load(std::memory_order_relaxed) && ring_.try_push(m)) {
-            break;  // drained slots made room; rides the ring, behind the deque
-          }
-          if (ring_.approx_size() == 0) {
-            queue_.push_back(Queued{std::move(m), next_stamp_++});
-            break;
-          }
-          std::this_thread::yield();  // head is mid-publish
-        }
-        // While the deque is non-empty the consumer-lock bit stays set;
-        // the next locked consumer clears it once the deque drains.
-        if (queue_.empty()) ring_.set_consumer_lock(false);
-      }
-      matched = waiter_count_.load(std::memory_order_relaxed) != 0 &&
+      // mo: relaxed fast_path_ (quiesced toggle).
+      core_.push_locked(std::move(m),
+                        fast_path_.load(std::memory_order_relaxed));
+      matched = waiter_gate_.any_waiter_hint() &&
                 any_waiter_matches_locked(source, tag);
     }
     // Deliberately outside the critical section: notifying under the mutex
@@ -434,6 +421,7 @@ class Mailbox {
     if (matched) {
       cv_.notify_all();
     } else {
+      // mo: relaxed stat counter.
       notifies_skipped_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -452,8 +440,9 @@ class Mailbox {
     // Rescan after publishing the registration: this is the receiving half
     // of the Dekker handshake with push() and closes the window where a
     // lock-free publication saw no waiters.
-    drain_ring_locked();
+    core_.drain_ring_locked();
     if (auto m = pop_locked(source, tag)) return std::move(*m);
+    // mo: relaxed re-read; the caller's acquire ordered construction.
     check::RunChecker* check = check_.load(std::memory_order_relaxed);
     if (check == nullptr) {
       while (true) {
@@ -461,6 +450,7 @@ class Mailbox {
         cv_.wait(lock);
         slow.resume();
         if (auto m = pop_locked(source, tag)) return std::move(*m);
+        // mo: relaxed stat counter.
         futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -476,33 +466,13 @@ class Mailbox {
         return std::move(*m);
       }
       if (status == std::cv_status::no_timeout) {
+        // mo: relaxed stat counter.
         futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
       }
       if (check->aborted()) {
         check->end_recv_wait(ticket);
         check->throw_abort();
       }
-    }
-  }
-
-  /// Caller holds mutex_. Sets the consumer-lock bit and moves every
-  /// published ring entry to the back of the deque, stamping arrivals.
-  void slow_begin_locked() const {
-    ring_.set_consumer_lock(true);
-    drain_ring_locked();
-  }
-
-  /// Caller holds mutex_. Clears the consumer-lock bit iff no message is
-  /// parked in the deque (the fast-path FIFO precondition).
-  void slow_end_locked() const {
-    if (queue_.empty()) ring_.set_consumer_lock(false);
-  }
-
-  /// Caller holds mutex_ with the consumer-lock bit set.
-  void drain_ring_locked() const {
-    Message m;
-    while (ring_.pop_head_locked(m)) {
-      queue_.push_back(Queued{std::move(m), next_stamp_++});
     }
   }
 
@@ -528,20 +498,23 @@ class Mailbox {
     if (matched) {
       cv_.notify_all();
     } else {
+      // mo: relaxed stat counter.
       notifies_skipped_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  Message take_locked(std::deque<Queued>::iterator it) {
+  Message take_locked(std::deque<Core::Entry>::iterator it) {
     Message m = std::move(it->msg);
-    queue_.erase(it);
+    core_.queue().erase(it);
+    // mo: relaxed re-read; the caller's acquire ordered construction.
     check::RunChecker* check = check_.load(std::memory_order_relaxed);
     if (check != nullptr) check->on_pop(owner_, m);
     return m;
   }
 
   std::optional<Message> pop_locked(int source, int tag) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    auto& queue = core_.queue();
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
       if (matches(it->msg, source, tag)) return take_locked(it);
     }
     return std::nullopt;
@@ -549,11 +522,9 @@ class Mailbox {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  mutable std::deque<Queued> queue_;          // guarded by mutex_
-  mutable std::uint64_t next_stamp_ = 1;      // guarded by mutex_
-  mutable MpmcMessageRing ring_{kRingCapacity};
-  std::vector<Waiter*> waiters_;              // guarded by mutex_
-  std::atomic<int> waiter_count_{0};
+  mutable Core core_{kRingCapacity};  // deque/stamps guarded by mutex_
+  std::vector<Waiter*> waiters_;      // guarded by mutex_
+  WaiterGate<StdAtomics> waiter_gate_;
   std::atomic<bool> fast_path_{true};
   std::atomic<check::RunChecker*> check_{nullptr};
   int owner_ = -1;

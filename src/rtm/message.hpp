@@ -28,6 +28,9 @@
 #include <span>
 #include <vector>
 
+#include "rtm/atomics_policy.hpp"
+#include "rtm/stat_counter.hpp"
+
 namespace reptile::rtm {
 
 /// Wildcard source rank for receive/probe matching (MPI_ANY_SOURCE).
@@ -37,19 +40,79 @@ inline constexpr int kAnyTag = -1;
 
 class PayloadArena;
 
+/// The recycling decision for one arena slab: a live-handle refcount plus
+/// a retired flag, arranged so the LAST of {the retiring allocator, the
+/// final releasing receiver} — whichever runs second — recycles the slab,
+/// and never both. add_ref/retire run under the arena mutex; release_last
+/// is lock-free (receivers free payloads from their own threads) and only
+/// the release that drops the count to zero takes the mutex to attempt the
+/// recycle. Policy-templated so the model checker can explore the
+/// retire/release race for no-double-recycle and no-leak (DESIGN.md §8).
+template <class Policy = StdAtomics>
+class SlabRefGate {
+ public:
+  /// Caller holds the arena mutex (allocation path): one more outstanding
+  /// Payload handle.
+  void add_ref() {
+    // mo: relaxed — the handle's handoff to the releasing thread is
+    // ordered by the mailbox transfer of the Message, not this counter.
+    live_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Lock-free release half. True when this call dropped the LAST
+  /// reference: the caller must then take the arena mutex and attempt
+  /// try_recycle_locked().
+  bool release_last() {
+    // mo: acq_rel — release publishes this handle's final payload reads
+    // before the decrement; acquire (on the winning decrement) orders
+    // every other handle's reads before the recycle that may follow.
+    return live_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+
+  /// Caller holds the arena mutex. Marks the slab no longer the bump
+  /// target. True when no handle is outstanding — the caller recycles the
+  /// slab immediately (the gate resets itself for reuse).
+  bool retire_locked() {
+    retired_.store(true, std::memory_order_seq_cst);
+    if (live_.load(std::memory_order_seq_cst) == 0) {
+      // mo: relaxed — the arena mutex orders the reset against the next
+      // retire/recycle round.
+      retired_.store(false, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Caller holds the arena mutex after release_last() returned true.
+  /// True when the slab is retired with no outstanding handles — the
+  /// caller recycles it (the gate resets itself). All recycling decisions
+  /// happen under the mutex, so retire_locked and a racing final release
+  /// can never both recycle the slab.
+  bool try_recycle_locked() {
+    // mo: relaxed — the arena mutex orders these against retire_locked;
+    // the releaser's own acq_rel decrement ordered the payload reads.
+    if (retired_.load(std::memory_order_relaxed) &&
+        live_.load(std::memory_order_relaxed) == 0) {
+      // mo: relaxed — under the arena mutex (see retire_locked).
+      retired_.store(false, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  typename Policy::template Atomic<std::uint32_t> live_{0};
+  typename Policy::template Atomic<bool> retired_{false};
+};
+
 namespace detail {
 
-/// One arena slab: a fixed block of payload bytes plus the bookkeeping
-/// that decides when the block can be recycled. `used` is guarded by the
-/// owning arena's mutex; `live` counts outstanding Payload handles and is
-/// decremented lock-free on release (receivers free payloads from their
-/// own threads).
+/// One arena slab: a fixed block of payload bytes plus the gate that
+/// decides when the block can be recycled. `used` is guarded by the
+/// owning arena's mutex.
 struct ArenaSlab {
   PayloadArena* arena = nullptr;
-  std::atomic<std::uint32_t> live{0};
-  /// Set (under the arena mutex) when the slab stops being the bump
-  /// target; the release that drops `live` to zero then recycles it.
-  std::atomic<bool> retired{false};
+  SlabRefGate<StdAtomics> gate;
   std::size_t used = 0;
   std::unique_ptr<std::byte[]> bytes;
 };
@@ -179,6 +242,7 @@ class PayloadArena {
     Payload p;
     if (bytes == 0) return p;
     if (bytes > kSlabBytes) {
+      // mo: relaxed stat counter.
       oversize_allocs_.fetch_add(1, std::memory_order_relaxed);
       p.heap_.resize(bytes);
       return p;
@@ -192,12 +256,14 @@ class PayloadArena {
         current_ = free_.back();
         free_.pop_back();
         current_->used = 0;
+        // mo: relaxed stat counter.
         slabs_reused_.fetch_add(1, std::memory_order_relaxed);
       } else {
         all_.push_back(std::make_unique<detail::ArenaSlab>());
         current_ = all_.back().get();
         current_->arena = this;
         current_->bytes = std::make_unique<std::byte[]>(kSlabBytes);
+        // mo: relaxed stat counter.
         slabs_allocated_.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -205,7 +271,7 @@ class PayloadArena {
     p.data_ = current_->bytes.get() + current_->used;
     p.size_ = bytes;
     current_->used += need;
-    current_->live.fetch_add(1, std::memory_order_relaxed);
+    current_->gate.add_ref();
     return p;
   }
 
@@ -217,9 +283,9 @@ class PayloadArena {
 
   Stats stats() const {
     Stats s;
-    s.slabs_allocated = slabs_allocated_.load(std::memory_order_relaxed);
-    s.slabs_reused = slabs_reused_.load(std::memory_order_relaxed);
-    s.oversize_allocs = oversize_allocs_.load(std::memory_order_relaxed);
+    s.slabs_allocated = stat_read(slabs_allocated_);
+    s.slabs_reused = stat_read(slabs_reused_);
+    s.oversize_allocs = stat_read(oversize_allocs_);
     return s;
   }
 
@@ -234,12 +300,11 @@ class PayloadArena {
 
   /// Caller holds mutex_. Marks the bump target retired; if no payload is
   /// outstanding the slab goes straight back to the free list (otherwise
-  /// the final release_slab recycles it).
+  /// the final release_slab recycles it). The race discipline lives in
+  /// SlabRefGate.
   void retire_current_locked() {
     if (current_ == nullptr) return;
-    current_->retired.store(true, std::memory_order_seq_cst);
-    if (current_->live.load(std::memory_order_seq_cst) == 0) {
-      current_->retired.store(false, std::memory_order_relaxed);
+    if (current_->gate.retire_locked()) {
       current_->used = 0;
       free_.push_back(current_);
     }
@@ -247,15 +312,11 @@ class PayloadArena {
   }
 
   /// Lock-free decrement; the mutex is taken only by the release that
-  /// drops a retired slab's count to zero. All recycling decisions happen
-  /// under the mutex, so retire_current_locked and a racing final release
-  /// can never both push the slab.
+  /// drops a retired slab's count to zero (see SlabRefGate).
   void release(detail::ArenaSlab* slab) noexcept {
-    if (slab->live.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    if (!slab->gate.release_last()) return;
     std::lock_guard lock(mutex_);
-    if (slab->retired.load(std::memory_order_relaxed) &&
-        slab->live.load(std::memory_order_relaxed) == 0) {
-      slab->retired.store(false, std::memory_order_relaxed);
+    if (slab->gate.try_recycle_locked()) {
       slab->used = 0;
       free_.push_back(slab);
     }

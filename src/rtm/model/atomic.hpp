@@ -1,0 +1,352 @@
+#pragma once
+// Instrumented atomics + plain-field race detection for the rtm model
+// checker (DESIGN.md §8).
+//
+// model::Atomic keeps the FULL per-location modification order of one
+// execution: every store is remembered with the storing context's epoch
+// and, for release-class stores, the clock an acquire load must merge. A
+// load does NOT simply return the newest value — it may observe any store
+// that coherence and happens-before leave visible:
+//
+//   readable(load by thread t) = { stores S_i : i >= floor }, where
+//   floor = max( newest store HB-before t's clock,   // HB consistency
+//                newest store t has already read )   // coherence-RR
+//
+// When more than one store is readable the explorer picks (choice 0 =
+// newest), so weak-memory outcomes — a relaxed publication seen "late", a
+// store-buffering stale read — are ordinary schedule branches explored
+// like any other. An over-relaxed annotation therefore fails a model test
+// even on x86 hosts where the hardware would hide it.
+//
+// Simplifications, all on the STRONGER side (they can hide no bug that
+// the real memory model forbids, only skip behaviors C++ would allow):
+//   - RMWs and CAS (both success and failure) read the newest store;
+//     weak CAS never fails spuriously.
+//   - seq_cst loads/stores/RMWs join the global SC clock both ways, which
+//     embeds the SC total order into happens-before.
+//   - release sequences: an RMW's store inherits the release clock of the
+//     store it read, so acquire loads through RMW chains still
+//     synchronize with the original release store.
+//
+// PlainVar wraps a non-atomic cross-thread field (the ring cell's
+// Message). Accesses go through the take()/put() helpers from
+// rtm/atomics_policy.hpp — the overloads below shadow the production
+// ones via ADL — and run a FastTrack-style epoch check: an access not
+// ordered after the previous write (or a write not ordered after every
+// previous read) is a genuine data race and fails the execution.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtm/model/scheduler.hpp"
+#include "rtm/model/vector_clock.hpp"
+
+namespace reptile::rtm::model {
+
+namespace detail {
+
+using reptile::rtm::model::detail::g_exec;
+
+inline bool is_acquire(std::memory_order o) {
+  return o == std::memory_order_acquire || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst || o == std::memory_order_consume;
+}
+inline bool is_release(std::memory_order o) {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+inline bool is_seq_cst(std::memory_order o) {
+  return o == std::memory_order_seq_cst;
+}
+
+}  // namespace detail
+
+template <class T>
+class Atomic {
+ public:
+  Atomic() : Atomic(T()) {}
+
+  explicit Atomic(T v) {
+    Execution* e = detail::g_exec;
+    id_ = e != nullptr ? e->next_object_id() : 0;
+    Store s;
+    s.value = v;
+    s.slot = e != nullptr ? Execution::clock_slot(e->current_thread()) : 0;
+    s.tick = 0;  // initialization happens-before everything
+    hist_.push_back(s);
+  }
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const {
+    Execution* e = detail::g_exec;
+    e->schedule_point();
+    VectorClock& c = e->clock();
+    if (detail::is_seq_cst(mo)) {
+      c.merge(e->sc_clock());
+    }
+    // Newest store this context is forced to see: anything older is
+    // overwritten in its past.
+    std::size_t floor = 0;
+    for (std::size_t i = hist_.size(); i-- > 0;) {
+      if (c[hist_[i].slot] >= hist_[i].tick) {
+        floor = i;
+        break;
+      }
+    }
+    // Eventual visibility: stores stamped before the thread's visibility
+    // floor (refreshed at yield points) may no longer be read stale.
+    const std::uint64_t vis = e->visible_floor();
+    for (std::size_t i = hist_.size(); i-- > floor;) {
+      if (hist_[i].prog < vis) {
+        floor = i;
+        break;
+      }
+    }
+    const std::size_t slot =
+        static_cast<std::size_t>(Execution::clock_slot(e->current_thread()));
+    if (read_floor_[slot] > floor) floor = read_floor_[slot];
+    const int candidates = static_cast<int>(hist_.size() - floor);
+    const int choice = e->choose(candidates);  // 0 = newest
+    const std::size_t idx = hist_.size() - 1 - static_cast<std::size_t>(choice);
+    const Store& s = hist_[idx];
+    read_floor_[slot] = idx;
+    if (s.has_rel) {
+      if (detail::is_acquire(mo)) {
+        c.merge(s.rel);  // synchronizes-with the release store
+      } else {
+        e->acq_pending().merge(s.rel);  // claimed by a later acquire fence
+      }
+    }
+    if (detail::is_seq_cst(mo)) {
+      e->tick();
+      e->sc_clock().merge(c);
+    }
+    e->note("load a" + std::to_string(id_) + " -> " + std::to_string(+s.value) +
+            (idx + 1 == hist_.size()
+                 ? std::string()
+                 : " (stale, " + std::to_string(hist_.size() - 1 - idx) +
+                       " behind)"));
+    return s.value;
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    Execution* e = detail::g_exec;
+    e->schedule_point();
+    append_store(e, v, mo, /*prior_rel=*/nullptr);
+    e->note("store a" + std::to_string(id_) + " = " + std::to_string(+v));
+    e->note_progress();
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) {
+    return rmw(v, mo, "exchange", [](T, T nv) { return nv; });
+  }
+  T fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    return rmw(d, mo, "fetch_add", [](T old, T x) { return static_cast<T>(old + x); });
+  }
+  T fetch_sub(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    return rmw(d, mo, "fetch_sub", [](T old, T x) { return static_cast<T>(old - x); });
+  }
+  T fetch_or(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    return rmw(d, mo, "fetch_or", [](T old, T x) { return static_cast<T>(old | x); });
+  }
+  T fetch_and(T d, std::memory_order mo = std::memory_order_seq_cst) {
+    return rmw(d, mo, "fetch_and", [](T old, T x) { return static_cast<T>(old & x); });
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order mo) {
+    return cas(expected, desired, mo, strip_release(mo));
+  }
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    return cas(expected, desired, success, failure);
+  }
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order mo) {
+    return cas(expected, desired, mo, strip_release(mo));
+  }
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) {
+    return cas(expected, desired, success, failure);
+  }
+
+ private:
+  struct Store {
+    T value{};
+    int slot = 0;            ///< clock slot of the storing context
+    std::uint64_t tick = 0;  ///< its epoch at the store
+    std::uint64_t prog = 0;  ///< progress stamp (eventual visibility)
+    VectorClock rel;         ///< clock an acquire load merges
+    bool has_rel = false;
+  };
+
+  static std::memory_order strip_release(std::memory_order mo) {
+    if (mo == std::memory_order_acq_rel) return std::memory_order_acquire;
+    if (mo == std::memory_order_release) return std::memory_order_relaxed;
+    return mo;
+  }
+
+  /// Appends to the modification order. `prior_rel`: release clock of the
+  /// store an RMW read, continued per release-sequence rules.
+  void append_store(Execution* e, T v, std::memory_order mo,
+                    const VectorClock* prior_rel) {
+    VectorClock& c = e->clock();
+    if (detail::is_seq_cst(mo)) c.merge(e->sc_clock());
+    Store s;
+    s.value = v;
+    s.slot = Execution::clock_slot(e->current_thread());
+    s.tick = e->tick();
+    s.prog = e->progress_stamp();  // < floor once the follow-up bump lands
+    if (prior_rel != nullptr) {
+      s.rel.merge(*prior_rel);
+      s.has_rel = true;
+    }
+    if (detail::is_release(mo)) {
+      s.rel.merge(c);
+      s.has_rel = true;
+    } else if (const VectorClock* f = e->fence_release()) {
+      s.rel.merge(*f);  // fence-to-acquire synchronization
+      s.has_rel = true;
+    }
+    if (detail::is_seq_cst(mo)) e->sc_clock().merge(c);
+    hist_.push_back(s);
+    read_floor_[static_cast<std::size_t>(s.slot)] = hist_.size() - 1;
+  }
+
+  template <class Op>
+  T rmw(T arg, std::memory_order mo, const char* name, Op op) {
+    Execution* e = detail::g_exec;
+    e->schedule_point();
+    // RMWs read the NEWEST store (they append to the modification order).
+    const Store old = hist_.back();
+    VectorClock& c = e->clock();
+    if (old.has_rel && detail::is_acquire(mo)) c.merge(old.rel);
+    append_store(e, op(old.value, arg), mo, old.has_rel ? &old.rel : nullptr);
+    e->note(std::string(name) + " a" + std::to_string(id_) + ": " +
+            std::to_string(+old.value) + " -> " +
+            std::to_string(+hist_.back().value));
+    e->note_progress();
+    return old.value;
+  }
+
+  bool cas(T& expected, T desired, std::memory_order success,
+           std::memory_order failure) {
+    Execution* e = detail::g_exec;
+    e->schedule_point();
+    const Store old = hist_.back();
+    VectorClock& c = e->clock();
+    if (old.value != expected) {
+      if (old.has_rel && detail::is_acquire(failure)) c.merge(old.rel);
+      expected = old.value;
+      read_floor_[static_cast<std::size_t>(
+          Execution::clock_slot(e->current_thread()))] = hist_.size() - 1;
+      e->note("cas a" + std::to_string(id_) + " failed (saw " +
+              std::to_string(+old.value) + ")");
+      return false;
+    }
+    if (old.has_rel && detail::is_acquire(success)) c.merge(old.rel);
+    append_store(e, desired, success, old.has_rel ? &old.rel : nullptr);
+    e->note("cas a" + std::to_string(id_) + ": " + std::to_string(+old.value) +
+            " -> " + std::to_string(+desired));
+    e->note_progress();
+    return true;
+  }
+
+  std::uint64_t id_ = 0;
+  std::vector<Store> hist_;
+  // Coherence read floors advance on loads too; const load() matches the
+  // std::atomic interface the production code compiles against.
+  mutable std::array<std::size_t, VectorClock::kSlots> read_floor_{};
+};
+
+/// A non-atomic field shared across threads (e.g. the ring cell Message).
+/// All access goes through take()/put(), which run the FastTrack-style
+/// happens-before race check before touching the value.
+template <class T>
+class PlainVar {
+ public:
+  PlainVar() {
+    Execution* e = detail::g_exec;
+    id_ = e != nullptr ? e->next_object_id() : 0;
+  }
+  PlainVar(const PlainVar&) = delete;
+  PlainVar& operator=(const PlainVar&) = delete;
+
+  /// ADL overloads shadowing the rtm:: defaults for model cells. Declared
+  /// as friends so they are non-template functions, which overload
+  /// resolution prefers over the generic rtm::take/put templates.
+  friend T take(PlainVar& v) {
+    v.on_write("take");
+    T out = std::move(v.value_);
+    v.value_ = T();
+    return out;
+  }
+
+  friend void put(PlainVar& v, T x) {
+    v.on_write("put");
+    v.value_ = std::move(x);
+  }
+
+ private:
+  void on_write(const char* what) {
+    Execution* e = detail::g_exec;
+    VectorClock& c = e->clock();
+    const int slot = Execution::clock_slot(e->current_thread());
+    if (w_slot_ >= 0 && c[w_slot_] < w_tick_) {
+      e->fail("data race on plain field p" + std::to_string(id_) + " (" +
+              what +
+              "): write not ordered after the previous write — missing "
+              "release/acquire on the publishing atomic");
+    }
+    for (int i = 0; i < VectorClock::kSlots; ++i) {
+      if (r_ticks_[static_cast<std::size_t>(i)] != 0 &&
+          c[i] < r_ticks_[static_cast<std::size_t>(i)]) {
+        e->fail("data race on plain field p" + std::to_string(id_) + " (" +
+                what + "): write not ordered after a previous read");
+      }
+    }
+    w_slot_ = slot;
+    w_tick_ = e->tick();
+    r_ticks_.fill(0);
+    e->note(std::string(what) + " p" + std::to_string(id_));
+  }
+
+  std::uint64_t id_ = 0;
+  T value_{};
+  int w_slot_ = -1;
+  std::uint64_t w_tick_ = 0;
+  std::array<std::uint64_t, VectorClock::kSlots> r_ticks_{};
+};
+
+/// The model policy: plug into BasicMpmcMessageRing / BasicMailboxCore /
+/// WaiterGate / SlabRefGate in place of StdAtomics.
+struct ModelAtomics {
+  template <class T>
+  using Atomic = model::Atomic<T>;
+
+  template <class T>
+  using Plain = model::PlainVar<T>;
+
+  static void fence(std::memory_order mo) {
+    Execution* e = detail::g_exec;
+    e->schedule_point();
+    if (detail::is_acquire(mo)) e->clock().merge(e->acq_pending());
+    if (detail::is_seq_cst(mo)) e->clock().merge(e->sc_clock());
+    if (detail::is_release(mo)) e->set_fence_release();
+    if (detail::is_seq_cst(mo)) {
+      e->tick();
+      e->sc_clock().merge(e->clock());
+    }
+    e->note("fence");
+  }
+
+  static void yield() { detail::g_exec->yield(); }
+};
+
+}  // namespace reptile::rtm::model

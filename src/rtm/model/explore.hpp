@@ -1,0 +1,271 @@
+#pragma once
+// Exploration strategies of the rtm model checker (DESIGN.md §8).
+//
+// A scenario is run many times; each run's schedule is the decision list
+// an Explorer produced. Three strategies:
+//
+//   - DFS: bounded-exhaustive enumeration of the decision tree, intended
+//     for tiny configurations (2-3 threads, capacity 2-4 ring) together
+//     with a preemption bound (CHESS-style): most concurrency bugs need
+//     only 1-2 preemptions, and the bound collapses the tree from
+//     exponential-in-steps to polynomial.
+//   - Random: seeded random walks, biased toward "keep running the
+//     current thread / read the newest store" so schedules stay cheap
+//     (every non-default branch is a semaphore handoff) while still
+//     visiting preemptions and stale reads. Default for large budgets.
+//   - Replay: re-runs one recorded decision list — the `seed:d0.d1...`
+//     token printed with every failure — with event recording on, for
+//     deterministic diagnosis of a schedule found by either strategy.
+//
+// explore() runs the chosen strategy until failure / exhaustion / budget,
+// and on failure re-executes the failing schedule once more with event
+// recording enabled so Result carries a readable trace. Every run is
+// deterministic given its decision list, which is what makes that re-run
+// (and the CLI's --replay) exact.
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rtm/model/atomic.hpp"
+#include "rtm/model/scheduler.hpp"
+
+namespace reptile::rtm::model {
+
+enum class Mode { kDfs, kRandom, kReplay };
+
+struct Options {
+  Mode mode = Mode::kRandom;
+  std::uint64_t max_schedules = 10000;  ///< budget (DFS may exhaust earlier)
+  std::uint64_t seed = 1;               ///< random mode
+  int max_preemptions = -1;             ///< DFS preemption bound; <0 = off
+  std::uint64_t max_steps = 200000;     ///< per-execution livelock guard
+  std::vector<int> replay;              ///< decision list for Mode::kReplay
+};
+
+struct Result {
+  bool failed = false;
+  bool exhausted = false;  ///< DFS proved the bounded space clean
+  std::uint64_t schedules = 0;
+  std::string message;            ///< first failure
+  std::string replay_token;       ///< "seed:d0.d1..." reproducing it
+  std::vector<std::string> trace;  ///< event log of the failing schedule
+};
+
+/// Formats the token printed with failures and accepted by --replay.
+inline std::string format_replay(std::uint64_t seed,
+                                 const std::vector<int>& decisions) {
+  std::string out = std::to_string(seed) + ":";
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (i != 0) out += ".";
+    out += std::to_string(decisions[i]);
+  }
+  return out;
+}
+
+/// Parses a replay token; returns false on malformed input.
+inline bool parse_replay(const std::string& token, std::uint64_t* seed,
+                         std::vector<int>* decisions) {
+  const std::size_t colon = token.find(':');
+  if (colon == std::string::npos) return false;
+  try {
+    *seed = std::stoull(token.substr(0, colon));
+  } catch (...) {
+    return false;
+  }
+  decisions->clear();
+  std::stringstream rest(token.substr(colon + 1));
+  std::string part;
+  while (std::getline(rest, part, '.')) {
+    if (part.empty()) continue;
+    try {
+      decisions->push_back(std::stoi(part));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace detail {
+
+/// splitmix64: tiny, seedable, good enough for schedule sampling.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : x_(seed + 0x9E3779B97F4A7C15ULL) {}
+  std::uint64_t next() {
+    std::uint64_t z = (x_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t x_;
+};
+
+class DfsExplorer final : public Explorer {
+ public:
+  int choose(int n) override {
+    if (pos_ == stack_.size()) stack_.push_back(Node{n, 0});
+    const int c = stack_[pos_].next;
+    ++pos_;
+    return c;
+  }
+
+  void begin() { pos_ = 0; }
+
+  /// Advances to the next unexplored leaf; false when the tree is done.
+  bool advance() {
+    while (!stack_.empty()) {
+      Node& top = stack_.back();
+      if (++top.next < top.n) return true;
+      stack_.pop_back();
+    }
+    return false;
+  }
+
+ private:
+  struct Node {
+    int n;
+    int next;
+  };
+  std::vector<Node> stack_;
+  std::size_t pos_ = 0;
+};
+
+class RandomExplorer final : public Explorer {
+ public:
+  explicit RandomExplorer(std::uint64_t seed) : rng_(seed) {}
+
+  int choose(int n) override {
+    // 3/4 bias to the default branch: handoff-free and SC-like, so a
+    // 100k-schedule budget finishes in seconds; the remaining quarter
+    // still lands ~15-40 preemptions/stale reads on every schedule.
+    const std::uint64_t r = rng_.next();
+    if ((r & 3) != 0) return 0;
+    return static_cast<int>((r >> 2) % static_cast<std::uint64_t>(n));
+  }
+
+ private:
+  Rng rng_;
+};
+
+class ReplayExplorer final : public Explorer {
+ public:
+  explicit ReplayExplorer(std::vector<int> decisions)
+      : decisions_(std::move(decisions)) {}
+
+  int choose(int n) override {
+    if (pos_ >= decisions_.size()) return 0;  // past the tape: default
+    int c = decisions_[pos_++];
+    if (c < 0 || c >= n) c = 0;  // malformed token: stay in range
+    return c;
+  }
+
+ private:
+  std::vector<int> decisions_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Runs `scenario` under `opts`; see file comment.
+inline Result explore(const Options& opts,
+                      const std::function<void(Sim&)>& scenario) {
+  Result res;
+  Execution::Limits limits;
+  limits.max_preemptions = opts.max_preemptions;
+  limits.max_steps = opts.max_steps;
+
+  // Execution is pinned in place (it owns semaphores); one run's results
+  // are copied out through this snapshot.
+  struct RunOut {
+    bool failed = false;
+    std::string failure;
+    std::vector<int> decisions;
+    std::vector<std::string> events;
+  };
+  auto run_once = [&](Explorer& ex, bool record) {
+    Execution e(ex, limits, record);
+    e.run(scenario);
+    return RunOut{e.failed(), e.failure(), e.decisions(), e.events()};
+  };
+
+  auto finish_failure = [&](const RunOut& r, std::uint64_t seed) {
+    res.failed = true;
+    res.message = r.failure;
+    res.replay_token = format_replay(seed, r.decisions);
+    // Deterministic re-run of the same schedule with event recording on.
+    detail::ReplayExplorer replay(r.decisions);
+    const RunOut diag = run_once(replay, /*record=*/true);
+    res.trace = diag.events;
+    if (!diag.failed) {
+      res.trace.push_back(
+          "(replay divergence: recorded schedule did not reproduce — "
+          "model bug, please report)");
+    }
+  };
+
+  switch (opts.mode) {
+    case Mode::kDfs: {
+      detail::DfsExplorer dfs;
+      for (;;) {
+        dfs.begin();
+        const RunOut r = run_once(dfs, /*record=*/false);
+        ++res.schedules;
+        if (r.failed) {
+          finish_failure(r, 0);
+          return res;
+        }
+        if (!dfs.advance()) {
+          res.exhausted = true;
+          return res;
+        }
+        if (res.schedules >= opts.max_schedules) return res;  // budget
+      }
+    }
+    case Mode::kRandom: {
+      for (std::uint64_t i = 0; i < opts.max_schedules; ++i) {
+        detail::RandomExplorer rnd(opts.seed + i);
+        const RunOut r = run_once(rnd, /*record=*/false);
+        ++res.schedules;
+        if (r.failed) {
+          finish_failure(r, opts.seed + i);
+          return res;
+        }
+      }
+      return res;
+    }
+    case Mode::kReplay: {
+      detail::ReplayExplorer replay(opts.replay);
+      const RunOut r = run_once(replay, /*record=*/true);
+      ++res.schedules;
+      if (r.failed) {
+        res.failed = true;
+        res.message = r.failure;
+        res.replay_token = format_replay(opts.seed, r.decisions);
+        res.trace = r.events;
+      }
+      return res;
+    }
+  }
+  return res;
+}
+
+/// Renders a failed Result the way the test listeners and the CLI print
+/// it: message, replay command, then the event trace.
+inline std::string describe_failure(const Result& r,
+                                    const std::string& scenario_name) {
+  std::string out = "model failure in scenario '" + scenario_name +
+                    "': " + r.message + "\n";
+  out += "replay: tools/rtm_model --scenario " + scenario_name + " --replay " +
+         r.replay_token + "\n";
+  out += "schedule trace (" + std::to_string(r.trace.size()) + " events):\n";
+  for (const std::string& ev : r.trace) out += "  " + ev + "\n";
+  return out;
+}
+
+}  // namespace reptile::rtm::model

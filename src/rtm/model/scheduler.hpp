@@ -1,0 +1,684 @@
+#pragma once
+// Cooperative virtual-thread scheduler of the rtm model checker.
+//
+// One EXECUTION = one run of a scenario (a handful of virtual threads
+// driving the policy-templated rtm structures) under one fully determined
+// schedule. Exactly one virtual thread runs at any moment; every
+// instrumented operation (atomic access, fence, mutex, condvar, yield) is
+// a SCHEDULING POINT where an Explorer decides which runnable thread runs
+// next — and, for weak-memory loads, which store the load observes. The
+// explorer's decision list IS the schedule: replaying the list replays
+// the execution bit-for-bit (rtm/model/explore.hpp).
+//
+// Virtual threads are carried by a pool of OS threads parked on
+// semaphores; a scheduling decision that stays on the current thread costs
+// nothing, and a switch is one release + one acquire. Serialized execution
+// means the model's own state (clocks, store histories, event log) needs
+// no synchronization of its own. Chosen over stackful fibers so the model
+// suite runs unmodified under TSan/ASan in CI.
+//
+// Blocking is modeled, not real:
+//   - model Mutex/CondVar park the virtual thread and record the
+//     happens-before edges a real mutex/condvar would create;
+//   - Policy::yield() (a spin-loop backoff in production) is where the
+//     model honors C++'s eventual-visibility guarantee ([intro.progress]):
+//     if anything happened since this thread last looked, the yield
+//     retries the spin body with every earlier store forced visible
+//     (no stale-read choice); only a thread that has truly seen
+//     everything parks, until any other thread performs a store, an
+//     unlock or a notify — the only events that can change what the spin
+//     re-checks. This keeps bounded exploration finite on retry loops
+//     and is a sound pruning: a spin loop may not rely on staleness
+//     persisting forever, and the skipped executions only re-run loads
+//     that a more constrained schedule already covers.
+//
+// When every unfinished thread is parked the schedule has deadlocked —
+// which is exactly what a lost wakeup looks like, so the checker finds
+// those without any dedicated detector. Failures (data race, invariant
+// violation, deadlock, step budget) abort the execution: parked threads
+// are woken one by one and unwind via AbortThread.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rtm/model/vector_clock.hpp"
+
+namespace reptile::rtm::model {
+
+class Execution;
+
+namespace detail {
+/// The execution being explored. Exactly one is live per process at a
+/// time (the model suite is itself single-threaded at the test level);
+/// instrumented atomics reach it through this pointer.
+inline Execution* g_exec = nullptr;
+/// Unwinds a virtual thread whose execution is being aborted.
+struct AbortThread {};
+}  // namespace detail
+
+/// Supplies every decision of one execution. choose() returns a value in
+/// [0, n); index 0 is always the "default" branch (continue the current
+/// thread / read the newest store), which keeps the first DFS path close
+/// to a sequentially consistent, uninterrupted run.
+class Explorer {
+ public:
+  virtual ~Explorer() = default;
+  virtual int choose(int n) = 0;
+};
+
+/// Collects a scenario's virtual threads and its end-of-execution
+/// invariant; handed to the scenario body once per execution.
+class Sim {
+ public:
+  void thread(std::string name, std::function<void()> body) {
+    names_.push_back(std::move(name));
+    bodies_.push_back(std::move(body));
+  }
+
+  /// Runs after every thread finished (on the joined teardown context,
+  /// where all clocks are merged): use model::require to check ring FIFO,
+  /// no-leak, and friends.
+  void invariant(std::function<void()> check) { check_ = std::move(check); }
+
+ private:
+  friend class Execution;
+  std::vector<std::string> names_;
+  std::vector<std::function<void()>> bodies_;
+  std::function<void()> check_;
+};
+
+class Mutex;
+class CondVar;
+
+class Execution {
+ public:
+  /// Virtual threads per scenario (slot kSlots-1 is the bootstrap /
+  /// teardown context).
+  static constexpr int kMaxThreads = VectorClock::kSlots - 1;
+
+  struct Limits {
+    int max_preemptions = -1;       ///< <0: unbounded
+    std::uint64_t max_steps = 200000;  ///< scheduling points per execution
+  };
+
+  Execution(Explorer& explorer, const Limits& limits, bool record_events)
+      : explorer_(explorer), limits_(limits), record_events_(record_events) {}
+
+  // ---- result of one execution ----------------------------------------
+
+  bool failed() const { return failed_; }
+  const std::string& failure() const { return failure_; }
+  const std::vector<int>& decisions() const { return decisions_; }
+  const std::vector<std::string>& events() const { return events_; }
+  std::uint64_t steps() const { return steps_; }
+
+  /// Runs the scenario once under the explorer's schedule.
+  void run(const std::function<void(Sim&)>& scenario) {
+    detail::g_exec = this;
+    Sim sim;
+    phase_ = Phase::kBootstrap;
+    cur_ = kBootstrapId;
+    try {
+      scenario(sim);  // constructs shared state, registers threads
+      start_threads(sim);
+      if (!failed_ && sim.check_) {
+        phase_ = Phase::kTeardown;
+        sim.check_();
+      }
+    } catch (const detail::AbortThread&) {
+      // require() failed during bootstrap or teardown; failure_ is set.
+    }
+    phase_ = Phase::kDone;
+    detail::g_exec = nullptr;
+  }
+
+  // ---- scenario-facing helpers -----------------------------------------
+
+  /// Records a failure and aborts the execution. The FIRST failure wins;
+  /// the abort unwind never overwrites it.
+  [[noreturn]] void fail(const std::string& why) {
+    if (!failed_) {
+      failed_ = true;
+      failure_ = context_name() + ": " + why;
+      if (record_events_) note("FAIL " + why);
+    }
+    aborting_ = true;
+    throw detail::AbortThread{};
+  }
+
+  int current_thread() const { return cur_; }
+  bool in_threads_phase() const { return phase_ == Phase::kThreads; }
+
+  // ---- instrumentation hooks (model atomics / mutex / condvar) ---------
+
+  /// Consumes one explorer decision (recorded for replay). Trivial and
+  /// out-of-phase choices are not decisions.
+  int choose(int n) {
+    if (n <= 1 || phase_ != Phase::kThreads) return 0;
+    const int c = explorer_.choose(n);
+    decisions_.push_back(c);
+    return c;
+  }
+
+  /// A scheduling point: maybe switch to another runnable thread.
+  void schedule_point() {
+    if (phase_ != Phase::kThreads) return;
+    // Abort unwinds run through RAII cleanup (LockGuard → unlock → here);
+    // re-entering the scheduler there would throw from a destructor.
+    if (aborting_) return;
+    if (++steps_ > limits_.max_steps) {
+      fail("step budget exceeded (" + std::to_string(limits_.max_steps) +
+           " scheduling points) — livelock?");
+    }
+    pick_and_switch(/*current_runnable=*/true);
+  }
+
+  /// Spin-loop backoff. If progress happened since this thread's last
+  /// visibility refresh, retry the spin body with every earlier store
+  /// forced visible (eventual visibility — a stale read may not persist
+  /// across a backoff). Otherwise park until another thread
+  /// stores/unlocks/notifies.
+  void yield() {
+    if (phase_ != Phase::kThreads) return;
+    if (aborting_) throw detail::AbortThread{};  // never from a destructor
+    ThreadCtx& t = *threads_[static_cast<std::size_t>(cur_)];
+    // Progress made by OTHER threads: the thread's own stores cannot
+    // satisfy its own spin loop (and a re-check that stores — e.g. the
+    // consumer-lock RMW — must not keep itself awake forever).
+    const std::uint64_t foreign = progress_ - t.own_progress;
+    if (foreign > t.foreign_seen) {
+      // Someone did something since this thread's previous backoff: the
+      // spin body may have checked before it landed, so retry with every
+      // earlier store forced visible instead of parking.
+      note("yield (retries with forced visibility)");
+      t.foreign_seen = foreign;
+      t.visible_floor = progress_;
+      pick_and_switch(/*current_runnable=*/true);
+      return;
+    }
+    note("yield (parks until progress)");
+    t.state = State::kYieldParked;
+    t.yield_stamp = progress_;
+    pick_and_switch(/*current_runnable=*/false);
+    // Resumed: someone made progress; their stores are now observable.
+    ThreadCtx& self = *threads_[static_cast<std::size_t>(cur_)];
+    self.visible_floor = progress_;
+    self.foreign_seen = progress_ - self.own_progress;
+  }
+
+  /// A store / unlock / notify happened: spin loops may now observe
+  /// something new, so un-park yield-blocked threads.
+  void note_progress() {
+    ++progress_;
+    if (cur_ != kBootstrapId && phase_ == Phase::kThreads) {
+      ++threads_[static_cast<std::size_t>(cur_)]->own_progress;
+    }
+    for (auto& t : threads_) {
+      if (t->state == State::kYieldParked && t->yield_stamp < progress_) {
+        t->state = State::kRunnable;
+      }
+    }
+  }
+
+  /// The current context's vector clock (bootstrap and teardown share the
+  /// kBootstrapId slot; teardown starts from the join of all threads).
+  VectorClock& clock() {
+    return cur_ == kBootstrapId ? boot_clock_
+                                : threads_[static_cast<std::size_t>(cur_)]->clock;
+  }
+
+  /// Advances the current context's own clock component and returns the
+  /// new tick — the epoch of the event being recorded.
+  std::uint64_t tick() {
+    VectorClock& c = clock();
+    return ++c[clock_slot(cur_)];
+  }
+
+  static int clock_slot(int ctx) {
+    return ctx == kBootstrapId ? VectorClock::kSlots - 1 : ctx;
+  }
+
+  /// Per-thread clock accumulated by relaxed loads of release stores,
+  /// claimed by the next acquire fence.
+  VectorClock& acq_pending() {
+    return acq_pending_[static_cast<std::size_t>(clock_slot(cur_))];
+  }
+  /// Per-thread release-fence clock: relaxed stores after a release fence
+  /// carry it (fence-to-acquire synchronization).
+  VectorClock* fence_release() {
+    auto& f = fence_rel_[static_cast<std::size_t>(clock_slot(cur_))];
+    return f.valid ? &f.clock : nullptr;
+  }
+  void set_fence_release() {
+    auto& f = fence_rel_[static_cast<std::size_t>(clock_slot(cur_))];
+    f.clock = clock();
+    f.valid = true;
+  }
+
+  /// The global seq_cst clock: every seq_cst operation joins it both ways,
+  /// which totally orders seq_cst events and gives store-buffering (Dekker)
+  /// handshakes their real semantics.
+  VectorClock& sc_clock() { return sc_clock_; }
+
+  /// Progress stamp recorded on each store (model/atomic.hpp).
+  std::uint64_t progress_stamp() const { return progress_; }
+
+  /// Stores stamped before this are guaranteed visible to the current
+  /// context: loads may not return anything older (eventual visibility,
+  /// refreshed at yield points). Bootstrap/teardown see everything.
+  std::uint64_t visible_floor() const {
+    return cur_ == kBootstrapId
+               ? progress_
+               : threads_[static_cast<std::size_t>(cur_)]->visible_floor;
+  }
+
+  std::uint64_t next_object_id() { return object_ids_++; }
+
+  void note(const std::string& what) {
+    if (!record_events_) return;
+    events_.push_back(context_name() + ": " + what);
+    if (events_.size() > kMaxEvents) {
+      events_.erase(events_.begin(),
+                    events_.begin() + static_cast<std::ptrdiff_t>(
+                                          events_.size() - kMaxEvents));
+    }
+  }
+
+  // ---- blocking primitives (model Mutex / CondVar) ---------------------
+
+  void block_on_mutex(const void* m) {
+    threads_[static_cast<std::size_t>(cur_)]->state = State::kMutexParked;
+    threads_[static_cast<std::size_t>(cur_)]->wait_obj = m;
+    pick_and_switch(/*current_runnable=*/false);
+  }
+
+  void block_on_cv(const void* cv) {
+    threads_[static_cast<std::size_t>(cur_)]->state = State::kCvParked;
+    threads_[static_cast<std::size_t>(cur_)]->wait_obj = cv;
+    pick_and_switch(/*current_runnable=*/false);
+  }
+
+  void wake_mutex_waiters(const void* m) {
+    for (auto& t : threads_) {
+      if (t->state == State::kMutexParked && t->wait_obj == m) {
+        t->state = State::kRunnable;
+      }
+    }
+  }
+
+  void wake_cv_waiters(const void* cv) {
+    for (auto& t : threads_) {
+      if (t->state == State::kCvParked && t->wait_obj == cv) {
+        t->state = State::kRunnable;
+      }
+    }
+  }
+
+ private:
+  static constexpr int kBootstrapId = -1;
+  static constexpr std::size_t kMaxEvents = 160;
+
+  enum class Phase { kBootstrap, kThreads, kTeardown, kDone };
+  enum class State {
+    kRunnable,
+    kRunning,
+    kYieldParked,
+    kMutexParked,
+    kCvParked,
+    kFinished,
+  };
+
+  struct ThreadCtx {
+    std::string name;
+    std::function<void()> body;
+    State state = State::kRunnable;
+    const void* wait_obj = nullptr;
+    std::uint64_t yield_stamp = 0;
+    std::uint64_t visible_floor = 0;  ///< see Execution::visible_floor()
+    std::uint64_t own_progress = 0;   ///< progress bumps made by this thread
+    std::uint64_t foreign_seen = 0;   ///< foreign progress at last yield
+    VectorClock clock;
+    std::thread os_thread;
+    std::binary_semaphore sem{0};
+  };
+
+  std::string context_name() const {
+    if (cur_ == kBootstrapId) {
+      return phase_ == Phase::kTeardown ? "teardown" : "bootstrap";
+    }
+    return threads_[static_cast<std::size_t>(cur_)]->name;
+  }
+
+  static const char* state_name(State s) {
+    switch (s) {
+      case State::kRunnable: return "runnable";
+      case State::kRunning: return "running";
+      case State::kYieldParked: return "yield-parked";
+      case State::kMutexParked: return "blocked on mutex";
+      case State::kCvParked: return "waiting on condvar";
+      case State::kFinished: return "finished";
+    }
+    return "?";
+  }
+
+  void start_threads(Sim& sim) {
+    const int n = static_cast<int>(sim.bodies_.size());
+    if (n == 0) return;
+    if (n > kMaxThreads) {
+      failed_ = true;
+      failure_ = "scenario declares " + std::to_string(n) + " threads; max " +
+                 std::to_string(kMaxThreads);
+      return;
+    }
+    threads_.clear();
+    finished_ = 0;
+    for (int i = 0; i < n; ++i) {
+      threads_.push_back(std::make_unique<ThreadCtx>());
+      ThreadCtx& t = *threads_.back();
+      t.name = sim.names_[static_cast<std::size_t>(i)];
+      t.body = std::move(sim.bodies_[static_cast<std::size_t>(i)]);
+      t.clock = boot_clock_;  // setup writes happen-before every thread
+    }
+    for (int i = 0; i < n; ++i) {
+      threads_[static_cast<std::size_t>(i)]->os_thread =
+          std::thread([this, i] { thread_main(i); });
+    }
+    phase_ = Phase::kThreads;
+    // Hand the single run token to the first scheduled thread, then wait
+    // for the last finisher to hand it back.
+    cur_ = pick_first();
+    threads_[static_cast<std::size_t>(cur_)]->state = State::kRunning;
+    threads_[static_cast<std::size_t>(cur_)]->sem.release();
+    done_.acquire();
+    for (auto& t : threads_) t->os_thread.join();
+    // Teardown context sees everything every thread did.
+    cur_ = kBootstrapId;
+    for (auto& t : threads_) boot_clock_.merge(t->clock);
+  }
+
+  int pick_first() {
+    const int n = static_cast<int>(threads_.size());
+    return choose(n);  // candidates are 0..n-1, all runnable
+  }
+
+  void thread_main(int me) {
+    ThreadCtx& t = *threads_[static_cast<std::size_t>(me)];
+    t.sem.acquire();
+    try {
+      if (aborting_) throw detail::AbortThread{};
+      t.body();
+    } catch (const detail::AbortThread&) {
+    }
+    finish(me);
+  }
+
+  /// Called by the finishing thread while it still holds the run token.
+  void finish(int me) {
+    threads_[static_cast<std::size_t>(me)]->state = State::kFinished;
+    if (++finished_ == static_cast<int>(threads_.size())) {
+      done_.release();
+      return;
+    }
+    if (aborting_) {
+      // Abort chain: pass the token to ANY unfinished thread; it wakes,
+      // sees aborting_, unwinds, and continues the chain.
+      for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i]->state != State::kFinished) {
+          cur_ = static_cast<int>(i);
+          threads_[i]->sem.release();
+          return;
+        }
+      }
+      return;  // unreachable: finished_ < size implies one exists
+    }
+    pick_and_switch_from_finished();
+  }
+
+  void pick_and_switch_from_finished() {
+    std::vector<int> cands = runnable();
+    if (cands.empty()) {
+      report_deadlock_and_abort();
+      return;
+    }
+    const int next = cands[static_cast<std::size_t>(
+        choose(static_cast<int>(cands.size())))];
+    switch_to(next, /*park_self=*/false);
+  }
+
+  std::vector<int> runnable() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      if (threads_[i]->state == State::kRunnable) {
+        out.push_back(static_cast<int>(i));
+      }
+    }
+    return out;
+  }
+
+  /// The deadlock report doubles as the lost-wakeup detector: a receiver
+  /// parked on the condvar with no one left to notify it lands here.
+  void report_deadlock_and_abort() {
+    std::string why = "deadlock: no runnable thread (";
+    bool first = true;
+    for (const auto& t : threads_) {
+      if (t->state == State::kFinished) continue;
+      if (!first) why += ", ";
+      first = false;
+      why += t->name + " " + state_name(t->state);
+    }
+    why += ") — lost wakeup or circular wait";
+    if (!failed_) {
+      failed_ = true;
+      failure_ = why;
+      if (record_events_) note("FAIL " + why);
+    }
+    aborting_ = true;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      if (threads_[i]->state != State::kFinished) {
+        cur_ = static_cast<int>(i);
+        threads_[i]->sem.release();
+        return;
+      }
+    }
+  }
+
+  /// The scheduling decision. Candidate 0 is the current thread when it
+  /// is still runnable, so decision 0 always means "keep going" — and a
+  /// non-zero decision while the current thread could continue is a
+  /// PREEMPTION, the thing preemption bounding counts.
+  void pick_and_switch(bool current_runnable) {
+    std::vector<int> cands;
+    if (current_runnable) cands.push_back(cur_);
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      if (static_cast<int>(i) != cur_ &&
+          threads_[i]->state == State::kRunnable) {
+        cands.push_back(static_cast<int>(i));
+      }
+    }
+    if (cands.empty()) {
+      // Current thread just parked and nobody can run: deadlock. Unwind
+      // self; the abort chain wakes the other parked threads.
+      report_deadlock_self();
+      throw detail::AbortThread{};
+    }
+    int next;
+    if (current_runnable &&
+        (cands.size() == 1 ||
+         (limits_.max_preemptions >= 0 && preemptions_ >= limits_.max_preemptions))) {
+      next = cur_;  // forced: alone, or out of preemption budget
+      // A budget-forced continue still goes on the tape (as the 0 the
+      // explorer was never asked for): the decision list must replay the
+      // same schedule under ANY preemption bound, including none.
+      if (cands.size() > 1 && phase_ == Phase::kThreads) {
+        decisions_.push_back(0);
+      }
+    } else {
+      next = cands[static_cast<std::size_t>(
+          choose(static_cast<int>(cands.size())))];
+    }
+    if (next == cur_) return;
+    if (current_runnable) {
+      ++preemptions_;
+      threads_[static_cast<std::size_t>(cur_)]->state = State::kRunnable;
+    }
+    switch_to(next, /*park_self=*/true);
+  }
+
+  void report_deadlock_self() {
+    std::string why = "deadlock: no runnable thread (";
+    bool first = true;
+    for (const auto& t : threads_) {
+      if (t->state == State::kFinished) continue;
+      if (!first) why += ", ";
+      first = false;
+      why += t->name + " " + state_name(t->state);
+    }
+    why += ") — lost wakeup or circular wait";
+    if (!failed_) {
+      failed_ = true;
+      failure_ = why;
+      if (record_events_) note("FAIL " + why);
+    }
+    aborting_ = true;
+  }
+
+  void switch_to(int next, bool park_self) {
+    const int me = cur_;
+    cur_ = next;
+    threads_[static_cast<std::size_t>(next)]->state = State::kRunning;
+    threads_[static_cast<std::size_t>(next)]->sem.release();
+    if (!park_self) return;
+    threads_[static_cast<std::size_t>(me)]->sem.acquire();
+    if (aborting_) throw detail::AbortThread{};
+    // Whoever released us already set cur_ = me and state = kRunning.
+  }
+
+  Explorer& explorer_;
+  Limits limits_;
+  bool record_events_;
+
+  Phase phase_ = Phase::kBootstrap;
+  int cur_ = kBootstrapId;
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  int finished_ = 0;
+  std::binary_semaphore done_{0};
+
+  VectorClock boot_clock_;
+  VectorClock sc_clock_;
+  std::array<VectorClock, VectorClock::kSlots> acq_pending_{};
+  struct FenceRel {
+    VectorClock clock;
+    bool valid = false;
+  };
+  std::array<FenceRel, VectorClock::kSlots> fence_rel_{};
+
+  bool failed_ = false;
+  bool aborting_ = false;
+  std::string failure_;
+  std::vector<int> decisions_;
+  std::vector<std::string> events_;
+  std::uint64_t steps_ = 0;
+  std::uint64_t progress_ = 0;
+  int preemptions_ = 0;
+  std::uint64_t object_ids_ = 0;
+};
+
+/// Scenario assertion: record a model failure (and abort the execution)
+/// when `cond` is false. Usable from virtual threads and from the
+/// end-of-execution invariant.
+inline void require(bool cond, const std::string& why) {
+  if (!cond) detail::g_exec->fail("invariant violated: " + why);
+}
+
+/// Model mutex: parks the virtual thread instead of the OS thread and
+/// carries the happens-before clock a real mutex hands from unlocker to
+/// the next locker.
+class Mutex {
+ public:
+  void lock() {
+    Execution* e = detail::g_exec;
+    e->schedule_point();
+    while (owner_ != -1) {
+      e->note("lock (blocked)");
+      e->block_on_mutex(this);
+    }
+    owner_ = e->current_thread();
+    e->clock().merge(clk_);
+    e->tick();
+    e->note("lock acquired");
+  }
+
+  void unlock() {
+    release();
+    detail::g_exec->schedule_point();
+  }
+
+ private:
+  friend class CondVar;
+
+  /// Ownership release + happens-before handoff, NO scheduling point.
+  /// CondVar::wait releases through this so nothing can run between the
+  /// release and the cv park — the atomicity real condvars guarantee
+  /// (a notifier acquiring the mutex after the release must find the
+  /// waiter parked, not preempted on its way to the park).
+  void release() {
+    Execution* e = detail::g_exec;
+    e->tick();
+    clk_ = e->clock();
+    owner_ = -1;
+    e->note("unlock");
+    e->wake_mutex_waiters(this);
+    e->note_progress();  // spin loops may re-check mutex-guarded state
+  }
+
+  int owner_ = -1;
+  VectorClock clk_;
+};
+
+/// std::lock_guard-compatible RAII for the model mutex.
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : m_(m) { m_.lock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+  ~LockGuard() { m_.unlock(); }
+
+ private:
+  Mutex& m_;
+};
+
+/// Model condition variable: no spurious wakeups (a schedule that needs
+/// one is reachable anyway by notifying and finding nothing), no timeouts
+/// (a model wait that only a timeout can end IS a lost wakeup, and shows
+/// up as a deadlock).
+class CondVar {
+ public:
+  /// Precondition: the current virtual thread holds `m`. Release and park
+  /// are atomic (no scheduling point in between), as for a real condvar.
+  void wait(Mutex& m) {
+    Execution* e = detail::g_exec;
+    e->note("cv wait (releases mutex, parks)");
+    m.release();
+    e->block_on_cv(this);
+    m.lock();
+  }
+
+  void notify_all() {
+    Execution* e = detail::g_exec;
+    e->note("cv notify_all");
+    e->wake_cv_waiters(this);
+    e->note_progress();
+    e->schedule_point();
+  }
+
+ private:
+};
+
+}  // namespace reptile::rtm::model

@@ -1,0 +1,55 @@
+#pragma once
+// Fixed-size vector clocks for the rtm model checker (DESIGN.md §8).
+//
+// Component i is the number of events thread i had performed when this
+// clock was captured. Happens-before between events is component-wise
+// dominance of the clocks captured at those events. The model runs at
+// most kSlots - 1 virtual threads plus the bootstrap/teardown context,
+// so a flat array beats anything dynamic.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace reptile::rtm::model {
+
+class VectorClock {
+ public:
+  static constexpr int kSlots = 8;
+
+  std::uint64_t operator[](int i) const { return t_[static_cast<std::size_t>(i)]; }
+  std::uint64_t& operator[](int i) { return t_[static_cast<std::size_t>(i)]; }
+
+  /// Pointwise maximum: after this, *this dominates both inputs.
+  void merge(const VectorClock& o) {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(kSlots); ++i) {
+      t_[i] = std::max(t_[i], o.t_[i]);
+    }
+  }
+
+  /// True when every component of *this is >= the matching one in `o`,
+  /// i.e. the event that captured `o` happens-before the holder of *this.
+  bool dominates(const VectorClock& o) const {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(kSlots); ++i) {
+      if (t_[i] < o.t_[i]) return false;
+    }
+    return true;
+  }
+
+  void clear() { t_.fill(0); }
+
+  std::string str() const {
+    std::string out = "[";
+    for (int i = 0; i < kSlots; ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(t_[static_cast<std::size_t>(i)]);
+    }
+    return out + "]";
+  }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(kSlots)> t_{};
+};
+
+}  // namespace reptile::rtm::model

@@ -34,6 +34,11 @@
 // ordered by the seq acquire/release pairs above; every claim is finalized
 // by a successful CAS on the position counter, so exactly one thread ever
 // touches a cell's message between two sequence transitions.
+//
+// The class is templated on an Atomics policy (rtm/atomics_policy.hpp):
+// production uses StdAtomics (identical codegen to hand-written
+// std::atomic); the model checker instantiates the same code with
+// instrumented atomics and explores its interleavings (DESIGN.md §8).
 
 #include <atomic>
 #include <cassert>
@@ -41,9 +46,20 @@
 #include <cstdint>
 #include <memory>
 
+#include "rtm/atomics_policy.hpp"
 #include "rtm/message.hpp"
 
 namespace reptile::rtm {
+
+#ifdef RTM_MODEL_MUTANT_RELAXED_SEQ
+namespace mutants {
+/// Test-only toggle (model-checker mutant suite): weakens the producer's
+/// publishing seq store to relaxed, severing the release/acquire edge that
+/// orders the non-atomic message write before the consumer's read. Never
+/// defined in production builds.
+inline bool g_relaxed_seq_publish = false;
+}  // namespace mutants
+#endif
 
 /// Packs a message envelope into one atomic word so consumers can inspect
 /// a cell's (source, tag) without touching the non-atomic Message. Works
@@ -53,7 +69,8 @@ constexpr std::uint64_t pack_envelope(int source, int tag) noexcept {
          static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag));
 }
 
-class MpmcMessageRing {
+template <class Policy = StdAtomics>
+class BasicMpmcMessageRing {
  public:
   enum class PopResult {
     kOk,        ///< head matched and was claimed
@@ -63,30 +80,38 @@ class MpmcMessageRing {
   };
 
   /// Capacity must be a power of two, at least 2.
-  explicit MpmcMessageRing(std::size_t capacity)
+  explicit BasicMpmcMessageRing(std::size_t capacity)
       : capacity_(capacity),
         mask_(capacity - 1),
         cells_(std::make_unique<Cell[]>(capacity)) {
     assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
     for (std::size_t i = 0; i < capacity; ++i) {
+      // mo: single-threaded construction; cells published by whatever
+      // mechanism hands the ring to other threads.
       cells_[i].seq.store(i, std::memory_order_relaxed);
     }
   }
 
-  MpmcMessageRing(const MpmcMessageRing&) = delete;
-  MpmcMessageRing& operator=(const MpmcMessageRing&) = delete;
+  BasicMpmcMessageRing(const BasicMpmcMessageRing&) = delete;
+  BasicMpmcMessageRing& operator=(const BasicMpmcMessageRing&) = delete;
 
   /// Lock-free push. Moves from `m` only on success; returns false when the
   /// ring is full (caller falls back to the mailbox's locked overflow path).
   bool try_push(Message& m) {
     Cell* cell = nullptr;
+    // mo: racy position hint only; the claim CAS re-validates.
     std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
       cell = &cells_[pos & mask_];
+      // mo: acquire pairs with the consumer's release of `seq = pos +
+      // capacity`, ordering the consumer's take of the previous lap's
+      // message before this producer's overwrite.
       const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
       const auto dif =
           static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
       if (dif == 0) {
+        // mo: relaxed claim; the cell handoff itself is ordered by the seq
+        // acquire above and the seq release below, not by this counter.
         if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
                                                std::memory_order_relaxed)) {
           break;
@@ -94,12 +119,25 @@ class MpmcMessageRing {
       } else if (dif < 0) {
         return false;  // one full lap behind: ring is full
       } else {
+        // mo: fresh hint after losing the claim race (see first load).
         pos = enqueue_pos_.load(std::memory_order_relaxed);
       }
     }
+    // mo: relaxed envelope; it is ordered before consumers' reads by the
+    // seq release-store below (consumers only read it after acquiring seq).
     cell->envelope.store(pack_envelope(m.source, m.tag),
                          std::memory_order_relaxed);
-    cell->msg = std::move(m);
+    put(cell->msg, std::move(m));
+#ifdef RTM_MODEL_MUTANT_RELAXED_SEQ
+    if (mutants::g_relaxed_seq_publish) {
+      // mo: MUTANT — deliberately too weak; the model checker must flag
+      // the resulting race on the non-atomic message cell.
+      cell->seq.store(pos + 1, std::memory_order_relaxed);
+      return true;
+    }
+#endif
+    // mo: release publishes the envelope and message writes above to any
+    // consumer that acquires this seq value.
     cell->seq.store(pos + 1, std::memory_order_release);
     return true;
   }
@@ -112,25 +150,36 @@ class MpmcMessageRing {
   /// never a wrong claim: the claim CAS on `dequeue_pos_` re-validates the
   /// generation.
   PopResult try_pop_exact(std::uint64_t envelope, Message& out) {
+    // mo: acquire so the consumer-lock bit check below observes a bit set
+    // by a locked consumer together with the deque state it protects.
     std::uint64_t pos = dequeue_pos_.load(std::memory_order_acquire);
     for (;;) {
       if ((pos & kConsumerLock) != 0) return PopResult::kLocked;
       Cell* cell = &cells_[pos & mask_];
+      // mo: acquire pairs with the producer's release publication, making
+      // the envelope and message writes visible before we touch them.
       const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
       const auto dif =
           static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
       if (dif < 0) return PopResult::kEmpty;  // head not (yet) published
       if (dif > 0) {  // lost a race with another consumer; re-read the head
+        // mo: acquire for the same reason as the initial head load.
         pos = dequeue_pos_.load(std::memory_order_acquire);
         continue;
       }
+      // mo: relaxed is enough — the envelope store is ordered before the
+      // seq publication we already acquired above.
       if (cell->envelope.load(std::memory_order_relaxed) != envelope) {
         return PopResult::kMismatch;
       }
+      // mo: acq_rel — acquire re-validates the head under the lock bit;
+      // release orders this consumer's claim before its seq hand-back for
+      // the producer one lap later.
       if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
                                              std::memory_order_acq_rel)) {
-        out = std::move(cell->msg);
-        cell->msg = Message();  // free payload promptly (arena slab reuse)
+        out = take(cell->msg);  // take() frees the payload promptly
+        // mo: release hands the cell to the producer one lap later,
+        // ordering our take of the message before its overwrite.
         cell->seq.store(pos + capacity_, std::memory_order_release);
         return PopResult::kOk;
       }
@@ -142,8 +191,12 @@ class MpmcMessageRing {
   /// the owning mailbox's mutex; atomic RMW because fast pops race with it.
   void set_consumer_lock(bool on) {
     if (on) {
+      // mo: acq_rel — release publishes the locked consumer's intent to
+      // racing fast-pop CASes; acquire orders the drain that follows after
+      // any fast pop that already claimed the old head.
       dequeue_pos_.fetch_or(kConsumerLock, std::memory_order_acq_rel);
     } else {
+      // mo: acq_rel for the same pairing in the opposite direction.
       dequeue_pos_.fetch_and(~kConsumerLock, std::memory_order_acq_rel);
     }
   }
@@ -153,25 +206,35 @@ class MpmcMessageRing {
   /// CAS, making this thread the only consumer). Returns false when the
   /// ring is empty / the head is not yet published.
   bool pop_head_locked(Message& out) {
+    // mo: relaxed — dequeue_pos_ is only advanced by consumers, and the
+    // lock bit makes this thread the only one; the mailbox mutex ordered
+    // any previous locked consumer's advance before this read.
     const std::uint64_t pos =
         dequeue_pos_.load(std::memory_order_relaxed) & ~kConsumerLock;
     Cell* cell = &cells_[pos & mask_];
+    // mo: acquire pairs with the producer's release publication (as in
+    // try_pop_exact).
     const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
     if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) !=
         0) {
       return false;
     }
-    out = std::move(cell->msg);
-    cell->msg = Message();
+    out = take(cell->msg);
+    // mo: release hands the cell to the producer one lap later.
     cell->seq.store(pos + capacity_, std::memory_order_release);
+    // mo: release so a fast pop that acquires this value (after the lock
+    // bit clears) observes the advanced head consistently.
     dequeue_pos_.store((pos + 1) | kConsumerLock, std::memory_order_release);
     return true;
   }
 
   /// Racy size estimate (exact when quiescent); never counts the lock bit.
   std::size_t approx_size() const {
+    // mo: deliberately racy diagnostics/overflow heuristic; both loads
+    // relaxed (see the spill loop in mailbox_core.hpp for why stale reads
+    // are benign there).
     const std::uint64_t tail = enqueue_pos_.load(std::memory_order_relaxed);
-    const std::uint64_t head =
+    const std::uint64_t head =  // mo: same rationale as tail above
         dequeue_pos_.load(std::memory_order_relaxed) & ~kConsumerLock;
     return tail > head ? static_cast<std::size_t>(tail - head) : 0;
   }
@@ -182,16 +245,19 @@ class MpmcMessageRing {
   static constexpr std::uint64_t kConsumerLock = std::uint64_t{1} << 63;
 
   struct alignas(64) Cell {
-    std::atomic<std::uint64_t> seq{0};
-    std::atomic<std::uint64_t> envelope{0};
-    Message msg;
+    typename Policy::template Atomic<std::uint64_t> seq{0};
+    typename Policy::template Atomic<std::uint64_t> envelope{0};
+    typename Policy::template Plain<Message> msg;
   };
 
   const std::size_t capacity_;
   const std::uint64_t mask_;
   std::unique_ptr<Cell[]> cells_;
-  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
-  alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+  alignas(64) typename Policy::template Atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) typename Policy::template Atomic<std::uint64_t> dequeue_pos_{0};
 };
+
+/// The production instantiation used by the mailbox fast path.
+using MpmcMessageRing = BasicMpmcMessageRing<StdAtomics>;
 
 }  // namespace reptile::rtm

@@ -1,0 +1,30 @@
+#pragma once
+// Relaxed access helpers for monotonic statistic counters.
+//
+// The rtm layer keeps many diagnostic counters (traffic volume, checker
+// tallies, watchdog progress probes). They share one property: nothing is
+// ever published THROUGH them — readers either snapshot after a barrier /
+// join that already synchronizes, or (the watchdog) only compare two reads
+// of the same counter for equality, where staleness is benign. Routing
+// every such access through these helpers keeps that single memory-ordering
+// argument in one auditable place instead of repeated at ~50 call sites;
+// tools/atomics_lint.py enforces that any weaker-than-seq_cst order used
+// directly carries its own `// mo:` rationale.
+
+#include <atomic>
+#include <cstdint>
+
+namespace reptile::rtm {
+
+// mo: relaxed — pure counting; ordering is provided externally at read
+// time (barrier/join), or the reader tolerates stale values by design.
+inline std::uint64_t stat_read(const std::atomic<std::uint64_t>& c) noexcept {
+  return c.load(std::memory_order_relaxed);  // mo: see above
+}
+
+// mo: relaxed — see stat_read.
+inline void stat_add(std::atomic<std::uint64_t>& c, std::uint64_t v) noexcept {
+  c.fetch_add(v, std::memory_order_relaxed);  // mo: see above
+}
+
+}  // namespace reptile::rtm

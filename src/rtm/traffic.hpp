@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rtm/stat_counter.hpp"
 #include "rtm/topology.hpp"
 
 namespace reptile::rtm {
@@ -34,12 +35,10 @@ struct RankTraffic {
   std::atomic<std::uint64_t> duplicated_msgs{0};
 
   std::uint64_t sent_msgs() const noexcept {
-    return sent_msgs_intra.load(std::memory_order_relaxed) +
-           sent_msgs_inter.load(std::memory_order_relaxed);
+    return stat_read(sent_msgs_intra) + stat_read(sent_msgs_inter);
   }
   std::uint64_t sent_bytes() const noexcept {
-    return sent_bytes_intra.load(std::memory_order_relaxed) +
-           sent_bytes_inter.load(std::memory_order_relaxed);
+    return stat_read(sent_bytes_intra) + stat_read(sent_bytes_inter);
   }
 };
 
@@ -74,13 +73,15 @@ class TrafficRecorder {
   void record_send(int src, int dst, std::size_t bytes) {
     auto& row = rows_[static_cast<std::size_t>(src)];
     if (topo_.same_node(src, dst)) {
-      row.sent_msgs_intra.fetch_add(1, std::memory_order_relaxed);
-      row.sent_bytes_intra.fetch_add(bytes, std::memory_order_relaxed);
+      stat_add(row.sent_msgs_intra, 1);
+      stat_add(row.sent_bytes_intra, bytes);
     } else {
-      row.sent_msgs_inter.fetch_add(1, std::memory_order_relaxed);
-      row.sent_bytes_inter.fetch_add(bytes, std::memory_order_relaxed);
+      stat_add(row.sent_msgs_inter, 1);
+      stat_add(row.sent_bytes_inter, bytes);
     }
-    std::uint64_t seen = row.largest_msg_bytes.load(std::memory_order_relaxed);
+    std::uint64_t seen = stat_read(row.largest_msg_bytes);
+    // mo: relaxed max-CAS — still just a statistic, same argument as
+    // stat_add; the loop only needs atomicity, not ordering.
     while (bytes > seen && !row.largest_msg_bytes.compare_exchange_weak(
                                seen, bytes, std::memory_order_relaxed)) {
     }
@@ -88,37 +89,33 @@ class TrafficRecorder {
 
   /// Chaos-layer accounting: a send from `src` was discarded / duplicated.
   void record_drop(int src) {
-    rows_[static_cast<std::size_t>(src)].dropped_msgs.fetch_add(
-        1, std::memory_order_relaxed);
+    stat_add(rows_[static_cast<std::size_t>(src)].dropped_msgs, 1);
   }
   void record_duplicate(int src) {
-    rows_[static_cast<std::size_t>(src)].duplicated_msgs.fetch_add(
-        1, std::memory_order_relaxed);
+    stat_add(rows_[static_cast<std::size_t>(src)].duplicated_msgs, 1);
   }
 
   void record_collective(int rank, std::size_t bytes_out,
                          std::size_t bytes_in) {
     auto& row = rows_[static_cast<std::size_t>(rank)];
-    row.collective_calls.fetch_add(1, std::memory_order_relaxed);
-    row.collective_bytes_out.fetch_add(bytes_out, std::memory_order_relaxed);
-    row.collective_bytes_in.fetch_add(bytes_in, std::memory_order_relaxed);
+    stat_add(row.collective_calls, 1);
+    stat_add(row.collective_bytes_out, bytes_out);
+    stat_add(row.collective_bytes_in, bytes_in);
   }
 
   TrafficSnapshot snapshot(int rank) const {
     const auto& r = rows_[static_cast<std::size_t>(rank)];
     TrafficSnapshot s;
-    s.sent_msgs_intra = r.sent_msgs_intra.load(std::memory_order_relaxed);
-    s.sent_msgs_inter = r.sent_msgs_inter.load(std::memory_order_relaxed);
-    s.sent_bytes_intra = r.sent_bytes_intra.load(std::memory_order_relaxed);
-    s.sent_bytes_inter = r.sent_bytes_inter.load(std::memory_order_relaxed);
-    s.collective_bytes_out =
-        r.collective_bytes_out.load(std::memory_order_relaxed);
-    s.collective_bytes_in =
-        r.collective_bytes_in.load(std::memory_order_relaxed);
-    s.collective_calls = r.collective_calls.load(std::memory_order_relaxed);
-    s.largest_msg_bytes = r.largest_msg_bytes.load(std::memory_order_relaxed);
-    s.dropped_msgs = r.dropped_msgs.load(std::memory_order_relaxed);
-    s.duplicated_msgs = r.duplicated_msgs.load(std::memory_order_relaxed);
+    s.sent_msgs_intra = stat_read(r.sent_msgs_intra);
+    s.sent_msgs_inter = stat_read(r.sent_msgs_inter);
+    s.sent_bytes_intra = stat_read(r.sent_bytes_intra);
+    s.sent_bytes_inter = stat_read(r.sent_bytes_inter);
+    s.collective_bytes_out = stat_read(r.collective_bytes_out);
+    s.collective_bytes_in = stat_read(r.collective_bytes_in);
+    s.collective_calls = stat_read(r.collective_calls);
+    s.largest_msg_bytes = stat_read(r.largest_msg_bytes);
+    s.dropped_msgs = stat_read(r.dropped_msgs);
+    s.duplicated_msgs = stat_read(r.duplicated_msgs);
     return s;
   }
 

@@ -1,0 +1,76 @@
+#pragma once
+// Deterministic failure replay for the seeded concurrency tests
+// (test_rtm_ring / test_rtm_stress / test_chaos_ring).
+//
+// Every randomized schedule in those suites derives its seed through
+// derive(local): with the default base seed (no RTM_TEST_SEED set) that
+// is the identity, so unseeded runs keep their historical schedules;
+// RTM_TEST_SEED=n deterministically shifts every derived seed, which is
+// how CI re-rolls the dice and how a failure is replayed bit-for-bit.
+//
+// install_seed_reporter() hooks a gtest listener that, on any failing
+// test, prints the base seed and the exact one-line command reproducing
+// that test under it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace rtm_test {
+
+inline std::uint64_t base_seed() {
+  static const std::uint64_t s = [] {
+    const char* v = std::getenv("RTM_TEST_SEED");
+    return (v != nullptr && *v != '\0') ? std::strtoull(v, nullptr, 10)
+                                        : std::uint64_t{0};
+  }();
+  return s;
+}
+
+/// Folds the run's base seed into a test's fixed local seed (splitmix64
+/// finalizer, so nearby locals stay decorrelated). Base 0 = identity.
+inline std::uint64_t derive(std::uint64_t local) {
+  const std::uint64_t base = base_seed();
+  if (base == 0) return local;
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (local + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace detail {
+
+class SeedReporter : public ::testing::EmptyTestEventListener {
+ public:
+  explicit SeedReporter(std::string binary) : binary_(std::move(binary)) {}
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() == nullptr || !info.result()->Failed()) return;
+    std::cerr << "[rtm-test] base seed " << base_seed()
+              << "; replay: RTM_TEST_SEED=" << base_seed() << " ./" << binary_
+              << " --gtest_filter=" << info.test_suite_name() << "."
+              << info.name() << "\n";
+  }
+
+ private:
+  std::string binary_;
+};
+
+}  // namespace detail
+
+/// Registers the failure reporter once; call from a namespace-scope
+/// initializer so it precedes RUN_ALL_TESTS:
+///   const bool kSeedReporter = rtm_test::install_seed_reporter("test_x");
+inline bool install_seed_reporter(const char* binary) {
+  static const bool once = [binary] {
+    ::testing::UnitTest::GetInstance()->listeners().Append(
+        new detail::SeedReporter(binary));
+    return true;
+  }();
+  return once;
+}
+
+}  // namespace rtm_test

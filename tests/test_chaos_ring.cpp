@@ -15,10 +15,14 @@
 #include "core/pipeline.hpp"
 #include "parallel/dist_pipeline.hpp"
 #include "rtm/comm.hpp"
+#include "rtm_test_seed.hpp"
 #include "seq/dataset.hpp"
 
 namespace reptile {
 namespace {
+
+// Prints the base seed + a one-line replay command on any failure.
+const bool kSeedReporter = rtm_test::install_seed_reporter("test_chaos_ring");
 
 using namespace std::chrono_literals;
 
@@ -37,7 +41,7 @@ ChaosRunResult run_seeded_chaos(bool fast_path) {
   rtm::RunOptions options;
   options.check.enabled = false;  // A/B runs park a duplicated sentinel
   options.mailbox_fast_path = fast_path;
-  options.chaos.seed = 83;
+  options.chaos.seed = rtm_test::derive(83);
   options.chaos.max_delay_us = 200;
   options.chaos.duplicate_rate = 0.35;
   options.chaos.stall_rate = 0.01;
@@ -122,7 +126,7 @@ TEST(ChaosRing, LossyRetryPipelineOnRingPath) {
   config.ranks = 4;
   config.run_options.check.enabled = false;
   config.run_options.mailbox_fast_path = true;
-  config.run_options.chaos.seed = 113;
+  config.run_options.chaos.seed = rtm_test::derive(113);
   config.run_options.chaos.max_delay_us = 150;
   config.run_options.chaos.drop_rate = 0.08;
   config.run_options.chaos.duplicate_rate = 0.05;

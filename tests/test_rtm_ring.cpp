@@ -12,11 +12,16 @@
 
 #include "rtm/comm.hpp"
 #include "rtm/mailbox.hpp"
+#include "rtm_test_seed.hpp"
 #include "rtm/message.hpp"
 #include "rtm/ring.hpp"
 
 namespace reptile::rtm {
 namespace {
+
+// Prints the base seed + a one-line replay command on any failure
+// (interleaving-sensitive suites share the RTM_TEST_SEED contract).
+const bool kSeedReporter = rtm_test::install_seed_reporter("test_rtm_ring");
 
 using namespace std::chrono_literals;
 

@@ -7,10 +7,14 @@
 #include <thread>
 
 #include "rtm/comm.hpp"
+#include "rtm_test_seed.hpp"
 #include "seq/rng.hpp"
 
 namespace reptile::rtm {
 namespace {
+
+// Prints the base seed + a one-line replay command on any failure.
+const bool kSeedReporter = rtm_test::install_seed_reporter("test_rtm_stress");
 
 TEST(RtmStress, AllToAllPointToPointStorm) {
   // Every rank sends a numbered message stream to every other rank, then
@@ -81,7 +85,8 @@ TEST(RtmStress, ManyPhaseCyclesWithServerThreads) {
         }
       });
       // Each rank queries a few random peers.
-      seq::Rng rng(static_cast<std::uint64_t>(comm.rank() * 100 + phase));
+      seq::Rng rng(rtm_test::derive(
+          static_cast<std::uint64_t>(comm.rank() * 100 + phase)));
       for (int q = 0; q < 20; ++q) {
         const int peer = static_cast<int>(
             rng.below(static_cast<std::uint64_t>(comm.size())));
@@ -104,7 +109,7 @@ TEST(RtmStress, LargePayloadsSurviveIntact) {
     constexpr std::size_t kWords = 1 << 18;  // 2 MB payload
     if (comm.rank() == 0) {
       std::vector<std::uint64_t> payload(kWords);
-      seq::Rng rng(1);
+      seq::Rng rng(rtm_test::derive(1));
       for (auto& w : payload) w = rng.next();
       comm.send<std::uint64_t>(1, 9,
                                std::span<const std::uint64_t>(payload));

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Lint memory-order annotations in the rtm concurrency layer.
+
+Every use of a non-seq_cst ``std::memory_order`` in ``src/rtm/`` must carry
+a ``// mo:`` rationale comment on the same line or the line directly above.
+seq_cst is the safe default and needs no justification; anything weaker is
+an optimization whose correctness argument lives next to the code, where
+the model checker (DESIGN.md S8) and reviewers can audit it.
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+
+Usage:
+    tools/atomics_lint.py [--root DIR] [paths...]
+
+With no paths, lints every .hpp/.cpp under src/rtm/ (recursively).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Weaker-than-seq_cst orders that demand a rationale. seq_cst itself and
+# the plain type name `std::memory_order` (e.g. in a template parameter
+# list) are exempt.
+WEAK_ORDERS = (
+    "relaxed",
+    "acquire",
+    "release",
+    "acq_rel",
+    "consume",
+)
+
+ORDER_RE = re.compile(
+    r"(?:std::)?memory_order(?:::|_)(" + "|".join(WEAK_ORDERS) + r")\b"
+)
+RATIONALE_RE = re.compile(r"//\s*mo:")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+# A line whose code ends with one of these continues on the next line, so
+# the order token may sit several lines below the statement's start (and
+# its rationale comment).
+CONTINUATION_ENDINGS = (",", "(", "=", "&&", "||", "+", "-", "?", ":", "<<")
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string/char literals so orders named in text don't count."""
+    out = []
+    quote = None
+    prev = ""
+    for ch in line:
+        if quote:
+            out.append(" ")
+            if ch == quote and prev != "\\":
+                quote = None
+        elif ch in "\"'":
+            out.append(" ")
+            quote = ch
+        else:
+            out.append(ch)
+        prev = ch if prev != "\\" else ""
+    return "".join(out)
+
+
+def code_only(line: str) -> str:
+    """The line with string literals and // comments blanked out."""
+    return LINE_COMMENT_RE.sub("", strip_strings(line))
+
+
+def rationale_above(lines: list[str], idx: int) -> bool:
+    """True if a ``// mo:`` comment covers ``lines[idx]`` from above.
+
+    Walks upward through (a) earlier lines of the same multi-line
+    statement — a line above whose code ends in a continuation token like
+    ``,`` or ``(`` — and (b) the contiguous block of pure ``//`` comment
+    lines that sits directly on top of the statement, which is where
+    multi-sentence rationales naturally wrap.
+    """
+    j = idx - 1
+    while j >= 0:
+        raw = lines[j]
+        if RATIONALE_RE.search(raw):
+            return True
+        code = code_only(raw).rstrip()
+        if code == "" and raw.strip().startswith("//"):
+            j -= 1  # comment block above the statement
+            continue
+        if code != "" and code.endswith(CONTINUATION_ENDINGS):
+            j -= 1  # still inside the statement; its start is higher up
+            continue
+        return False
+    return False
+
+
+def lint_file(path: pathlib.Path) -> list[tuple[int, str]]:
+    violations = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        return [(0, f"unreadable: {e}")]
+    lines = text.splitlines()
+
+    in_block_comment = False
+    for idx, raw in enumerate(lines):
+        line = raw
+        # Track /* ... */ blocks coarsely; orders mentioned inside prose
+        # comments are not uses.
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2 :]
+
+        code = code_only(line)
+        m = ORDER_RE.search(code)
+        if not m:
+            continue
+        # Comparisons and switch labels (e.g. mapping an order enum in
+        # the atomics policy) are inspections, not uses.
+        before = code[: m.start()].rstrip()
+        is_compare = before.endswith(("==", "!=")) or code[
+            m.end() :
+        ].lstrip().startswith(("==", "!="))
+        is_case = bool(re.search(r"\bcase\s*$", before))
+        has_rationale = RATIONALE_RE.search(raw) or rationale_above(
+            lines, idx
+        )
+        if not (is_compare or is_case or has_rationale):
+            violations.append(
+                (
+                    idx + 1,
+                    f"memory_order_{m.group(1)} without a `// mo:` "
+                    "rationale (same line or comment above)",
+                )
+            )
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root (default: parent of tools/)",
+    )
+    parser.add_argument("paths", nargs="*", type=pathlib.Path)
+    args = parser.parse_args()
+
+    if args.paths:
+        files = args.paths
+    else:
+        rtm = args.root / "src" / "rtm"
+        if not rtm.is_dir():
+            print(f"atomics_lint: no such directory {rtm}", file=sys.stderr)
+            return 2
+        files = sorted(
+            p
+            for p in rtm.rglob("*")
+            if p.suffix in (".hpp", ".cpp") and p.is_file()
+        )
+
+    total = 0
+    for path in files:
+        for lineno, msg in lint_file(path):
+            try:
+                shown = path.relative_to(args.root)
+            except ValueError:
+                shown = path
+            print(f"{shown}:{lineno}: {msg}")
+            total += 1
+
+    if total:
+        print(
+            f"atomics_lint: {total} unannotated weak memory-order use(s); "
+            "add `// mo: <why this order is sufficient>`",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"atomics_lint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

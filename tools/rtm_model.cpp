@@ -1,0 +1,133 @@
+// rtm_model: command-line front end of the rtm model checker
+// (DESIGN.md §8). Explores schedules of one named scenario and, on a
+// failure, prints the happens-before verdict, the replay token, and the
+// event trace — the same text a failing test prints, produced by the same
+// code. Exit 0 clean, 1 on a model failure, 2 on usage errors.
+//
+//   rtm_model --list
+//   rtm_model --scenario ring_fifo_small --mode dfs --preemptions 2
+//   rtm_model --scenario mailbox_overflow --schedules 100000 --seed 9
+//   rtm_model --scenario waiter_gate --replay 7:0.1.0.0.2
+//   rtm_model --scenario slab_gate --trace-out failing_trace.txt
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "rtm/model/scenarios.hpp"
+
+namespace {
+
+using namespace reptile::rtm::model;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --scenario NAME [options]\n"
+      "       %s --list\n"
+      "options:\n"
+      "  --mode dfs|random      exploration strategy (default random)\n"
+      "  --schedules N          schedule budget (default 100000)\n"
+      "  --seed S               random-walk seed (default 1)\n"
+      "  --preemptions N        preemption bound, -1 = unbounded\n"
+      "                         (default: 2 for dfs, unbounded for random)\n"
+      "  --replay SEED:D.D...   re-run one recorded schedule with tracing\n"
+      "  --trace-out FILE       also write a failing trace to FILE\n",
+      argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name;
+  std::string trace_out;
+  Options opts;
+  opts.mode = Mode::kRandom;
+  opts.max_schedules = 100000;
+  bool preemptions_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      for (const scenarios::Named& s : scenarios::all()) {
+        std::printf("%-18s %s\n", s.name.c_str(), s.description.c_str());
+      }
+      return 0;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      scenario_name = v;
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (std::strcmp(v, "dfs") == 0) {
+        opts.mode = Mode::kDfs;
+      } else if (std::strcmp(v, "random") == 0) {
+        opts.mode = Mode::kRandom;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--schedules") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.max_schedules = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--preemptions") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      opts.max_preemptions = std::atoi(v);
+      preemptions_set = true;
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      if (!parse_replay(v, &opts.seed, &opts.replay)) {
+        std::fprintf(stderr, "malformed replay token: %s\n", v);
+        return 2;
+      }
+      opts.mode = Mode::kReplay;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      trace_out = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  if (scenario_name.empty()) return usage(argv[0]);
+  const scenarios::Named* sc = scenarios::find(scenario_name);
+  if (sc == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+  // DFS without an explicit bound gets the CHESS default: most
+  // concurrency bugs need <= 2 preemptions, and the bound keeps the tree
+  // enumerable. Random walks stay unbounded.
+  if (opts.mode == Mode::kDfs && !preemptions_set) opts.max_preemptions = 2;
+
+  const Result r = explore(opts, sc->fn);
+  if (!r.failed) {
+    std::printf("%s: clean after %llu schedule(s)%s\n", scenario_name.c_str(),
+                static_cast<unsigned long long>(r.schedules),
+                r.exhausted ? " (bounded space exhausted)" : "");
+    return 0;
+  }
+  const std::string report = describe_failure(r, scenario_name);
+  std::fputs(report.c_str(), stdout);
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    out << report;
+    std::printf("trace written to %s\n", trace_out.c_str());
+  }
+  return 1;
+}
