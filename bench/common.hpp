@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "core/params.hpp"
 #include "obs/trace.hpp"
@@ -46,6 +47,37 @@ inline obs::TraceConfig parse_trace_args(int argc, char** argv) {
     }
   }
   return trace;
+}
+
+/// Extended bench CLI for drivers that also emit a machine-readable summary
+/// (the CI bench gate consumes it):
+///
+///   --json PATH      write the driver's deterministic counters as JSON to
+///                    PATH; tools/bench_gate.py compares it against the
+///                    checked-in bench/baselines/ copy.
+///
+/// Same strictness as parse_trace_args: unknown arguments exit with usage.
+struct BenchArgs {
+  obs::TraceConfig trace;
+  std::string json_path;  ///< empty = no JSON emission
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      args.trace.enabled = true;
+      args.trace.metrics = true;
+      args.trace.path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace PREFIX] [--json PATH]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
 }
 
 /// Corrector parameters used across the reproduction benches. k=12 tiles of

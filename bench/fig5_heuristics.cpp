@@ -15,14 +15,17 @@
 // compares heuristics with measured counters at 8 ranks.
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "parallel/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace reptile;
-  const auto trace = bench::parse_trace_args(argc, argv);
+  const auto args = bench::parse_bench_args(argc, argv);
+  const auto& trace = args.trace;
   bench::print_header(
       "Figure 5 — heuristics: execution time and memory footprint (E.Coli)",
       "universal -8.8%; allgather tiles 975s vs 1178s; full replication 58s");
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
     int ranks;
     int ranks_per_node;
     parallel::Heuristics heur;
+    const char* slug = nullptr;  ///< key in BENCH_fig5.json (nullptr = omit)
   };
   auto h = [](auto setup) {
     parallel::Heuristics x;
@@ -99,33 +103,62 @@ int main(int argc, char** argv) {
   config.ranks_per_node = 4;
 
   stats::TextTable fn({"heuristic", "remote lookups", "probes", "served",
-                       "prefetch hits", "peak MB (max rank)"});
+                       "prefetch hits", "filter neg", "peak MB (max rank)"});
   const Row fn_rows[] = {
-      {"base", 8, 4, h([](auto&) {})},
-      {"universal", 8, 4, h([](auto& x) { x.universal = true; })},
-      {"read kmers", 8, 4, h([](auto& x) { x.read_kmers = true; })},
+      {"base", 8, 4, h([](auto&) {}), "base"},
+      {"universal", 8, 4, h([](auto& x) { x.universal = true; }), "universal"},
+      {"read kmers", 8, 4, h([](auto& x) { x.read_kmers = true; }),
+       "read_kmers"},
       {"add remote", 8, 4,
-       h([](auto& x) { x.read_kmers = x.add_remote = true; })},
-      {"allgather tiles", 8, 4, h([](auto& x) { x.allgather_tiles = true; })},
+       h([](auto& x) { x.read_kmers = x.add_remote = true; }), "add_remote"},
+      {"allgather tiles", 8, 4, h([](auto& x) { x.allgather_tiles = true; }),
+       "allgather_tiles"},
       {"allgather both", 8, 4,
-       h([](auto& x) { x.allgather_kmers = x.allgather_tiles = true; })},
-      {"batch reads", 8, 4, h([](auto& x) { x.batch_reads = true; })},
+       h([](auto& x) { x.allgather_kmers = x.allgather_tiles = true; }),
+       "allgather_both"},
+      {"batch reads", 8, 4, h([](auto& x) { x.batch_reads = true; }),
+       "batch_reads"},
       // Extension: vectored per-chunk prefetch (see DESIGN.md).
-      {"batched lookups", 8, 4, h([](auto& x) { x.batch_lookups = true; })},
+      {"batched lookups", 8, 4, h([](auto& x) { x.batch_lookups = true; }),
+       "batched_lookups"},
       {"batched + read kmers", 8, 4,
-       h([](auto& x) { x.batch_lookups = x.read_kmers = true; })},
+       h([](auto& x) { x.batch_lookups = x.read_kmers = true; }),
+       "batched_read_kmers"},
+      // Extension: filter exchange (DESIGN.md §9) — definite absences are
+      // answered from the peer's Bloom filter without touching the wire.
+      {"filtered lookups", 8, 4, h([](auto& x) { x.filter_lookups = true; }),
+       "filtered"},
+      {"filtered + batched", 8, 4,
+       h([](auto& x) { x.filter_lookups = x.batch_lookups = true; }),
+       "filtered_batched"},
   };
+  struct JsonRow {
+    const char* slug;
+    std::uint64_t remote_lookups;
+    std::uint64_t filter_neg_hits;
+    std::uint64_t filter_false_positives;
+    std::uint64_t substitutions;
+    std::uint64_t reads_changed;
+    std::uint64_t sent_msgs;
+  };
+  std::vector<JsonRow> json_rows;
   parallel::DistResult batched_result;
   for (const Row& row : fn_rows) {
     config.heuristics = row.heur;
     auto result = parallel::run_distributed(ds.reads, config);
     std::uint64_t remote = 0, probes = 0, served = 0, hits = 0;
+    std::uint64_t neg_hits = 0, false_positives = 0;
+    std::uint64_t reads_changed = 0, sent_msgs = 0;
     std::size_t peak = 0;
     for (const auto& r : result.ranks) {
       remote += r.remote.remote_kmer_lookups + r.remote.remote_tile_lookups;
       probes += r.service.probe_calls;
       served += r.service.requests_served;
       hits += r.remote.prefetch_hits;
+      neg_hits += r.remote.filter_neg_hits;
+      false_positives += r.remote.filter_false_positives;
+      reads_changed += r.reads_changed;
+      sent_msgs += r.traffic.sent_msgs();
       peak = std::max({peak, r.construction_peak_bytes,
                        r.footprint_after_correction.bytes});
     }
@@ -135,12 +168,49 @@ int main(int argc, char** argv) {
         .cell(probes)
         .cell(served)
         .cell(hits)
+        .cell(neg_hits)
         .cell_fixed(static_cast<double>(peak) / (1 << 20), 2);
-    if (row.heur.batch_lookups && !row.heur.read_kmers) {
+    if (row.slug != nullptr) {
+      json_rows.push_back({row.slug, remote, neg_hits, false_positives,
+                           result.total_substitutions(), reads_changed,
+                           sent_msgs});
+    }
+    if (row.slug != nullptr && std::strcmp(row.slug, "batched_lookups") == 0) {
       batched_result = std::move(result);
     }
   }
   fn.print(std::cout);
+
+  // Machine-readable summary for the CI bench gate: every counter here is
+  // deterministic (seeded dataset, fixed topology, fault-free run), so the
+  // gate does exact comparison against bench/baselines/BENCH_fig5.json.
+  if (!args.json_path.empty()) {
+    std::FILE* out = std::fopen(args.json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"schema\": \"reptile-bench-fig5-v1\",\n"
+                      "  \"rows\": {\n");
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      std::fprintf(
+          out,
+          "    \"%s\": {\"remote_lookups\": %llu, \"filter_neg_hits\": %llu, "
+          "\"filter_false_positives\": %llu, \"substitutions\": %llu, "
+          "\"reads_changed\": %llu, \"sent_msgs\": %llu}%s\n",
+          r.slug, static_cast<unsigned long long>(r.remote_lookups),
+          static_cast<unsigned long long>(r.filter_neg_hits),
+          static_cast<unsigned long long>(r.filter_false_positives),
+          static_cast<unsigned long long>(r.substitutions),
+          static_cast<unsigned long long>(r.reads_changed),
+          static_cast<unsigned long long>(r.sent_msgs),
+          i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s\n", args.json_path.c_str());
+  }
 
   // Machine-readable per-rank report of the batched-lookups run (batch and
   // prefetch counters included).

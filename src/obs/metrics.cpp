@@ -109,9 +109,12 @@ void Registry::publish_timeline(const stats::PhaseTimeline& t, int rank) {
   set_counter("reptile_reads_table_hits", t.remote.reads_table_hits);
   set_counter("reptile_group_lookups", t.remote.group_lookups);
   set_counter("reptile_batch_requests", t.remote.batch_requests);
-  set_counter("reptile_batch_ids", t.remote.batch_ids);
+  set_counter("reptile_batch_ids", t.remote.batch_ids());
   set_counter("reptile_prefetch_hits", t.remote.prefetch_hits);
   set_counter("reptile_prefetch_misses", t.remote.prefetch_misses);
+  set_counter("reptile_filter_neg_hits", t.remote.filter_neg_hits);
+  set_counter("reptile_filter_false_positives",
+              t.remote.filter_false_positives);
   set_counter("reptile_lookup_retries", t.remote.lookup_retries);
   set_counter("reptile_lookup_timeouts", t.remote.lookup_timeouts);
   set_counter("reptile_degraded_lookups", t.remote.degraded_lookups);
@@ -128,12 +131,16 @@ void Registry::publish_timeline(const stats::PhaseTimeline& t, int rank) {
   set_counter("reptile_service_batch_ids", t.service.batch_ids_served);
   set_counter("reptile_service_malformed_requests",
               t.service.malformed_requests);
+  set_counter("reptile_service_filter_stragglers",
+              t.service.filter_stragglers);
 
   set_gauge("reptile_construct_seconds", t.construct_seconds);
   set_gauge("reptile_correct_seconds", t.correct_seconds);
   set_gauge("reptile_comm_seconds", t.comm_seconds);
   set_gauge("reptile_spectrum_bytes",
             static_cast<double>(t.footprint_after_construction.bytes));
+  set_gauge("reptile_filter_bytes",
+            static_cast<double>(t.footprint_after_correction.filter_bytes));
   set_gauge("reptile_construction_peak_bytes",
             static_cast<double>(t.construction_peak_bytes));
 }

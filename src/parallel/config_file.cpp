@@ -144,6 +144,14 @@ constexpr KeySpec kKeys[] = {
      [](RunConfigFile& c, const std::string& v, int l) {
        c.heuristics.batch_lookups = parse_bool(v, l);
      }},
+    {"filter_lookups",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.filter_lookups = parse_bool(v, l);
+     }},
+    {"filter_fp_rate",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.heuristics.filter_fp_rate = parse_double(v, l);
+     }},
     {"load_balance",
      [](RunConfigFile& c, const std::string& v, int l) {
        c.heuristics.load_balance = parse_bool(v, l);
@@ -329,6 +337,8 @@ std::string to_config_text(const RunConfigFile& config) {
       << "add_remote " << (h.add_remote ? 1 : 0) << '\n'
       << "batch_reads " << (h.batch_reads ? 1 : 0) << '\n'
       << "batch_lookups " << (h.batch_lookups ? 1 : 0) << '\n'
+      << "filter_lookups " << (h.filter_lookups ? 1 : 0) << '\n'
+      << "filter_fp_rate " << h.filter_fp_rate << '\n'
       << "load_balance " << (h.load_balance ? 1 : 0) << '\n'
       << "partial_replication_group " << h.partial_replication_group << '\n'
       << "bloom_construction " << (h.bloom_construction ? 1 : 0) << '\n';

@@ -1,6 +1,9 @@
 #include "parallel/dist_spectrum.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "parallel/wire.hpp"
 
 namespace reptile::parallel {
 
@@ -198,6 +201,107 @@ void DistSpectrum::replicate_group() {
   replicate_one(hash_tile_, group_tile_);
 }
 
+void DistSpectrum::exchange_filters(const RetryPolicy& retry) {
+  if (!heur_.filter_lookups) return;
+  const int np = comm_->size();
+  const int me = comm_->rank();
+  peer_filter_kmer_.clear();
+  peer_filter_kmer_.resize(static_cast<std::size_t>(np));
+  peer_filter_tile_.clear();
+  peer_filter_tile_.resize(static_cast<std::size_t>(np));
+  filter_bytes_ = 0;
+  if (np <= 1 || heur_.fully_replicated()) return;
+
+  // Kinds resolved by allgather replication never go remote, and their
+  // owned shards were cleared by replicate_* anyway — no filter to build.
+  std::vector<std::pair<LookupKind, const hash::CountTable<>*>> kinds;
+  if (!heur_.allgather_kmers) kinds.emplace_back(LookupKind::kKmer, &hash_kmer_);
+  if (!heur_.allgather_tiles) kinds.emplace_back(LookupKind::kTile, &hash_tile_);
+  if (kinds.empty()) return;
+
+  // Out-of-group peers only: in-group lookups resolve from the replicated
+  // group tables and never reach the wire.
+  std::vector<int> peers;
+  for (int dst = 0; dst < np; ++dst) {
+    if (dst != me && !owner_in_my_group(dst)) peers.push_back(dst);
+  }
+  if (peers.empty()) return;
+
+  // Phase 1: every rank posts all its (buffered, non-blocking) sends before
+  // any rank starts receiving, so the blocking collection below cannot
+  // deadlock even without retry timeouts.
+  for (const auto& [kind, table] : kinds) {
+    const hash::OwnerFilter filter =
+        hash::OwnerFilter::build_from(*table, heur_.filter_fp_rate);
+    for (int dst : peers) {
+      rtm::Payload payload = comm_->make_payload(filter_exchange_bytes(filter));
+      encode_filter_exchange_into(payload.data(), kind, filter);
+      comm_->send_payload(dst, kTagFilterExchange, std::move(payload));
+    }
+  }
+
+  // Phase 2: collect one message per (peer, kind). A filter that cannot be
+  // decoded (chaos truncation) or never arrives within the retry budget
+  // leaves its slot null — that owner keeps the unfiltered wire path.
+  const std::size_t expected = peers.size() * kinds.size();
+  const auto accept = [&](const rtm::Message& m) {
+    try {
+      FilterExchange fx = decode_filter_exchange(m.payload);
+      auto& slot = (fx.kind == LookupKind::kKmer ? peer_filter_kmer_
+                                                 : peer_filter_tile_)
+          [static_cast<std::size_t>(m.source)];
+      filter_bytes_ += fx.filter.memory_bytes();
+      slot = std::make_unique<hash::OwnerFilter>(std::move(fx.filter));
+    } catch (const std::exception&) {
+      // Malformed: drop. Trusting garbled bits could fake false negatives.
+    }
+  };
+  if (!retry.enabled()) {
+    for (std::size_t i = 0; i < expected; ++i) {
+      accept(comm_->recv(rtm::kAnySource, kTagFilterExchange));
+    }
+  } else {
+    // One overall deadline shared by all expected messages: the exchange is
+    // best effort, so there is nothing to retransmit — just stop waiting.
+    auto budget = std::chrono::microseconds(
+        retry.attempt_timeout_us(retry.max_retries));
+    const auto is_filter = [](const rtm::Message& m) {
+      return m.tag == kTagFilterExchange;
+    };
+    for (std::size_t i = 0; i < expected; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      std::optional<rtm::Message> m = comm_->recv_match_for(is_filter, budget);
+      if (!m.has_value()) break;  // budget exhausted: remaining slots stay null
+      accept(*m);
+      const auto spent = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start);
+      budget = budget > spent ? budget - spent : std::chrono::microseconds(0);
+    }
+  }
+}
+
+DistSpectrum::FilterAnswer DistSpectrum::filter_kmer(seq::kmer_id_t id,
+                                                     int owner) const {
+  if (owner < 0 || static_cast<std::size_t>(owner) >= peer_filter_kmer_.size()) {
+    return FilterAnswer::kNoFilter;
+  }
+  const auto& filter = peer_filter_kmer_[static_cast<std::size_t>(owner)];
+  if (!filter) return FilterAnswer::kNoFilter;
+  return filter->possibly_contains(id) ? FilterAnswer::kMaybePresent
+                                       : FilterAnswer::kDefinitelyAbsent;
+}
+
+DistSpectrum::FilterAnswer DistSpectrum::filter_tile(seq::tile_id_t id,
+                                                     int owner) const {
+  if (owner < 0 || static_cast<std::size_t>(owner) >= peer_filter_tile_.size()) {
+    return FilterAnswer::kNoFilter;
+  }
+  const auto& filter = peer_filter_tile_[static_cast<std::size_t>(owner)];
+  if (!filter) return FilterAnswer::kNoFilter;
+  return filter->possibly_contains(id) ? FilterAnswer::kMaybePresent
+                                       : FilterAnswer::kDefinitelyAbsent;
+}
+
 void DistSpectrum::drop_reads_tables() {
   pending_kmer_.clear();
   pending_tile_.clear();
@@ -274,6 +378,8 @@ SpectrumFootprint DistSpectrum::footprint() const {
              sizeof(std::uint64_t);
   if (bloom_kmer_) f.bytes += bloom_kmer_->memory_bytes();
   if (bloom_tile_) f.bytes += bloom_tile_->memory_bytes();
+  f.filter_bytes = filter_bytes_;
+  f.bytes += filter_bytes_;
   return f;
 }
 

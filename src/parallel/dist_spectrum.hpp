@@ -25,7 +25,9 @@
 #include "hash/bloom_filter.hpp"
 #include "hash/count_table.hpp"
 #include "hash/hashing.hpp"
+#include "hash/owner_filter.hpp"
 #include "parallel/heuristics.hpp"
+#include "parallel/protocol.hpp"
 #include "rtm/comm.hpp"
 #include "seq/kmer.hpp"
 #include "seq/tile.hpp"
@@ -86,6 +88,18 @@ class DistSpectrum {
   /// correction).
   void drop_reads_tables();
 
+  /// Filter exchange (filter_lookups heuristic, DESIGN.md §9): builds a
+  /// blocked-Bloom OwnerFilter over each still-owned table (kinds resolved
+  /// by allgather replication are skipped — their owned shards were
+  /// cleared) and sends it to every out-of-group peer; then collects the
+  /// peers' filters. Collective; call after prune()/replicate_* on the rank
+  /// main thread, before the correction service starts (kTagFilterExchange
+  /// is the only tagged traffic in flight). Best effort when `retry` is
+  /// armed: filters not received within the retry budget stay null and
+  /// those owners keep the unfiltered wire path — a lost filter can cost
+  /// traffic, never correctness. No-op unless filter_lookups is on.
+  void exchange_filters(const RetryPolicy& retry);
+
   // --- lookups (all local; messaging lives in RemoteSpectrumView) --------
 
   /// Count in the owned table; nullopt when this rank is not the owner or
@@ -111,6 +125,18 @@ class DistSpectrum {
     const int g = heur_.partial_replication_group;
     return g > 1 && owner / g == comm_->rank() / g;
   }
+
+  /// What a peer's exchanged filter says about an ID owned by `owner`.
+  /// kNoFilter = no usable filter for that owner (feature off, exchange
+  /// lost, or the owner's kind is allgather-replicated) — take the wire
+  /// path. kDefinitelyAbsent is exact: the owner's pruned table cannot
+  /// contain the ID, so the reply would be -1 (count 0).
+  enum class FilterAnswer { kNoFilter, kDefinitelyAbsent, kMaybePresent };
+  FilterAnswer filter_kmer(seq::kmer_id_t id, int owner) const;
+  FilterAnswer filter_tile(seq::tile_id_t id, int owner) const;
+
+  /// Total bytes of peer filters held after exchange_filters().
+  std::size_t filter_bytes() const noexcept { return filter_bytes_; }
 
   /// Caches a remote reply (add_remote heuristic); count 0 records a
   /// definitive absence. The cache is bounded by
@@ -196,6 +222,13 @@ class DistSpectrum {
   /// suppression); sized lazily on first use.
   std::unique_ptr<hash::BloomFilter> bloom_kmer_;
   std::unique_ptr<hash::BloomFilter> bloom_tile_;
+  /// Peer membership filters of the filter_lookups mode, indexed by owning
+  /// rank; a null slot means "no filter — ask over the wire". Written once
+  /// by exchange_filters() on the rank main thread before the worker and
+  /// service threads start, read-only afterwards.
+  std::vector<std::unique_ptr<hash::OwnerFilter>> peer_filter_kmer_;
+  std::vector<std::unique_ptr<hash::OwnerFilter>> peer_filter_tile_;
+  std::size_t filter_bytes_ = 0;
 
   // Scratch buffers reused across add_read calls.
   std::vector<seq::kmer_id_t> kmer_scratch_;

@@ -48,6 +48,22 @@ struct Heuristics {
   /// scalar protocol.
   bool batch_lookups = false;
 
+  /// Filter-accelerated remote lookups (extension beyond the paper, see
+  /// DESIGN.md §9): after Step III every rank broadcasts a blocked-Bloom
+  /// membership filter over each owned table to its out-of-group peers;
+  /// requesters answer filter-definite absences locally (count 0, exactly
+  /// what the owner's -1 reply would produce) and only pay the wire for
+  /// probable hits. False positives cost one redundant round trip; false
+  /// negatives are structurally impossible, so corrected output stays
+  /// byte-identical to the unfiltered run. Composes with scalar, batched,
+  /// and retry/chaos paths unchanged.
+  bool filter_lookups = false;
+
+  /// Target false-positive rate of the exchanged filters: lower rate =
+  /// bigger filters = fewer redundant remote round trips. The memory-vs-
+  /// traffic knob of the filter point on the fig5 curve.
+  double filter_fp_rate = 0.01;
+
   /// Static load balancing (Section III-A): redistribute reads to their
   /// owning ranks (hash of the sequence) before both phases.
   bool load_balance = true;
@@ -86,6 +102,10 @@ struct Heuristics {
       throw std::invalid_argument(
           "heuristics: partial_replication_group must be >= 1");
     }
+    if (filter_fp_rate <= 0.0 || filter_fp_rate >= 0.5) {
+      throw std::invalid_argument(
+          "heuristics: filter_fp_rate must be in (0, 0.5)");
+    }
   }
 
   /// Short human-readable label for reports, e.g. "universal+batch_reads".
@@ -103,6 +123,7 @@ struct Heuristics {
     add(add_remote, "add_remote");
     add(batch_reads, "batch_reads");
     add(batch_lookups, "batch_lookups");
+    add(filter_lookups, "filter");
     add(load_balance, "load_balance");
     add(bloom_construction, "bloom");
     if (partial_replication_group > 1) {

@@ -169,6 +169,13 @@ void LookupService::serve() {
     if (!msg) break;
     handle(*msg);
   }
+  // Discard stall-delayed filter-exchange stragglers (chaos only: the
+  // exchange itself finished — or timed out — before this service
+  // started). They carry no reply obligation; leaving them queued would
+  // only clutter the end-of-run audit.
+  while (comm_->try_recv(rtm::kAnySource, kTagFilterExchange)) {
+    ++stats_.filter_stragglers;
+  }
 }
 
 }  // namespace reptile::parallel

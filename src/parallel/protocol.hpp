@@ -31,6 +31,7 @@ enum Tag : int {
   kTagTileRequest = 12,
   kTagUniversalRequest = 13,
   kTagBatchRequest = 14,
+  kTagFilterExchange = 15,
   kTagKmerReply = 21,
   kTagTileReply = 22,
 };
@@ -94,6 +95,18 @@ struct BatchLookupHeader {
 struct BatchReplyHeader {
   std::uint64_t seq = 0;       ///< echo of the batch request's seq
   std::uint32_t count = 0;     ///< number of int32 counts following
+  std::uint32_t reserved = 0;  ///< explicit padding for a stable layout
+};
+
+/// Header of a filter-exchange message (filter_lookups extension): after
+/// Step III each rank broadcasts a serialized hash::OwnerFilter over its
+/// owned table of `kind` to every out-of-group peer, exactly once, before
+/// the correction phase starts. The filter bytes follow the header (see
+/// wire.hpp). Fire-and-forget best effort: a peer that never receives (or
+/// cannot decode) a filter simply keeps the unfiltered wire path for that
+/// owner — losing a filter can cost traffic, never correctness.
+struct FilterExchangeHeader {
+  std::uint32_t kind = 0;      ///< LookupKind as uint32
   std::uint32_t reserved = 0;  ///< explicit padding for a stable layout
 };
 

@@ -125,6 +125,13 @@ inline rtm::check::TagTable lookup_tag_table() {
       TagRule{kTagBatchRequest, kTagBatchRequest, "batch-request",
               TagDir::kRequest, sizeof(BatchLookupHeader), kNoMax,
               &table_detail::pair_batch, nullptr},
+      // Fire-and-forget broadcast, no reply envelope (pair == nullptr keeps
+      // it out of the unanswered-request ledger); best_effort because chaos
+      // may deliver a stall-delayed copy after the receivers stopped
+      // listening — a leftover is stale, not a leak.
+      TagRule{kTagFilterExchange, kTagFilterExchange, "filter-exchange",
+              TagDir::kRequest, sizeof(FilterExchangeHeader), kNoMax, nullptr,
+              nullptr, /*best_effort=*/true},
       TagRule{kTagKmerReply, kTagBatchReplyBase - 1, "scalar-reply",
               TagDir::kReply, sizeof(LookupReply), sizeof(LookupReply),
               nullptr, &table_detail::reply_seq},

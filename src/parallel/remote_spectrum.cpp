@@ -87,7 +87,21 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
   auto collect = [&](std::uint64_t id, LookupKind kind) {
     int owner = 0;
     if (!needs_remote(id, kind, owner)) return;
-    ++remote_.batch_ids_raw;
+    if (heur_.filter_lookups) {
+      // Filter-definite absences never reach the wire; lookup() answers
+      // them (and counts filter_neg_hits) from the same immutable filter.
+      // Skipped before the raw counter so dedup_ratio keeps measuring
+      // dedup alone, unchanged by filtering.
+      const auto fa = kind == LookupKind::kKmer
+                          ? spectrum_->filter_kmer(id, owner)
+                          : spectrum_->filter_tile(id, owner);
+      if (fa == DistSpectrum::FilterAnswer::kDefinitelyAbsent) return;
+    }
+    if (kind == LookupKind::kKmer) {
+      ++remote_.batch_kmer_ids_raw;
+    } else {
+      ++remote_.batch_tile_ids_raw;
+    }
     if (total >= cap) return;  // bound the chunk cache; rest go scalar
     auto& seen = kind == LookupKind::kKmer ? seen_kmer : seen_tile;
     if (seen.contains(id)) return;
@@ -138,7 +152,11 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
       pending.push_back({owner, kind, &ids, next_seq_++});
       send_batch(pending.back());
       ++remote_.batch_requests;
-      remote_.batch_ids += ids.size();
+      if (kind == LookupKind::kKmer) {
+        remote_.batch_kmer_ids += ids.size();
+      } else {
+        remote_.batch_tile_ids += ids.size();
+      }
     }
   };
   send_buckets(kmer_buckets, LookupKind::kKmer);
@@ -173,6 +191,17 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
                                     ? 0
                                     : static_cast<std::uint32_t>(
                                           reply.counts[i]);
+        if (heur_.filter_lookups && reply.counts[i] < 0) {
+          // Every batched ID the filter let through that the owner reports
+          // absent was a wasted wire slot: a filter false positive. (IDs
+          // with no usable filter don't count — there was nothing to ask.)
+          const auto fa = p.kind == LookupKind::kKmer
+                              ? spectrum_->filter_kmer((*p.ids)[i], p.owner)
+                              : spectrum_->filter_tile((*p.ids)[i], p.owner);
+          if (fa == DistSpectrum::FilterAnswer::kMaybePresent) {
+            ++remote_.filter_false_positives;
+          }
+        }
         if (p.kind == LookupKind::kKmer) {
           prefetch_kmer_.increment((*p.ids)[i], c);
         } else {
@@ -235,7 +264,8 @@ void RemoteSpectrumView::prefetch_chunk(const seq::ReadBatch& batch) {
 }
 
 std::uint32_t RemoteSpectrumView::remote_lookup(int owner, std::uint64_t id,
-                                                LookupKind kind) {
+                                                LookupKind kind,
+                                                bool filter_said_maybe) {
   const int reply_to = reply_tag(kind, worker_slot_);
   const std::uint64_t seq = next_seq_++;
   // One scalar round trip = one span; retransmissions stay inside it.
@@ -345,6 +375,11 @@ std::uint32_t RemoteSpectrumView::remote_lookup(int owner, std::uint64_t id,
     ++remote_.remote_tile_lookups;
     if (reply->count < 0) ++remote_.remote_tile_absent;
   }
+  if (filter_said_maybe && reply->count < 0) {
+    // The peer filter let this ID through and the owner reports it absent:
+    // a false positive — the round trip the filter exists to avoid.
+    ++remote_.filter_false_positives;
+  }
   const std::uint32_t count =
       reply->count < 0 ? 0 : static_cast<std::uint32_t>(reply->count);
   if (heur_.add_remote) {
@@ -398,6 +433,23 @@ std::uint32_t RemoteSpectrumView::lookup(std::uint64_t id, LookupKind kind) {
     }
   }
 
+  bool filter_said_maybe = false;
+  if (heur_.filter_lookups) {
+    // The owner's exchanged membership filter. "Definitely absent" is
+    // exact: the owner's pruned shard cannot contain the ID, so the wire
+    // reply would be -1 and the count 0 — answer locally. Checked before
+    // the prefetch cache so the filter/prefetch counters stay identical
+    // between scalar and batched runs (prefetch_chunk excluded
+    // filter-definite IDs with the same immutable filter).
+    const auto fa = is_kmer ? spectrum_->filter_kmer(id, owner)
+                            : spectrum_->filter_tile(id, owner);
+    if (fa == DistSpectrum::FilterAnswer::kDefinitelyAbsent) {
+      ++remote_.filter_neg_hits;
+      return 0;
+    }
+    filter_said_maybe = fa == DistSpectrum::FilterAnswer::kMaybePresent;
+  }
+
   if (heur_.batch_lookups || cache_remote_locally_) {
     // Chunk-local prefetch cache: counts are verbatim remote replies, so a
     // hit is exactly what the scalar round trip would have returned.
@@ -409,7 +461,7 @@ std::uint32_t RemoteSpectrumView::lookup(std::uint64_t id, LookupKind kind) {
     ++remote_.prefetch_misses;
   }
 
-  return remote_lookup(owner, id, kind);
+  return remote_lookup(owner, id, kind, filter_said_maybe);
 }
 
 std::uint32_t RemoteSpectrumView::kmer_count(seq::kmer_id_t id) {

@@ -18,11 +18,16 @@
 //                               future work: definitive for owners inside
 //                               this rank's replication group)
 //   4. reads table             (read_kmers heuristic; holds global counts)
-//   5. prefetch cache          (batch_lookups extension: chunk-local counts
+//   5. peer filter             (filter_lookups extension: the owner's
+//                               exchanged membership filter; "definitely
+//                               absent" is exact — the owner would reply -1
+//                               — and answers locally; "maybe" falls
+//                               through and pays the wire)
+//   6. prefetch cache          (batch_lookups extension: chunk-local counts
 //                               fetched ahead of correction with one
 //                               vectored request per owner; counts here are
 //                               verbatim remote replies, so hits are exact)
-//   6. remote request/reply    (blocking; reply -1 maps to count 0);
+//   7. remote request/reply    (blocking; reply -1 maps to count 0);
 //      with add_remote the reply is cached into the reads table (shared,
 //      single worker) or this worker's prefetch cache (multi-worker).
 
@@ -88,7 +93,10 @@ class RemoteSpectrumView final : public core::SpectrumView {
 
  private:
   std::uint32_t lookup(std::uint64_t id, LookupKind kind);
-  std::uint32_t remote_lookup(int owner, std::uint64_t id, LookupKind kind);
+  /// `filter_said_maybe` marks a lookup the peer filter let through, so an
+  /// absent reply is counted as a filter false positive.
+  std::uint32_t remote_lookup(int owner, std::uint64_t id, LookupKind kind,
+                              bool filter_said_maybe = false);
 
   /// True when `id` of `kind` can only be resolved by messaging `owner`
   /// (i.e. it would reach step 5+ of the lookup chain).

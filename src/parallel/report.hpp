@@ -41,10 +41,18 @@ inline stats::RunReport to_report(const DistResult& result,
              static_cast<double>(r.service.requests_served))
         .add("probe_calls", static_cast<double>(r.service.probe_calls))
         .add("batch_requests", static_cast<double>(r.remote.batch_requests))
+        .add("batch_kmer_ids", static_cast<double>(r.remote.batch_kmer_ids))
+        .add("batch_tile_ids", static_cast<double>(r.remote.batch_tile_ids))
         .add("avg_batch_size", r.remote.avg_batch_size())
         .add("dedup_ratio", r.remote.dedup_ratio())
         .add("prefetch_hits", static_cast<double>(r.remote.prefetch_hits))
         .add("prefetch_hit_rate", r.remote.prefetch_hit_rate())
+        .add("filter_neg_hits",
+             static_cast<double>(r.remote.filter_neg_hits))
+        .add("filter_false_positives",
+             static_cast<double>(r.remote.filter_false_positives))
+        .add("filter_bytes",
+             static_cast<double>(r.footprint_after_correction.filter_bytes))
         .add("batch_requests_served",
              static_cast<double>(r.service.batch_requests))
         .add("construct_seconds", r.construct_seconds)

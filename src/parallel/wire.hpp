@@ -18,6 +18,11 @@
 //    under fault injection:
 //
 //      BatchReplyHeader | count x i32 count
+//
+// 3. Filter-exchange messages (filter_lookups extension): one message per
+//    (owner, kind) carrying the owner's serialized membership filter:
+//
+//      FilterExchangeHeader | OwnerFilter wire encoding (header + blocks)
 
 #include <cstddef>
 #include <cstdint>
@@ -26,6 +31,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "hash/owner_filter.hpp"
 #include "parallel/protocol.hpp"
 #include "seq/read.hpp"
 
@@ -221,6 +227,63 @@ inline BatchLookupReply decode_batch_reply(const std::uint8_t* data,
 inline BatchLookupReply decode_batch_reply(std::span<const std::byte> payload) {
   return decode_batch_reply(
       reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size());
+}
+
+/// Decoded form of a filter-exchange message. Not default-constructible:
+/// an OwnerFilter only exists sized (constructor) or decoded (deserialize),
+/// never empty-but-queryable.
+struct FilterExchange {
+  LookupKind kind;
+  hash::OwnerFilter filter;
+};
+
+/// Wire size of a filter-exchange message carrying `filter`.
+inline std::size_t filter_exchange_bytes(const hash::OwnerFilter& filter) {
+  return sizeof(FilterExchangeHeader) + filter.wire_bytes();
+}
+
+/// Writes one filter-exchange message into a caller-sized buffer of exactly
+/// filter_exchange_bytes(filter) — the zero-copy path into an arena payload.
+inline void encode_filter_exchange_into(std::byte* out, LookupKind kind,
+                                        const hash::OwnerFilter& filter) {
+  FilterExchangeHeader h;
+  h.kind = static_cast<std::uint32_t>(kind);
+  std::memcpy(out, &h, sizeof(h));
+  filter.serialize_into(out + sizeof(h));
+}
+
+/// Appends the wire encoding of one filter-exchange message to `out`.
+inline void encode_filter_exchange(LookupKind kind,
+                                   const hash::OwnerFilter& filter,
+                                   std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  out.resize(start + filter_exchange_bytes(filter));
+  encode_filter_exchange_into(reinterpret_cast<std::byte*>(out.data() + start),
+                              kind, filter);
+}
+
+/// Decodes one filter-exchange message. Throws on a truncated or over-long
+/// buffer and on an unknown kind — receivers drop malformed filters and
+/// keep the unfiltered wire path for that owner (never trust garbage bits:
+/// they could manufacture false negatives).
+inline FilterExchange decode_filter_exchange(std::span<const std::byte> payload) {
+  FilterExchangeHeader h;
+  if (payload.size() < sizeof(h)) {
+    throw std::runtime_error("decode_filter_exchange: truncated header");
+  }
+  std::memcpy(&h, payload.data(), sizeof(h));
+  if (h.kind > static_cast<std::uint32_t>(LookupKind::kTile)) {
+    throw std::runtime_error("decode_filter_exchange: unknown lookup kind");
+  }
+  return FilterExchange{
+      static_cast<LookupKind>(h.kind),
+      hash::OwnerFilter::deserialize(payload.subspan(sizeof(h)))};
+}
+
+inline FilterExchange decode_filter_exchange(const std::uint8_t* data,
+                                             std::size_t size) {
+  return decode_filter_exchange(
+      std::span<const std::byte>(reinterpret_cast<const std::byte*>(data), size));
 }
 
 }  // namespace reptile::parallel

@@ -29,7 +29,10 @@ void DistSpectrumModel::record_construction_footprint(
 }
 
 void DistSpectrumModel::prepare_correction(RankContext& ctx) {
-  (void)ctx;
+  // Filter exchange runs on the rank main thread, before the service
+  // thread exists: kTagFilterExchange is the only tagged traffic in
+  // flight, so the blocking collection can never steal a lookup message.
+  spectrum_.exchange_filters(ctx.retry);
   comm_->reset_done();
   service_.emplace(*comm_, spectrum_);
 }

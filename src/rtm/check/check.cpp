@@ -853,6 +853,10 @@ bool RunChecker::leak_is_stale(int rank, const Message& m) {
   if (opts_.tags.empty()) return false;
   const TagRule* rule = rule_for(m.tag);
   if (rule == nullptr) return false;
+  // Best-effort messages are allowed to outlive their listeners (the
+  // receiver stops draining once it has what it needs); a leftover copy is
+  // explained by the protocol itself.
+  if (rule->best_effort) return true;
   std::lock_guard lock(lint_mutex_);
   if (rule->dir == TagDir::kReply) {
     // A reply leaked in the requester's mailbox: stale iff its seq was

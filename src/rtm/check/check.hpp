@@ -103,6 +103,11 @@ struct TagRule {
   /// to carry one.
   bool (*seq_of)(std::span<const std::byte> payload,
                  std::uint64_t* seq) = nullptr;
+  /// Fire-and-forget best-effort messages (e.g. the filter exchange): a
+  /// receiver may legally stop listening before every copy arrives — chaos
+  /// drops and stall-delayed stragglers are part of the contract — so a
+  /// leftover in a mailbox at finalize is audited as stale, not as a leak.
+  bool best_effort = false;
 };
 
 using TagTable = std::vector<TagRule>;

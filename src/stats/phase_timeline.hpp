@@ -48,12 +48,25 @@ struct RemoteLookupStats {
   std::uint64_t reads_table_hits = 0;    ///< resolved by the reads tables
   std::uint64_t group_lookups = 0;       ///< resolved by partial replication
 
-  // batch_lookups extension counters.
-  std::uint64_t batch_requests = 0;   ///< vectored prefetch messages sent
-  std::uint64_t batch_ids = 0;        ///< deduped IDs those messages carried
-  std::uint64_t batch_ids_raw = 0;    ///< remote-needing IDs before dedup
+  // batch_lookups extension counters. The dedup counts are kept per kind
+  // because chunk dedup is per kind too (seen-sets per table): a numeric ID
+  // appearing in both the k-mer and the tile request vectors of one chunk
+  // is two distinct spectrum entries and must count in both tables — a
+  // merged counter would hide a cross-kind accounting bug (regression-
+  // tested in test_batch_lookup.cpp).
+  std::uint64_t batch_requests = 0;      ///< vectored prefetch messages sent
+  std::uint64_t batch_kmer_ids = 0;      ///< deduped k-mer IDs sent
+  std::uint64_t batch_tile_ids = 0;      ///< deduped tile IDs sent
+  std::uint64_t batch_kmer_ids_raw = 0;  ///< remote-needing k-mer IDs pre-dedup
+  std::uint64_t batch_tile_ids_raw = 0;  ///< remote-needing tile IDs pre-dedup
   std::uint64_t prefetch_hits = 0;    ///< lookups answered by the chunk cache
   std::uint64_t prefetch_misses = 0;  ///< fell through the cache to scalar
+
+  // filter_lookups extension counters.
+  std::uint64_t filter_neg_hits = 0;  ///< remote lookups answered "absent"
+                                      ///< locally by a peer filter
+  std::uint64_t filter_false_positives = 0;  ///< filter said maybe, owner
+                                             ///< replied absent (wasted trip)
 
   // Timeout/retry protocol counters (RetryPolicy; all 0 on fault-free runs
   // with retries disabled).
@@ -70,20 +83,30 @@ struct RemoteLookupStats {
     return remote_kmer_lookups + remote_tile_lookups;
   }
 
+  /// Deduped IDs carried by vectored requests, both kinds.
+  std::uint64_t batch_ids() const noexcept {
+    return batch_kmer_ids + batch_tile_ids;
+  }
+
+  /// Remote-needing IDs before per-chunk dedup, both kinds.
+  std::uint64_t batch_ids_raw() const noexcept {
+    return batch_kmer_ids_raw + batch_tile_ids_raw;
+  }
+
   /// Average IDs per vectored request (0 when none were sent).
   double avg_batch_size() const noexcept {
     return batch_requests == 0
                ? 0.0
-               : static_cast<double>(batch_ids) /
+               : static_cast<double>(batch_ids()) /
                      static_cast<double>(batch_requests);
   }
 
   /// Fraction of remote-needing IDs removed by per-chunk deduplication.
   double dedup_ratio() const noexcept {
-    return batch_ids_raw == 0
+    return batch_ids_raw() == 0
                ? 0.0
-               : 1.0 - static_cast<double>(batch_ids) /
-                           static_cast<double>(batch_ids_raw);
+               : 1.0 - static_cast<double>(batch_ids()) /
+                           static_cast<double>(batch_ids_raw());
   }
 
   /// Fraction of would-be remote lookups answered by the prefetch cache.
@@ -102,10 +125,14 @@ struct RemoteLookupStats {
     reads_table_hits += o.reads_table_hits;
     group_lookups += o.group_lookups;
     batch_requests += o.batch_requests;
-    batch_ids += o.batch_ids;
-    batch_ids_raw += o.batch_ids_raw;
+    batch_kmer_ids += o.batch_kmer_ids;
+    batch_tile_ids += o.batch_tile_ids;
+    batch_kmer_ids_raw += o.batch_kmer_ids_raw;
+    batch_tile_ids_raw += o.batch_tile_ids_raw;
     prefetch_hits += o.prefetch_hits;
     prefetch_misses += o.prefetch_misses;
+    filter_neg_hits += o.filter_neg_hits;
+    filter_false_positives += o.filter_false_positives;
     lookup_retries += o.lookup_retries;
     lookup_timeouts += o.lookup_timeouts;
     degraded_lookups += o.degraded_lookups;
@@ -130,6 +157,10 @@ struct ServiceStats {
   /// size / truncated by fault injection). The requester's timeout retry
   /// recovers; answering garbage would be worse than staying silent.
   std::uint64_t malformed_requests = 0;
+  /// Stall-delayed filter-exchange copies drained (discarded) at the end of
+  /// the serve loop. Always 0 on fault-free runs: the exchange completes
+  /// before the service starts.
+  std::uint64_t filter_stragglers = 0;
 };
 
 /// Sizes/memory snapshot of the spectrum tables (plus replicas). Sequential
@@ -141,7 +172,8 @@ struct SpectrumFootprint {
   std::size_t reads_tile_entries = 0;
   std::size_t replica_kmer_entries = 0;
   std::size_t replica_tile_entries = 0;
-  std::size_t bytes = 0;  ///< total table memory
+  std::size_t filter_bytes = 0;  ///< peer membership filters (filter_lookups)
+  std::size_t bytes = 0;  ///< total table memory (filters included)
 };
 
 /// One stage's sample in a run's timeline, recorded by the stage graph.

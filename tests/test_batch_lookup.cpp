@@ -4,9 +4,13 @@
 // caches' eviction behaviour.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
 #include <thread>
 
 #include "core/pipeline.hpp"
+#include "core/spectrum.hpp"
+#include "hash/hashing.hpp"
 #include "parallel/dist_pipeline.hpp"
 #include "parallel/wire.hpp"
 #include "seq/dataset.hpp"
@@ -291,8 +295,8 @@ TEST(BatchedLookups, PrefetchAbsorbsScalarLookups) {
   for (const auto& r : batched.ranks) {
     batched_remote += r.remote.remote_lookups();
     requests += r.remote.batch_requests;
-    ids += r.remote.batch_ids;
-    ids_raw += r.remote.batch_ids_raw;
+    ids += r.remote.batch_ids();
+    ids_raw += r.remote.batch_ids_raw();
     hits += r.remote.prefetch_hits;
     served += r.service.batch_requests;
     EXPECT_GE(r.remote.dedup_ratio(), 0.0);
@@ -308,6 +312,125 @@ TEST(BatchedLookups, PrefetchAbsorbsScalarLookups) {
   EXPECT_LT(ids, ids_raw);
   // Vectored requests are far fewer than the IDs they carry.
   EXPECT_LT(requests, ids / 4);
+}
+
+TEST(BatchedLookups, DedupStatsSplitPerKind) {
+  // Chunk dedup runs per kind (one seen-set per table): an ID numerically
+  // present in both the k-mer and the tile request vectors of one chunk is
+  // two distinct spectrum entries, so it must be counted — and sent — in
+  // both tables. A merged counter would let a cross-kind dedup bug hide;
+  // the per-kind split pins it.
+  DistConfig config;
+  config.params = test_params();
+  config.ranks = 4;
+  config.heuristics.batch_lookups = true;
+  const auto result = run_distributed(dataset().reads, config);
+  std::uint64_t kmer_ids = 0, tile_ids = 0, kmer_raw = 0, tile_raw = 0;
+  for (const auto& r : result.ranks) {
+    kmer_ids += r.remote.batch_kmer_ids;
+    tile_ids += r.remote.batch_tile_ids;
+    kmer_raw += r.remote.batch_kmer_ids_raw;
+    tile_raw += r.remote.batch_tile_ids_raw;
+    // The summing accessors are definitionally the per-kind totals.
+    EXPECT_EQ(r.remote.batch_ids(),
+              r.remote.batch_kmer_ids + r.remote.batch_tile_ids);
+    EXPECT_EQ(r.remote.batch_ids_raw(),
+              r.remote.batch_kmer_ids_raw + r.remote.batch_tile_ids_raw);
+    // Dedup can only shrink a kind's ID stream, never move IDs across
+    // kinds: each kind's sent count is bounded by its own raw count.
+    EXPECT_LE(r.remote.batch_kmer_ids, r.remote.batch_kmer_ids_raw);
+    EXPECT_LE(r.remote.batch_tile_ids, r.remote.batch_tile_ids_raw);
+  }
+  // Both tables produce remote traffic on this dataset.
+  EXPECT_GT(kmer_ids, 0u);
+  EXPECT_GT(tile_ids, 0u);
+  EXPECT_LE(kmer_ids, kmer_raw);
+  EXPECT_LE(tile_ids, tile_raw);
+}
+
+TEST(BatchedLookups, CrossKindIdCountedInBothTables) {
+  // Direct unit pin of the per-kind seen-sets. With k=8 and tile_overlap=2
+  // a tile spans 14 bases, so a read of the form AAAAAA+S packs its first
+  // tile to the SAME numeric value as the k-mer S (the six A's are the
+  // zero high bits). Feeding such reads through prefetch_chunk, the shared
+  // numeric ID must be counted — and sent — once PER KIND; a dedup
+  // seen-set shared across kinds would silently drop one of them. The
+  // per-kind sent/raw counters are compared against expectations computed
+  // independently with the same extractor and owner hash.
+  core::CorrectorParams p;
+  p.k = 8;
+  p.tile_overlap = 2;
+  p.kmer_threshold = 1;
+  p.tile_threshold = 1;
+  p.canonical = false;  // keep the packed-ID construction literal
+
+  // Each read contributes one tile whose ID equals pack(S) — the same
+  // value as the k-mer S at offset 6. Duplicated reads exercise dedup.
+  const char* kSuffixes[] = {"CGTCAGGT", "GATTACAG", "TTGACCAA", "CCATGGTC",
+                             "GTTCAAGC", "ACCTGTTG", "TGGCATCA", "CAGTTGCA"};
+  seq::ReadBatch batch;
+  for (const char* s : kSuffixes) {
+    seq::Read r;
+    r.number = static_cast<seq::seq_num_t>(batch.size() + 1);
+    r.bases = std::string("AAAAAA") + s;
+    r.quals.assign(r.bases.size(), 40);
+    batch.push_back(r);
+    batch.push_back(r);  // duplicate: raw counts double, sent counts don't
+  }
+
+  rtm::run_world({2, 1}, [&](rtm::Comm& comm) {
+    Heuristics h;
+    h.batch_lookups = true;
+    DistSpectrum spectrum(p, h, comm);
+    spectrum.exchange_to_owners();
+    comm.reset_done();
+    if (comm.rank() == 0) {
+      LookupService service(comm, spectrum);
+      std::thread server([&service] { service.serve(); });
+      comm.signal_done();
+      server.join();
+    } else {
+      // Expected per-kind remote streams, computed independently: every
+      // occurrence owned by rank 0 counts raw, every distinct ID once.
+      core::SpectrumExtractor extractor(p);
+      std::vector<seq::kmer_id_t> kmers;
+      std::vector<seq::tile_id_t> tiles;
+      for (const auto& r : batch) extractor.extract(r.bases, kmers, tiles);
+      std::set<std::uint64_t> kmer_set, tile_set;
+      std::uint64_t kmer_raw = 0, tile_raw = 0;
+      for (const auto id : kmers) {
+        if (hash::owner_of(id, comm.size()) == 0) {
+          ++kmer_raw;
+          kmer_set.insert(id);
+        }
+      }
+      for (const auto id : tiles) {
+        if (hash::owner_of(id, comm.size()) == 0) {
+          ++tile_raw;
+          tile_set.insert(id);
+        }
+      }
+      // The construction above guarantees numeric overlap between the two
+      // kinds' remote streams (any suffix whose packed ID hashes to rank 0
+      // appears in both sets) — the exact case a shared seen-set corrupts.
+      std::size_t overlap = 0;
+      for (const auto id : tile_set) overlap += kmer_set.count(id);
+      ASSERT_GT(overlap, 0u);
+
+      RemoteSpectrumView view(comm, spectrum);
+      view.prefetch_chunk(batch);
+      const auto& stats = view.remote_stats();
+      EXPECT_EQ(stats.batch_kmer_ids, kmer_set.size());
+      EXPECT_EQ(stats.batch_tile_ids, tile_set.size());
+      EXPECT_EQ(stats.batch_kmer_ids_raw, kmer_raw);
+      EXPECT_EQ(stats.batch_tile_ids_raw, tile_raw);
+      // One vectored request per kind with remote IDs, all owned by rank 0.
+      EXPECT_EQ(stats.batch_requests, (kmer_set.empty() ? 0u : 1u) +
+                                          (tile_set.empty() ? 0u : 1u));
+      comm.signal_done();
+    }
+    comm.barrier();
+  });
 }
 
 TEST(BatchedLookups, FewerMessagesAndLargerPayloadsThanScalar) {

@@ -1,0 +1,232 @@
+// Differential fuzz for hash::CountTable against std::unordered_map.
+//
+// The robin-hood table (backward-shift deletion, 8-bit probe budget with
+// grow-and-retry, saturating counts, exact memory accounting) backs every
+// spectrum — and, since the filter exchange, the owner filters are built
+// straight from it. A silent divergence here corrupts corrections AND
+// filters, so the table is fuzzed op-for-op against the STL map under the
+// seeded-schedule regime of rtm_test_seed.hpp (RTM_TEST_SEED re-rolls the
+// op streams; failures print a one-line replay command).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/count_table.hpp"
+#include "rtm_test_seed.hpp"
+
+namespace reptile::hash {
+namespace {
+
+const bool kSeedReporter =
+    rtm_test::install_seed_reporter("test_count_table_fuzz");
+
+using Model = std::unordered_map<std::uint64_t, std::uint32_t>;
+
+constexpr std::uint32_t kCountMax = std::numeric_limits<std::uint32_t>::max();
+
+/// Mirrors CountTable's saturating add in the reference model.
+void model_increment(Model& model, std::uint64_t key, std::uint32_t delta) {
+  std::uint32_t& c = model[key];
+  c = (delta < kCountMax - c) ? c + delta : kCountMax;
+}
+
+/// Exhaustive bidirectional comparison: same size, every model entry
+/// findable with an equal count, every iterated entry present in the model.
+template <class Table>
+void expect_matches(const Table& table, const Model& model) {
+  ASSERT_EQ(table.size(), model.size());
+  for (const auto& [key, count] : model) {
+    const auto found = table.find(key);
+    ASSERT_TRUE(found.has_value()) << "key " << key << " lost";
+    EXPECT_EQ(*found, count) << "key " << key;
+  }
+  std::size_t iterated = 0;
+  table.for_each([&](std::uint64_t key, std::uint32_t count) {
+    ++iterated;
+    const auto it = model.find(key);
+    ASSERT_NE(it, model.end()) << "stray key " << key;
+    EXPECT_EQ(count, it->second) << "key " << key;
+  });
+  EXPECT_EQ(iterated, model.size());
+}
+
+/// Runs `ops` random operations over `key_space` possible keys, checking
+/// the table against the model continuously (point checks per op, full
+/// sweep periodically). Small key spaces force re-increment and
+/// backward-shift churn; wide ones force growth.
+void fuzz_against_model(std::uint64_t seed, std::size_t ops,
+                        std::uint64_t key_space, bool allow_prune) {
+  std::mt19937_64 rng(rtm_test::derive(seed));
+  CountTable<> table;
+  Model model;
+  const auto random_key = [&] {
+    // Spread draws over the full 64-bit range so ownership of the low bits
+    // is not special; modulo keeps the space bounded.
+    return rng() % key_space;
+  };
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::uint64_t before = table.memory_bytes();
+    const auto roll = rng() % 100;
+    if (roll < 55) {
+      const std::uint64_t key = random_key();
+      const std::uint32_t delta =
+          static_cast<std::uint32_t>(1 + rng() % 9);
+      const std::uint32_t got = table.increment(key, delta);
+      model_increment(model, key, delta);
+      EXPECT_EQ(got, model[key]);
+    } else if (roll < 75) {
+      const std::uint64_t key = random_key();
+      EXPECT_EQ(table.erase(key), model.erase(key) == 1);
+    } else if (roll < 90) {
+      const std::uint64_t key = random_key();
+      const auto it = model.find(key);
+      const auto found = table.find(key);
+      EXPECT_EQ(found.has_value(), it != model.end());
+      if (found && it != model.end()) EXPECT_EQ(*found, it->second);
+      EXPECT_EQ(table.contains(key), it != model.end());
+    } else if (roll < 97 || !allow_prune) {
+      // Saturation probe: a near-max delta must clamp, not wrap.
+      const std::uint64_t key = random_key();
+      const std::uint32_t got = table.increment(key, kCountMax - 3);
+      model_increment(model, key, kCountMax - 3);
+      EXPECT_EQ(got, model[key]);
+    } else {
+      const std::uint32_t threshold =
+          static_cast<std::uint32_t>(1 + rng() % 4);
+      const std::size_t removed = table.prune_below(threshold);
+      std::size_t model_removed = 0;
+      for (auto it = model.begin(); it != model.end();) {
+        if (it->second < threshold) {
+          it = model.erase(it);
+          ++model_removed;
+        } else {
+          ++it;
+        }
+      }
+      EXPECT_EQ(removed, model_removed);
+    }
+    // memory_bytes() only moves on rehash (growth) or a prune rebuild;
+    // increment/erase/find must never shrink the footprint.
+    if (roll < 97 || !allow_prune) {
+      EXPECT_GE(table.memory_bytes(), before);
+    }
+    if (op % 256 == 255) expect_matches(table, model);
+  }
+  expect_matches(table, model);
+}
+
+TEST(CountTableFuzz, DifferentialSmallKeySpace) {
+  // 48 possible keys: every key is re-incremented, erased, and re-inserted
+  // many times, hammering the backward-shift deletion path.
+  fuzz_against_model(/*seed=*/101, /*ops=*/6000, /*key_space=*/48,
+                     /*allow_prune=*/false);
+}
+
+TEST(CountTableFuzz, DifferentialSmallKeySpaceWithPrune) {
+  fuzz_against_model(/*seed=*/102, /*ops=*/6000, /*key_space=*/48,
+                     /*allow_prune=*/true);
+}
+
+TEST(CountTableFuzz, DifferentialMediumKeySpace) {
+  // ~4k keys at ~6k ops: the table crosses several load-factor rehashes
+  // while still seeing collisions and erases.
+  fuzz_against_model(/*seed=*/103, /*ops=*/6000, /*key_space=*/4096,
+                     /*allow_prune=*/true);
+}
+
+TEST(CountTableFuzz, DifferentialWideKeys) {
+  // Effectively unique 64-bit keys: pure growth plus absent-key probes.
+  fuzz_against_model(/*seed=*/104, /*ops=*/4000,
+                     /*key_space=*/~std::uint64_t{0},
+                     /*allow_prune=*/true);
+}
+
+TEST(CountTableFuzz, MemoryBytesExactAndMonotoneUnderInsertion) {
+  std::mt19937_64 rng(rtm_test::derive(105));
+  CountTable<> table;
+  std::size_t previous = table.memory_bytes();
+  for (int i = 0; i < 20000; ++i) {
+    table.increment(rng());
+    const std::size_t now = table.memory_bytes();
+    // Exact accounting: key + count + probe byte per slot, nothing hidden.
+    EXPECT_EQ(now, table.capacity() * (sizeof(std::uint64_t) +
+                                       sizeof(std::uint32_t) +
+                                       sizeof(std::uint8_t)));
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+  EXPECT_GT(table.capacity(), 20000u);  // it did grow past the insertions
+}
+
+// Identity hash lets the test steer slot placement: keys that are equal in
+// the low bits all land in one robin-hood chain until a rehash widens the
+// mask enough to tell them apart.
+struct IdentityHash {
+  std::size_t operator()(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(key);
+  }
+};
+
+TEST(CountTableFuzz, ProbeOverflowRegrowsUntilKeysSpread) {
+  // 400 keys of the form i<<16 collide perfectly while capacity <= 2^16,
+  // so insert #256 exhausts the 8-bit probe budget. increment() must grow
+  // and retry until the wider mask separates the keys — not loop, not drop.
+  CountTable<std::uint32_t, IdentityHash> table;
+  Model model;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const std::uint64_t key = i << 16;
+    EXPECT_EQ(table.increment(key), 1u);
+    model_increment(model, key, 1);
+  }
+  EXPECT_GT(table.capacity(), std::size_t{1} << 16);
+  expect_matches(table, model);
+}
+
+TEST(CountTableFuzz, BackwardShiftInLongChains) {
+  // Same trick at sub-overflow scale: ~200 perfectly-colliding keys with
+  // interleaved erases exercise backward-shift over long displaced runs.
+  std::mt19937_64 rng(rtm_test::derive(106));
+  CountTable<std::uint32_t, IdentityHash> table;
+  Model model;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 200; ++i) keys.push_back(i << 20);
+  for (int round = 0; round < 6; ++round) {
+    std::shuffle(keys.begin(), keys.end(), rng);
+    for (const std::uint64_t key : keys) {
+      table.increment(key);
+      model_increment(model, key, 1);
+    }
+    std::shuffle(keys.begin(), keys.end(), rng);
+    for (std::size_t i = 0; i < keys.size() / 2; ++i) {
+      EXPECT_EQ(table.erase(keys[i]), model.erase(keys[i]) == 1);
+    }
+    expect_matches(table, model);
+  }
+}
+
+TEST(CountTableFuzz, ClearReleasesAndRestarts) {
+  std::mt19937_64 rng(rtm_test::derive(107));
+  CountTable<> table;
+  for (int i = 0; i < 1000; ++i) table.increment(rng() % 512);
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.memory_bytes(), 0u);
+  EXPECT_FALSE(table.contains(1));
+  EXPECT_FALSE(table.erase(1));
+  // The cleared table is fully usable again.
+  Model model;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t key = rng() % 512;
+    table.increment(key);
+    model_increment(model, key, 1);
+  }
+  expect_matches(table, model);
+}
+
+}  // namespace
+}  // namespace reptile::hash

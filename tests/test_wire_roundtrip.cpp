@@ -25,6 +25,8 @@ static_assert(sizeof(UniversalLookupRequest) == 24);
 static_assert(sizeof(LookupReply) == 16);
 static_assert(sizeof(BatchLookupHeader) == 24);
 static_assert(sizeof(BatchReplyHeader) == 16);
+static_assert(sizeof(FilterExchangeHeader) == 8);
+static_assert(sizeof(hash::OwnerFilter::Header) == 32);
 static_assert(offsetof(LookupReply, seq) == 0,
               "reply_seq() reads the leading 8 bytes");
 static_assert(offsetof(BatchReplyHeader, seq) == 0,
@@ -157,6 +159,47 @@ TEST(WireRoundTrip, BatchReplyRejectsEveryTruncation) {
   }
   buf.push_back(0);
   EXPECT_THROW(decode_batch_reply(buf.data(), buf.size()),
+               std::runtime_error);
+}
+
+TEST(WireRoundTrip, FilterExchangeIdentity) {
+  seq::Rng rng(6);
+  for (const std::size_t n : {0u, 1u, 512u, 9000u}) {
+    hash::OwnerFilter filter(n, 0.01);
+    for (std::size_t i = 0; i < n; ++i) filter.insert(rng.next());
+    const auto kind = rng.chance(0.5) ? LookupKind::kKmer : LookupKind::kTile;
+
+    std::vector<std::uint8_t> buf;
+    encode_filter_exchange(kind, filter, buf);
+    ASSERT_EQ(buf.size(), filter_exchange_bytes(filter));
+    ASSERT_EQ(buf.size(), sizeof(FilterExchangeHeader) + filter.wire_bytes());
+
+    const FilterExchange back = decode_filter_exchange(buf.data(), buf.size());
+    EXPECT_EQ(back.kind, kind);
+    // The carried filter round-trips byte-for-byte, so it answers exactly
+    // like the one the owner built.
+    EXPECT_EQ(back.filter.serialize(), filter.serialize());
+    EXPECT_EQ(back.filter.key_count(), filter.key_count());
+  }
+}
+
+TEST(WireRoundTrip, FilterExchangeRejectsEveryTruncation) {
+  seq::Rng rng(7);
+  hash::OwnerFilter filter(600, 0.01);
+  for (int i = 0; i < 600; ++i) filter.insert(rng.next());
+  std::vector<std::uint8_t> buf;
+  encode_filter_exchange(LookupKind::kTile, filter, buf);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    EXPECT_THROW(decode_filter_exchange(buf.data(), len), std::runtime_error)
+        << "prefix of " << len << " bytes decoded";
+  }
+  buf.push_back(0);
+  EXPECT_THROW(decode_filter_exchange(buf.data(), buf.size()),
+               std::runtime_error);
+  buf.pop_back();
+  // Unknown lookup kind in the frame header.
+  buf[0] = 9;
+  EXPECT_THROW(decode_filter_exchange(buf.data(), buf.size()),
                std::runtime_error);
 }
 

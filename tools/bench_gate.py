@@ -1,22 +1,38 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the rtm runtime baseline (BENCH_rtm.json).
+"""Perf-regression gate for the checked-in bench baselines.
 
-Compares a freshly measured BENCH_rtm.json against the checked-in baseline
-in bench/baselines/ and fails CI when the lock-free mailbox fast path stops
-paying for itself. Three classes of checks:
+Compares a freshly measured bench JSON against its baseline in
+bench/baselines/ and fails CI on regression. The gate dispatches on the
+document's `schema` field:
 
-  hard floors    Invariants of the optimization itself, independent of host
-                 speed: the ping-pong reduction must stay >= 25% (the PR's
-                 acceptance bar), every ping-pong push must take the ring,
-                 and the kill switch must still force the locked path.
+  rtm (schema 1, BENCH_rtm.json)
+    The lock-free mailbox fast path. Three classes of checks:
 
-  exact matches  Workload shape is deterministic (message and byte counts
-                 from the traffic matrix, lookup counts). Any drift means an
-                 accounting or protocol regression, not noise.
+      hard floors    Invariants of the optimization itself, independent of
+                     host speed: the ping-pong reduction must stay >= 25%
+                     (the PR's acceptance bar), every ping-pong push must
+                     take the ring, and the kill switch must still force
+                     the locked path.
 
-  tolerance      Reduction percentages are compared against the baseline
-                 with a band wide enough for shared-runner noise. Absolute
-                 ns/msg numbers are host-dependent and only warn.
+      exact matches  Workload shape is deterministic (message and byte
+                     counts from the traffic matrix, lookup counts). Any
+                     drift means an accounting or protocol regression, not
+                     noise.
+
+      tolerance      Reduction percentages are compared against the
+                     baseline with a band wide enough for shared-runner
+                     noise. Absolute ns/msg numbers are host-dependent and
+                     only warn.
+
+  fig5 (schema "reptile-bench-fig5-v1", BENCH_fig5.json)
+    The heuristics ablation counters, all deterministic (seeded dataset,
+    fixed topology, fault-free run), so everything is exact-matched against
+    the baseline. On top of that, structural invariants of the run itself:
+    every heuristic row must produce identical corrected output
+    (substitutions / reads_changed equal across rows), the filtered rows
+    must answer definite absences locally (filter_neg_hits > 0) while the
+    unfiltered rows must not, and filtering must strictly reduce remote
+    round trips versus the same row without filters.
 
 Stdlib only; exit code 0 = pass, 1 = regression.
 """
@@ -55,6 +71,25 @@ WARN_KEYS = [
     ("lookup_rtt_us", "p99_us"),
 ]
 
+FIG5_SCHEMA = "reptile-bench-fig5-v1"
+
+# Counters every fig5 row carries; all deterministic, all exact-matched.
+FIG5_COUNTERS = [
+    "remote_lookups",
+    "filter_neg_hits",
+    "filter_false_positives",
+    "substitutions",
+    "reads_changed",
+    "sent_msgs",
+]
+
+# (filtered row, its unfiltered counterpart) pairs: the filter point must
+# strictly reduce scalar remote round trips against the same configuration.
+FIG5_FILTER_PAIRS = [
+    ("filtered", "base"),
+    ("filtered_batched", "batched_lookups"),
+]
+
 
 def get(doc: dict, section: str, key: str):
     try:
@@ -63,26 +98,9 @@ def get(doc: dict, section: str, key: str):
         return None
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--current", required=True,
-                        help="BENCH_rtm.json produced by this run")
-    parser.add_argument("--baseline", required=True,
-                        help="checked-in bench/baselines/BENCH_rtm.json")
-    args = parser.parse_args()
-
-    with open(args.current, encoding="utf-8") as f:
-        cur = json.load(f)
-    with open(args.baseline, encoding="utf-8") as f:
-        base = json.load(f)
-
+def gate_rtm(cur: dict, base: dict) -> tuple[list[str], list[str]]:
     failures: list[str] = []
     warnings: list[str] = []
-
-    if cur.get("schema") != base.get("schema"):
-        failures.append(
-            f"schema mismatch: current {cur.get('schema')} vs "
-            f"baseline {base.get('schema')}")
 
     # -- hard floors ------------------------------------------------------
     pp_red = get(cur, "pingpong", "reduction_pct")
@@ -135,7 +153,6 @@ def main() -> int:
                 f"{section}.{key} = {c} vs baseline {b} "
                 f"({ratio:.2f}x; host-dependent, not gated)")
 
-    print(f"bench_gate: current={args.current} baseline={args.baseline}")
     print(f"  pingpong reduction : {pp_red:.1f}% "
           f"(baseline {get(base, 'pingpong', 'reduction_pct'):.1f}%, "
           f"hard floor {HARD_MIN_PINGPONG_REDUCTION_PCT:.0f}%)")
@@ -143,6 +160,100 @@ def main() -> int:
     if loop_red is not None:
         print(f"  loop reduction     : {loop_red:.1f}% "
               f"(baseline {get(base, 'mailbox_loop', 'reduction_pct'):.1f}%)")
+    return failures, warnings
+
+
+def gate_fig5(cur: dict, base: dict) -> tuple[list[str], list[str]]:
+    failures: list[str] = []
+    rows = cur.get("rows", {})
+    base_rows = base.get("rows", {})
+
+    # -- structural invariants of the current run ------------------------
+    # Every heuristic row corrects the same reads the same way: the ablation
+    # varies WHERE counts are found, never WHAT the corrector decides.
+    for key in ("substitutions", "reads_changed"):
+        values = {name: row.get(key) for name, row in rows.items()}
+        if len(set(values.values())) > 1:
+            failures.append(
+                f"{key} differs across heuristic rows: {values} "
+                f"(every heuristic must produce identical output)")
+
+    for name, row in rows.items():
+        is_filtered = name.startswith("filtered")
+        neg = row.get("filter_neg_hits", 0)
+        if is_filtered and not neg > 0:
+            failures.append(
+                f"rows.{name}.filter_neg_hits = {neg}: the filter point "
+                f"answered no definite absences locally")
+        if not is_filtered and neg != 0:
+            failures.append(
+                f"rows.{name}.filter_neg_hits = {neg} on an unfiltered "
+                f"row: the default-off contract is broken")
+
+    for filtered, plain in FIG5_FILTER_PAIRS:
+        f_remote = get(cur, "rows", filtered)
+        p_remote = get(cur, "rows", plain)
+        if f_remote is None or p_remote is None:
+            failures.append(
+                f"rows missing for filter pair ({filtered}, {plain})")
+            continue
+        if not f_remote["remote_lookups"] < p_remote["remote_lookups"]:
+            failures.append(
+                f"rows.{filtered}.remote_lookups = "
+                f"{f_remote['remote_lookups']} did not drop below "
+                f"rows.{plain}.remote_lookups = "
+                f"{p_remote['remote_lookups']}")
+
+    # -- exact match against the baseline --------------------------------
+    if set(rows) != set(base_rows):
+        failures.append(
+            f"row set changed: current {sorted(rows)} vs baseline "
+            f"{sorted(base_rows)} (regenerate the baseline deliberately)")
+    for name in sorted(set(rows) & set(base_rows)):
+        for key in FIG5_COUNTERS:
+            c, b = rows[name].get(key), base_rows[name].get(key)
+            if c != b:
+                failures.append(
+                    f"rows.{name}.{key} = {c} differs from baseline {b} "
+                    f"(counters are deterministic; regenerate the baseline "
+                    f"only for a deliberate behaviour change)")
+
+    if "filtered" in rows and "base" in rows:
+        print(f"  base remote lookups    : {rows['base']['remote_lookups']}")
+        print(f"  filtered remote lookups: "
+              f"{rows['filtered']['remote_lookups']} "
+              f"(neg hits {rows['filtered']['filter_neg_hits']}, "
+              f"false positives "
+              f"{rows['filtered']['filter_false_positives']})")
+    return failures, []
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True,
+                        help="bench JSON produced by this run")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in bench/baselines/ counterpart")
+    args = parser.parse_args()
+
+    with open(args.current, encoding="utf-8") as f:
+        cur = json.load(f)
+    with open(args.baseline, encoding="utf-8") as f:
+        base = json.load(f)
+
+    print(f"bench_gate: current={args.current} baseline={args.baseline}")
+
+    failures: list[str] = []
+    warnings: list[str] = []
+    if cur.get("schema") != base.get("schema"):
+        failures.append(
+            f"schema mismatch: current {cur.get('schema')} vs "
+            f"baseline {base.get('schema')}")
+    elif cur.get("schema") == FIG5_SCHEMA:
+        failures, warnings = gate_fig5(cur, base)
+    else:
+        failures, warnings = gate_rtm(cur, base)
+
     for w in warnings:
         print(f"  WARN: {w}")
     if failures:
