@@ -1,0 +1,162 @@
+// BENCH_serve.json: the resident correction server's recorded baseline.
+//
+//   $ serve_throughput [--json PATH] [--jobs N] [--ranks R]
+//
+// Boots one CorrectionServer, streams N identical jobs through it, and
+// reports jobs/sec plus the per-job latency distribution. The checked-in
+// counterpart lives in bench/baselines/BENCH_serve.json and is diffed by
+// tools/bench_gate.py in CI:
+//
+//   hard           spectrum_builds_per_rank == 1 — the entire point of the
+//                  serve refactor; a second build per rank means the
+//                  rank/job lifetime split regressed.
+//   exact          jobs, ranks, degraded_jobs, substitutions, reads_changed
+//                  (seeded dataset, fault-free run: any drift is a
+//                  functional regression, not noise).
+//   warn           jobs_per_sec and the latency percentiles — wall-clock
+//                  numbers are host-dependent and only flag large drift.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "parallel/dist_pipeline.hpp"
+#include "parallel/serve.hpp"
+#include "seq/dataset.hpp"
+#include "stats/stopwatch.hpp"
+
+namespace {
+
+using namespace reptile;
+
+std::vector<seq::Read> bench_dataset() {
+  seq::DatasetSpec spec{"serve-bench", 3000, 80, 4000};
+  seq::ErrorModelParams errors;
+  errors.error_rate_start = 0.004;
+  errors.error_rate_end = 0.012;
+  return seq::SyntheticDataset::generate(spec, errors, 20240531).reads;
+}
+
+double percentile_ms(std::vector<double> seconds, double q) {
+  if (seconds.empty()) return 0.0;
+  std::sort(seconds.begin(), seconds.end());
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(seconds.size() - 1) + 0.5);
+  return seconds[index] * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int jobs = 8;
+  int ranks = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ranks") == 0 && i + 1 < argc) {
+      ranks = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const std::vector<seq::Read> reads = bench_dataset();
+  parallel::DistConfig config;
+  config.ranks = ranks;
+  config.heuristics.batch_lookups = true;
+  config.run_options.check.enabled = false;  // measure serving, not auditing
+
+  parallel::CorrectionServer server(reads, config,
+                                    static_cast<std::size_t>(jobs));
+
+  stats::Stopwatch wall;
+  std::vector<std::future<parallel::JobReport>> futures;
+  for (int j = 0; j < jobs; ++j) {
+    parallel::JobRequest request;
+    request.reads = reads;
+    futures.push_back(server.submit(std::move(request)));
+  }
+  std::vector<double> latencies;
+  std::uint64_t substitutions = 0;
+  std::uint64_t reads_changed = 0;
+  int degraded_jobs = 0;
+  bool counters_stable = true;
+  for (std::future<parallel::JobReport>& f : futures) {
+    const parallel::JobReport report = f.get();
+    latencies.push_back(report.seconds);
+    if (report.degraded) ++degraded_jobs;
+    if (substitutions == 0) {
+      substitutions = report.total_substitutions();
+      reads_changed = report.total_reads_changed();
+    } else if (report.total_substitutions() != substitutions ||
+               report.total_reads_changed() != reads_changed) {
+      counters_stable = false;  // jobs are identical; outputs must be too
+    }
+  }
+  const double total_seconds = wall.seconds();
+  server.shutdown();
+  const parallel::ServerStats stats = server.stats();
+
+  const double jobs_per_sec =
+      total_seconds > 0 ? static_cast<double>(jobs) / total_seconds : 0.0;
+  const double p50 = percentile_ms(latencies, 0.50);
+  const double p99 = percentile_ms(latencies, 0.99);
+  const double max_ms = percentile_ms(latencies, 1.0);
+  const std::uint64_t builds_per_rank =
+      stats.spectrum_builds / static_cast<std::uint64_t>(ranks);
+
+  std::printf("--- serve throughput (BENCH_serve.json) ---\n");
+  std::printf("ranks %d, jobs %d over %zu reads\n", ranks, jobs, reads.size());
+  std::printf("throughput    : %.2f jobs/sec (%.3fs total)\n", jobs_per_sec,
+              total_seconds);
+  std::printf("latency       : p50 %.1f ms, p99 %.1f ms, max %.1f ms\n", p50,
+              p99, max_ms);
+  std::printf("spectrum built: %llu per rank (must be 1)\n",
+              static_cast<unsigned long long>(builds_per_rank));
+  std::printf("per job       : %llu substitutions, %llu reads changed, "
+              "%d degraded\n",
+              static_cast<unsigned long long>(substitutions),
+              static_cast<unsigned long long>(reads_changed), degraded_jobs);
+
+  if (!counters_stable) {
+    std::fprintf(stderr, "FAIL: identical jobs produced drifting counters\n");
+    return 1;
+  }
+  if (builds_per_rank != 1 ||
+      stats.spectrum_builds != static_cast<std::uint64_t>(ranks)) {
+    std::fprintf(stderr, "FAIL: spectrum was not built exactly once per rank\n");
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << "{\n"
+        << "  \"schema\": \"reptile-bench-serve-v1\",\n"
+        << "  \"serve\": {\n"
+        << "    \"ranks\": " << ranks << ",\n"
+        << "    \"jobs\": " << jobs << ",\n"
+        << "    \"spectrum_builds_per_rank\": " << builds_per_rank << ",\n"
+        << "    \"degraded_jobs\": " << degraded_jobs << ",\n"
+        << "    \"substitutions\": " << substitutions << ",\n"
+        << "    \"reads_changed\": " << reads_changed << ",\n"
+        << "    \"jobs_per_sec\": " << jobs_per_sec << ",\n"
+        << "    \"latency_p50_ms\": " << p50 << ",\n"
+        << "    \"latency_p99_ms\": " << p99 << ",\n"
+        << "    \"latency_max_ms\": " << max_ms << "\n"
+        << "  }\n"
+        << "}\n";
+    if (!out.flush()) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

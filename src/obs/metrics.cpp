@@ -42,51 +42,54 @@ void Registry::configure(bool enabled) {
 
 template <typename T>
 T* Registry::find_or_add(std::vector<Entry<T>>& entries, std::string_view name,
-                         int rank) {
+                         int rank, std::int64_t job) {
   for (auto& entry : entries) {
-    if (entry.rank == rank && entry.name == name) {
+    if (entry.rank == rank && entry.job == job && entry.name == name) {
       return entry.value.get();
     }
   }
-  entries.push_back(Entry<T>{std::string(name), rank, std::make_unique<T>()});
+  entries.push_back(
+      Entry<T>{std::string(name), rank, job, std::make_unique<T>()});
   return entries.back().value.get();
 }
 
-Counter* Registry::counter(std::string_view name, int rank) {
+Counter* Registry::counter(std::string_view name, int rank, std::int64_t job) {
   if (!enabled()) {
     return nullptr;
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  return find_or_add(counters_, name, rank);
+  return find_or_add(counters_, name, rank, job);
 }
 
-Gauge* Registry::gauge(std::string_view name, int rank) {
+Gauge* Registry::gauge(std::string_view name, int rank, std::int64_t job) {
   if (!enabled()) {
     return nullptr;
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  return find_or_add(gauges_, name, rank);
+  return find_or_add(gauges_, name, rank, job);
 }
 
-Histogram* Registry::histogram(std::string_view name, int rank) {
+Histogram* Registry::histogram(std::string_view name, int rank,
+                               std::int64_t job) {
   if (!enabled()) {
     return nullptr;
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  return find_or_add(histograms_, name, rank);
+  return find_or_add(histograms_, name, rank, job);
 }
 
-void Registry::publish_timeline(const stats::PhaseTimeline& t, int rank) {
+void Registry::publish_timeline(const stats::PhaseTimeline& t, int rank,
+                                std::int64_t job) {
   if (!enabled()) {
     return;
   }
   const auto set_counter = [&](const char* name, std::uint64_t value) {
     if (value != 0) {
-      counter(name, rank)->add(value);
+      counter(name, rank, job)->add(value);
     }
   };
   const auto set_gauge = [&](const char* name, double value) {
-    gauge(name, rank)->set(value);
+    gauge(name, rank, job)->set(value);
   };
 
   set_counter("reptile_reads_processed", t.reads_processed);
@@ -95,6 +98,7 @@ void Registry::publish_timeline(const stats::PhaseTimeline& t, int rank) {
   set_counter("reptile_tiles_untrusted", t.tiles_untrusted);
   set_counter("reptile_tiles_fixed", t.tiles_fixed);
   set_counter("reptile_tiles_degraded", t.tiles_degraded);
+  set_counter("reptile_reads_deadline_skipped", t.reads_deadline_skipped);
   set_counter("reptile_chunks_built", t.batches);
 
   set_counter("reptile_lookup_kmer_total", t.lookups.kmer_lookups);
@@ -153,16 +157,31 @@ void append_double(std::string& out, double value) {
   out += buf;
 }
 
-void append_label(std::string& out, int rank) {
-  if (rank >= 0) {
-    out += "{rank=\"" + std::to_string(rank) + "\"}";
+void append_label(std::string& out, int rank, std::int64_t job) {
+  if (rank < 0 && job < 0) {
+    return;
   }
+  out += '{';
+  if (rank >= 0) {
+    out += "rank=\"" + std::to_string(rank) + "\"";
+  }
+  if (job >= 0) {
+    if (rank >= 0) {
+      out += ',';
+    }
+    out += "job=\"" + std::to_string(job) + "\"";
+  }
+  out += '}';
 }
 
-void append_bucket_label(std::string& out, int rank, const std::string& le) {
+void append_bucket_label(std::string& out, int rank, std::int64_t job,
+                         const std::string& le) {
   out += "{";
   if (rank >= 0) {
     out += "rank=\"" + std::to_string(rank) + "\",";
+  }
+  if (job >= 0) {
+    out += "job=\"" + std::to_string(job) + "\",";
   }
   out += "le=\"" + le + "\"}";
 }
@@ -183,7 +202,9 @@ std::string Registry::prometheus_text() const {
       view.push_back(&entry);
     }
     std::sort(view.begin(), view.end(), [](const auto* a, const auto* b) {
-      return a->name != b->name ? a->name < b->name : a->rank < b->rank;
+      if (a->name != b->name) return a->name < b->name;
+      if (a->rank != b->rank) return a->rank < b->rank;
+      return a->job < b->job;
     });
     return view;
   };
@@ -195,7 +216,7 @@ std::string Registry::prometheus_text() const {
       previous = entry->name.c_str();
     }
     out += entry->name;
-    append_label(out, entry->rank);
+    append_label(out, entry->rank, entry->job);
     out += ' ';
     out += std::to_string(entry->value->value());
     out += '\n';
@@ -207,7 +228,7 @@ std::string Registry::prometheus_text() const {
       previous = entry->name.c_str();
     }
     out += entry->name;
-    append_label(out, entry->rank);
+    append_label(out, entry->rank, entry->job);
     out += ' ';
     append_double(out, entry->value->value());
     out += '\n';
@@ -227,24 +248,24 @@ std::string Registry::prometheus_text() const {
       }
       cumulative += in_bucket;
       out += entry->name + "_bucket";
-      append_bucket_label(out, entry->rank,
+      append_bucket_label(out, entry->rank, entry->job,
                           std::to_string(Histogram::bucket_upper(b)));
       out += ' ';
       out += std::to_string(cumulative);
       out += '\n';
     }
     out += entry->name + "_bucket";
-    append_bucket_label(out, entry->rank, "+Inf");
+    append_bucket_label(out, entry->rank, entry->job, "+Inf");
     out += ' ';
     out += std::to_string(h.count());
     out += '\n';
     out += entry->name + "_sum";
-    append_label(out, entry->rank);
+    append_label(out, entry->rank, entry->job);
     out += ' ';
     out += std::to_string(h.sum());
     out += '\n';
     out += entry->name + "_count";
-    append_label(out, entry->rank);
+    append_label(out, entry->rank, entry->job);
     out += ' ';
     out += std::to_string(h.count());
     out += '\n';
@@ -258,29 +279,32 @@ std::vector<HistogramSummary> Registry::histogram_summaries() const {
   out.reserve(histograms_.size());
   for (const auto& entry : histograms_) {
     const Histogram& h = *entry.value;
-    out.push_back({entry.name, entry.rank, h.count(), h.sum(), h.max(),
-                   h.quantile(0.5), h.quantile(0.99)});
+    out.push_back({entry.name, entry.rank, entry.job, h.count(), h.sum(),
+                   h.max(), h.quantile(0.5), h.quantile(0.99)});
   }
   std::sort(out.begin(), out.end(),
             [](const HistogramSummary& a, const HistogramSummary& b) {
-              return a.name != b.name ? a.name < b.name : a.rank < b.rank;
+              if (a.name != b.name) return a.name < b.name;
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.job < b.job;
             });
   return out;
 }
 
-HistogramSummary Registry::histogram_summary(std::string_view name,
-                                             int rank) const {
+HistogramSummary Registry::histogram_summary(std::string_view name, int rank,
+                                             std::int64_t job) const {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& entry : histograms_) {
-    if (entry.rank == rank && entry.name == name) {
+    if (entry.rank == rank && entry.job == job && entry.name == name) {
       const Histogram& h = *entry.value;
-      return {entry.name, entry.rank, h.count(), h.sum(),
-              h.max(),    h.quantile(0.5), h.quantile(0.99)};
+      return {entry.name, entry.rank,      entry.job,       h.count(),
+              h.sum(),    h.max(),         h.quantile(0.5), h.quantile(0.99)};
     }
   }
   HistogramSummary none;
   none.name = std::string(name);
   none.rank = rank;
+  none.job = job;
   return none;
 }
 

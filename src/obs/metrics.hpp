@@ -129,6 +129,7 @@ class Histogram {
 struct HistogramSummary {
   std::string name;
   int rank = -1;
+  std::int64_t job = -1;  ///< serve-mode job id; -1 = not job-scoped
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
   std::uint64_t max = 0;
@@ -151,25 +152,34 @@ class Registry {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  /// rank < 0 registers an unlabelled (process-wide) instrument.
-  Counter* counter(std::string_view name, int rank = -1);
-  Gauge* gauge(std::string_view name, int rank = -1);
-  Histogram* histogram(std::string_view name, int rank = -1);
+  /// rank < 0 registers an unlabelled (process-wide) instrument; job >= 0
+  /// additionally scopes the instrument to one serve-mode job, so a
+  /// resident server's per-job counters stay attributable after N jobs.
+  Counter* counter(std::string_view name, int rank = -1,
+                   std::int64_t job = -1);
+  Gauge* gauge(std::string_view name, int rank = -1, std::int64_t job = -1);
+  Histogram* histogram(std::string_view name, int rank = -1,
+                       std::int64_t job = -1);
 
   /// Mirrors one rank's harvested stats::PhaseTimeline counters into
   /// named registry counters/gauges — the single seam absorbing
-  /// LookupStats/RemoteLookupStats/ServiceStats.
-  void publish_timeline(const stats::PhaseTimeline& timeline, int rank);
+  /// LookupStats/RemoteLookupStats/ServiceStats. job >= 0 publishes the
+  /// counters under the (rank, job) pair (serve mode); -1 keeps the
+  /// one-shot rank-only labelling.
+  void publish_timeline(const stats::PhaseTimeline& timeline, int rank,
+                        std::int64_t job = -1);
 
-  /// Prometheus text exposition (`# TYPE` comments, `{rank="N"}` labels,
-  /// `_bucket{le=...}` per histogram) of every instrument.
+  /// Prometheus text exposition (`# TYPE` comments, `{rank="N"}` /
+  /// `{rank="N",job="J"}` labels, `_bucket{le=...}` per histogram) of
+  /// every instrument.
   std::string prometheus_text() const;
 
-  /// Summaries of every histogram, sorted by (name, rank).
+  /// Summaries of every histogram, sorted by (name, rank, job).
   std::vector<HistogramSummary> histogram_summaries() const;
 
-  /// Summary of one (name, rank) histogram; count==0 when absent.
-  HistogramSummary histogram_summary(std::string_view name, int rank) const;
+  /// Summary of one (name, rank[, job]) histogram; count==0 when absent.
+  HistogramSummary histogram_summary(std::string_view name, int rank,
+                                     std::int64_t job = -1) const;
 
   /// Number of registered instruments (tests; 0 when disabled).
   std::size_t size() const;
@@ -179,12 +189,13 @@ class Registry {
   struct Entry {
     std::string name;
     int rank;
+    std::int64_t job;  ///< -1 = not job-scoped
     std::unique_ptr<T> value;
   };
 
   template <typename T>
   T* find_or_add(std::vector<Entry<T>>& entries, std::string_view name,
-                 int rank);
+                 int rank, std::int64_t job);
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;

@@ -1,0 +1,105 @@
+#pragma once
+// Bounded admission queue of a resident correction server (DESIGN.md §13).
+//
+// The backpressure seam between submitters (any driver thread) and the
+// serving rank 0: depth is fixed at construction, submit() blocks while the
+// queue is full, try_submit() refuses instead — a caller that must not
+// block (an RPC edge shedding load) gets an immediate "queue full" answer
+// it can turn into a 429. close() starts the drain: queued jobs are still
+// popped and served, new submissions are refused, and once the queue is
+// empty pop() returns nullopt exactly once per waiting consumer — the
+// server's signal to announce shutdown to the peer ranks.
+//
+// Plain mutex + two condition variables: admission is seconds-scale work
+// per item (a whole correction job), so lock-free cleverness would buy
+// nothing here — the rtm mailbox fast path (rtm/ring.hpp) exists for the
+// microsecond-scale path.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace reptile::parallel {
+
+template <class T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t depth) : depth_(depth) {
+    if (depth == 0) {
+      throw std::invalid_argument("admission queue depth must be > 0");
+    }
+  }
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Blocks while the queue is full (backpressure); returns false without
+  /// enqueueing when the queue was closed (before or while waiting).
+  bool submit(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || items_.size() < depth_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking admission: false when full or closed (`item` untouched
+  /// in the caller — it is only moved from on success).
+  bool try_submit(T& item) {
+    std::lock_guard lock(mutex_);
+    if (closed_ || items_.size() >= depth_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND drained;
+  /// nullopt means "no more jobs ever" (the shutdown signal).
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Refuses all future submissions; already-queued items still drain
+  /// through pop(). Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t depth() const noexcept { return depth_; }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t depth_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace reptile::parallel

@@ -223,6 +223,71 @@ constexpr KeySpec kKeys[] = {
      [](RunConfigFile& c, const std::string& v, int l) {
        c.trace.metrics = parse_bool(v, l);
      }},
+    // Serve-mode per-job overrides (parallel/job.hpp): the `job.*` namespace
+    // mirrors the correction-phase subset of the top-level keys. Unset keys
+    // keep the server's build-time value.
+    {"job.qual_threshold",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.qual_threshold = static_cast<int>(parse_int(v, l));
+     }},
+    {"job.restrict_to_low_quality",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.restrict_to_low_quality = parse_bool(v, l);
+     }},
+    {"job.max_positions_per_tile",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.max_positions_per_tile = static_cast<int>(parse_int(v, l));
+     }},
+    {"job.max_hamming",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.max_hamming = static_cast<int>(parse_int(v, l));
+     }},
+    {"job.dominance_ratio",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.dominance_ratio = parse_double(v, l);
+     }},
+    {"job.max_corrections_per_read",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.max_corrections_per_read = static_cast<int>(parse_int(v, l));
+     }},
+    {"job.chunk_size",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.chunk_size = static_cast<std::size_t>(parse_int(v, l));
+     }},
+    {"job.prefetch_capacity",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.prefetch_capacity = static_cast<std::size_t>(parse_int(v, l));
+     }},
+    {"job.universal",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.universal = parse_bool(v, l);
+     }},
+    {"job.batch_lookups",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.batch_lookups = parse_bool(v, l);
+     }},
+    {"job.filter_lookups",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.filter_lookups = parse_bool(v, l);
+     }},
+    {"job.add_remote",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.add_remote = parse_bool(v, l);
+     }},
+    {"job.deadline_ms",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.job.deadline_seconds = parse_double(v, l) / 1000.0;
+     }},
+    {"job.lookup_timeout_ticks",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       if (!c.job.retry) c.job.retry.emplace();
+       c.job.retry->timeout_ticks = static_cast<int>(parse_int(v, l));
+     }},
+    {"job.lookup_max_retries",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       if (!c.job.retry) c.job.retry.emplace();
+       c.job.retry->max_retries = static_cast<int>(parse_int(v, l));
+     }},
 };
 
 /// Levenshtein distance, for the unknown-key suggestion. The key set is
@@ -288,6 +353,9 @@ RunConfigFile parse_config_text(const std::string& text) {
   config.heuristics.validate();
   config.chaos.validate();
   config.retry.validate();
+  // Validate the job overrides against this file's own build config (the
+  // serve driver re-validates per submit with its actual worker count).
+  config.job.validate(config.params, config.heuristics, /*worker_threads=*/1);
   return config;
 }
 
@@ -359,6 +427,42 @@ std::string to_config_text(const RunConfigFile& config) {
   if (!t.path.empty()) out << "trace_path " << t.path << '\n';
   out << "trace_ring_capacity " << t.ring_capacity << '\n'
       << "metrics_enabled " << (t.metrics ? 1 : 0) << '\n';
+  const JobOverrides& j = config.job;
+  if (j.qual_threshold) out << "job.qual_threshold " << *j.qual_threshold << '\n';
+  if (j.restrict_to_low_quality) {
+    out << "job.restrict_to_low_quality " << (*j.restrict_to_low_quality ? 1 : 0)
+        << '\n';
+  }
+  if (j.max_positions_per_tile) {
+    out << "job.max_positions_per_tile " << *j.max_positions_per_tile << '\n';
+  }
+  if (j.max_hamming) out << "job.max_hamming " << *j.max_hamming << '\n';
+  if (j.dominance_ratio) {
+    out << "job.dominance_ratio " << *j.dominance_ratio << '\n';
+  }
+  if (j.max_corrections_per_read) {
+    out << "job.max_corrections_per_read " << *j.max_corrections_per_read
+        << '\n';
+  }
+  if (j.chunk_size) out << "job.chunk_size " << *j.chunk_size << '\n';
+  if (j.prefetch_capacity) {
+    out << "job.prefetch_capacity " << *j.prefetch_capacity << '\n';
+  }
+  if (j.universal) out << "job.universal " << (*j.universal ? 1 : 0) << '\n';
+  if (j.batch_lookups) {
+    out << "job.batch_lookups " << (*j.batch_lookups ? 1 : 0) << '\n';
+  }
+  if (j.filter_lookups) {
+    out << "job.filter_lookups " << (*j.filter_lookups ? 1 : 0) << '\n';
+  }
+  if (j.add_remote) out << "job.add_remote " << (*j.add_remote ? 1 : 0) << '\n';
+  if (j.deadline_seconds) {
+    out << "job.deadline_ms " << (*j.deadline_seconds * 1000.0) << '\n';
+  }
+  if (j.retry) {
+    out << "job.lookup_timeout_ticks " << j.retry->timeout_ticks << '\n'
+        << "job.lookup_max_retries " << j.retry->max_retries << '\n';
+  }
   return out.str();
 }
 

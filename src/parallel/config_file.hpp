@@ -24,6 +24,7 @@
 #include "core/params.hpp"
 #include "obs/trace.hpp"
 #include "parallel/heuristics.hpp"
+#include "parallel/job.hpp"
 #include "parallel/protocol.hpp"
 #include "rtm/chaos.hpp"
 
@@ -54,6 +55,11 @@ struct RunConfigFile {
   /// tracing to per-rank JSON shards, metrics registry, ring capacity.
   /// The flight recorder is always on regardless.
   obs::TraceConfig trace;
+  /// Per-job overrides for serve mode (`job.*` keys; see parallel/job.hpp
+  /// and parallel/serve.hpp). Only the correction-phase knobs exist in this
+  /// namespace; a key is emitted by to_config_text only when set, so an
+  /// override-free config round-trips without any job.* lines.
+  JobOverrides job;
 };
 
 /// Parses a configuration file. Throws std::runtime_error with the line

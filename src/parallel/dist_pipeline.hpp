@@ -96,6 +96,21 @@ struct DistResult {
   }
 };
 
+/// Validates a DistConfig exactly as run_distributed would before starting
+/// ranks; throws std::invalid_argument on any inconsistency (bad params or
+/// heuristics, add_remote without batch_lookups under concurrent workers,
+/// a lossy chaos plan with retries disabled). Exposed so other drivers over
+/// the same config (the resident server in parallel/serve.hpp) reject bad
+/// configs with identical messages.
+void validate_dist_config(const DistConfig& config);
+
+/// The run options actually handed to the runtime: when checking is on and
+/// the caller supplied no custom tag table, arms the linter with the lookup
+/// protocol table (which includes the serve-mode job tags) and strict tags —
+/// that protocol is the only point-to-point traffic the pipelines send, so
+/// any stray tag is a bug.
+rtm::RunOptions resolve_run_options(const DistConfig& config);
+
 /// Runs the full distributed pipeline over an in-memory dataset. Step I is
 /// emulated by slicing `reads` into np contiguous partitions (the byte-range
 /// file partitioning applied to in-memory data); file-based runs use

@@ -202,6 +202,12 @@ void DistSpectrum::replicate_group() {
 }
 
 void DistSpectrum::exchange_filters(const RetryPolicy& retry) {
+  // Idempotent across jobs: the filters are RANK-lifetime (built over the
+  // pruned owned tables, which never change after construction), so a
+  // resident server pays the exchange exactly once. Every rank takes this
+  // branch deterministically — no rank can be left waiting on a peer.
+  if (filters_exchanged_) return;
+  filters_exchanged_ = true;
   if (!heur_.filter_lookups) return;
   const int np = comm_->size();
   const int me = comm_->rank();
@@ -356,6 +362,20 @@ void DistSpectrum::cache_remote_kmer(seq::kmer_id_t id, std::uint32_t count) {
 }
 void DistSpectrum::cache_remote_tile(seq::tile_id_t id, std::uint32_t count) {
   cache_into(reads_tile_, remote_cache_order_tile_, id, count);
+}
+
+void DistSpectrum::reset_for_job() {
+  // The order deques hold exactly the add_remote-cached reply IDs — never
+  // the fetch_global_reads_tables base entries — so erasing them restores
+  // the reads tables to their end-of-construction state bit for bit.
+  for (const std::uint64_t id : remote_cache_order_kmer_) {
+    reads_kmer_.erase(id);
+  }
+  remote_cache_order_kmer_.clear();
+  for (const std::uint64_t id : remote_cache_order_tile_) {
+    reads_tile_.erase(id);
+  }
+  remote_cache_order_tile_.clear();
 }
 
 SpectrumFootprint DistSpectrum::footprint() const {

@@ -147,6 +147,13 @@ class DistSpectrum {
   void cache_remote_kmer(seq::kmer_id_t id, std::uint32_t count);
   void cache_remote_tile(seq::tile_id_t id, std::uint32_t count);
 
+  /// Serve-mode seam: evicts every add_remote-cached reply from the reads
+  /// tables (the only correction-phase mutation of the spectrum), restoring
+  /// the end-of-construction state so job N's lookups cannot be answered by
+  /// job N-1's caches. Local (no communication); every rank calls it when
+  /// starting a job.
+  void reset_for_job();
+
   bool owns_kmer(seq::kmer_id_t id) const {
     return hash::owner_of(id, comm_->size()) == comm_->rank();
   }
@@ -229,6 +236,9 @@ class DistSpectrum {
   std::vector<std::unique_ptr<hash::OwnerFilter>> peer_filter_kmer_;
   std::vector<std::unique_ptr<hash::OwnerFilter>> peer_filter_tile_;
   std::size_t filter_bytes_ = 0;
+  /// Makes exchange_filters() one-shot: the filters are rank-lifetime, and
+  /// a resident server calls prepare_correction once per job.
+  bool filters_exchanged_ = false;
 
   // Scratch buffers reused across add_read calls.
   std::vector<seq::kmer_id_t> kmer_scratch_;

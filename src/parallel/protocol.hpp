@@ -32,6 +32,8 @@ enum Tag : int {
   kTagUniversalRequest = 13,
   kTagBatchRequest = 14,
   kTagFilterExchange = 15,
+  kTagJobAnnounce = 16,
+  kTagJobComplete = 17,
   kTagKmerReply = 21,
   kTagTileReply = 22,
 };
@@ -107,6 +109,35 @@ struct BatchReplyHeader {
 /// owner — losing a filter can cost traffic, never correctness.
 struct FilterExchangeHeader {
   std::uint32_t kind = 0;      ///< LookupKind as uint32
+  std::uint32_t reserved = 0;  ///< explicit padding for a stable layout
+};
+
+/// Serve-mode control messages (DESIGN.md §13). Rank 0 owns the admission
+/// queue; it announces each admitted job to every peer rank with one
+/// kTagJobAnnounce message, the peers run the job's correction graph, and
+/// each peer acknowledges with one kTagJobComplete back to rank 0. The job
+/// payload itself (read source, overrides) travels out of band through the
+/// server's shared job table — the wire only carries the id and control
+/// word, so the announce can never stall behind a large dataset.
+enum class JobOp : std::uint32_t {
+  kRun = 0,       ///< run the announced job
+  kShutdown = 1,  ///< no more jobs; leave the serve loop
+};
+
+/// Rank 0 -> peers: run job `job_id` (or shut down; job_id then 0).
+struct JobAnnounce {
+  std::uint64_t job_id = 0;
+  std::uint32_t op = 0;        ///< JobOp as uint32
+  std::uint32_t reserved = 0;  ///< explicit padding for a stable layout
+};
+
+/// Peer -> rank 0: job `job_id` finished on this rank. `degraded` is 1 when
+/// the rank's correction involved degraded evidence (deadline skips,
+/// degraded lookups, or degraded tiles) — the per-rank input to the job's
+/// overall degraded flag.
+struct JobComplete {
+  std::uint64_t job_id = 0;
+  std::uint32_t degraded = 0;
   std::uint32_t reserved = 0;  ///< explicit padding for a stable layout
 };
 

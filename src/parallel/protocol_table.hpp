@@ -132,6 +132,16 @@ inline rtm::check::TagTable lookup_tag_table() {
       TagRule{kTagFilterExchange, kTagFilterExchange, "filter-exchange",
               TagDir::kRequest, sizeof(FilterExchangeHeader), kNoMax, nullptr,
               nullptr, /*best_effort=*/true},
+      // Serve-mode control plane (DESIGN.md §13): rank 0 announces each job
+      // to every peer and each peer acknowledges completion. Fixed-size,
+      // always consumed (the serve loop blocks on them), and answered out
+      // of band through the shared job table — no reply envelope to pair.
+      TagRule{kTagJobAnnounce, kTagJobAnnounce, "job-announce",
+              TagDir::kRequest, sizeof(JobAnnounce), sizeof(JobAnnounce),
+              nullptr, nullptr},
+      TagRule{kTagJobComplete, kTagJobComplete, "job-complete",
+              TagDir::kRequest, sizeof(JobComplete), sizeof(JobComplete),
+              nullptr, nullptr},
       TagRule{kTagKmerReply, kTagBatchReplyBase - 1, "scalar-reply",
               TagDir::kReply, sizeof(LookupReply), sizeof(LookupReply),
               nullptr, &table_detail::reply_seq},

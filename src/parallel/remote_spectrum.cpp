@@ -13,10 +13,11 @@ namespace reptile::parallel {
 RemoteSpectrumView::RemoteSpectrumView(rtm::Comm& comm, DistSpectrum& spectrum,
                                        int worker_slot,
                                        bool cache_remote_locally,
-                                       RetryPolicy retry)
+                                       RetryPolicy retry,
+                                       const Heuristics* heur_override)
     : comm_(&comm),
       spectrum_(&spectrum),
-      heur_(spectrum.heuristics()),
+      heur_(heur_override == nullptr ? spectrum.heuristics() : *heur_override),
       worker_slot_(worker_slot),
       cache_remote_locally_(cache_remote_locally),
       retry_(retry) {

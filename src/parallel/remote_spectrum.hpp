@@ -60,10 +60,14 @@ class RemoteSpectrumView final : public core::SpectrumView {
   /// of the shared reads tables — the thread-safe variant used when
   /// several workers share one rank. `retry` arms the timeout/retry
   /// protocol (see protocol.hpp); the default (disabled) blocks forever,
-  /// exactly the paper's behaviour.
+  /// exactly the paper's behaviour. `heur_override` substitutes the
+  /// correction-phase heuristics (universal / batch_lookups /
+  /// filter_lookups / add_remote) for the spectrum's build heuristics —
+  /// the serve-mode per-job override seam; nullptr keeps the build values.
   RemoteSpectrumView(rtm::Comm& comm, DistSpectrum& spectrum,
                      int worker_slot = 0, bool cache_remote_locally = false,
-                     RetryPolicy retry = {});
+                     RetryPolicy retry = {},
+                     const Heuristics* heur_override = nullptr);
 
   /// Batched-lookup prefetch (batch_lookups heuristic; no-op otherwise):
   /// scans `batch` once, extracts every k-mer and tile ID, filters out the

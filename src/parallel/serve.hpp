@@ -1,0 +1,140 @@
+#pragma once
+// Correction-as-a-service: a resident server over the distributed pipeline
+// (DESIGN.md §13).
+//
+// One-shot drivers pay spectrum construction (Steps I-III plus the filter
+// exchange) on every run. CorrectionServer pays it once: the ranks build
+// the sharded spectrum from a build dataset at construction and stay
+// resident, streaming correction jobs through the rank-lifetime state
+// (World, mailboxes, spectrum tables, owner filters) with only job-lifetime
+// state (source, effective config, stats, output) cycled per job.
+//
+// Control plane: submitters enqueue into a bounded AdmissionQueue (submit
+// blocks on backpressure, try_submit refuses). Rank 0 pops jobs and
+// announces each to the peer ranks over the rtm wire (kTagJobAnnounce);
+// every rank runs the job's LoadBalance -> Correct graph; peers acknowledge
+// with kTagJobComplete; rank 0 merges, publishes job-labelled metrics, and
+// fulfills the job's future. shutdown() closes the queue, drains what was
+// admitted, then announces JobOp::kShutdown.
+//
+// SLO semantics: a job may carry a deadline; blowing it finishes the job
+// conservatively (remaining reads pass through uncorrected, counted in
+// reads_deadline_skipped) and marks the job degraded — it NEVER
+// miscorrects. Degraded-evidence lookups (the PR 3 retry protocol) feed
+// the same flag.
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "parallel/dist_pipeline.hpp"
+#include "parallel/job.hpp"
+#include "seq/read.hpp"
+#include "stats/phase_timeline.hpp"
+
+namespace reptile::parallel {
+
+/// One streamed correction job: exactly one input (in-memory reads, or a
+/// FASTA/quality file pair — FASTQ/gzip-converted inputs go through the
+/// same seq readers as the one-shot drivers) plus this job's overrides.
+struct JobRequest {
+  /// In-memory input (used when `fasta` is empty). Sliced across ranks
+  /// exactly like run_distributed slices its dataset.
+  std::vector<seq::Read> reads;
+  /// File input: every rank performs the paper's Step I over the pair.
+  std::filesystem::path fasta;
+  std::filesystem::path qual;
+  /// Correction-phase overrides; empty = the server's build configuration.
+  JobOverrides overrides;
+};
+
+/// What one job produced, fulfilled through the future submit() returned.
+struct JobReport {
+  std::uint64_t job_id = 0;
+  /// True when any rank corrected on degraded evidence: a blown deadline,
+  /// degraded (timed-out) lookups, or conservatively skipped tiles. A
+  /// degraded job may be under-corrected, never miscorrected.
+  bool degraded = false;
+  /// True specifically when the job's deadline expired before every read
+  /// was corrected (implies degraded).
+  bool deadline_missed = false;
+  /// Announce-to-merge wall time on the serving rank (queue wait excluded).
+  double seconds = 0.0;
+  /// Corrected reads in original file order (MergeStage).
+  std::vector<seq::Read> corrected;
+  /// Per-rank measurements for this job alone (reset_for_job pins the
+  /// independence from earlier jobs).
+  std::vector<RankReport> ranks;
+
+  std::uint64_t total_substitutions() const {
+    return stats::field_total(ranks, &stats::PhaseTimeline::substitutions);
+  }
+  std::uint64_t total_reads_changed() const {
+    return stats::field_total(ranks, &stats::PhaseTimeline::reads_changed);
+  }
+  std::uint64_t total_deadline_skipped() const {
+    return stats::field_total(ranks,
+                              &stats::PhaseTimeline::reads_deadline_skipped);
+  }
+};
+
+/// Server-lifetime counters (all monotonic).
+struct ServerStats {
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_degraded = 0;
+  std::uint64_t jobs_rejected = 0;  ///< try_submit refusals (backpressure)
+  /// BuildSpectrum stage runs summed over ranks; stays == ranks() for the
+  /// server's whole life — the build-once counter the bench gate asserts.
+  std::uint64_t spectrum_builds = 0;
+};
+
+class CorrectionServer {
+ public:
+  /// Builds the sharded spectrum from `build_reads` under `config` (same
+  /// validation and run options as run_distributed; lossy chaos plans are
+  /// additionally rejected because the job control messages are not
+  /// retried) and leaves the ranks resident. Blocks until the spectrum is
+  /// built; construction-time errors throw here. `admission_depth` bounds
+  /// the queue (backpressure past it).
+  CorrectionServer(std::vector<seq::Read> build_reads, DistConfig config,
+                   std::size_t admission_depth = 8);
+
+  /// shutdown() if the caller did not.
+  ~CorrectionServer();
+
+  CorrectionServer(const CorrectionServer&) = delete;
+  CorrectionServer& operator=(const CorrectionServer&) = delete;
+
+  /// Admits a job, blocking while the queue is full (backpressure). The
+  /// overrides are validated against the build configuration here, in the
+  /// submitter's thread — a bad job throws std::invalid_argument and never
+  /// reaches the ranks. Throws std::runtime_error after shutdown().
+  std::future<JobReport> submit(JobRequest request);
+
+  /// Non-blocking admission: nullopt when the queue is full or the server
+  /// is shut down (`request` is then untouched and may be resubmitted).
+  std::optional<std::future<JobReport>> try_submit(JobRequest& request);
+
+  /// Closes admission, drains every already-admitted job, announces
+  /// shutdown to the ranks, and joins the world. Idempotent.
+  void shutdown();
+
+  ServerStats stats() const;
+  int ranks() const noexcept;
+  std::size_t admission_depth() const noexcept;
+  /// Jobs currently queued (admitted, not yet announced).
+  std::size_t queued() const;
+  /// The rank-lifetime build measurements (construct_seconds, footprints),
+  /// one per rank. Valid once the constructor returned.
+  const std::vector<stats::PhaseTimeline>& build_reports() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace reptile::parallel

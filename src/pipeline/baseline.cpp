@@ -37,20 +37,20 @@ BaselineResult run_replicated_baseline(const std::vector<seq::Read>& reads,
         seq::SliceReadSource source(reads, begin, end);
 
         pipeline::RankContext ctx;
-        ctx.params = &config.params;
-        ctx.comm = &comm;
-        ctx.source = &source;
-        ctx.model = &model;
+        ctx.bind(config.params);
+        ctx.rank.comm = &comm;
+        ctx.rank.model = &model;
+        ctx.job.source = &source;
         pipeline::baseline_graph(reads, config.work_chunk).run(ctx);
 
         BaselineRankReport report;
-        report.timeline() = std::move(ctx.report);
+        report.timeline() = std::move(ctx.job.report);
         report.rank = rank;
         report.chunks_granted = report.work_grants;
         report.spectrum_bytes = report.footprint_after_construction.bytes;
 
         corrected_per_rank[static_cast<std::size_t>(rank)] =
-            std::move(ctx.corrected);
+            std::move(ctx.job.corrected);
         reports[static_cast<std::size_t>(rank)] = std::move(report);
       });
 

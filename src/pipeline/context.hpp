@@ -1,16 +1,34 @@
 #pragma once
 // RankContext: everything one rank's pass through the stage graph reads and
-// writes.
+// writes, split by lifetime.
+//
+// The split is the contract serve mode (DESIGN.md §13) is built on:
+//
+//   RankState — RANK-lifetime. Bound once when the rank thread starts and
+//     valid until it exits: the build parameters, the build heuristics, the
+//     communicator, the spectrum model (and through it the owned tables,
+//     replicas and exchanged owner filters), and the worker-thread count.
+//     A resident server runs LoadBalance/BuildSpectrum against this state
+//     exactly once, then serves any number of jobs over it.
+//
+//   JobState — JOB-lifetime. Everything one correction job owns: its id,
+//     its effective parameters/heuristics (the build values plus per-job
+//     overrides), its retry policy and deadline, its read source, and its
+//     outputs (corrected reads + PhaseTimeline report). reset_for_job()
+//     restores the struct to a pristine state so job N's report can never
+//     inherit counters, caches or outputs from job N-1. One-shot drivers
+//     simply run a single job.
 //
 // Ownership rules (see DESIGN.md "Pipeline architecture"):
-//   - params / comm / source / model are BORROWED from the driver; they must
-//     outlive the graph run. `comm == nullptr` selects the sequential
-//     instance (one rank, no messaging, no service thread).
-//   - `source` may be re-pointed by LoadBalanceStage at `balanced`, the only
-//     state the context itself owns besides its outputs.
-//   - `corrected` and `report` are the outputs: stages only ever append or
-//     accumulate, so a driver can inspect them between stages.
+//   - RankState members are BORROWED from the driver; they must outlive
+//     every graph run. `comm == nullptr` selects the sequential instance
+//     (one rank, no messaging, no service thread).
+//   - `job.source` may be re-pointed by LoadBalanceStage at `job.balanced`,
+//     the only state the context itself owns besides the job outputs.
+//   - `job.corrected` and `job.report` are the outputs: stages only ever
+//     append or accumulate, so a driver can inspect them between stages.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -25,24 +43,45 @@ namespace reptile::pipeline {
 
 class SpectrumModel;
 
-struct RankContext {
-  // --- configuration, borrowed from the driver --------------------------
-  const core::CorrectorParams* params = nullptr;
+/// Rank-lifetime state: bound once per rank thread, shared by every job the
+/// rank serves. All members are borrowed from the driver.
+struct RankState {
+  /// The parameters the spectrum was built with. Per-job overrides may only
+  /// change correction-phase knobs; build-lifetime fields (k, tile_overlap,
+  /// thresholds, canonical) are pinned to these values.
+  const core::CorrectorParams* build_params = nullptr;
+  /// The heuristics the spectrum was built with (which tables/replicas/
+  /// filters exist is decided here, once).
   parallel::Heuristics heuristics;
   /// Correction worker threads (Step IV); the communication thread is extra.
   int worker_threads = 1;
-  /// Timeout/retry protocol for remote lookups (disabled = block forever,
-  /// the paper's behaviour). Only the distributed model reads it.
-  parallel::RetryPolicy retry;
   /// The rank's communicator; nullptr for the sequential instance. Traffic
   /// and rtm-check handles are reached through comm->world().
   rtm::Comm* comm = nullptr;
-  /// The rank's Step I partition; LoadBalanceStage may re-point this.
-  seq::ReadSource* source = nullptr;
   /// Where the spectrum lives (local / distributed / replicated).
   SpectrumModel* model = nullptr;
+};
 
-  // --- state produced by stages -----------------------------------------
+/// Job-lifetime state: one correction job's configuration and outputs.
+struct JobState {
+  std::uint64_t job_id = 0;
+  /// Effective parameters: the build parameters plus this job's overrides
+  /// (correction-phase knobs only; see parallel::JobOverrides).
+  core::CorrectorParams params;
+  /// Effective heuristics: the build heuristics plus this job's overrides
+  /// (correction-phase flags only: universal / batch_lookups /
+  /// filter_lookups / add_remote).
+  parallel::Heuristics heuristics;
+  /// Timeout/retry protocol for remote lookups (disabled = block forever,
+  /// the paper's behaviour). Only the distributed model reads it.
+  parallel::RetryPolicy retry;
+  /// Wall-clock budget for the correction phase, in seconds; 0 disables.
+  /// A job that exceeds it finishes conservatively: remaining reads pass
+  /// through uncorrected (counted in report.reads_deadline_skipped) and the
+  /// job is marked degraded — it never miscorrects (DESIGN.md §13).
+  double deadline_seconds = 0.0;
+  /// The job's Step I partition; LoadBalanceStage may re-point this.
+  seq::ReadSource* source = nullptr;
   /// Owns the re-homed reads when the load_balance heuristic ran.
   std::unique_ptr<seq::OwningReadSource> balanced;
   /// Corrected reads in worker-slot order (MergeStage restores file order
@@ -52,9 +91,42 @@ struct RankContext {
   /// types (RankReport / SequentialResult / BaselineRankReport).
   stats::PhaseTimeline report;
 
-  int rank() const noexcept { return comm == nullptr ? 0 : comm->rank(); }
+  /// Restores the pristine state for a new job. Effective params/heuristics
+  /// /retry/deadline/source are the submitter's to set afterwards; outputs
+  /// and the balanced buffer are dropped so nothing from the previous job
+  /// can leak into this one's results.
+  void reset_for_job(std::uint64_t id) {
+    job_id = id;
+    deadline_seconds = 0.0;
+    source = nullptr;
+    balanced.reset();
+    corrected.clear();
+    report = stats::PhaseTimeline{};
+  }
+};
+
+struct RankContext {
+  RankState rank;
+  JobState job;
+
+  /// Binds the rank-lifetime configuration and seeds the job-effective
+  /// copies with it (a one-shot run never diverges from the build values).
+  void bind(const core::CorrectorParams& params,
+            const parallel::Heuristics& heuristics = {}) {
+    rank.build_params = &params;
+    rank.heuristics = heuristics;
+    job.params = params;
+    job.heuristics = heuristics;
+  }
+
+  rtm::Comm* comm() const noexcept { return rank.comm; }
+  SpectrumModel* model() const noexcept { return rank.model; }
+
+  int rank_id() const noexcept {
+    return rank.comm == nullptr ? 0 : rank.comm->rank();
+  }
   int world_size() const noexcept {
-    return comm == nullptr ? 1 : comm->size();
+    return rank.comm == nullptr ? 1 : rank.comm->size();
   }
 };
 

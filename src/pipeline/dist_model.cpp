@@ -28,11 +28,14 @@ void DistSpectrumModel::record_construction_footprint(
                report.footprint_after_construction.bytes);
 }
 
+void DistSpectrumModel::reset_for_job() { spectrum_.reset_for_job(); }
+
 void DistSpectrumModel::prepare_correction(RankContext& ctx) {
   // Filter exchange runs on the rank main thread, before the service
   // thread exists: kTagFilterExchange is the only tagged traffic in
   // flight, so the blocking collection can never steal a lookup message.
-  spectrum_.exchange_filters(ctx.retry);
+  // (Idempotent: in serve mode only the first job's call exchanges.)
+  spectrum_.exchange_filters(ctx.job.retry);
   comm_->reset_done();
   service_.emplace(*comm_, spectrum_);
 }
@@ -43,8 +46,9 @@ void DistSpectrumModel::prepare_correction(RankContext& ctx) {
 class DistSpectrumModel::Handle final : public WorkerHandle {
  public:
   Handle(rtm::Comm& comm, parallel::DistSpectrum& spectrum, int slot,
-         bool cache_remote_locally, parallel::RetryPolicy retry)
-      : view_(comm, spectrum, slot, cache_remote_locally, retry) {}
+         bool cache_remote_locally, parallel::RetryPolicy retry,
+         const parallel::Heuristics& job_heur)
+      : view_(comm, spectrum, slot, cache_remote_locally, retry, &job_heur) {}
 
   core::SpectrumView& view() override { return view_; }
 
@@ -66,10 +70,13 @@ std::unique_ptr<WorkerHandle> DistSpectrumModel::make_worker(
     const RankContext& ctx, int slot) {
   // With concurrent workers, add_remote must not write the shared reads
   // tables; each view then caches replies into its own chunk-local cache.
+  // The view consults the JOB-effective heuristics (per-job correction
+  // overrides), not the build heuristics baked into the spectrum.
   const bool cache_remote_locally =
-      ctx.worker_threads > 1 && ctx.heuristics.add_remote;
+      ctx.rank.worker_threads > 1 && ctx.job.heuristics.add_remote;
   return std::make_unique<Handle>(*comm_, spectrum_, slot,
-                                  cache_remote_locally, ctx.retry);
+                                  cache_remote_locally, ctx.job.retry,
+                                  ctx.job.heuristics);
 }
 
 }  // namespace reptile::pipeline

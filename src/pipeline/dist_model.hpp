@@ -41,6 +41,11 @@ class DistSpectrumModel final : public SpectrumModel {
     report.footprint_after_correction = spectrum_.footprint();
   }
 
+  /// Collective: erases the add_remote reply caches from the reads tables
+  /// (the only job-lifetime residue inside DistSpectrum) so job N's
+  /// lookup counters cannot be perturbed by job N-1's cached replies.
+  void reset_for_job() override;
+
   void prepare_correction(RankContext& ctx) override;
 
   /// A rank needs the communication thread unless it runs alone or both

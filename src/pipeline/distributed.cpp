@@ -33,22 +33,21 @@ void rank_main(rtm::Comm& comm, seq::ReadSource& raw_source,
 
   pipeline::DistSpectrumModel model(config.params, config.heuristics, comm);
   pipeline::RankContext ctx;
-  ctx.params = &config.params;
-  ctx.heuristics = config.heuristics;
-  ctx.worker_threads = config.worker_threads;
-  ctx.retry = config.retry;
-  ctx.comm = &comm;
-  ctx.source = &raw_source;
-  ctx.model = &model;
+  ctx.bind(config.params, config.heuristics);
+  ctx.rank.worker_threads = config.worker_threads;
+  ctx.rank.comm = &comm;
+  ctx.rank.model = &model;
+  ctx.job.retry = config.retry;
+  ctx.job.source = &raw_source;
   pipeline::paper_graph().run(ctx);
 
   RankReport report;
-  report.timeline() = std::move(ctx.report);
+  report.timeline() = std::move(ctx.job.report);
   report.rank = rank;
   report.traffic = comm.world().traffic().snapshot(rank);
 
   corrected_per_rank[static_cast<std::size_t>(rank)] =
-      std::move(ctx.corrected);
+      std::move(ctx.job.corrected);
   reports[static_cast<std::size_t>(rank)] = std::move(report);
 }
 
@@ -58,20 +57,6 @@ DistResult merge_results(std::vector<std::vector<seq::Read>> corrected_per_rank,
   result.ranks = std::move(reports);
   result.corrected = pipeline::MergeStage::run(std::move(corrected_per_rank));
   return result;
-}
-
-/// The run options actually handed to the runtime: when checking is on and
-/// the caller supplied no custom tag table, arm the linter with the lookup
-/// protocol table and strict tags — the lookup protocol is the only
-/// point-to-point traffic the pipelines send, so any stray tag is a bug.
-rtm::RunOptions run_options_for(const DistConfig& config) {
-  rtm::RunOptions options = config.run_options;
-  if (options.check.enabled && options.check.lint &&
-      options.check.tags.empty()) {
-    options.check.tags = lookup_tag_table();
-    options.check.strict_tags = true;
-  }
-  return options;
 }
 
 /// Copies the finalized per-rank audit counters into the reports.
@@ -111,7 +96,9 @@ void finish_observability(std::unique_ptr<rtm::World> world,
   }
 }
 
-void validate_config(const DistConfig& config) {
+}  // namespace
+
+void validate_dist_config(const DistConfig& config) {
   config.params.validate();
   config.heuristics.validate();
   if (config.worker_threads < 1) {
@@ -135,11 +122,19 @@ void validate_config(const DistConfig& config) {
   }
 }
 
-}  // namespace
+rtm::RunOptions resolve_run_options(const DistConfig& config) {
+  rtm::RunOptions options = config.run_options;
+  if (options.check.enabled && options.check.lint &&
+      options.check.tags.empty()) {
+    options.check.tags = lookup_tag_table();
+    options.check.strict_tags = true;
+  }
+  return options;
+}
 
 DistResult run_distributed(const std::vector<seq::Read>& reads,
                            const DistConfig& config) {
-  validate_config(config);
+  validate_dist_config(config);
   begin_observability(config);
 
   std::vector<std::vector<seq::Read>> corrected_per_rank(
@@ -155,7 +150,7 @@ DistResult run_distributed(const std::vector<seq::Read>& reads,
                             static_cast<std::size_t>(comm.size());
     seq::SliceReadSource source(reads, begin, end);
     rank_main(comm, source, config, corrected_per_rank, reports);
-  }, run_options_for(config));
+  }, resolve_run_options(config));
   apply_check_snapshots(*world, reports);
   finish_observability(std::move(world), config, reports);
 
@@ -165,7 +160,7 @@ DistResult run_distributed(const std::vector<seq::Read>& reads,
 DistResult run_distributed_files(const std::filesystem::path& fasta,
                                  const std::filesystem::path& qual,
                                  const DistConfig& config) {
-  validate_config(config);
+  validate_dist_config(config);
   begin_observability(config);
 
   std::vector<std::vector<seq::Read>> corrected_per_rank(
@@ -176,7 +171,7 @@ DistResult run_distributed_files(const std::filesystem::path& fasta,
     // Step I proper: every rank opens both files and takes its byte range.
     seq::PartitionedReadSource source(fasta, qual, comm.rank(), comm.size());
     rank_main(comm, source, config, corrected_per_rank, reports);
-  }, run_options_for(config));
+  }, resolve_run_options(config));
   apply_check_snapshots(*world, reports);
   finish_observability(std::move(world), config, reports);
 

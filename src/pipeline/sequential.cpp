@@ -19,14 +19,14 @@ SequentialResult run_sequential(seq::ReadSource& source,
 
   pipeline::LocalSpectrumModel model(params);
   pipeline::RankContext ctx;
-  ctx.params = &params;
-  ctx.source = &source;
-  ctx.model = &model;
+  ctx.bind(params);
+  ctx.rank.model = &model;
+  ctx.job.source = &source;
   pipeline::paper_graph().run(ctx);
 
   SequentialResult result;
-  result.timeline() = std::move(ctx.report);
-  result.corrected = std::move(ctx.corrected);
+  result.timeline() = std::move(ctx.job.report);
+  result.corrected = std::move(ctx.job.corrected);
   result.kmer_entries = result.footprint_after_construction.hash_kmer_entries;
   result.tile_entries = result.footprint_after_construction.hash_tile_entries;
   result.spectrum_bytes = result.footprint_after_construction.bytes;

@@ -78,6 +78,13 @@ class SpectrumModel {
 
   // --- Step IV: correction (driven by CorrectStage) ---------------------
 
+  /// Serve-mode seam: drop every piece of JOB-lifetime state the model
+  /// accumulated while correcting (remote reply caches, per-job counters)
+  /// so the next job's lookups and report cannot observe the previous
+  /// job's. The spectrum tables themselves are RANK-lifetime and survive.
+  /// Collective where overridden (all ranks must call it together).
+  virtual void reset_for_job() {}
+
   /// Runs before any Step IV thread starts (distributed: Comm::reset_done
   /// and service construction).
   virtual void prepare_correction(RankContext& ctx) { (void)ctx; }

@@ -26,14 +26,18 @@ void StageGraph::run(RankContext& ctx) {
     stats::Stopwatch clock;
     {
       obs::SpanScope span("stage", obs::intern("stage:" + stage_name));
+      // Every stage span is attributed to the job it ran for, so merged
+      // shards of a multi-job serve run stay per-job attributable
+      // (trace_merge --check validates the arg is present).
+      span.arg("job", ctx.job.job_id);
       stage->run(ctx);
     }
     const double seconds = clock.seconds();
-    ctx.report.stages.push_back(
+    ctx.job.report.stages.push_back(
         {stage_name, seconds,
-         ctx.model == nullptr ? 0 : ctx.model->footprint_bytes()});
+         ctx.model() == nullptr ? 0 : ctx.model()->footprint_bytes()});
     if (obs::Histogram* h = obs::Registry::global().histogram(
-            "reptile_stage_us_" + stage_name, ctx.rank())) {
+            "reptile_stage_us_" + stage_name, ctx.rank_id())) {
       h->record(static_cast<std::uint64_t>(seconds * 1e6));
     }
   }
@@ -43,33 +47,33 @@ void LoadBalanceStage::run(RankContext& ctx) {
   // With balancing on, the rank's working set becomes the reads it owns;
   // without it, the raw Step I partition is streamed directly (never
   // materialized — the paper re-reads the file to keep the footprint low).
-  if (ctx.comm != nullptr && ctx.heuristics.load_balance) {
+  if (ctx.comm() != nullptr && ctx.job.heuristics.load_balance) {
     std::vector<seq::Read> mine;
-    mine.reserve(ctx.source->size());
-    seq::for_each_chunk(*ctx.source, ctx.params->chunk_size,
+    mine.reserve(ctx.job.source->size());
+    seq::for_each_chunk(*ctx.job.source, ctx.job.params.chunk_size,
                         [&mine](seq::ReadBatch& batch) {
                           mine.insert(mine.end(), batch.begin(), batch.end());
                         });
-    ctx.balanced = std::make_unique<seq::OwningReadSource>(
-        parallel::rebalance_reads(*ctx.comm, mine));
-    ctx.source = ctx.balanced.get();
+    ctx.job.balanced = std::make_unique<seq::OwningReadSource>(
+        parallel::rebalance_reads(*ctx.comm(), mine));
+    ctx.job.source = ctx.job.balanced.get();
   }
-  ctx.report.reads_processed = ctx.source->size();
+  ctx.job.report.reads_processed = ctx.job.source->size();
 }
 
 void BuildSpectrumStage::run(RankContext& ctx) {
   stats::Stopwatch clock;
-  SpectrumModel& model = *ctx.model;
-  seq::ChunkStream stream(*ctx.source, ctx.params->chunk_size);
+  SpectrumModel& model = *ctx.model();
+  seq::ChunkStream stream(*ctx.job.source, ctx.job.params.chunk_size);
   seq::ReadBatch batch;
   auto sample_peak = [&ctx, &model] {
-    ctx.report.construction_peak_bytes = std::max(
-        ctx.report.construction_peak_bytes, model.footprint_bytes());
+    ctx.job.report.construction_peak_bytes = std::max(
+        ctx.job.report.construction_peak_bytes, model.footprint_bytes());
   };
   if (model.chunked_exchange()) {
     // All ranks must join every collective exchange, so run to the global
     // maximum batch count (the paper's MPI_Reduce over batch counts).
-    const std::uint64_t max_batches = ctx.comm->allreduce_max(
+    const std::uint64_t max_batches = ctx.comm()->allreduce_max(
         static_cast<std::uint64_t>(stream.chunk_count()));
     for (std::uint64_t b = 0; b < max_batches; ++b) {
       obs::SpanScope span("chunk", "chunk:build");
@@ -78,28 +82,28 @@ void BuildSpectrumStage::run(RankContext& ctx) {
       span.arg("reads", batch.size());
       for (const seq::Read& r : batch) model.add_read(r.bases);
       model.exchange_chunk();
-      ++ctx.report.batches;
+      ++ctx.job.report.batches;
       sample_peak();
     }
   } else {
     while (stream.next(batch)) {
       obs::SpanScope span("chunk", "chunk:build");
-      span.arg("chunk", ctx.report.batches);
+      span.arg("chunk", ctx.job.report.batches);
       span.arg("reads", batch.size());
       for (const seq::Read& r : batch) model.add_read(r.bases);
-      ++ctx.report.batches;
+      ++ctx.job.report.batches;
       sample_peak();
     }
     model.exchange_chunk();
     sample_peak();
   }
   model.finalize_construction();
-  ctx.report.construct_seconds = clock.seconds();
-  model.record_construction_footprint(ctx.report);
+  ctx.job.report.construct_seconds = clock.seconds();
+  model.record_construction_footprint(ctx.job.report);
 }
 
 void CorrectStage::run(RankContext& ctx) {
-  SpectrumModel& model = *ctx.model;
+  SpectrumModel& model = *ctx.model();
   model.prepare_correction(ctx);
 
   // The completion announcement (distributed: Comm::signal_done) must run
@@ -114,8 +118,9 @@ void CorrectStage::run(RankContext& ctx) {
   }
 
   stats::Stopwatch clock;
-  const int workers = std::max(1, ctx.worker_threads);
-  seq::ChunkStream stream(*ctx.source, ctx.params->chunk_size);
+  const int workers = std::max(1, ctx.rank.worker_threads);
+  const double deadline = ctx.job.deadline_seconds;
+  seq::ChunkStream stream(*ctx.job.source, ctx.job.params.chunk_size);
   std::mutex stream_mutex;
   std::vector<std::vector<seq::Read>> per_worker(
       static_cast<std::size_t>(workers));
@@ -126,19 +131,19 @@ void CorrectStage::run(RankContext& ctx) {
     // Register the thread's role with the checker; the communication
     // thread is deliberately unscoped (it is the peer the roles talk to).
     std::optional<rtm::check::ThreadScope> scope;
-    if (ctx.comm != nullptr) {
-      if (rtm::check::RunChecker* check = ctx.comm->world().checker()) {
-        scope.emplace(*check, ctx.rank(), rtm::check::ThreadRole::kWorker);
+    if (ctx.comm() != nullptr) {
+      if (rtm::check::RunChecker* check = ctx.comm()->world().checker()) {
+        scope.emplace(*check, ctx.rank_id(), rtm::check::ThreadRole::kWorker);
       }
     }
     if (slot != 0) {
       // Slot 0 runs inline on the rank thread, which already carries the
       // rank label; spawned workers register their own.
       obs::Tracer::instance().set_thread(
-          ctx.rank(), ("worker" + std::to_string(slot)).c_str());
+          ctx.rank_id(), ("worker" + std::to_string(slot)).c_str());
     }
     const auto handle = model.make_worker(ctx, slot);
-    core::TileCorrector corrector(*ctx.params);
+    core::TileCorrector corrector(ctx.job.params);
     stats::PhaseTimeline& acc = worker_acc[static_cast<std::size_t>(slot)];
     auto& corrected = per_worker[static_cast<std::size_t>(slot)];
     seq::ReadBatch local_batch;
@@ -146,6 +151,16 @@ void CorrectStage::run(RankContext& ctx) {
       {
         std::lock_guard lock(stream_mutex);
         if (!stream.next(local_batch)) break;
+      }
+      // Deadline blown (serve-mode SLO, checked per chunk): stop spending
+      // lookups and pass the remaining reads through UNCHANGED. The
+      // degraded-evidence contract of the retry protocol extends here —
+      // the corrector may under-correct on a deadline, never miscorrect.
+      if (deadline > 0.0 && clock.seconds() > deadline) {
+        acc.reads_deadline_skipped +=
+            static_cast<std::uint64_t>(local_batch.size());
+        for (seq::Read& r : local_batch) corrected.push_back(std::move(r));
+        continue;
       }
       obs::SpanScope span("chunk", "chunk:correct");
       span.arg("reads", local_batch.size());
@@ -175,28 +190,29 @@ void CorrectStage::run(RankContext& ctx) {
     worker_group.join_and_rethrow();
   }
   service_group.join_and_rethrow();
-  ctx.report.correct_seconds = clock.seconds();
+  ctx.job.report.correct_seconds = clock.seconds();
 
-  ctx.corrected.reserve(ctx.corrected.size() + ctx.source->size());
+  ctx.job.corrected.reserve(ctx.job.corrected.size() + ctx.job.source->size());
   for (auto& part : per_worker) {
-    for (auto& r : part) ctx.corrected.push_back(std::move(r));
+    for (auto& r : part) ctx.job.corrected.push_back(std::move(r));
   }
   for (const stats::PhaseTimeline& acc : worker_acc) {
-    ctx.report.reads_changed += acc.reads_changed;
-    ctx.report.substitutions += acc.substitutions;
-    ctx.report.tiles_untrusted += acc.tiles_untrusted;
-    ctx.report.tiles_fixed += acc.tiles_fixed;
-    ctx.report.tiles_degraded += acc.tiles_degraded;
-    ctx.report.lookups += acc.lookups;
-    ctx.report.remote += acc.remote;
+    ctx.job.report.reads_changed += acc.reads_changed;
+    ctx.job.report.substitutions += acc.substitutions;
+    ctx.job.report.tiles_untrusted += acc.tiles_untrusted;
+    ctx.job.report.tiles_fixed += acc.tiles_fixed;
+    ctx.job.report.tiles_degraded += acc.tiles_degraded;
+    ctx.job.report.reads_deadline_skipped += acc.reads_deadline_skipped;
+    ctx.job.report.lookups += acc.lookups;
+    ctx.job.report.remote += acc.remote;
     // The per-rank communication time is the wall time any worker spent
     // blocked; with concurrent workers we report the maximum.
-    ctx.report.comm_seconds =
-        std::max(ctx.report.comm_seconds, acc.comm_seconds);
+    ctx.job.report.comm_seconds =
+        std::max(ctx.job.report.comm_seconds, acc.comm_seconds);
   }
-  model.harvest_service(ctx.report);
-  model.record_correction_footprint(ctx.report);
-  if (ctx.comm != nullptr) ctx.comm->barrier();
+  model.harvest_service(ctx.job.report);
+  model.record_correction_footprint(ctx.job.report);
+  if (ctx.comm() != nullptr) ctx.comm()->barrier();
 }
 
 namespace {
@@ -237,7 +253,7 @@ void run_master(rtm::Comm& comm, std::uint64_t total_reads,
 }  // namespace
 
 void WorkQueueCorrectStage::run(RankContext& ctx) {
-  rtm::Comm& comm = *ctx.comm;
+  rtm::Comm& comm = *ctx.comm();
   rtm::ScopedThreadGroup master_group;
   if (comm.rank() == 0) {
     const std::uint64_t total = all_reads_->size();
@@ -247,32 +263,33 @@ void WorkQueueCorrectStage::run(RankContext& ctx) {
   }
 
   stats::Stopwatch clock;
-  const auto handle = ctx.model->make_worker(ctx, 0);
-  core::TileCorrector corrector(*ctx.params);
+  const auto handle = ctx.model()->make_worker(ctx, 0);
+  core::TileCorrector corrector(ctx.job.params);
   while (true) {
     comm.send_value(0, kTagWorkRequest, std::uint32_t{0});
     const WorkGrant grant =
         comm.recv(0, kTagWorkGrant).as_value<WorkGrant>();
     if (grant.begin == grant.end) break;
-    ++ctx.report.work_grants;
+    ++ctx.job.report.work_grants;
     obs::SpanScope span("chunk", "chunk:correct");
     span.arg("reads", grant.end - grant.begin);
     for (std::uint64_t i = grant.begin; i < grant.end; ++i) {
       seq::Read read = (*all_reads_)[i];
       const core::ReadCorrection rc = corrector.correct(read, handle->view());
-      if (rc.changed()) ++ctx.report.reads_changed;
-      ctx.report.substitutions += static_cast<std::uint64_t>(rc.substitutions);
-      ctx.report.tiles_untrusted +=
+      if (rc.changed()) ++ctx.job.report.reads_changed;
+      ctx.job.report.substitutions +=
+          static_cast<std::uint64_t>(rc.substitutions);
+      ctx.job.report.tiles_untrusted +=
           static_cast<std::uint64_t>(rc.tiles_untrusted);
-      ctx.report.tiles_fixed += static_cast<std::uint64_t>(rc.tiles_fixed);
-      ++ctx.report.reads_processed;
-      ctx.corrected.push_back(std::move(read));
+      ctx.job.report.tiles_fixed += static_cast<std::uint64_t>(rc.tiles_fixed);
+      ++ctx.job.report.reads_processed;
+      ctx.job.corrected.push_back(std::move(read));
     }
   }
   master_group.join_and_rethrow();
-  ctx.report.correct_seconds = clock.seconds();
-  handle->harvest(ctx.report);
-  ctx.model->record_correction_footprint(ctx.report);
+  ctx.job.report.correct_seconds = clock.seconds();
+  handle->harvest(ctx.job.report);
+  ctx.model()->record_correction_footprint(ctx.job.report);
   comm.barrier();
 }
 
@@ -296,6 +313,13 @@ StageGraph paper_graph() {
   StageGraph graph;
   graph.add(std::make_unique<LoadBalanceStage>())
       .add(std::make_unique<BuildSpectrumStage>())
+      .add(std::make_unique<CorrectStage>());
+  return graph;
+}
+
+StageGraph correction_graph() {
+  StageGraph graph;
+  graph.add(std::make_unique<LoadBalanceStage>())
       .add(std::make_unique<CorrectStage>());
   return graph;
 }

@@ -55,15 +55,15 @@ class StageGraph {
 
 /// Step 0 (Section III-A): with the load_balance heuristic and a
 /// communicator, redistributes reads to their hash-owning ranks and
-/// re-points ctx.source at the owned set. Always records
-/// report.reads_processed = |source| (the rank's working set for the run).
+/// re-points ctx.job.source at the owned set. Always records
+/// report.reads_processed = |source| (the rank's working set for the job).
 class LoadBalanceStage final : public Stage {
  public:
   std::string_view name() const override { return "load_balance"; }
   void run(RankContext& ctx) override;
 };
 
-/// Steps I-III: streams ctx.source in chunks of params.chunk_size into the
+/// Steps I-III: streams ctx.job.source in chunks of params.chunk_size into the
 /// model, with the chunk-synchronous exchange loop of batch_reads (run to
 /// the global maximum batch count) or one final exchange otherwise; then
 /// the model's prune/replication finalization. Records construct_seconds,
@@ -122,6 +122,11 @@ class MergeStage {
 /// sequential driver runs the same graph with comm == nullptr (LoadBalance
 /// degenerates to bookkeeping, Correct to one worker with no service).
 StageGraph paper_graph();
+
+/// The per-job slice of the paper pipeline for a resident server: LoadBalance
+/// -> Correct over a spectrum that was already built (BuildSpectrum ran once
+/// at server start — the rank-lifetime half of the split).
+StageGraph correction_graph();
 
 /// The prior-art pipeline: BuildSpectrum (replicated model) -> WorkQueue
 /// correction over the shared read array.

@@ -194,6 +194,10 @@ struct PhaseTimeline {
   /// Tiles conservatively skipped because a backing lookup degraded (gave
   /// up after timeout retries). Always 0 on fault-free runs.
   std::uint64_t tiles_degraded = 0;
+  /// Reads passed through UNCORRECTED because the job's correction-phase
+  /// deadline expired (serve-mode SLO). The job is marked degraded; the
+  /// reads are never miscorrected. Always 0 when no deadline is set.
+  std::uint64_t reads_deadline_skipped = 0;
   std::uint64_t batches = 0;  ///< construction-phase chunks processed
   /// Non-empty work-queue grants received (the dynamic prior-art baseline
   /// only; 0 everywhere else).

@@ -224,6 +224,114 @@ TEST(ConfigFile, RoundTripsFullKeySet) {
   EXPECT_EQ(back.retry.max_retries, config.retry.max_retries);
 }
 
+// ---- serve-mode job.* namespace -------------------------------------------
+
+TEST(ConfigFile, ParsesJobOverrides) {
+  const auto c = parse_config_text(R"(
+job.qual_threshold 25
+job.max_hamming 1
+job.chunk_size 256
+job.universal 1
+job.batch_lookups yes
+job.deadline_ms 1500
+job.lookup_timeout_ticks 4
+job.lookup_max_retries 2
+)");
+  ASSERT_TRUE(c.job.any_set());
+  EXPECT_EQ(c.job.qual_threshold, 25);
+  EXPECT_EQ(c.job.max_hamming, 1);
+  EXPECT_EQ(c.job.chunk_size, 256u);
+  EXPECT_EQ(c.job.universal, true);
+  EXPECT_EQ(c.job.batch_lookups, true);
+  ASSERT_TRUE(c.job.deadline_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*c.job.deadline_seconds, 1.5);
+  ASSERT_TRUE(c.job.retry.has_value());
+  EXPECT_EQ(c.job.retry->timeout_ticks, 4);
+  EXPECT_EQ(c.job.retry->max_retries, 2);
+  // Unset overrides stay unset: empty overrides = the build config.
+  EXPECT_FALSE(c.job.dominance_ratio.has_value());
+  EXPECT_FALSE(c.job.add_remote.has_value());
+}
+
+TEST(ConfigFile, JobOverridesDefaultToUnset) {
+  const auto c = parse_config_text("kmer_length 12\n");
+  EXPECT_FALSE(c.job.any_set());
+  // ...and an override-free config emits no job.* lines.
+  EXPECT_EQ(to_config_text(c).find("job."), std::string::npos);
+}
+
+TEST(ConfigFile, RoundTripsJobOverrides) {
+  RunConfigFile config;
+  config.job.qual_threshold = 30;
+  config.job.restrict_to_low_quality = true;
+  config.job.max_positions_per_tile = 2;
+  config.job.max_hamming = 1;
+  config.job.dominance_ratio = 3.5;
+  config.job.max_corrections_per_read = 4;
+  config.job.chunk_size = 128;
+  config.job.prefetch_capacity = 16;
+  config.job.universal = true;
+  config.job.batch_lookups = true;
+  config.job.filter_lookups = false;  // set-to-false must survive too
+  config.job.deadline_seconds = 0.25;
+  config.job.retry = RetryPolicy{6, 1};
+
+  const auto back = parse_config_text(to_config_text(config));
+  EXPECT_EQ(back.job.qual_threshold, config.job.qual_threshold);
+  EXPECT_EQ(back.job.restrict_to_low_quality,
+            config.job.restrict_to_low_quality);
+  EXPECT_EQ(back.job.max_positions_per_tile,
+            config.job.max_positions_per_tile);
+  EXPECT_EQ(back.job.max_hamming, config.job.max_hamming);
+  ASSERT_TRUE(back.job.dominance_ratio.has_value());
+  EXPECT_DOUBLE_EQ(*back.job.dominance_ratio, *config.job.dominance_ratio);
+  EXPECT_EQ(back.job.max_corrections_per_read,
+            config.job.max_corrections_per_read);
+  EXPECT_EQ(back.job.chunk_size, config.job.chunk_size);
+  EXPECT_EQ(back.job.prefetch_capacity, config.job.prefetch_capacity);
+  EXPECT_EQ(back.job.universal, config.job.universal);
+  EXPECT_EQ(back.job.batch_lookups, config.job.batch_lookups);
+  EXPECT_EQ(back.job.filter_lookups, config.job.filter_lookups);
+  ASSERT_TRUE(back.job.deadline_seconds.has_value());
+  EXPECT_DOUBLE_EQ(*back.job.deadline_seconds, *config.job.deadline_seconds);
+  ASSERT_TRUE(back.job.retry.has_value());
+  EXPECT_EQ(back.job.retry->timeout_ticks, config.job.retry->timeout_ticks);
+  EXPECT_EQ(back.job.retry->max_retries, config.job.retry->max_retries);
+  EXPECT_FALSE(back.job.add_remote.has_value());  // still unset
+}
+
+TEST(ConfigFile, JobKeyTyposSuggestTheJobKey) {
+  try {
+    parse_config_text("job.deadline_s 100\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'job.deadline_ms'"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_config_text("job.chunk_sz 128\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'job.chunk_size'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigFile, ValidatesJobOverrides) {
+  // Effective-config validation: a job override that breaks the corrector
+  // parameters is rejected at parse time.
+  EXPECT_THROW(parse_config_text("job.max_hamming -2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_config_text("job.deadline_ms -5\n"),
+               std::invalid_argument);
+  // add_remote needs the build-time reads tables.
+  EXPECT_THROW(parse_config_text("job.add_remote 1\n"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(parse_config_text("read_kmers 1\njob.add_remote 1\n"));
+}
+
 TEST(ConfigFile, ReadsFromDisk) {
   const auto dir = std::filesystem::temp_directory_path() / "reptile_cfg";
   std::filesystem::create_directories(dir);

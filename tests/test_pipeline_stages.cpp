@@ -58,14 +58,14 @@ TEST(LoadBalanceStage, SequentialInstanceOnlyRecordsTheWorkingSet) {
   seq::VectorReadSource source(ds.reads);
 
   RankContext ctx;
-  ctx.params = &params;
-  ctx.source = &source;
+  ctx.bind(params);
+  ctx.job.source = &source;
   LoadBalanceStage{}.run(ctx);
 
   // No communicator: nothing moves, nothing is materialized.
-  EXPECT_EQ(ctx.source, &source);
-  EXPECT_EQ(ctx.balanced, nullptr);
-  EXPECT_EQ(ctx.report.reads_processed, ds.reads.size());
+  EXPECT_EQ(ctx.job.source, &source);
+  EXPECT_EQ(ctx.job.balanced, nullptr);
+  EXPECT_EQ(ctx.job.report.reads_processed, ds.reads.size());
 }
 
 TEST(BuildSpectrumStage, BuildsPrunesAndRecordsFootprint) {
@@ -75,21 +75,21 @@ TEST(BuildSpectrumStage, BuildsPrunesAndRecordsFootprint) {
   LocalSpectrumModel model(params);
 
   RankContext ctx;
-  ctx.params = &params;
-  ctx.source = &source;
-  ctx.model = &model;
+  ctx.bind(params);
+  ctx.rank.model = &model;
+  ctx.job.source = &source;
   BuildSpectrumStage{}.run(ctx);
 
-  const auto& fp = ctx.report.footprint_after_construction;
+  const auto& fp = ctx.job.report.footprint_after_construction;
   EXPECT_GT(fp.hash_kmer_entries, 0u);
   EXPECT_GT(fp.hash_tile_entries, 0u);
   EXPECT_GT(fp.bytes, 0u);
   // The per-chunk peak is sampled before the prune, so it bounds the
   // post-construction footprint from above.
-  EXPECT_GE(ctx.report.construction_peak_bytes, fp.bytes);
+  EXPECT_GE(ctx.job.report.construction_peak_bytes, fp.bytes);
   // 2000 reads in chunks of 128 -> 16 non-empty chunks.
-  EXPECT_EQ(ctx.report.batches, 16u);
-  EXPECT_GE(ctx.report.construct_seconds, 0.0);
+  EXPECT_EQ(ctx.job.report.batches, 16u);
+  EXPECT_GE(ctx.job.report.construct_seconds, 0.0);
 }
 
 TEST(CorrectStage, CorrectsEveryReadOverTheBuiltSpectrum) {
@@ -99,21 +99,21 @@ TEST(CorrectStage, CorrectsEveryReadOverTheBuiltSpectrum) {
   LocalSpectrumModel model(params);
 
   RankContext ctx;
-  ctx.params = &params;
-  ctx.source = &source;
-  ctx.model = &model;
+  ctx.bind(params);
+  ctx.rank.model = &model;
+  ctx.job.source = &source;
   BuildSpectrumStage{}.run(ctx);
   CorrectStage{}.run(ctx);
 
-  ASSERT_EQ(ctx.corrected.size(), ds.reads.size());
-  EXPECT_GT(ctx.report.substitutions, 0u);
-  EXPECT_GT(ctx.report.reads_changed, 0u);
-  EXPECT_GE(ctx.report.correct_seconds, 0.0);
+  ASSERT_EQ(ctx.job.corrected.size(), ds.reads.size());
+  EXPECT_GT(ctx.job.report.substitutions, 0u);
+  EXPECT_GT(ctx.job.report.reads_changed, 0u);
+  EXPECT_GE(ctx.job.report.correct_seconds, 0.0);
   // One worker, local model: every lookup is a hash-table hit or miss, and
   // correction-phase lookups are what the handle harvests.
-  EXPECT_GT(ctx.report.lookups.kmer_lookups, 0u);
-  EXPECT_GT(ctx.report.lookups.tile_lookups, 0u);
-  EXPECT_GT(ctx.report.footprint_after_correction.bytes, 0u);
+  EXPECT_GT(ctx.job.report.lookups.kmer_lookups, 0u);
+  EXPECT_GT(ctx.job.report.lookups.tile_lookups, 0u);
+  EXPECT_GT(ctx.job.report.footprint_after_correction.bytes, 0u);
 }
 
 TEST(StageGraph, RecordsOneTimedSamplePerStage) {
@@ -123,23 +123,23 @@ TEST(StageGraph, RecordsOneTimedSamplePerStage) {
   LocalSpectrumModel model(params);
 
   RankContext ctx;
-  ctx.params = &params;
-  ctx.source = &source;
-  ctx.model = &model;
+  ctx.bind(params);
+  ctx.rank.model = &model;
+  ctx.job.source = &source;
   auto graph = paper_graph();
   EXPECT_EQ(graph.size(), 3u);
   graph.run(ctx);
 
-  ASSERT_EQ(ctx.report.stages.size(), 3u);
-  EXPECT_EQ(ctx.report.stages[0].stage, "load_balance");
-  EXPECT_EQ(ctx.report.stages[1].stage, "build_spectrum");
-  EXPECT_EQ(ctx.report.stages[2].stage, "correct");
-  for (const auto& sample : ctx.report.stages) {
+  ASSERT_EQ(ctx.job.report.stages.size(), 3u);
+  EXPECT_EQ(ctx.job.report.stages[0].stage, "load_balance");
+  EXPECT_EQ(ctx.job.report.stages[1].stage, "build_spectrum");
+  EXPECT_EQ(ctx.job.report.stages[2].stage, "correct");
+  for (const auto& sample : ctx.job.report.stages) {
     EXPECT_GE(sample.seconds, 0.0);
   }
   // Footprint at stage exit: zero before construction, live afterwards.
-  EXPECT_GT(ctx.report.stages[1].spectrum_bytes, 0u);
-  EXPECT_GT(ctx.report.stages[2].spectrum_bytes, 0u);
+  EXPECT_GT(ctx.job.report.stages[1].spectrum_bytes, 0u);
+  EXPECT_GT(ctx.job.report.stages[2].spectrum_bytes, 0u);
 }
 
 TEST(MergeStage, RestoresFileOrderAcrossRanks) {
@@ -173,19 +173,19 @@ TEST(StageGraph, SequentialRunMatchesPinnedGoldenChecksum) {
   LocalSpectrumModel model(params);
 
   RankContext ctx;
-  ctx.params = &params;
-  ctx.source = &source;
-  ctx.model = &model;
+  ctx.bind(params);
+  ctx.rank.model = &model;
+  ctx.job.source = &source;
   paper_graph().run(ctx);
 
-  EXPECT_EQ(checksum_reads(ctx.corrected), 0x8c14c08e3007d618ull)
-      << "actual: 0x" << std::hex << checksum_reads(ctx.corrected);
-  EXPECT_EQ(ctx.report.substitutions, 1226u);
+  EXPECT_EQ(checksum_reads(ctx.job.corrected), 0x8c14c08e3007d618ull)
+      << "actual: 0x" << std::hex << checksum_reads(ctx.job.corrected);
+  EXPECT_EQ(ctx.job.report.substitutions, 1226u);
 
   // And the driver wrapper returns the same thing the graph produced.
   const auto result = core::run_sequential(ds.reads, params);
-  EXPECT_EQ(checksum_reads(result.corrected), checksum_reads(ctx.corrected));
-  EXPECT_EQ(result.substitutions, ctx.report.substitutions);
+  EXPECT_EQ(checksum_reads(result.corrected), checksum_reads(ctx.job.corrected));
+  EXPECT_EQ(result.substitutions, ctx.job.report.substitutions);
 }
 
 }  // namespace

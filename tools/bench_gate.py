@@ -34,6 +34,15 @@ document's `schema` field:
     unfiltered rows must not, and filtering must strictly reduce remote
     round trips versus the same row without filters.
 
+  serve (schema "reptile-bench-serve-v1", BENCH_serve.json)
+    The resident correction server. One hard invariant independent of the
+    baseline: spectrum_builds_per_rank == 1 — the whole point of the serve
+    refactor is that LoadBalance/BuildSpectrum run once per rank and jobs
+    reuse the resident spectrum. The functional counters (jobs, ranks,
+    degraded_jobs, substitutions, reads_changed) come from a seeded
+    fault-free run and are exact-matched; jobs/sec and the latency
+    percentiles are host-dependent and only warn on large drift.
+
 Stdlib only; exit code 0 = pass, 1 = regression.
 """
 
@@ -72,6 +81,16 @@ WARN_KEYS = [
 ]
 
 FIG5_SCHEMA = "reptile-bench-fig5-v1"
+SERVE_SCHEMA = "reptile-bench-serve-v1"
+
+# Deterministic serve counters (seeded dataset, fault-free run): any drift
+# vs the baseline is a functional regression.
+SERVE_EXACT = ["ranks", "jobs", "degraded_jobs", "substitutions",
+               "reads_changed"]
+
+# Host-dependent serve numbers: warn outside a 2x band, never fail.
+SERVE_WARN = ["jobs_per_sec", "latency_p50_ms", "latency_p99_ms",
+              "latency_max_ms"]
 
 # Counters every fig5 row carries; all deterministic, all exact-matched.
 FIG5_COUNTERS = [
@@ -228,6 +247,50 @@ def gate_fig5(cur: dict, base: dict) -> tuple[list[str], list[str]]:
     return failures, []
 
 
+def gate_serve(cur: dict, base: dict) -> tuple[list[str], list[str]]:
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    # -- hard invariant of the serve refactor ----------------------------
+    builds = get(cur, "serve", "spectrum_builds_per_rank")
+    if builds != 1:
+        failures.append(
+            f"serve.spectrum_builds_per_rank = {builds}, expected exactly 1 "
+            f"(the resident spectrum must be built once and reused by every "
+            f"job)")
+
+    # -- exact functional counters vs baseline ---------------------------
+    for key in SERVE_EXACT:
+        c, b = get(cur, "serve", key), get(base, "serve", key)
+        if c != b:
+            failures.append(
+                f"serve.{key} = {c} differs from baseline {b} "
+                f"(counters are deterministic; regenerate the baseline only "
+                f"for a deliberate behaviour change)")
+
+    # -- informational perf drift ----------------------------------------
+    for key in SERVE_WARN:
+        c, b = get(cur, "serve", key), get(base, "serve", key)
+        if c is None or b is None or b == 0:
+            continue
+        ratio = c / b
+        if ratio > 2.0 or ratio < 0.5:
+            warnings.append(
+                f"serve.{key} = {c} vs baseline {b} "
+                f"({ratio:.2f}x; host-dependent, not gated)")
+
+    jps = get(cur, "serve", "jobs_per_sec")
+    p50 = get(cur, "serve", "latency_p50_ms")
+    p99 = get(cur, "serve", "latency_p99_ms")
+    if jps is not None:
+        print(f"  throughput : {jps:.2f} jobs/sec "
+              f"(baseline {get(base, 'serve', 'jobs_per_sec'):.2f})")
+    if p50 is not None and p99 is not None:
+        print(f"  latency    : p50 {p50:.1f} ms, p99 {p99:.1f} ms")
+    print(f"  spectrum builds per rank: {builds} (hard: must be 1)")
+    return failures, warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", required=True,
@@ -251,6 +314,8 @@ def main() -> int:
             f"baseline {base.get('schema')}")
     elif cur.get("schema") == FIG5_SCHEMA:
         failures, warnings = gate_fig5(cur, base)
+    elif cur.get("schema") == SERVE_SCHEMA:
+        failures, warnings = gate_serve(cur, base)
     else:
         failures, warnings = gate_rtm(cur, base)
 

@@ -12,6 +12,9 @@
 //   * every shard parses as strict JSON with a traceEvents array,
 //   * every event carries name/cat/ph/pid/tid (plus ts for non-metadata
 //     phases and dur for complete spans),
+//   * every "stage" span carries a numeric args.job (which job the stage
+//     ran for; 0 = a rank-lifetime build phase), so serve-mode traces stay
+//     attributable per job,
 //   * flow events pair up: across ALL shards, each flow id seen on a start
 //     ('s') event is also seen on a finish ('f') event — a requester's
 //     lookup flow starts on its worker thread and finishes on the owning
@@ -73,6 +76,17 @@ void check_event(const JsonValue& event, std::size_t index, FlowIds& flows) {
   if (ph == "X") {
     if (!has_number(event, "dur")) fail("complete span missing \"dur\"");
     if (event.find("dur")->as_number() < 0) fail("negative \"dur\"");
+    // Serve-mode attributability: every stage span says which job it ran
+    // for (args.job; 0 = the rank-lifetime build phase), so a merged trace
+    // from a resident server can be filtered per job.
+    if (event.find("cat")->as_string() == "stage") {
+      const JsonValue* args = event.find("args");
+      const JsonValue* job =
+          args != nullptr && args->is_object() ? args->find("job") : nullptr;
+      if (job == nullptr || !job->is_number()) {
+        fail("stage span missing numeric \"args.job\"");
+      }
+    }
   } else if (ph == "i") {
     if (!has_string(event, "s")) fail("instant missing scope \"s\"");
   } else if (ph == "s" || ph == "f") {
