@@ -7,10 +7,12 @@
 // sections run the real distributed pipeline at small rank counts over the
 // in-process runtime.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/params.hpp"
 #include "obs/trace.hpp"
@@ -56,6 +58,12 @@ inline obs::TraceConfig parse_trace_args(int argc, char** argv) {
 ///                    PATH; tools/bench_gate.py compares it against the
 ///                    checked-in bench/baselines/ copy.
 ///
+///   --ledger         arm the resource ledger (obs::ResourceLedger) for the
+///                    functional sections: per-account byte attribution,
+///                    RSS sampling, and the ledger fields of the scaling
+///                    JSON. Off by default — the default bench run must be
+///                    byte-identical to an uninstrumented one.
+///
 /// Same strictness as parse_trace_args: unknown arguments exit with usage.
 struct BenchArgs {
   obs::TraceConfig trace;
@@ -71,13 +79,96 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       args.trace.path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ledger") == 0) {
+      args.trace.ledger = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace PREFIX] [--json PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--trace PREFIX] [--json PATH] [--ledger]\n",
                    argv[0]);
       std::exit(2);
     }
   }
   return args;
+}
+
+// --- scaling JSON (fig6/fig7/fig8 --json; BENCH_scaling.json) --------------
+//
+// One document per driver: functional rows measured on the real runtime
+// (fig6; counters deterministic, timings host-dependent) and modeled rows
+// from the BlueGene/Q performance model (all three figures; calibrated on
+// host-measured traits, so every modeled number is warn-only in the gate).
+
+/// One real-runtime rank-count row of the scaling trajectory.
+struct ScalingFunctionalRow {
+  int ranks = 0;
+  // Exact (seeded dataset, fixed topology, deterministic table capacities):
+  std::uint64_t max_remote_lookups = 0;  ///< worst rank, kmer + tile
+  std::uint64_t substitutions = 0;
+  std::uint64_t reads_changed = 0;
+  std::uint64_t construction_peak_bytes = 0;  ///< worst rank
+  // Warn-only (host wall times; ledger/RSS only populated with --ledger):
+  double construct_seconds = 0;  ///< worst rank
+  double correct_seconds = 0;    ///< worst rank
+  std::uint64_t ledger_total_peak_bytes = 0;
+  std::uint64_t rss_peak_bytes = 0;
+};
+
+/// One modeled rank-count row (perfmodel; warn-only throughout).
+struct ScalingModeledRow {
+  int ranks = 0;
+  double construct_seconds = 0;
+  double correct_seconds = 0;
+  double total_seconds = 0;
+  double mb_per_rank = 0;
+  double efficiency = 0;
+};
+
+/// Writes the scaling JSON consumed by tools/bench_gate.py (`scaling`
+/// handler). Returns false (after printing to stderr) when PATH is not
+/// writable, so drivers can exit non-zero.
+inline bool write_scaling_json(const std::string& path, const char* figure,
+                               const std::vector<ScalingFunctionalRow>& fn,
+                               const std::vector<ScalingModeledRow>& modeled) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const auto u64 = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  std::fprintf(out,
+               "{\n  \"schema\": \"reptile-bench-scaling-v1\",\n"
+               "  \"figure\": \"%s\",\n  \"functional\": {\n",
+               figure);
+  for (std::size_t i = 0; i < fn.size(); ++i) {
+    const ScalingFunctionalRow& r = fn[i];
+    std::fprintf(
+        out,
+        "    \"%d\": {\"max_remote_lookups\": %llu, \"substitutions\": %llu, "
+        "\"reads_changed\": %llu, \"construction_peak_bytes\": %llu, "
+        "\"construct_seconds\": %.6f, \"correct_seconds\": %.6f, "
+        "\"ledger_total_peak_bytes\": %llu, \"rss_peak_bytes\": %llu}%s\n",
+        r.ranks, u64(r.max_remote_lookups), u64(r.substitutions),
+        u64(r.reads_changed), u64(r.construction_peak_bytes),
+        r.construct_seconds, r.correct_seconds, u64(r.ledger_total_peak_bytes),
+        u64(r.rss_peak_bytes), i + 1 < fn.size() ? "," : "");
+  }
+  std::fprintf(out, "  },\n  \"modeled\": {\n");
+  for (std::size_t i = 0; i < modeled.size(); ++i) {
+    const ScalingModeledRow& r = modeled[i];
+    std::fprintf(out,
+                 "    \"%d\": {\"construct_seconds\": %.3f, "
+                 "\"correct_seconds\": %.3f, \"total_seconds\": %.3f, "
+                 "\"mb_per_rank\": %.3f, \"efficiency\": %.4f}%s\n",
+                 r.ranks, r.construct_seconds, r.correct_seconds,
+                 r.total_seconds, r.mb_per_rank, r.efficiency,
+                 i + 1 < modeled.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+  return true;
 }
 
 /// Corrector parameters used across the reproduction benches. k=12 tiles of

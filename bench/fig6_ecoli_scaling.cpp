@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace reptile;
-  const auto trace = bench::parse_trace_args(argc, argv);
+  const auto args = bench::parse_bench_args(argc, argv);
   bench::print_header(
       "Figure 6 — E.Coli scaling, 32-256 nodes (32 ranks/node)",
       "efficiency 0.81 at 8192 ranks; <200 s total at 256 nodes; balancing "
@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
                           "total s", "imbalanced total s", "balance gain",
                           "MB/rank", "efficiency"});
   perfmodel::RunEstimate baseline;
+  std::vector<bench::ScalingModeledRow> modeled_rows;
   for (int nodes : {32, 64, 128, 256}) {
     const int np = nodes * kRanksPerNode;
     const auto run =
@@ -41,6 +42,8 @@ int main(int argc, char** argv) {
     const auto imb = perfmodel::model_run(machine, traits, full, np,
                                           kRanksPerNode, imbalanced);
     if (baseline.ranks.empty()) baseline = run;
+    const double eff =
+        perfmodel::RunEstimate::parallel_efficiency(baseline, run);
     table.row()
         .cell(nodes)
         .cell(np)
@@ -50,8 +53,9 @@ int main(int argc, char** argv) {
         .cell_fixed(imb.total_seconds(), 1)
         .cell_fixed(imb.total_seconds() / run.total_seconds(), 2)
         .cell_fixed(run.max_memory_mb(), 1)
-        .cell_fixed(perfmodel::RunEstimate::parallel_efficiency(baseline, run),
-                    2);
+        .cell_fixed(eff, 2);
+    modeled_rows.push_back({np, run.construct_seconds(), run.correct_seconds(),
+                            run.total_seconds(), run.max_memory_mb(), eff});
   }
   table.print(std::cout);
 
@@ -68,21 +72,48 @@ int main(int argc, char** argv) {
   const auto ds = bench::scaled_replica(full, 2000, 21);
   parallel::DistConfig config;
   config.params = bench::bench_params();
-  config.trace = trace;
+  config.trace = args.trace;
   config.run_options.check.enabled = false;  // benchmark: no rtm-check hooks
   config.params.chunk_size = 256;
   config.ranks_per_node = 4;
   stats::TextTable fn({"ranks", "remote lookups (max rank)", "substitutions"});
+  std::vector<bench::ScalingFunctionalRow> fn_rows;
   for (int ranks : {2, 4, 8, 16}) {
     config.ranks = ranks;
     const auto result = parallel::run_distributed(ds.reads, config);
-    std::uint64_t mx = 0;
+    bench::ScalingFunctionalRow row;
+    row.ranks = ranks;
+    std::uint64_t reads_changed = 0;
     for (const auto& r : result.ranks) {
-      mx = std::max(mx, r.remote.remote_kmer_lookups +
-                            r.remote.remote_tile_lookups);
+      row.max_remote_lookups =
+          std::max(row.max_remote_lookups, r.remote.remote_lookups());
+      row.construction_peak_bytes =
+          std::max(row.construction_peak_bytes,
+                   static_cast<std::uint64_t>(r.construction_peak_bytes));
+      row.construct_seconds = std::max(row.construct_seconds,
+                                       r.construct_seconds);
+      row.correct_seconds = std::max(row.correct_seconds, r.correct_seconds);
+      row.ledger_total_peak_bytes =
+          std::max(row.ledger_total_peak_bytes, r.ledger_total_peak_bytes);
+      row.rss_peak_bytes = std::max(row.rss_peak_bytes,
+                                    r.ledger_rss_peak_bytes);
+      reads_changed += r.reads_changed;
     }
-    fn.row().cell(ranks).cell(mx).cell(result.total_substitutions());
+    row.substitutions = result.total_substitutions();
+    row.reads_changed = reads_changed;
+    fn_rows.push_back(row);
+    fn.row().cell(ranks).cell(row.max_remote_lookups).cell(row.substitutions);
   }
   fn.print(std::cout);
+
+  // Machine-readable scaling trajectory for the CI bench gate: functional
+  // counters are deterministic (exact-matched against
+  // bench/baselines/BENCH_scaling.json); wall times and ledger/RSS peaks
+  // are host-dependent (warn-only).
+  if (!args.json_path.empty() &&
+      !bench::write_scaling_json(args.json_path, "fig6", fn_rows,
+                                 modeled_rows)) {
+    return 1;
+  }
   return 0;
 }

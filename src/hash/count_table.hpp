@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "hash/hashing.hpp"
+#include "obs/ledger.hpp"
 
 namespace reptile::hash {
 
@@ -38,14 +39,28 @@ class CountTable {
   /// the first rehash.
   explicit CountTable(std::size_t expected = 0) { rehash_for(expected); }
 
+  // Move-only: the ledger charge is an ownership handle (moves carry the
+  // charged balance to the new table; see obs/ledger.hpp).
+  CountTable(CountTable&&) noexcept = default;
+  CountTable& operator=(CountTable&&) noexcept = default;
+
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
   std::size_t capacity() const noexcept { return cap_; }
 
   /// Current heap footprint in bytes (slot arrays only; the object header
   /// is negligible). Used for the paper's per-rank memory accounting.
+  /// Reads the ledger charge, which every (re)size keeps equal to
+  /// cap_ * (key + count + probe) — one source of truth for the byte bill.
   std::size_t memory_bytes() const noexcept {
-    return cap_ * (sizeof(key_type) + sizeof(count_type) + sizeof(std::uint8_t));
+    return static_cast<std::size_t>(charge_.recorded());
+  }
+
+  /// Re-attributes this table's bytes to a different ledger account —
+  /// e.g. RemoteSpectrumView's prefetch caches bill remote_cache, not
+  /// count_table. The current balance follows the handle.
+  void bind_ledger_account(obs::LedgerAccount account) {
+    charge_.bind(account);
   }
 
   /// Adds `delta` to the count of `key`, inserting it when absent.
@@ -152,6 +167,7 @@ class CountTable {
     cap_ = 0;
     mask_ = 0;
     size_ = 0;
+    charge_.set(0);
   }
 
  private:
@@ -216,6 +232,8 @@ class CountTable {
     cap_ = want;
     mask_ = want - 1;
     size_ = 0;
+    charge_.set(
+        cap_ * (sizeof(key_type) + sizeof(count_type) + sizeof(std::uint8_t)));
     for (std::size_t i = 0; i < old_cap; ++i) {
       if (old_probe[i] != 0) increment(old_keys[i], old_counts[i]);
     }
@@ -227,6 +245,7 @@ class CountTable {
   std::size_t cap_ = 0;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
+  obs::LedgerCharge charge_{obs::LedgerAccount::kCountTable};
 };
 
 }  // namespace reptile::hash

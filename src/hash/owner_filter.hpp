@@ -52,6 +52,7 @@ class OwnerFilter {
         std::max(kBlockBits, static_cast<std::size_t>(m));
     nblocks_ = (nbits + kBlockBits - 1) / kBlockBits;
     blocks_.assign(nblocks_ * kBlockWords, 0);
+    charge_.set(blocks_.size() * sizeof(std::uint64_t));
     const int k = static_cast<int>(std::lround(
         m / static_cast<double>(expected) * ln2));
     nhashes_ = k < 1 ? 1 : (k > kMaxHashes ? kMaxHashes : k);
@@ -188,6 +189,7 @@ class OwnerFilter {
     f.key_count_ = h.key_count;
     f.blocks_.resize(static_cast<std::size_t>(h.nblocks) * kBlockWords);
     std::memcpy(f.blocks_.data(), buffer.data() + sizeof(h), body);
+    f.charge_.set(f.blocks_.size() * sizeof(std::uint64_t));
     return f;
   }
 
@@ -218,6 +220,9 @@ class OwnerFilter {
   }
 
   std::vector<std::uint64_t> blocks_;
+  // Charged when the block array is sized (construction or deserialize);
+  // filters are move-only so the balance follows the blocks.
+  obs::LedgerCharge charge_{obs::LedgerAccount::kOwnerFilters};
   std::size_t nblocks_ = 0;
   int nhashes_ = 1;
   std::uint64_t key_count_ = 0;

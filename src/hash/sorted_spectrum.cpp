@@ -23,6 +23,7 @@ SortedCountArray SortedCountArray::from_entries(
       out.counts_.push_back(count);
     }
   }
+  out.charge_.set(out.memory_bytes());
   return out;
 }
 
@@ -81,6 +82,7 @@ CacheAwareCountArray CacheAwareCountArray::from_sorted(
   TreeBuilder builder{keys, counts, out.keys_, out.counts_, blocks};
   builder.fill(0);
   assert(builder.next == keys.size());
+  out.charge_.set(out.memory_bytes());
   return out;
 }
 

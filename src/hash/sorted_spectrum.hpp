@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/ledger.hpp"
+
 namespace reptile::hash {
 
 /// Sorted (id, count) arrays searched by std::lower_bound — the Shah et
@@ -54,6 +56,8 @@ class SortedCountArray {
  private:
   std::vector<std::uint64_t> keys_;    // ascending
   std::vector<std::uint32_t> counts_;  // parallel to keys_
+  // Charged once at build (immutable afterwards); moves carry the balance.
+  obs::LedgerCharge charge_{obs::LedgerAccount::kSortedSpectrum};
 };
 
 /// Cache-aware static search tree: keys are grouped into blocks of B = 8
@@ -96,6 +100,8 @@ class CacheAwareCountArray {
 
   std::vector<std::uint64_t> keys_;    // m * kBlock, level-order blocks
   std::vector<std::uint32_t> counts_;  // parallel to keys_
+  // Charged once at build (immutable afterwards); moves carry the balance.
+  obs::LedgerCharge charge_{obs::LedgerAccount::kSortedSpectrum};
   std::size_t size_ = 0;
   // The sentinel collision case: a real entry with key == ~0.
   bool has_max_key_ = false;

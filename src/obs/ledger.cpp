@@ -1,0 +1,237 @@
+#include "obs/ledger.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace reptile::obs {
+
+namespace {
+
+/// Counter-event names, interned for the process lifetime (TraceEvent name
+/// pointers must outlive the rings). Index = LedgerAccount.
+constexpr const char* kAccountNames[kLedgerAccounts] = {
+    "count_table",  "sorted_spectrum", "owner_filters", "payload_arena",
+    "mailbox_rings", "remote_cache",   "read_buffers",  "admission_queue",
+};
+
+constexpr const char* kCounterNames[kLedgerAccounts] = {
+    "ledger:count_table",   "ledger:sorted_spectrum",
+    "ledger:owner_filters", "ledger:payload_arena",
+    "ledger:mailbox_rings", "ledger:remote_cache",
+    "ledger:read_buffers",  "ledger:admission_queue",
+};
+
+void raise_max(std::atomic<std::uint64_t>& max, std::uint64_t value) {
+  // mo: relaxed — the hwm is a statistic; no payload is published through
+  // it, and the reader (snapshot after quiesce) holds a stronger edge.
+  std::uint64_t prev = max.load(std::memory_order_relaxed);
+  while (prev < value &&
+         // mo: relaxed CAS — hwm maintenance, same statistics argument.
+         !max.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Subtracts min(bytes, balance) — a balanced charge never underflows, but
+/// a wrapped balance would poison every later peak, so clamp defensively.
+std::uint64_t saturating_sub(std::atomic<std::uint64_t>& balance,
+                             std::uint64_t bytes) {
+  // mo: relaxed — statistics, see raise_max.
+  std::uint64_t prev = balance.load(std::memory_order_relaxed);
+  std::uint64_t take;
+  do {
+    take = bytes < prev ? bytes : prev;
+    // mo: relaxed CAS — statistics, see raise_max.
+  } while (!balance.compare_exchange_weak(prev, prev - take,
+                                          std::memory_order_relaxed));
+  return prev - take;
+}
+
+}  // namespace
+
+const char* ledger_account_name(LedgerAccount account) noexcept {
+  return kAccountNames[static_cast<std::size_t>(account)];
+}
+
+ResourceLedger& ResourceLedger::global() {
+  static auto* ledger = new ResourceLedger;  // leaky, mirrors Tracer
+  return *ledger;
+}
+
+void ResourceLedger::configure(bool enabled) {
+  for (Account& account : accounts_) {
+    // mo: relaxed — configure() runs between runs, with no charger alive.
+    account.bytes.store(0, std::memory_order_relaxed);
+    account.peak.store(0, std::memory_order_relaxed);  // mo: same as above
+  }
+  total_.store(0, std::memory_order_relaxed);       // mo: same as above
+  total_peak_.store(0, std::memory_order_relaxed);  // mo: same as above
+  rss_peak_.store(0, std::memory_order_relaxed);    // mo: same as above
+  enabled_.store(enabled, std::memory_order_relaxed);  // mo: same as above
+  // mo: relaxed — charges observe the new generation on their next apply;
+  // the between-runs contract provides the ordering.
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResourceLedger::add(LedgerAccount account, std::uint64_t bytes) {
+  if (!enabled() || bytes == 0) {
+    return;
+  }
+  Account& a = accounts_[static_cast<std::size_t>(account)];
+  // mo: relaxed — statistics, see raise_max.
+  const std::uint64_t after =
+      a.bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_max(a.peak, after);
+  const std::uint64_t total_after =
+      // mo: relaxed — statistics, see raise_max.
+      total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  raise_max(total_peak_, total_after);
+  emit_counter(account, after);
+}
+
+void ResourceLedger::sub(LedgerAccount account, std::uint64_t bytes) {
+  if (!enabled() || bytes == 0) {
+    return;
+  }
+  Account& a = accounts_[static_cast<std::size_t>(account)];
+  const std::uint64_t after = saturating_sub(a.bytes, bytes);
+  saturating_sub(total_, bytes);
+  emit_counter(account, after);
+}
+
+void ResourceLedger::emit_counter(LedgerAccount account, std::uint64_t value) {
+  // Counters ride the full-tracing rings only: the always-on flight
+  // recorder is tiny and must keep its span tail for deadlock reports.
+  Tracer& tracer = Tracer::instance();
+  if (tracer.enabled()) {
+    tracer.counter("ledger", kCounterNames[static_cast<std::size_t>(account)],
+                   value);
+  }
+}
+
+std::uint64_t ResourceLedger::bytes(LedgerAccount account) const noexcept {
+  // mo: relaxed — statistics read.
+  return accounts_[static_cast<std::size_t>(account)].bytes.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t ResourceLedger::peak_bytes(LedgerAccount account) const noexcept {
+  // mo: relaxed — statistics read.
+  return accounts_[static_cast<std::size_t>(account)].peak.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t ResourceLedger::total_bytes() const noexcept {
+  // mo: relaxed — statistics read.
+  return total_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ResourceLedger::total_peak_bytes() const noexcept {
+  // mo: relaxed — statistics read.
+  return total_peak_.load(std::memory_order_relaxed);
+}
+
+void ResourceLedger::note_rss(std::uint64_t bytes) noexcept {
+  raise_max(rss_peak_, bytes);
+}
+
+std::uint64_t ResourceLedger::rss_peak_bytes() const noexcept {
+  // mo: relaxed — statistics read.
+  return rss_peak_.load(std::memory_order_relaxed);
+}
+
+LedgerSnapshot ResourceLedger::snapshot() const {
+  LedgerSnapshot snap;
+  for (std::size_t i = 0; i < kLedgerAccounts; ++i) {
+    snap.accounts[i].bytes = bytes(static_cast<LedgerAccount>(i));
+    snap.accounts[i].peak_bytes = peak_bytes(static_cast<LedgerAccount>(i));
+  }
+  snap.total_bytes = total_bytes();
+  snap.total_peak_bytes = total_peak_bytes();
+  snap.rss_peak_bytes = rss_peak_bytes();
+  return snap;
+}
+
+std::uint64_t read_rss_bytes() noexcept {
+  // /proc/self/statm: "size resident shared text lib data dt", in pages.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  unsigned long long size = 0;
+  unsigned long long resident = 0;
+  const int fields = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (fields != 2) {
+    return 0;
+  }
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return resident * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+void RssSampler::run(const std::function<void()>& idle_poll) {
+  ResourceLedger& ledger = ResourceLedger::global();
+  Tracer& tracer = Tracer::instance();
+  const auto sample = [&] {
+    const std::uint64_t rss = read_rss_bytes();
+    if (rss != 0) {
+      ledger.note_rss(rss);
+      if (tracer.enabled()) {
+        tracer.counter("ledger", "ledger:rss", rss);
+      }
+    }
+    // mo: relaxed — test-only progress counter.
+    samples_.fetch_add(1, std::memory_order_relaxed);
+  };
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    lock.unlock();
+    sample();
+    if (idle_poll) {
+      idle_poll();  // deadlock-watchdog registration: this thread is idle
+    }
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                 [this] { return stop_; });
+  }
+  lock.unlock();
+  sample();  // final sample: short runs still record a peak
+}
+
+void RssSampler::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+}
+
+void publish_ledger_metrics(const LedgerSnapshot& snapshot) {
+  Registry& registry = Registry::global();
+  if (!registry.enabled()) {
+    return;
+  }
+  for (std::size_t i = 0; i < kLedgerAccounts; ++i) {
+    const std::string label =
+        std::string("account=\"") + kAccountNames[i] + "\"";
+    if (Gauge* g = registry.gauge_labelled("reptile_ledger_bytes", label)) {
+      g->set(static_cast<double>(snapshot.accounts[i].bytes));
+    }
+    if (Gauge* g =
+            registry.gauge_labelled("reptile_ledger_peak_bytes", label)) {
+      g->set(static_cast<double>(snapshot.accounts[i].peak_bytes));
+    }
+  }
+  if (Gauge* g = registry.gauge("reptile_ledger_total_peak_bytes")) {
+    g->set(static_cast<double>(snapshot.total_peak_bytes));
+  }
+  if (Gauge* g = registry.gauge("reptile_rss_peak_bytes")) {
+    g->set(static_cast<double>(snapshot.rss_peak_bytes));
+  }
+}
+
+}  // namespace reptile::obs

@@ -1,0 +1,292 @@
+#pragma once
+// obs::ResourceLedger — named byte accounts for every structure that owns
+// a meaningful share of process memory, so the paper's *memory* scalability
+// claim is measurable per phase instead of inferred from one ad-hoc field.
+//
+// Design (DESIGN.md §14):
+//
+//   * Accounts. Each instrumented owner class charges its exact
+//     `memory_bytes()` to one named account (count_table, owner_filters,
+//     payload_arena, ...). add/sub are relaxed atomic RMWs; every account
+//     and the process total keep a CAS-maintained high-water mark, so peak
+//     attribution survives any interleaving of growers and shrinkers.
+//
+//   * LedgerCharge. The RAII handle an instrumented structure owns. It
+//     tracks the structure's current bytes UNCONDITIONALLY (recorded()
+//     always equals the owner's memory_bytes(), ledger on or off — the
+//     construction-peak fold reads it), and mirrors deltas into the global
+//     ledger only while the ledger is enabled. Charges are generation-
+//     stamped: ResourceLedger::configure() bumps a generation and zeroes
+//     the balances, so a structure that outlives a run (a resident server's
+//     tables) re-bases instead of corrupting the next run's balances.
+//
+//   * RSS cross-check. RssSampler periodically reads /proc/self/statm and
+//     folds the observed resident set into the snapshot, so self-reported
+//     bytes can be sanity-checked against the OS (self-reported <= RSS peak
+//     within allocator slack; the bench JSON records both).
+//
+//   * Zero overhead when disabled. Disabled add/sub return after one
+//     relaxed load; no counter events are emitted; no sampler thread runs.
+//     Corrected output is byte-identical either way (pinned in
+//     test_obs_trace.cpp).
+//
+// Thread model: ResourceLedger is shared and lock-free (relaxed atomics —
+// accounts are statistics, not synchronization). A LedgerCharge belongs to
+// exactly one structure and inherits that structure's synchronization;
+// configure() is only legal between runs, like Tracer::configure().
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace reptile::obs {
+
+/// The instrumented memory owners. Order is the reporting order everywhere
+/// (trace counters, Prometheus labels, bench JSON, report columns).
+enum class LedgerAccount : std::uint8_t {
+  kCountTable = 0,   ///< hash::CountTable cells (spectrum + reads tables)
+  kSortedSpectrum,   ///< prior-art sorted/cache-aware count arrays
+  kOwnerFilters,     ///< hash::OwnerFilter blocks (built + exchanged)
+  kPayloadArena,     ///< rtm::PayloadArena slabs
+  kMailboxRings,     ///< rtm::Mailbox ring cells
+  kRemoteCache,      ///< RemoteSpectrumView prefetch/reply caches
+  kReadBuffers,      ///< seq::ChunkStream batch buffers
+  kAdmissionQueue,   ///< serve-mode admission queue entries
+};
+
+inline constexpr std::size_t kLedgerAccounts = 8;
+
+/// Stable snake_case name ("count_table", ...) used by counter events,
+/// gauge labels and the scaling bench JSON.
+const char* ledger_account_name(LedgerAccount account) noexcept;
+
+/// Point-in-time view of every account (taken with relaxed loads; exact
+/// once the charging threads have quiesced, e.g. after the world join).
+struct LedgerSnapshot {
+  struct Account {
+    std::uint64_t bytes = 0;       ///< current balance
+    std::uint64_t peak_bytes = 0;  ///< high-water mark since configure()
+  };
+  std::array<Account, kLedgerAccounts> accounts{};
+  std::uint64_t total_bytes = 0;       ///< sum of balances, tracked live
+  std::uint64_t total_peak_bytes = 0;  ///< hwm of the live total
+  std::uint64_t rss_peak_bytes = 0;    ///< OS cross-check (0: no sample yet)
+
+  const Account& account(LedgerAccount a) const noexcept {
+    return accounts[static_cast<std::size_t>(a)];
+  }
+};
+
+class ResourceLedger {
+ public:
+  /// The process-wide ledger (leaky, mirrors Tracer::instance()).
+  static ResourceLedger& global();
+
+  /// Arms or disarms the ledger for the coming run: zeroes every balance
+  /// and high-water mark and bumps the generation so charges held by
+  /// structures that survived the previous run re-base themselves. Only
+  /// legal between runs (no concurrent chargers), like Tracer::configure.
+  void configure(bool enabled);
+
+  bool enabled() const noexcept {
+    // mo: relaxed — a flag checked on hot paths; configure() happens-before
+    // any charging thread exists.
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Generation of the current configure() epoch (LedgerCharge re-basing).
+  std::uint64_t generation() const noexcept {
+    // mo: relaxed — read together with enabled() under the same
+    // between-runs configure contract.
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  /// Charges `bytes` to `account`, raising the account and total
+  /// high-water marks; emits a Chrome-trace 'C' counter event when full
+  /// tracing is on. No-op while disabled.
+  void add(LedgerAccount account, std::uint64_t bytes);
+
+  /// Releases `bytes` from `account` (clamped at zero defensively; a
+  /// balanced charge never underflows). No-op while disabled.
+  void sub(LedgerAccount account, std::uint64_t bytes);
+
+  std::uint64_t bytes(LedgerAccount account) const noexcept;
+  std::uint64_t peak_bytes(LedgerAccount account) const noexcept;
+  std::uint64_t total_bytes() const noexcept;
+  std::uint64_t total_peak_bytes() const noexcept;
+
+  /// Folds one OS resident-set sample into the rss peak (RssSampler).
+  void note_rss(std::uint64_t bytes) noexcept;
+  std::uint64_t rss_peak_bytes() const noexcept;
+
+  LedgerSnapshot snapshot() const;
+
+ private:
+  struct Account {
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> peak{0};
+  };
+
+  void emit_counter(LedgerAccount account, std::uint64_t value);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> generation_{0};
+  std::array<Account, kLedgerAccounts> accounts_{};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> total_peak_{0};
+  std::atomic<std::uint64_t> rss_peak_{0};
+};
+
+/// RAII charge handle owned by one instrumented structure. Local tracking
+/// (recorded/local_peak) is unconditional so `recorded()` always equals the
+/// owner's memory_bytes(); the global ledger sees deltas only while
+/// enabled. NOT thread-safe by itself — it shares the owner's mutation
+/// synchronization.
+class LedgerCharge {
+ public:
+  LedgerCharge() = default;
+  explicit LedgerCharge(LedgerAccount account) { bind(account); }
+  ~LedgerCharge() { settle(0); }
+
+  LedgerCharge(const LedgerCharge&) = delete;
+  LedgerCharge& operator=(const LedgerCharge&) = delete;
+
+  LedgerCharge(LedgerCharge&& other) noexcept { steal(other); }
+  LedgerCharge& operator=(LedgerCharge&& other) noexcept {
+    if (this != &other) {
+      settle(0);
+      steal(other);
+    }
+    return *this;
+  }
+
+  /// Binds (or re-binds) the account; any bytes already recorded follow
+  /// the handle to the new account.
+  void bind(LedgerAccount account) {
+    if (bound_ && account_ != account) {
+      const std::uint64_t keep = recorded_;  // before settle() zeroes it
+      settle(0);
+      account_ = account;
+      bound_ = true;
+      apply(keep);
+      recorded_ = keep;
+      return;
+    }
+    account_ = account;
+    bound_ = true;
+    apply(recorded_);
+  }
+
+  bool bound() const noexcept { return bound_; }
+
+  /// Sets the owner's current footprint to `bytes`, charging/releasing the
+  /// delta. Call after every mutation that changes memory_bytes().
+  void set(std::uint64_t bytes) {
+    local_peak_ = bytes > local_peak_ ? bytes : local_peak_;
+    if (bound_) {
+      apply(bytes);
+    }
+    recorded_ = bytes;
+  }
+
+  /// Bytes currently recorded — always equals the owner's memory_bytes()
+  /// after the owner's last set(), ledger enabled or not.
+  std::uint64_t recorded() const noexcept { return recorded_; }
+
+  /// Largest value ever set() on this handle (local, unconditional).
+  std::uint64_t local_peak() const noexcept { return local_peak_; }
+
+ private:
+  /// Drives the ledger-visible balance to `target`, re-basing first if the
+  /// ledger was reconfigured since our last apply.
+  void apply(std::uint64_t target) {
+    ResourceLedger& ledger = ResourceLedger::global();
+    const std::uint64_t gen = ledger.generation();
+    if (gen != generation_) {
+      charged_ = 0;  // previous epoch's balance was zeroed by configure()
+      generation_ = gen;
+    }
+    if (!ledger.enabled()) {
+      return;  // charged_ stays 0: disabled epochs never accumulate
+    }
+    if (target > charged_) {
+      ledger.add(account_, target - charged_);
+    } else if (target < charged_) {
+      ledger.sub(account_, charged_ - target);
+    }
+    charged_ = target;
+  }
+
+  void settle(std::uint64_t target) {
+    if (bound_) {
+      apply(target);
+    }
+    recorded_ = target;
+  }
+
+  void steal(LedgerCharge& other) noexcept {
+    account_ = other.account_;
+    bound_ = other.bound_;
+    recorded_ = other.recorded_;
+    local_peak_ = other.local_peak_;
+    charged_ = other.charged_;
+    generation_ = other.generation_;
+    other.bound_ = false;
+    other.recorded_ = 0;
+    other.local_peak_ = 0;
+    other.charged_ = 0;
+  }
+
+  LedgerAccount account_{LedgerAccount::kCountTable};
+  bool bound_ = false;
+  std::uint64_t recorded_ = 0;    ///< mirrors the owner's memory_bytes()
+  std::uint64_t local_peak_ = 0;  ///< max recorded_ ever
+  std::uint64_t charged_ = 0;     ///< ledger-visible balance (generation_)
+  std::uint64_t generation_ = 0;
+};
+
+/// Current resident set in bytes from /proc/self/statm (0 when the file is
+/// unavailable, e.g. non-Linux).
+std::uint64_t read_rss_bytes() noexcept;
+
+/// Background RSS sampler: periodically reads /proc/self/statm, folds the
+/// sample into the ledger's rss peak and emits a 'C' counter event. The
+/// caller owns the thread (ScopedThreadGroup) and passes an idle hook so
+/// the loop can register with the deadlock watchdog (rtm-check
+/// thread_idle_poll) without obs depending on rtm.
+class RssSampler {
+ public:
+  explicit RssSampler(std::uint32_t period_ms = 5) : period_ms_(period_ms) {}
+
+  /// Samples until stop(); takes one final sample on the way out so short
+  /// runs still record a peak. `idle_poll` (may be empty) runs every tick.
+  void run(const std::function<void()>& idle_poll = {});
+
+  /// Releases run() promptly (safe from any thread, any number of times).
+  void stop();
+
+  /// Samples taken so far (tests).
+  std::uint64_t samples() const noexcept {
+    // mo: relaxed — test-only progress counter.
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;  ///< guarded by mutex_
+  std::uint32_t period_ms_;
+  std::atomic<std::uint64_t> samples_{0};
+};
+
+/// Publishes the snapshot as Prometheus gauges:
+/// reptile_ledger_bytes{account=...}, reptile_ledger_peak_bytes{account=...},
+/// reptile_ledger_total_peak_bytes, reptile_rss_peak_bytes. No-op when the
+/// metrics registry is disabled.
+void publish_ledger_metrics(const LedgerSnapshot& snapshot);
+
+}  // namespace reptile::obs

@@ -37,19 +37,22 @@ void Registry::configure(bool enabled) {
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+  // mo: relaxed — configure() runs between runs; the thread spawn orders
+  // the flag for every later instrument user.
   enabled_.store(enabled, std::memory_order_relaxed);
 }
 
 template <typename T>
 T* Registry::find_or_add(std::vector<Entry<T>>& entries, std::string_view name,
-                         int rank, std::int64_t job) {
+                         int rank, std::int64_t job, std::string_view label) {
   for (auto& entry : entries) {
-    if (entry.rank == rank && entry.job == job && entry.name == name) {
+    if (entry.rank == rank && entry.job == job && entry.name == name &&
+        entry.label == label) {
       return entry.value.get();
     }
   }
-  entries.push_back(
-      Entry<T>{std::string(name), rank, job, std::make_unique<T>()});
+  entries.push_back(Entry<T>{std::string(name), rank, job, std::string(label),
+                             std::make_unique<T>()});
   return entries.back().value.get();
 }
 
@@ -76,6 +79,14 @@ Histogram* Registry::histogram(std::string_view name, int rank,
   }
   std::lock_guard<std::mutex> lock(mutex_);
   return find_or_add(histograms_, name, rank, job);
+}
+
+Gauge* Registry::gauge_labelled(std::string_view name, std::string_view label) {
+  if (!enabled()) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_or_add(gauges_, name, -1, -1, label);
 }
 
 void Registry::publish_timeline(const stats::PhaseTimeline& t, int rank,
@@ -157,16 +168,26 @@ void append_double(std::string& out, double value) {
   out += buf;
 }
 
-void append_label(std::string& out, int rank, std::int64_t job) {
-  if (rank < 0 && job < 0) {
+void append_label(std::string& out, int rank, std::int64_t job,
+                  const std::string& label = {}) {
+  if (rank < 0 && job < 0 && label.empty()) {
     return;
   }
   out += '{';
+  bool first = true;
+  if (!label.empty()) {
+    out += label;
+    first = false;
+  }
   if (rank >= 0) {
+    if (!first) {
+      out += ',';
+    }
     out += "rank=\"" + std::to_string(rank) + "\"";
+    first = false;
   }
   if (job >= 0) {
-    if (rank >= 0) {
+    if (!first) {
       out += ',';
     }
     out += "job=\"" + std::to_string(job) + "\"";
@@ -203,6 +224,7 @@ std::string Registry::prometheus_text() const {
     }
     std::sort(view.begin(), view.end(), [](const auto* a, const auto* b) {
       if (a->name != b->name) return a->name < b->name;
+      if (a->label != b->label) return a->label < b->label;
       if (a->rank != b->rank) return a->rank < b->rank;
       return a->job < b->job;
     });
@@ -216,7 +238,7 @@ std::string Registry::prometheus_text() const {
       previous = entry->name.c_str();
     }
     out += entry->name;
-    append_label(out, entry->rank, entry->job);
+    append_label(out, entry->rank, entry->job, entry->label);
     out += ' ';
     out += std::to_string(entry->value->value());
     out += '\n';
@@ -228,7 +250,7 @@ std::string Registry::prometheus_text() const {
       previous = entry->name.c_str();
     }
     out += entry->name;
-    append_label(out, entry->rank, entry->job);
+    append_label(out, entry->rank, entry->job, entry->label);
     out += ' ';
     append_double(out, entry->value->value());
     out += '\n';
@@ -260,12 +282,12 @@ std::string Registry::prometheus_text() const {
     out += std::to_string(h.count());
     out += '\n';
     out += entry->name + "_sum";
-    append_label(out, entry->rank, entry->job);
+    append_label(out, entry->rank, entry->job, entry->label);
     out += ' ';
     out += std::to_string(h.sum());
     out += '\n';
     out += entry->name + "_count";
-    append_label(out, entry->rank, entry->job);
+    append_label(out, entry->rank, entry->job, entry->label);
     out += ' ';
     out += std::to_string(h.count());
     out += '\n';

@@ -39,9 +39,12 @@ namespace reptile::obs {
 class Counter {
  public:
   void add(std::uint64_t delta) noexcept {
+    // mo: relaxed — a statistic; no payload is published through it, and
+    // readers harvest after the run's join.
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   std::uint64_t value() const noexcept {
+    // mo: relaxed — statistics read, see add().
     return value_.load(std::memory_order_relaxed);
   }
 
@@ -52,9 +55,11 @@ class Counter {
 class Gauge {
  public:
   void set(double value) noexcept {
+    // mo: relaxed — a statistic; see Counter::add().
     value_.store(value, std::memory_order_relaxed);
   }
   double value() const noexcept {
+    // mo: relaxed — statistics read.
     return value_.load(std::memory_order_relaxed);
   }
 
@@ -72,10 +77,14 @@ class Histogram {
   static constexpr std::size_t kBuckets = 40;  // covers [0, 2^40) ~ 12 days in us
 
   void record(std::uint64_t sample) noexcept {
+    // mo: relaxed throughout — each field is an independent statistic;
+    // cross-field exactness only matters after the recording threads have
+    // quiesced (the reader holds the run's join edge).
     buckets_[bucket_index(sample)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(sample, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);  // mo: same as above
+    sum_.fetch_add(sample, std::memory_order_relaxed);  // mo: same as above
     std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    // mo: relaxed CAS — hwm maintenance, same statistics argument.
     while (prev < sample &&
            !max_.compare_exchange_weak(prev, sample,
                                        std::memory_order_relaxed)) {
@@ -83,12 +92,15 @@ class Histogram {
   }
 
   std::uint64_t count() const noexcept {
+    // mo: relaxed — statistics read, see record().
     return count_.load(std::memory_order_relaxed);
   }
   std::uint64_t sum() const noexcept {
+    // mo: relaxed — statistics read, see record().
     return sum_.load(std::memory_order_relaxed);
   }
   std::uint64_t max() const noexcept {
+    // mo: relaxed — statistics read, see record().
     return max_.load(std::memory_order_relaxed);
   }
   double mean() const noexcept {
@@ -97,6 +109,7 @@ class Histogram {
   }
 
   std::uint64_t bucket_count(std::size_t index) const noexcept {
+    // mo: relaxed — statistics read, see record().
     return buckets_[index].load(std::memory_order_relaxed);
   }
 
@@ -149,6 +162,8 @@ class Registry {
   /// every instrument (a run owns its metrics, mirroring Tracer).
   void configure(bool enabled);
   bool enabled() const noexcept {
+    // mo: relaxed — configure() runs between runs, before any instrument
+    // user exists; the thread spawn provides the ordering.
     return enabled_.load(std::memory_order_relaxed);
   }
 
@@ -160,6 +175,11 @@ class Registry {
   Gauge* gauge(std::string_view name, int rank = -1, std::int64_t job = -1);
   Histogram* histogram(std::string_view name, int rank = -1,
                        std::int64_t job = -1);
+
+  /// Gauge carrying a pre-rendered extra label (`account="count_table"`),
+  /// merged before rank/job in the exposition — the ledger's
+  /// reptile_ledger_bytes{account=...} family uses this.
+  Gauge* gauge_labelled(std::string_view name, std::string_view label);
 
   /// Mirrors one rank's harvested stats::PhaseTimeline counters into
   /// named registry counters/gauges — the single seam absorbing
@@ -189,13 +209,14 @@ class Registry {
   struct Entry {
     std::string name;
     int rank;
-    std::int64_t job;  ///< -1 = not job-scoped
+    std::int64_t job;   ///< -1 = not job-scoped
+    std::string label;  ///< pre-rendered extra label ("" = none)
     std::unique_ptr<T> value;
   };
 
   template <typename T>
   T* find_or_add(std::vector<Entry<T>>& entries, std::string_view name,
-                 int rank, std::int64_t job);
+                 int rank, std::int64_t job, std::string_view label = {});
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mutex_;

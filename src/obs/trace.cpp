@@ -142,10 +142,14 @@ void Tracer::configure(const TraceConfig& config) {
   // be a use-after-free; configure() is only legal between runs, when the
   // caller is the sole instrumented thread (run drivers uphold this).
   buffers_.clear();
+  // mo: relaxed — between-runs contract above; no instrumented thread
+  // races this store.
   enabled_.store(config_.enabled, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
   // Invalidate every thread's cached buffer pointer (threads that persist
   // across runs, e.g. the driver itself, re-register lazily).
+  // mo: release — pairs with the acquire in local_buf() so a thread that
+  // sees the new generation also sees the cleared buffer list.
   generation_.fetch_add(1, std::memory_order_release);
 }
 
@@ -164,15 +168,19 @@ Tracer::ThreadBuf& Tracer::local_buf() {
   thread_local ThreadBuf* cached = nullptr;
   thread_local std::uint64_t cached_generation =
       std::numeric_limits<std::uint64_t>::max();
+  // mo: acquire — pairs with configure()'s release bump; a stale
+  // generation means the cached pointer may dangle, so re-register.
   if (cached == nullptr ||
       cached_generation != generation_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(mutex_);
+    // mo: relaxed — read under mutex_, which configure() also holds.
     const std::size_t capacity = enabled_.load(std::memory_order_relaxed)
                                      ? config_.ring_capacity
                                      : config_.flight_capacity;
     buffers_.push_back(std::make_unique<ThreadBuf>(capacity));
     cached = buffers_.back().get();
     cached->tid = static_cast<int>(buffers_.size());
+    // mo: relaxed — same mutex_ critical section as the bump's publisher.
     cached_generation = generation_.load(std::memory_order_relaxed);
   }
   return *cached;
@@ -193,12 +201,15 @@ int Tracer::current_rank() { return local_buf().rank; }
 
 void Tracer::record(const TraceEvent& event) {
   ThreadBuf& buf = local_buf();
+  // mo: relaxed — single writer: head is only advanced by this thread.
   const std::uint64_t head = buf.head.load(std::memory_order_relaxed);
   TraceEvent& slot = buf.ring[static_cast<std::size_t>(head % buf.ring.size())];
   slot = event;
   if (slot.rank == kThreadRank) {
     slot.rank = buf.rank;
   }
+  // mo: release — publishes the slot write; snapshot()'s acquire load of
+  // head makes the event visible before it is read.
   buf.head.store(head + 1, std::memory_order_release);
 }
 
@@ -255,7 +266,21 @@ void Tracer::flow_end(const char* cat, const char* name, std::uint64_t id) {
   record(e);
 }
 
+void Tracer::counter(const char* cat, const char* name, std::uint64_t value) {
+  TraceEvent e;
+  e.ts_ns = now_ns();
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'C';
+  e.rank = kThreadRank;
+  e.arg_name = "bytes";
+  e.arg = value;
+  record(e);
+}
+
 std::vector<TraceEvent> Tracer::snapshot(const ThreadBuf& buf) {
+  // mo: acquire — pairs with record()'s release store; events below head
+  // are fully written.
   const std::uint64_t head = buf.head.load(std::memory_order_acquire);
   const auto capacity = static_cast<std::uint64_t>(buf.ring.size());
   const std::uint64_t n = std::min(head, capacity);
@@ -454,6 +479,7 @@ std::uint64_t Tracer::events_recorded() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& buf : buffers_) {
+    // mo: acquire — same pairing as snapshot(); count only published events.
     total += std::min(buf->head.load(std::memory_order_acquire),
                       static_cast<std::uint64_t>(buf->ring.size()));
   }

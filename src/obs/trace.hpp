@@ -25,6 +25,8 @@
 //   service / serve:<kind>       one request handled by a comm thread ('X')
 //   mailbox / mailbox:wait       a blocking receive that actually blocked
 //   chaos   / chaos:<fault>      fault-injection decision ('i', instant)
+//   ledger  / ledger:<account>   byte-account balance after a charge, plus
+//                                ledger:rss from the sampler ('C', counter)
 //   flow    / lookup|batch       's' at the requester's send, 'f' at the
 //                                owning rank's service thread — the same
 //                                id on both sides draws the cross-rank
@@ -59,6 +61,10 @@ struct TraceConfig {
   /// Publish the metrics registry (obs/metrics.hpp) for this run: latency
   /// histograms recorded live, counter mirror at harvest, report columns.
   bool metrics = false;
+  /// Arm the resource ledger (obs/ledger.hpp) for this run: byte accounts,
+  /// high-water marks, the RSS sampler thread, and — when `enabled` is also
+  /// set — 'C' counter events in the trace shards.
+  bool ledger = false;
   /// Ring capacity per thread while full tracing is on (events).
   std::size_t ring_capacity = 1 << 18;
   /// Ring capacity per thread while only the flight recorder runs.
@@ -109,6 +115,8 @@ class Tracer {
   /// Full tracing active? (The flight recorder needs no check: recording
   /// is unconditional, only the ring size differs.)
   bool enabled() const noexcept {
+    // mo: relaxed — configure() happens-before any instrumented thread
+    // exists (between-runs contract).
     return enabled_.load(std::memory_order_relaxed);
   }
 
@@ -141,6 +149,11 @@ class Tracer {
   /// receiving side; the same `id` on both sides links them.
   void flow_start(const char* cat, const char* name, std::uint64_t id);
   void flow_end(const char* cat, const char* name, std::uint64_t id);
+
+  /// 'C' counter event: Perfetto draws a value-over-time track per
+  /// (thread, name). `value` is reported under the arg name "bytes" (the
+  /// ledger is the only producer; see obs/ledger.hpp).
+  void counter(const char* cat, const char* name, std::uint64_t value);
 
   // --- serialization ------------------------------------------------------
 

@@ -23,6 +23,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/ledger.hpp"
+
 namespace reptile::parallel {
 
 template <class T>
@@ -44,6 +46,7 @@ class AdmissionQueue {
     not_full_.wait(lock, [this] { return closed_ || items_.size() < depth_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    charge_.set(items_.size() * sizeof(T));
     not_empty_.notify_one();
     return true;
   }
@@ -54,6 +57,7 @@ class AdmissionQueue {
     std::lock_guard lock(mutex_);
     if (closed_ || items_.size() >= depth_) return false;
     items_.push_back(std::move(item));
+    charge_.set(items_.size() * sizeof(T));
     not_empty_.notify_one();
     return true;
   }
@@ -66,6 +70,7 @@ class AdmissionQueue {
     if (items_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(items_.front());
     items_.pop_front();
+    charge_.set(items_.size() * sizeof(T));
     not_full_.notify_one();
     return item;
   }
@@ -88,6 +93,12 @@ class AdmissionQueue {
     return items_.size();
   }
 
+  /// Bytes held by queued (not yet popped) items' slots.
+  std::size_t memory_bytes() const {
+    std::lock_guard lock(mutex_);
+    return static_cast<std::size_t>(charge_.recorded());
+  }
+
   bool closed() const {
     std::lock_guard lock(mutex_);
     return closed_;
@@ -99,6 +110,8 @@ class AdmissionQueue {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  // Bills queued item slots to the ledger; mutated only under mutex_.
+  obs::LedgerCharge charge_{obs::LedgerAccount::kAdmissionQueue};
   bool closed_ = false;
 };
 

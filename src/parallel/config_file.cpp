@@ -223,6 +223,10 @@ constexpr KeySpec kKeys[] = {
      [](RunConfigFile& c, const std::string& v, int l) {
        c.trace.metrics = parse_bool(v, l);
      }},
+    {"ledger_enabled",
+     [](RunConfigFile& c, const std::string& v, int l) {
+       c.trace.ledger = parse_bool(v, l);
+     }},
     // Serve-mode per-job overrides (parallel/job.hpp): the `job.*` namespace
     // mirrors the correction-phase subset of the top-level keys. Unset keys
     // keep the server's build-time value.
@@ -426,7 +430,8 @@ std::string to_config_text(const RunConfigFile& config) {
   out << "trace_enabled " << (t.enabled ? 1 : 0) << '\n';
   if (!t.path.empty()) out << "trace_path " << t.path << '\n';
   out << "trace_ring_capacity " << t.ring_capacity << '\n'
-      << "metrics_enabled " << (t.metrics ? 1 : 0) << '\n';
+      << "metrics_enabled " << (t.metrics ? 1 : 0) << '\n'
+      << "ledger_enabled " << (t.ledger ? 1 : 0) << '\n';
   const JobOverrides& j = config.job;
   if (j.qual_threshold) out << "job.qual_threshold " << *j.qual_threshold << '\n';
   if (j.restrict_to_low_quality) {

@@ -22,6 +22,10 @@ RemoteSpectrumView::RemoteSpectrumView(rtm::Comm& comm, DistSpectrum& spectrum,
       cache_remote_locally_(cache_remote_locally),
       retry_(retry) {
   retry_.validate();
+  // Prefetch caches hold verbatim remote replies, not spectrum shards —
+  // bill them to the remote_cache ledger account.
+  prefetch_kmer_.bind_ledger_account(obs::LedgerAccount::kRemoteCache);
+  prefetch_tile_.bind_ledger_account(obs::LedgerAccount::kRemoteCache);
 }
 
 void RemoteSpectrumView::cache_local(std::uint64_t id, LookupKind kind,

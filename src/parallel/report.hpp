@@ -109,6 +109,19 @@ inline stats::RunReport to_report(const DistResult& result,
       add_latency(report, "mailbox_wait",
                   reg.histogram_summary("reptile_mailbox_wait_us", r.rank));
     }
+    // Resource-ledger columns, present only when the run armed the ledger
+    // (same schema-gating idea as the histogram block above).
+    if (!r.ledger.empty()) {
+      for (const stats::LedgerAccountSample& row : r.ledger) {
+        report.add(std::string("ledger_peak_") + row.account,
+                   static_cast<double>(row.peak_bytes));
+      }
+      report
+          .add("ledger_total_peak_bytes",
+               static_cast<double>(r.ledger_total_peak_bytes))
+          .add("rss_peak_bytes",
+               static_cast<double>(r.ledger_rss_peak_bytes));
+    }
   }
   return report;
 }

@@ -69,6 +69,13 @@ struct JobReport {
   /// Per-rank measurements for this job alone (reset_for_job pins the
   /// independence from earlier jobs).
   std::vector<RankReport> ranks;
+  /// Resource-ledger total balance change across this job, as seen by the
+  /// serving rank (signed: a job that leaves caches warmer than it found
+  /// them is positive). 0 when the ledger is disabled.
+  std::int64_t ledger_delta_bytes = 0;
+  /// Process-wide ledger high-water mark when the job completed (0 when
+  /// the ledger is disabled).
+  std::uint64_t ledger_peak_bytes = 0;
 
   std::uint64_t total_substitutions() const {
     return stats::field_total(ranks, &stats::PhaseTimeline::substitutions);

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/protocol_table.hpp"
@@ -77,6 +78,7 @@ void apply_check_snapshots(rtm::World& world,
 void begin_observability(const DistConfig& config) {
   obs::Tracer::instance().configure(config.trace);
   obs::Registry::global().configure(config.trace.metrics);
+  obs::ResourceLedger::global().configure(config.trace.ledger);
 }
 
 /// End-of-run observability: mirrors each rank's timeline counters into the
@@ -89,6 +91,9 @@ void finish_observability(std::unique_ptr<rtm::World> world,
                           const std::vector<RankReport>& reports) {
   for (const RankReport& report : reports) {
     obs::Registry::global().publish_timeline(report, report.rank);
+  }
+  if (obs::ResourceLedger::global().enabled()) {
+    obs::publish_ledger_metrics(obs::ResourceLedger::global().snapshot());
   }
   world.reset();  // joins chaos/watchdog threads; ring buffers now quiescent
   if (config.trace.enabled && !config.trace.path.empty()) {

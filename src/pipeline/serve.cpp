@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/admission.hpp"
@@ -104,6 +105,7 @@ struct CorrectionServer::Impl {
     // start, including the default-disabled state.
     obs::Tracer::instance().configure(config.trace);
     obs::Registry::global().configure(config.trace.metrics);
+    obs::ResourceLedger::global().configure(config.trace.ledger);
     world_thread = std::thread([this] { world_loop(); });
   }
 
@@ -112,6 +114,9 @@ struct CorrectionServer::Impl {
       auto world = rtm::run_world(
           config.topology(), [this](rtm::Comm& comm) { rank_body(comm); },
           resolve_run_options(config));
+      if (obs::ResourceLedger::global().enabled()) {
+        obs::publish_ledger_metrics(obs::ResourceLedger::global().snapshot());
+      }
       world.reset();  // joins chaos/watchdog; trace rings now quiescent
       if (config.trace.enabled && !config.trace.path.empty()) {
         obs::Tracer::instance().write_shards(config.trace.path, config.ranks);
@@ -217,6 +222,8 @@ struct CorrectionServer::Impl {
     const int rank = comm.rank();
     const int np = comm.size();
     stats::Stopwatch clock;
+    const std::uint64_t ledger_before =
+        obs::ResourceLedger::global().total_bytes();
 
     // Cycle the job-lifetime state; the rank-lifetime spectrum, filters and
     // mailboxes carry over untouched from the build phase.
@@ -284,6 +291,14 @@ struct CorrectionServer::Impl {
     out.deadline_missed = out.total_deadline_skipped() > 0;
     out.degraded = degraded;
     out.seconds = clock.seconds();
+    // Per-job ledger attribution: how many bytes the job left behind (warm
+    // caches, regrown tables) and the process peak so far. Both 0 while the
+    // ledger is disarmed.
+    obs::ResourceLedger& ledger = obs::ResourceLedger::global();
+    out.ledger_delta_bytes =
+        static_cast<std::int64_t>(ledger.total_bytes()) -
+        static_cast<std::int64_t>(ledger_before);
+    out.ledger_peak_bytes = ledger.total_peak_bytes();
 
     obs::Registry& registry = obs::Registry::global();
     const auto job_label = static_cast<std::int64_t>(job.id);

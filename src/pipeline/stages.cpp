@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/corrector.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/rebalance.hpp"
@@ -19,6 +20,36 @@
 #include "stats/stopwatch.hpp"
 
 namespace reptile::pipeline {
+
+namespace {
+
+/// Folds the process-global ledger into the report's per-account rows
+/// (created on first call). `at_build_end` additionally stamps the
+/// end-of-construction balances — the per-phase attribution the scaling
+/// bench reports. No-op while the ledger is disarmed, so disabled runs
+/// carry empty rows.
+void sample_ledger(stats::PhaseTimeline& report, bool at_build_end) {
+  obs::ResourceLedger& ledger = obs::ResourceLedger::global();
+  if (!ledger.enabled()) return;
+  const obs::LedgerSnapshot snap = ledger.snapshot();
+  if (report.ledger.empty()) {
+    report.ledger.resize(obs::kLedgerAccounts);
+    for (std::size_t i = 0; i < obs::kLedgerAccounts; ++i) {
+      report.ledger[i].account =
+          obs::ledger_account_name(static_cast<obs::LedgerAccount>(i));
+    }
+  }
+  for (std::size_t i = 0; i < obs::kLedgerAccounts; ++i) {
+    if (at_build_end) {
+      report.ledger[i].build_end_bytes = snap.accounts[i].bytes;
+    }
+    report.ledger[i].peak_bytes = snap.accounts[i].peak_bytes;
+  }
+  report.ledger_total_peak_bytes = snap.total_peak_bytes;
+  report.ledger_rss_peak_bytes = snap.rss_peak_bytes;
+}
+
+}  // namespace
 
 void StageGraph::run(RankContext& ctx) {
   for (const auto& stage : stages_) {
@@ -100,6 +131,7 @@ void BuildSpectrumStage::run(RankContext& ctx) {
   model.finalize_construction();
   ctx.job.report.construct_seconds = clock.seconds();
   model.record_construction_footprint(ctx.job.report);
+  sample_ledger(ctx.job.report, /*at_build_end=*/true);
 }
 
 void CorrectStage::run(RankContext& ctx) {
@@ -212,6 +244,7 @@ void CorrectStage::run(RankContext& ctx) {
   }
   model.harvest_service(ctx.job.report);
   model.record_correction_footprint(ctx.job.report);
+  sample_ledger(ctx.job.report, /*at_build_end=*/false);
   if (ctx.comm() != nullptr) ctx.comm()->barrier();
 }
 
@@ -290,6 +323,7 @@ void WorkQueueCorrectStage::run(RankContext& ctx) {
   ctx.job.report.correct_seconds = clock.seconds();
   handle->harvest(ctx.job.report);
   ctx.model()->record_correction_footprint(ctx.job.report);
+  sample_ledger(ctx.job.report, /*at_build_end=*/false);
   comm.barrier();
 }
 

@@ -6,8 +6,10 @@
 #include <optional>
 #include <thread>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "rtm/thread_group.hpp"
 
 namespace reptile::rtm {
 
@@ -84,7 +86,26 @@ std::unique_ptr<World> run_world(Topology topo,
   world->set_mailbox_fast_path(options.mailbox_fast_path);
   if (options.check.enabled) world->enable_check(options.check);
   if (options.chaos.active()) world->enable_chaos(options.chaos);
-  run_ranks(*world, rank_main);
+  // Resource-ledger RSS cross-check: one process-wide sampler thread for
+  // the run. It registers with the deadlock watchdog and reports itself
+  // idle-polling every tick, so it never reads as a hung rank thread.
+  obs::RssSampler sampler;
+  {
+    ScopedThreadGroup sampler_group([&sampler] { sampler.stop(); });
+    if (obs::ResourceLedger::global().enabled()) {
+      World* w = world.get();
+      sampler_group.spawn([&sampler, w] {
+        std::optional<check::ThreadScope> scope;
+        std::function<void()> idle;
+        if (check::RunChecker* check = w->checker()) {
+          scope.emplace(*check, 0, check::ThreadRole::kOther);
+          idle = [check] { check->thread_idle_poll(); };
+        }
+        sampler.run(idle);
+      });
+    }
+    run_ranks(*world, rank_main);
+  }  // stops and joins the sampler before the checker finalizes
   if (check::RunChecker* check = world->checker()) check->finalize();
   publish_runtime_metrics(*world);
   return world;

@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rtm/check/check.hpp"
@@ -99,6 +100,8 @@ class Mailbox {
 
   using Core = BasicMailboxCore<StdAtomics>;
   using PopResult = Core::PopResult;
+
+  Mailbox() { ring_charge_.set(core_.ring().memory_bytes()); }
 
   /// Identifies the owning rank for obs instruments (wait histograms).
   /// Called by World's constructor before rank threads start.
@@ -523,6 +526,9 @@ class Mailbox {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   mutable Core core_{kRingCapacity};  // deque/stamps guarded by mutex_
+  // The ring's cell array is the mailbox's dominant fixed cost; charged once
+  // at construction (the overflow deque is transient and stays uncharged).
+  obs::LedgerCharge ring_charge_{obs::LedgerAccount::kMailboxRings};
   std::vector<Waiter*> waiters_;      // guarded by mutex_
   WaiterGate<StdAtomics> waiter_gate_;
   std::atomic<bool> fast_path_{true};

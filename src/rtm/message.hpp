@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/ledger.hpp"
 #include "rtm/atomics_policy.hpp"
 #include "rtm/stat_counter.hpp"
 
@@ -265,6 +266,7 @@ class PayloadArena {
         current_->bytes = std::make_unique<std::byte[]>(kSlabBytes);
         // mo: relaxed stat counter.
         slabs_allocated_.fetch_add(1, std::memory_order_relaxed);
+        charge_.set(all_.size() * kSlabBytes);  // under mutex_
       }
     }
     p.slab_ = current_;
@@ -325,6 +327,9 @@ class PayloadArena {
   mutable std::mutex mutex_;
   detail::ArenaSlab* current_ = nullptr;
   std::vector<std::unique_ptr<detail::ArenaSlab>> all_;
+  /// Mirrors memory_bytes() into the resource ledger; mutated only under
+  /// mutex_ (the slab-allocation path).
+  obs::LedgerCharge charge_{obs::LedgerAccount::kPayloadArena};
   std::vector<detail::ArenaSlab*> free_;
   std::atomic<std::uint64_t> slabs_allocated_{0};
   std::atomic<std::uint64_t> slabs_reused_{0};

@@ -241,6 +241,12 @@ class BasicMpmcMessageRing {
 
   std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Exact heap footprint of the cell array (resource-ledger accounting;
+  /// kept dependency-free so the model checker can instantiate the ring).
+  std::size_t memory_bytes() const noexcept {
+    return capacity_ * sizeof(Cell);
+  }
+
  private:
   static constexpr std::uint64_t kConsumerLock = std::uint64_t{1} << 63;
 

@@ -10,9 +10,21 @@
 
 #include <cstddef>
 
+#include "obs/ledger.hpp"
 #include "seq/read.hpp"
 
 namespace reptile::seq {
+
+/// Exact heap footprint of a batch: the read vector plus every read's base
+/// and quality buffers (capacities, matching what the allocator holds).
+inline std::size_t batch_memory_bytes(const ReadBatch& batch) noexcept {
+  std::size_t bytes = batch.capacity() * sizeof(Read);
+  for (const Read& read : batch) {
+    bytes += read.bases.capacity() * sizeof(char) +
+             read.quals.capacity() * sizeof(qual_t);
+  }
+  return bytes;
+}
 
 /// Pull-style chunk iterator over a ReadSource. Construction rewinds the
 /// source, so one pass always starts from the first read.
@@ -25,7 +37,13 @@ class ChunkStream {
 
   /// Fills `out` (cleared first) with the next chunk; false when the
   /// source is exhausted and `out` is empty.
-  bool next(ReadBatch& out) { return source_->next_chunk(chunk_size_, out); }
+  bool next(ReadBatch& out) {
+    const bool more = source_->next_chunk(chunk_size_, out);
+    // The caller's batch is this stream's working buffer: bill its current
+    // footprint to read_buffers (released when the stream ends or drains).
+    charge_.set(more ? batch_memory_bytes(out) : 0);
+    return more;
+  }
 
   /// Chunks one full pass delivers (0 for an empty source) — the per-rank
   /// batch count the batch_reads heuristic reduces over.
@@ -42,6 +60,7 @@ class ChunkStream {
  private:
   ReadSource* source_;
   std::size_t chunk_size_;
+  obs::LedgerCharge charge_{obs::LedgerAccount::kReadBuffers};
 };
 
 /// Streams the whole source once, invoking fn(batch) for every non-empty

@@ -176,6 +176,15 @@ struct SpectrumFootprint {
   std::size_t bytes = 0;  ///< total table memory (filters included)
 };
 
+/// One resource-ledger account's attribution for a run (obs-free mirror of
+/// obs::LedgerSnapshot; the pipeline layer fills it when the ledger is
+/// armed, so stats/ stays dependency-free).
+struct LedgerAccountSample {
+  const char* account = "";             ///< stable snake_case account name
+  std::uint64_t build_end_bytes = 0;    ///< balance when construction ended
+  std::uint64_t peak_bytes = 0;         ///< high-water mark over the run
+};
+
 /// One stage's sample in a run's timeline, recorded by the stage graph.
 struct StageSample {
   std::string stage;               ///< stage name, e.g. "build_spectrum"
@@ -219,6 +228,14 @@ struct PhaseTimeline {
 
   /// Per-stage wall times in graph order, recorded by pipeline::StageGraph.
   std::vector<StageSample> stages;
+
+  /// Per-account resource-ledger attribution (empty unless the run armed
+  /// the ledger, DistConfig::trace.ledger). The ledger is process-global,
+  /// so in the in-process runtime every rank's rows carry the same values —
+  /// the world-wide bill, analogous to an MPI job's per-node RSS.
+  std::vector<LedgerAccountSample> ledger;
+  std::uint64_t ledger_total_peak_bytes = 0;  ///< hwm of the live total
+  std::uint64_t ledger_rss_peak_bytes = 0;    ///< OS cross-check (statm)
 
   /// The timeline slice of a derived report (assignment target for the
   /// stage graph's accumulated core).

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/dist_pipeline.hpp"
@@ -62,6 +63,7 @@ struct ObsReset {
   ~ObsReset() {
     Tracer::instance().configure(obs::TraceConfig{});
     Registry::global().configure(false);
+    obs::ResourceLedger::global().configure(false);
   }
 };
 
@@ -115,6 +117,13 @@ TEST(ObsTrace, ShardsAreValidJsonWithRequiredKeysPerPhase) {
           ASSERT_TRUE(event.has("bp"));
           EXPECT_EQ(event.find("bp")->as_string(), "e");
         }
+      } else if (ph == "C") {
+        // Ledger counter: the tracked value is always non-negative bytes.
+        const JsonValue* args = event.find("args");
+        ASSERT_NE(args, nullptr);
+        const JsonValue* bytes = args->find("bytes");
+        ASSERT_NE(bytes, nullptr);
+        EXPECT_GE(bytes->as_number(), 0.0);
       } else {
         FAIL() << "unexpected phase " << ph;
       }
@@ -216,6 +225,87 @@ TEST(ObsTrace, DisabledOutputIdenticalToTracedOutput) {
 
   const auto a = parallel::run_distributed(ds.reads, traced);
   const auto b = parallel::run_distributed(ds.reads, untraced);
+  ASSERT_EQ(a.corrected.size(), b.corrected.size());
+  for (std::size_t i = 0; i < a.corrected.size(); ++i) {
+    EXPECT_EQ(a.corrected[i].bases, b.corrected[i].bases) << "read " << i;
+  }
+}
+
+// --- resource-ledger counters ----------------------------------------------
+
+TEST(ObsTrace, LedgerArmedRunEmitsCounterEventsInShards) {
+  ObsReset reset;
+  const auto ds = small_dataset();
+  auto config = traced_config(2);
+  config.trace.ledger = true;
+  const auto result = parallel::run_distributed(ds.reads, config);
+  ASSERT_EQ(result.corrected.size(), ds.reads.size());
+
+  // Every rank's shard carries ledger 'C' counters; the count_table account
+  // must be among them (every run builds spectrum tables — the same
+  // invariant trace_merge --check enforces across shards).
+  for (int rank = 0; rank < 2; ++rank) {
+    const JsonValue doc = obs::json_parse(Tracer::instance().to_json(rank));
+    std::set<std::string> counter_names;
+    for (const JsonValue& event : events_of(doc).as_array()) {
+      if (phase_of(event) != "C") continue;
+      const std::string& name = event.find("name")->as_string();
+      EXPECT_EQ(name.rfind("ledger:", 0), 0u) << name;
+      const JsonValue* args = event.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("bytes"), nullptr);
+      EXPECT_GE(args->find("bytes")->as_number(), 0.0);
+      counter_names.insert(name);
+    }
+    EXPECT_TRUE(counter_names.count("ledger:count_table")) << "rank " << rank;
+  }
+
+  // The harvested timelines carry the per-account breakdown and the report
+  // gains the ledger columns.
+  ASSERT_FALSE(result.ranks.empty());
+  ASSERT_EQ(result.ranks[0].ledger.size(), obs::kLedgerAccounts);
+  EXPECT_GT(result.ranks[0].ledger_total_peak_bytes, 0u);
+  const auto report = parallel::to_report(result, "ledger");
+  EXPECT_NE(std::find(report.schema().begin(), report.schema().end(),
+                      "ledger_peak_count_table"),
+            report.schema().end());
+  EXPECT_NE(std::find(report.schema().begin(), report.schema().end(),
+                      "ledger_total_peak_bytes"),
+            report.schema().end());
+}
+
+TEST(ObsTrace, LedgerOffRunHasZeroCountersAndIdenticalOutput) {
+  // The ledger is observation only and off by default: a traced run without
+  // --ledger emits not a single 'C' event, grows no ledger columns, and
+  // corrects reads byte-identically to a ledger-armed run.
+  ObsReset reset;
+  const auto ds = small_dataset();
+  auto armed = traced_config(2);
+  armed.trace.ledger = true;
+  auto off = traced_config(2);
+
+  const auto a = parallel::run_distributed(ds.reads, armed);
+  const auto b = parallel::run_distributed(ds.reads, off);
+
+  for (int rank = 0; rank < 2; ++rank) {
+    const JsonValue doc = obs::json_parse(Tracer::instance().to_json(rank));
+    std::size_t counters = 0;
+    for (const JsonValue& event : events_of(doc).as_array()) {
+      if (phase_of(event) == "C") ++counters;
+    }
+    EXPECT_EQ(counters, 0u) << "rank " << rank;
+  }
+  EXPECT_FALSE(obs::ResourceLedger::global().enabled());
+  EXPECT_EQ(obs::ResourceLedger::global().total_bytes(), 0u);
+  for (const auto& r : b.ranks) {
+    EXPECT_TRUE(r.ledger.empty());
+    EXPECT_EQ(r.ledger_total_peak_bytes, 0u);
+  }
+  const auto report = parallel::to_report(b, "off");
+  for (const std::string& column : report.schema()) {
+    EXPECT_EQ(column.rfind("ledger_", 0), std::string::npos) << column;
+  }
+
   ASSERT_EQ(a.corrected.size(), b.corrected.size());
   for (std::size_t i = 0; i < a.corrected.size(); ++i) {
     EXPECT_EQ(a.corrected[i].bases, b.corrected[i].bases) << "read " << i;

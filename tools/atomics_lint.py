@@ -1,18 +1,21 @@
 #!/usr/bin/env python3
-"""Lint memory-order annotations in the rtm concurrency layer.
+"""Lint memory-order annotations in the concurrency layers.
 
-Every use of a non-seq_cst ``std::memory_order`` in ``src/rtm/`` must carry
-a ``// mo:`` rationale comment on the same line or the line directly above.
-seq_cst is the safe default and needs no justification; anything weaker is
-an optimization whose correctness argument lives next to the code, where
-the model checker (DESIGN.md S8) and reviewers can audit it.
+Every use of a non-seq_cst ``std::memory_order`` in ``src/rtm/`` and
+``src/obs/`` (the lock-free trace rings and the resource ledger's relaxed
+statistics) must carry a ``// mo:`` rationale comment on the same line or
+the line directly above. seq_cst is the safe default and needs no
+justification; anything weaker is an optimization whose correctness
+argument lives next to the code, where the model checker (DESIGN.md S8)
+and reviewers can audit it.
 
 Exit status: 0 clean, 1 violations found, 2 usage error.
 
 Usage:
     tools/atomics_lint.py [--root DIR] [paths...]
 
-With no paths, lints every .hpp/.cpp under src/rtm/ (recursively).
+With no paths, lints every .hpp/.cpp under src/rtm/ and src/obs/
+(recursively).
 """
 
 from __future__ import annotations
@@ -163,15 +166,19 @@ def main() -> int:
     if args.paths:
         files = args.paths
     else:
-        rtm = args.root / "src" / "rtm"
-        if not rtm.is_dir():
-            print(f"atomics_lint: no such directory {rtm}", file=sys.stderr)
-            return 2
-        files = sorted(
-            p
-            for p in rtm.rglob("*")
-            if p.suffix in (".hpp", ".cpp") and p.is_file()
-        )
+        files = []
+        for sub in ("rtm", "obs"):
+            root = args.root / "src" / sub
+            if not root.is_dir():
+                print(f"atomics_lint: no such directory {root}",
+                      file=sys.stderr)
+                return 2
+            files.extend(
+                p
+                for p in root.rglob("*")
+                if p.suffix in (".hpp", ".cpp") and p.is_file()
+            )
+        files.sort()
 
     total = 0
     for path in files:

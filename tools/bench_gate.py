@@ -34,6 +34,17 @@ document's `schema` field:
     unfiltered rows must not, and filtering must strictly reduce remote
     round trips versus the same row without filters.
 
+  scaling (schema "reptile-bench-scaling-v1", BENCH_scaling.json)
+    The fig6/fig7/fig8 scaling trajectory. Functional rows come from the
+    real runtime on a seeded dataset with fixed topology, so their work
+    counters (max_remote_lookups, substitutions, reads_changed,
+    construction_peak_bytes) are exact-matched per rank count; the
+    baseline must keep at least two rank counts or the trajectory
+    degenerates to a point. Wall times and ledger/RSS peaks are
+    host-dependent and only warn, as do all modeled (perfmodel) rows —
+    the model is calibrated from host-measured traits, so its absolute
+    seconds drift with the runner.
+
   serve (schema "reptile-bench-serve-v1", BENCH_serve.json)
     The resident correction server. One hard invariant independent of the
     baseline: spectrum_builds_per_rank == 1 — the whole point of the serve
@@ -82,6 +93,7 @@ WARN_KEYS = [
 
 FIG5_SCHEMA = "reptile-bench-fig5-v1"
 SERVE_SCHEMA = "reptile-bench-serve-v1"
+SCALING_SCHEMA = "reptile-bench-scaling-v1"
 
 # Deterministic serve counters (seeded dataset, fault-free run): any drift
 # vs the baseline is a functional regression.
@@ -108,6 +120,21 @@ FIG5_FILTER_PAIRS = [
     ("filtered", "base"),
     ("filtered_batched", "batched_lookups"),
 ]
+
+# Deterministic scaling counters (seeded dataset, fixed topology): exact
+# per functional rank-count row.
+SCALING_EXACT = ["max_remote_lookups", "substitutions", "reads_changed",
+                 "construction_peak_bytes"]
+
+# Host-dependent functional numbers: warn outside a 2x band, never fail.
+# Ledger/RSS peaks are zero unless the run armed --ledger.
+SCALING_WARN = ["construct_seconds", "correct_seconds",
+                "ledger_total_peak_bytes", "rss_peak_bytes"]
+
+# Every modeled number is warn-only: perfmodel calibrates on host-measured
+# traits, so absolute seconds drift with the runner.
+SCALING_MODELED_WARN = ["construct_seconds", "correct_seconds",
+                        "total_seconds", "mb_per_rank", "efficiency"]
 
 
 def get(doc: dict, section: str, key: str):
@@ -247,6 +274,88 @@ def gate_fig5(cur: dict, base: dict) -> tuple[list[str], list[str]]:
     return failures, []
 
 
+def gate_scaling(cur: dict, base: dict) -> tuple[list[str], list[str]]:
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    if cur.get("figure") != base.get("figure"):
+        failures.append(
+            f"figure mismatch: current {cur.get('figure')} vs baseline "
+            f"{base.get('figure')} (compare a driver against its own "
+            f"baseline)")
+        return failures, warnings
+
+    fn = cur.get("functional", {})
+    base_fn = base.get("functional", {})
+
+    # -- trajectory shape -------------------------------------------------
+    # A scaling baseline with fewer than two rank counts is a point, not a
+    # trajectory; only enforced where the baseline itself has functional
+    # rows (fig7/fig8 are modeled-only).
+    if base_fn and len(base_fn) < 2:
+        failures.append(
+            f"baseline functional section has {len(base_fn)} rank count(s), "
+            f"need >= 2 for a scaling trajectory")
+    if set(fn) != set(base_fn):
+        failures.append(
+            f"functional rank counts changed: current {sorted(fn)} vs "
+            f"baseline {sorted(base_fn)} (regenerate the baseline "
+            f"deliberately)")
+
+    # -- structural invariant of the current run --------------------------
+    # Rank count changes WHERE reads are corrected, never WHAT the
+    # corrector decides: every functional row must produce identical
+    # corrected output.
+    for key in ("substitutions", "reads_changed"):
+        values = {ranks: row.get(key) for ranks, row in fn.items()}
+        if len(set(values.values())) > 1:
+            failures.append(
+                f"functional.{key} differs across rank counts: {values} "
+                f"(correction output must be rank-count invariant)")
+
+    # -- exact functional counters vs baseline ----------------------------
+    for ranks in sorted(set(fn) & set(base_fn), key=int):
+        for key in SCALING_EXACT:
+            c, b = fn[ranks].get(key), base_fn[ranks].get(key)
+            if c != b:
+                failures.append(
+                    f"functional.{ranks}.{key} = {c} differs from baseline "
+                    f"{b} (counters are deterministic; regenerate the "
+                    f"baseline only for a deliberate behaviour change)")
+        for key in SCALING_WARN:
+            c, b = fn[ranks].get(key), base_fn[ranks].get(key)
+            if c is None or b is None or b == 0:
+                continue
+            ratio = c / b
+            if ratio > 2.0 or ratio < 0.5:
+                warnings.append(
+                    f"functional.{ranks}.{key} = {c} vs baseline {b} "
+                    f"({ratio:.2f}x; host-dependent, not gated)")
+
+    # -- modeled rows: drift is informational only ------------------------
+    modeled = cur.get("modeled", {})
+    base_modeled = base.get("modeled", {})
+    for ranks in sorted(set(modeled) & set(base_modeled), key=int):
+        for key in SCALING_MODELED_WARN:
+            c = modeled[ranks].get(key)
+            b = base_modeled[ranks].get(key)
+            if c is None or b is None or b == 0:
+                continue
+            ratio = c / b
+            if ratio > 2.0 or ratio < 0.5:
+                warnings.append(
+                    f"modeled.{ranks}.{key} = {c} vs baseline {b} "
+                    f"({ratio:.2f}x; model is trait-calibrated, not gated)")
+
+    if fn:
+        counts = {ranks: fn[ranks].get("max_remote_lookups")
+                  for ranks in sorted(fn, key=int)}
+        print(f"  functional rank counts : {sorted(fn, key=int)}")
+        print(f"  max remote lookups     : {counts}")
+    print(f"  modeled rank counts    : {sorted(modeled, key=int)}")
+    return failures, warnings
+
+
 def gate_serve(cur: dict, base: dict) -> tuple[list[str], list[str]]:
     failures: list[str] = []
     warnings: list[str] = []
@@ -316,6 +425,8 @@ def main() -> int:
         failures, warnings = gate_fig5(cur, base)
     elif cur.get("schema") == SERVE_SCHEMA:
         failures, warnings = gate_serve(cur, base)
+    elif cur.get("schema") == SCALING_SCHEMA:
+        failures, warnings = gate_scaling(cur, base)
     else:
         failures, warnings = gate_rtm(cur, base)
 

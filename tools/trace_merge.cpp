@@ -18,12 +18,18 @@
 //   * flow events pair up: across ALL shards, each flow id seen on a start
 //     ('s') event is also seen on a finish ('f') event — a requester's
 //     lookup flow starts on its worker thread and finishes on the owning
-//     rank's comm thread, i.e. in a different shard.
+//     rank's comm thread, i.e. in a different shard,
+//   * counter ('C') events carry a numeric, non-negative args.bytes, each
+//     (pid, tid, name) counter stream is monotone-timestamped (single-
+//     writer rings record in order), and when any ledger counters exist at
+//     all, the count_table account is among them — every run builds
+//     spectrum tables, so its absence means the account wiring regressed.
 //
 // Exit status: 0 ok, 1 validation/merge failure, 2 usage error.
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -38,6 +44,14 @@ using reptile::obs::JsonValue;
 struct FlowIds {
   std::set<std::string> starts;
   std::set<std::string> finishes;
+};
+
+/// Cross-event state for counter ('C') validation.
+struct CounterStreams {
+  /// Last timestamp per (pid, tid, name) stream (monotonicity check).
+  std::map<std::string, double> last_ts;
+  /// Every counter name seen, across all shards.
+  std::set<std::string> names;
 };
 
 std::string read_file(const std::string& path) {
@@ -59,7 +73,8 @@ bool has_number(const JsonValue& event, const char* key) {
 }
 
 /// Validates one event against the contract; throws with a description.
-void check_event(const JsonValue& event, std::size_t index, FlowIds& flows) {
+void check_event(const JsonValue& event, std::size_t index, FlowIds& flows,
+                 CounterStreams& counters) {
   const auto fail = [index](const std::string& what) {
     throw std::runtime_error("traceEvents[" + std::to_string(index) +
                              "]: " + what);
@@ -87,6 +102,29 @@ void check_event(const JsonValue& event, std::size_t index, FlowIds& flows) {
         fail("stage span missing numeric \"args.job\"");
       }
     }
+  } else if (ph == "C") {
+    // Ledger counters: the tracked value is always bytes, never negative
+    // (the ledger's balances are unsigned and sub() saturates at zero).
+    const JsonValue* args = event.find("args");
+    const JsonValue* bytes =
+        args != nullptr && args->is_object() ? args->find("bytes") : nullptr;
+    if (bytes == nullptr || !bytes->is_number()) {
+      fail("counter missing numeric \"args.bytes\"");
+    }
+    if (bytes->as_number() < 0) fail("negative counter \"args.bytes\"");
+    const std::string& name = event.find("name")->as_string();
+    const std::string stream =
+        std::to_string(event.find("pid")->as_number()) + "/" +
+        std::to_string(event.find("tid")->as_number()) + "/" + name;
+    const double ts = event.find("ts")->as_number();
+    const auto [it, inserted] = counters.last_ts.emplace(stream, ts);
+    if (!inserted) {
+      if (ts < it->second) {
+        fail("counter stream \"" + stream + "\" not monotone-timestamped");
+      }
+      it->second = ts;
+    }
+    counters.names.insert(name);
   } else if (ph == "i") {
     if (!has_string(event, "s")) fail("instant missing scope \"s\"");
   } else if (ph == "s" || ph == "f") {
@@ -110,6 +148,7 @@ int run(bool check_only, const std::string& out_path,
         const std::vector<std::string>& shards) {
   JsonValue merged_events = JsonValue::array();
   FlowIds flows;
+  CounterStreams counters;
   std::string display_unit = "ms";
   for (const std::string& path : shards) {
     try {
@@ -125,7 +164,7 @@ int run(bool check_only, const std::string& out_path,
       }
       std::size_t index = 0;
       for (const JsonValue& event : events->as_array()) {
-        check_event(event, index++, flows);
+        check_event(event, index++, flows, counters);
         if (!check_only) merged_events.push_back(event);
       }
       std::fprintf(stderr, "%s: ok, %zu events\n", path.c_str(), index);
@@ -150,6 +189,22 @@ int run(bool check_only, const std::string& out_path,
   }
   std::fprintf(stderr, "flows: %zu starts, %zu finishes, all finishes bound\n",
                flows.starts.size(), flows.finishes.size());
+  // Cross-shard account-presence check: a run that emitted ANY ledger
+  // counters must have charged the count_table account (every run builds
+  // spectrum tables), or the account wiring regressed.
+  bool any_ledger = false;
+  for (const std::string& name : counters.names) {
+    if (name.rfind("ledger:", 0) == 0) any_ledger = true;
+  }
+  if (any_ledger && !counters.names.count("ledger:count_table")) {
+    std::fprintf(stderr,
+                 "ledger counters present but ledger:count_table missing\n");
+    return 1;
+  }
+  if (!counters.names.empty()) {
+    std::fprintf(stderr, "counters: %zu distinct, streams monotone\n",
+                 counters.names.size());
+  }
   if (check_only) return 0;
 
   JsonValue merged = JsonValue::object();
